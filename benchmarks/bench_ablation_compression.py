@@ -1,0 +1,86 @@
+"""Ablation: compression policies and decompression particle counts.
+
+Section IV-D offers two policies (compress after N unread epochs; rank by
+compression error with a threshold) and claims ~10 particles suffice after
+decompression.  This ablation compares policies and sweeps the
+decompressed particle count on a two-round scan (round 2 exercises
+decompression).
+"""
+
+import pytest
+
+from conftest import one_shot, record_report
+from repro.config import InferenceConfig
+from repro.eval import run_factored
+from repro.eval.report import format_table
+from repro.simulation.layout import LayoutConfig
+from repro.simulation.warehouse import WarehouseConfig, WarehouseSimulator
+
+BASE = InferenceConfig(reader_particles=100, object_particles=300, seed=0)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_compression_policies(benchmark, truth_projection):
+    sim = WarehouseSimulator(
+        WarehouseConfig(
+            layout=LayoutConfig(n_objects=40, object_spacing_ft=0.3, n_shelf_tags=4),
+            n_rounds=2,
+            seed=902,
+        )
+    )
+    trace = sim.generate()
+    model = sim.world_model(
+        sensor_params=truth_projection[1.0], random_walk_motion=True
+    )
+
+    def run(config, name):
+        result = run_factored(trace, model, config, name=name)
+        return [
+            name,
+            result.error.xy,
+            result.time_per_reading_ms,
+            result.extra["compressions"],
+        ]
+
+    def sweep():
+        rows = [run(BASE.with_index(), "no compression")]
+        rows.append(
+            run(
+                BASE.with_index().with_compression(unread_epochs=20),
+                "unread-20 policy",
+            )
+        )
+        rows.append(
+            run(
+                BASE.with_index().with_compression(
+                    unread_epochs=20, kl_threshold=0.5
+                ),
+                "unread-20 + KL<0.5",
+            )
+        )
+        for k in (5, 10, 30):
+            rows.append(
+                run(
+                    BASE.with_index().with_compression(
+                        unread_epochs=20, decompressed_particles=k
+                    ),
+                    f"decompress to {k}",
+                )
+            )
+        return rows
+
+    rows = one_shot(benchmark, sweep)
+    report = format_table(
+        ["variant", "XY error (ft)", "ms/reading", "compressions"],
+        rows,
+        title="Ablation: belief-compression policies (two-round scan)",
+    )
+    record_report("ablation_compression", report)
+
+    by_name = {row[0]: row for row in rows}
+    # Compression must fire and must not blow the accuracy requirement.
+    assert by_name["unread-20 policy"][3] > 0
+    for row in rows:
+        assert row[1] < 0.5
+    # The paper's 10-particle decompression holds up against 30.
+    assert by_name["decompress to 10"][1] < by_name["decompress to 30"][1] + 0.15

@@ -1,0 +1,63 @@
+"""Ablation: spatial index on/off, and the work it saves.
+
+Section IV-C's claim: the index restricts per-epoch processing to Cases 1-2
+with no obvious accuracy loss.  We report objects processed vs skipped and
+the accuracy/cost deltas.
+"""
+
+import pytest
+
+from conftest import one_shot, record_report
+from repro.config import InferenceConfig
+from repro.eval import run_factored
+from repro.eval.report import format_table
+from repro.simulation.layout import LayoutConfig
+from repro.simulation.warehouse import WarehouseConfig, WarehouseSimulator
+
+BASE = InferenceConfig(reader_particles=100, object_particles=300, seed=0)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_spatial_index(benchmark, truth_projection, scale):
+    n_objects = int(100 * min(scale, 5))
+    sim = WarehouseSimulator(
+        WarehouseConfig(
+            layout=LayoutConfig(
+                n_objects=n_objects, object_spacing_ft=0.25, n_shelf_tags=4
+            ),
+            n_rounds=2,
+            seed=903,
+        )
+    )
+    trace = sim.generate()
+    model = sim.world_model(sensor_params=truth_projection[1.0])
+
+    def sweep():
+        plain = run_factored(trace, model, BASE, name="factored")
+        indexed = run_factored(trace, model, BASE.with_index(), name="indexed")
+        return plain, indexed
+
+    plain, indexed = one_shot(benchmark, sweep)
+
+    processed_plain = plain.extra["objects_processed"]
+    processed_indexed = indexed.extra["objects_processed"]
+    report = format_table(
+        ["variant", "XY error (ft)", "ms/reading", "object-epochs processed"],
+        [
+            ["factored (no index)", plain.error.xy, plain.time_per_reading_ms, int(processed_plain)],
+            ["factored + index", indexed.error.xy, indexed.time_per_reading_ms, int(processed_indexed)],
+        ],
+        title=f"Ablation: spatial index ({n_objects} objects)",
+    )
+    record_report("ablation_index", report)
+
+    # The index must cut the processed-object volume while keeping accuracy.
+    # The achievable ratio is (Case-2 window) / (warehouse span): at CI scale
+    # (100 objects, ~25 ft) that is ~0.6; it shrinks as the warehouse grows.
+    ratio_bound = 0.7 if n_objects <= 150 else 0.5
+    assert processed_indexed < processed_plain * ratio_bound
+    assert indexed.error.xy < plain.error.xy + 0.15
+    # The deterministic claim is the processed-object count above; the
+    # wall-clock comparison gets tolerance for scheduler noise on shared
+    # machines (the indexed variant wins clearly at larger object counts).
+    assert indexed.time_per_reading_ms < plain.time_per_reading_ms * 1.35

@@ -1,0 +1,112 @@
+"""Fig 5(a)-(d): true vs learned sensor-model fields.
+
+The paper shows the fields as images; numerically we report, for each
+learned model, its field correlation against the cone field's logistic
+projection (the "true model") plus read-rate samples at representative
+(distance, bearing) points.  Expectations from the paper: the 20-shelf-tag
+model is very close to true, the 4-tag model degrades gradually, the 0-tag
+model deviates (EM local maxima / unidentifiability); the lab (spherical)
+reader's learned field is wide with a strong angular shoulder.
+"""
+
+import math
+
+import pytest
+
+from conftest import one_shot, record_report
+from repro.eval.report import format_table
+from repro.learning.em import EMConfig, calibrate
+from repro.learning.logistic import field_of_truth_sensor, fit_sensor_to_field
+from repro.config import InferenceConfig
+from repro.models.sensor import SensorModel, field_correlation
+from repro.simulation.lab import LabDeployment, LabConfig
+from repro.simulation.layout import LayoutConfig
+from repro.simulation.warehouse import WarehouseConfig, WarehouseSimulator
+
+EM_CFG = EMConfig(
+    iterations=3,
+    posterior_samples=3,
+    inference=InferenceConfig(reader_particles=100, object_particles=250),
+    seed=0,
+)
+
+PROBES = [(1.0, 0.0), (2.0, 0.0), (3.0, 0.0), (2.0, math.radians(20)), (2.0, math.radians(45))]
+
+
+def _probe_row(label, model):
+    return [label] + [float(model.read_probability(d, t)) for d, t in PROBES]
+
+
+def manifold_correlation(model_a, model_b, shelf_x=2.0):
+    """Field correlation restricted to the deployment's data manifold.
+
+    Tags sit ``shelf_x`` across the aisle, so observed (d, theta) pairs obey
+    d = shelf_x / cos(theta); off-manifold regions are extrapolation and the
+    paper's field images are only meaningful where data exists.
+    """
+    import numpy as np
+
+    dys = np.linspace(-3.0, 3.0, 61)
+    ds = np.hypot(shelf_x, dys)
+    thetas = np.arctan2(np.abs(dys), shelf_x)
+    pa = model_a.read_probability(ds, thetas)
+    pb = model_b.read_probability(ds, thetas)
+    va, vb = pa - pa.mean(), pb - pb.mean()
+    denom = float(np.linalg.norm(va) * np.linalg.norm(vb))
+    return float(va @ vb / denom) if denom else 0.0
+
+
+@pytest.mark.benchmark(group="fig5ad")
+def test_fig5ad_sensor_models(benchmark, truth_projection):
+    sim = WarehouseSimulator(
+        WarehouseConfig(layout=LayoutConfig(n_objects=20, n_shelf_tags=0), seed=101)
+    )
+    trace = sim.generate()
+    true_model = SensorModel(truth_projection[1.0])
+
+    def learn(n_known):
+        known = dict(list(sim.layout.object_positions.items())[:n_known])
+        return calibrate(trace, sim.layout.shelves, known, EM_CFG)
+
+    learned_20 = one_shot(benchmark, learn, 20)
+    learned_4 = learn(4)
+    learned_0 = learn(0)
+
+    lab = LabDeployment(LabConfig(seed=7))
+    lab_fit = fit_sensor_to_field(
+        field_of_truth_sensor(lab.sensor_for_timeout(0.25)), max_distance=4.5
+    )
+
+    models = {
+        "true (cone projection)": true_model,
+        "learned, 20 shelf tags": SensorModel(learned_20.sensor_params),
+        "learned, 4 shelf tags": SensorModel(learned_4.sensor_params),
+        "learned, 0 shelf tags": SensorModel(learned_0.sensor_params),
+        "lab reader (Fig 5d)": SensorModel(lab_fit.sensor_params),
+    }
+    headers = ["model"] + [f"p(d={d:.0f},th={math.degrees(t):.0f}deg)" for d, t in PROBES]
+    rows = [_probe_row(label, model) for label, model in models.items()]
+    corr_rows = [
+        [
+            label,
+            manifold_correlation(model, true_model),
+            field_correlation(model, true_model),
+        ]
+        for label, model in models.items()
+        if label != "lab reader (Fig 5d)"
+    ]
+    report = (
+        format_table(headers, rows, title="Fig 5(a)-(d): read-rate fields")
+        + "\n\n"
+        + format_table(
+            ["model", "manifold corr vs true", "full-grid corr vs true"],
+            corr_rows,
+            title="Learned-vs-true field agreement (higher = closer)",
+        )
+    )
+    record_report("fig5ad_sensor_models", report)
+
+    corr = {row[0]: row[1] for row in corr_rows}
+    # Paper shape: the 20-tag learned model closely matches the true field
+    # (on the region the data exercises); anchors only help.
+    assert corr["learned, 20 shelf tags"] > 0.85

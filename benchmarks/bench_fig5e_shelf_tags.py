@@ -1,0 +1,76 @@
+"""Fig 5(e): inference error vs number of shelf tags used in learning.
+
+Paper setup: a 20-tag calibration trace; vary how many tags have known
+locations (0..20); then run inference over a test trace with 10 object tags
+and 4 shelf tags using 1000 particles/object.  Curves: uniform baseline,
+learned sensor model, true sensor model.
+
+Paper shape: learned-model error is close to true-model error for >= 4
+anchor tags and far below uniform; the 0-anchor point may deviate (EM local
+maxima).
+"""
+
+import pytest
+
+from conftest import one_shot, record_report
+from repro.config import InferenceConfig
+from repro.eval import run_factored, run_uniform
+from repro.eval.report import format_series
+from repro.learning.em import EMConfig, calibrate
+from repro.simulation.layout import LayoutConfig
+from repro.simulation.warehouse import WarehouseConfig, WarehouseSimulator
+
+EM_CFG = EMConfig(
+    iterations=3,
+    posterior_samples=3,
+    inference=InferenceConfig(reader_particles=100, object_particles=250),
+    seed=0,
+)
+INFER_CFG = InferenceConfig(reader_particles=120, object_particles=400, seed=0)
+
+
+@pytest.mark.benchmark(group="fig5e")
+def test_fig5e_shelf_tags(benchmark, truth_projection, scale):
+    train_sim = WarehouseSimulator(
+        WarehouseConfig(layout=LayoutConfig(n_objects=20, n_shelf_tags=0), seed=201)
+    )
+    train = train_sim.generate()
+    test_sim = WarehouseSimulator(
+        WarehouseConfig(layout=LayoutConfig(n_objects=10, n_shelf_tags=4), seed=202)
+    )
+    test = test_sim.generate()
+
+    counts = [0, 4, 8, 12, 20] if scale < 2 else [0, 2, 4, 8, 12, 16, 20]
+
+    def sweep():
+        learned_errors = []
+        for n_known in counts:
+            known = dict(list(train_sim.layout.object_positions.items())[:n_known])
+            result = calibrate(train, train_sim.layout.shelves, known, EM_CFG)
+            model = test_sim.world_model(sensor_params=result.sensor_params)
+            learned_errors.append(run_factored(test, model, INFER_CFG).error.xy)
+        return learned_errors
+
+    learned_errors = one_shot(benchmark, sweep)
+    true_model = test_sim.world_model(sensor_params=truth_projection[1.0])
+    true_error = run_factored(test, true_model, INFER_CFG).error.xy
+    uniform_error = run_uniform(test, test_sim.layout.shelves).error.xy
+
+    report = format_series(
+        "shelf tags in learning",
+        counts,
+        [
+            ("uniform", [uniform_error] * len(counts)),
+            ("learned model", learned_errors),
+            ("true model", [true_error] * len(counts)),
+        ],
+        title="Fig 5(e): inference error (XY, ft) vs shelf tags used in learning",
+    )
+    record_report("fig5e_shelf_tags", report)
+
+    # Paper shape: with >= 4 anchors the learned model rivals the true model
+    # and beats uniform by a wide margin.
+    for n_known, err in zip(counts, learned_errors):
+        if n_known >= 4:
+            assert err < uniform_error / 2
+            assert err < true_error + 0.3

@@ -1,0 +1,124 @@
+"""Fig 5(g): inference error vs systematic reader-location error.
+
+Paper setup: the location-sensing bias along the scan axis (mu_s^y) sweeps
+0.1..1.0 ft with random noise sigma_s^y = 0.2; 5000 particles/object.
+Curves:
+
+* ``uniform`` — worst-case baseline;
+* ``motion model Off`` — trusts the reported location verbatim (no motion
+  model, no correction), so error grows ~linearly with the bias;
+* ``model On - learned`` — sensing parameters learned from a training trace;
+* ``model On - true`` — sensing parameters set to the generating values.
+
+Paper shape: the On curves stay nearly flat (shelf tags + modelled bias
+correct the systematic error); Off degrades linearly; uniform is worst.
+"""
+
+import pytest
+
+from conftest import one_shot, record_report
+from repro.config import InferenceConfig
+from repro.eval import run_factored, run_uniform
+from repro.eval.report import format_series
+from repro.learning.em import EMConfig, calibrate
+from repro.models.sensing import SensingNoiseParams
+from repro.simulation.layout import LayoutConfig
+from repro.simulation.warehouse import WarehouseConfig, WarehouseSimulator
+
+#: The paper uses 5000 particles under this much noise; scaled down here.
+INFER_CFG = InferenceConfig(reader_particles=200, object_particles=500, seed=0)
+SIGMA_Y = 0.2
+
+
+def make_sim(bias_y: float, seed: int = 401) -> WarehouseSimulator:
+    return WarehouseSimulator(
+        WarehouseConfig(
+            layout=LayoutConfig(n_objects=12, n_shelf_tags=4),
+            location_bias=(0.0, bias_y, 0.0),
+            location_sigma=(0.05, SIGMA_Y, 0.0),
+            seed=seed,
+        )
+    )
+
+
+@pytest.mark.benchmark(group="fig5g")
+def test_fig5g_location_noise(benchmark, truth_projection, scale):
+    biases = [0.1, 0.5, 1.0] if scale < 2 else [0.1, 0.25, 0.5, 0.75, 1.0]
+    sensor = truth_projection[1.0]
+
+    def run_variant(sim, trace, sensing_params):
+        model = sim.world_model(
+            sensor_params=sensor, sensing_params=sensing_params
+        )
+        return run_factored(trace, model, INFER_CFG).error.xy
+
+    def sweep():
+        rows = {"uniform": [], "off": [], "learned": [], "true": []}
+        for bias in biases:
+            sim = make_sim(bias)
+            trace = sim.generate()
+            rows["uniform"].append(
+                run_uniform(trace, sim.layout.shelves).error.xy
+            )
+            # Off: trust reports verbatim — model believes zero bias and
+            # (near-)zero noise, so particles pin to the biased reports.
+            rows["off"].append(
+                run_variant(
+                    sim,
+                    trace,
+                    SensingNoiseParams(mean=(0, 0, 0), sigma=(0.02, 0.02, 0.0)),
+                )
+            )
+            # True parameters: the generating bias/noise.
+            rows["true"].append(
+                run_variant(
+                    sim,
+                    trace,
+                    SensingNoiseParams(
+                        mean=(0.0, bias, 0.0), sigma=(0.05, SIGMA_Y, 0.0)
+                    ),
+                )
+            )
+            # Learned parameters from a training trace of the same scene.
+            train_sim = make_sim(bias, seed=402)
+            train = train_sim.generate()
+            known = dict(list(train_sim.layout.object_positions.items())[:6])
+            known.update(train_sim.layout.shelf_tag_positions)
+            calibration = calibrate(
+                train,
+                train_sim.layout.shelves,
+                train_sim.layout.shelf_tag_positions,
+                EMConfig(
+                    iterations=2,
+                    posterior_samples=3,
+                    inference=InferenceConfig(
+                        reader_particles=100, object_particles=200
+                    ),
+                ),
+                initial_sensor=sensor,
+            )
+            rows["learned"].append(
+                run_variant(sim, trace, calibration.sensing_params)
+            )
+        return rows
+
+    rows = one_shot(benchmark, sweep)
+    report = format_series(
+        "mu_s^y (ft)",
+        biases,
+        [
+            ("uniform", rows["uniform"]),
+            ("motion model Off", rows["off"]),
+            ("model On - learned", rows["learned"]),
+            ("model On - true", rows["true"]),
+        ],
+        title="Fig 5(g): inference error (XY, ft) vs systematic location error"
+        f" (sigma_y={SIGMA_Y})",
+    )
+    record_report("fig5g_location_noise", report)
+
+    # Paper shape: at the largest bias, the On-true variant corrects most of
+    # the systematic error while Off eats it whole.
+    assert rows["true"][-1] < rows["off"][-1]
+    assert rows["off"][-1] > rows["off"][0]  # Off degrades with bias
+    assert rows["learned"][-1] < rows["off"][-1] + 0.1

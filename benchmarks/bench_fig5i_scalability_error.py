@@ -1,0 +1,56 @@
+"""Fig 5(i): inference error vs number of objects, four engine variants.
+
+Paper shape: the factored variants hold the 0.5 ft accuracy requirement at
+every object count, while the unfactorized filter — at a particle budget it
+can actually run — misses it; spatial indexing and belief compression cause
+no obvious accuracy degradation.
+"""
+
+import pytest
+
+from conftest import one_shot, record_report
+from repro.config import ACCURACY_REQUIREMENT_FT
+from repro.eval.report import format_series
+from scalability import object_grid, run_variant, variant_cap
+
+VARIANTS = ("naive", "factored", "indexed", "compressed")
+
+
+@pytest.mark.benchmark(group="fig5i")
+def test_fig5i_scalability_error(benchmark, truth_projection, scale):
+    grid = object_grid(scale)
+    sensor = truth_projection[1.0]
+
+    def sweep():
+        curves = {variant: [] for variant in VARIANTS}
+        for n in grid:
+            for variant in VARIANTS:
+                if n > variant_cap(variant, scale):
+                    curves[variant].append(None)
+                    continue
+                result = run_variant(variant, n, sensor)
+                curves[variant].append(result.error.xy if result.error else None)
+        return curves
+
+    curves = one_shot(benchmark, sweep)
+    report = format_series(
+        "objects",
+        grid,
+        [(variant, curves[variant]) for variant in VARIANTS],
+        title=(
+            "Fig 5(i): inference error (XY, ft) vs object count "
+            f"(accuracy requirement {ACCURACY_REQUIREMENT_FT} ft)"
+        ),
+    )
+    record_report("fig5i_scalability_error", report)
+
+    # Factored variants meet the paper's accuracy requirement everywhere
+    # they run; naive (at a runnable particle budget) is worse than factored.
+    for variant in ("factored", "indexed", "compressed"):
+        for err in curves[variant]:
+            if err is not None:
+                assert err < ACCURACY_REQUIREMENT_FT, (variant, err)
+    naive_at_10 = curves["naive"][0]
+    factored_at_10 = curves["factored"][0]
+    assert naive_at_10 is not None and factored_at_10 is not None
+    assert factored_at_10 <= naive_at_10 + 0.05

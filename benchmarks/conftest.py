@@ -1,0 +1,75 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every benchmark regenerates one table or figure from the paper's Section V
+and prints it (plus writes it to ``benchmarks/results/``), so the output can
+be read side-by-side with the paper.  Timings use pytest-benchmark in
+single-shot pedantic mode — these are experiments, not microbenchmarks.
+
+Scale: the paper's largest runs (20,000 objects, 100,000 joint particles)
+are CI-hostile; benchmarks default to reduced sizes that preserve the
+*shape* of every result, and honour ``REPRO_BENCH_SCALE`` (float >= 1.0) to
+approach paper scale, e.g.::
+
+    REPRO_BENCH_SCALE=8 pytest benchmarks/bench_fig5i_scalability_error.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List
+
+import pytest
+
+from repro.learning.logistic import field_of_truth_sensor, fit_sensor_to_field
+from repro.models.sensor import SensorParams
+from repro.simulation.truth_sensor import ConeTruthSensor
+
+#: Collected (name, table) pairs printed in the terminal summary.
+_REPORTS: List = []
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record_report(name: str, text: str) -> None:
+    """Register a table for the end-of-run summary and persist it."""
+    _REPORTS.append((name, text))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "paper reproduction tables")
+    for name, text in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"--- {name} ---")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    """Global benchmark scale factor (1.0 = CI-sized)."""
+    return max(1.0, float(os.environ.get("REPRO_BENCH_SCALE", "1.0")))
+
+
+@pytest.fixture(scope="session")
+def truth_projection() -> Dict[float, SensorParams]:
+    """Logistic projections of cone fields keyed by RR_major.
+
+    Plays the paper's "true sensor model": the best in-family approximation
+    of the simulator's actual (cone) field.
+    """
+    out: Dict[float, SensorParams] = {}
+    for rr in (1.0, 0.9, 0.8, 0.7, 0.6, 0.5):
+        cone = ConeTruthSensor(rr_major=rr)
+        fit = fit_sensor_to_field(field_of_truth_sensor(cone), max_distance=4.5)
+        out[rr] = fit.sensor_params
+    return out
+
+
+def one_shot(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)

@@ -1,0 +1,101 @@
+"""Shared runner for the scalability experiments (Fig 5i / 5j).
+
+Builds a dense warehouse (objects 0.2 ft apart), scans it twice (the paper's
+"two rounds of scan of a large warehouse"), and runs one of the four engine
+variants:
+
+* ``naive``       — unfactorized joint particle filter;
+* ``factored``    — particle factorization only;
+* ``indexed``     — factored + spatial index;
+* ``compressed``  — factored + spatial index + belief compression.
+
+Variant-specific object-count caps keep CI runtimes sane, mirroring the
+paper's own concession that "the experiment managed to finish" only for
+bounded configurations of the basic filter.  ``REPRO_BENCH_SCALE`` raises
+the caps toward paper scale (20,000 objects).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.config import InferenceConfig
+from repro.eval import SystemResult, run_factored, run_naive
+from repro.models.sensor import SensorParams
+from repro.simulation.layout import LayoutConfig
+from repro.simulation.warehouse import WarehouseConfig, WarehouseSimulator
+
+#: Particles per object for the factored variants (paper: 1000).
+OBJECT_PARTICLES = 300
+#: Joint particles for the naive filter (paper: up to 100,000).
+NAIVE_PARTICLES = 2500
+
+_trace_cache: Dict[int, object] = {}
+
+
+def object_grid(scale: float) -> List[int]:
+    grid = [10, 50, 200]
+    if scale >= 4:
+        grid += [500, 1000]
+    if scale >= 8:
+        grid += [2000]
+    if scale >= 16:
+        grid += [5000, 10000, 20000]
+    return grid
+
+
+def variant_cap(variant: str, scale: float) -> int:
+    caps = {
+        "naive": 20,
+        "factored": 200 if scale < 4 else 1000,
+        "indexed": 200 if scale < 4 else 5000,
+        "compressed": 10**9,
+    }
+    return caps[variant]
+
+
+def make_simulator(n_objects: int) -> WarehouseSimulator:
+    return WarehouseSimulator(
+        WarehouseConfig(
+            layout=LayoutConfig(
+                n_objects=n_objects,
+                object_spacing_ft=0.2,
+                n_shelf_tags=max(4, n_objects // 50),
+            ),
+            n_rounds=2,
+            seed=601,
+        )
+    )
+
+
+def trace_for(n_objects: int):
+    if n_objects not in _trace_cache:
+        sim = make_simulator(n_objects)
+        _trace_cache[n_objects] = (sim, sim.generate())
+    return _trace_cache[n_objects]
+
+
+def run_variant(
+    variant: str, n_objects: int, sensor_params: SensorParams
+) -> Optional[SystemResult]:
+    sim, trace = trace_for(n_objects)
+    model = sim.world_model(
+        sensor_params=sensor_params, random_walk_motion=True
+    )
+    if variant == "naive":
+        config = InferenceConfig(
+            reader_particles=100, object_particles=OBJECT_PARTICLES, seed=0
+        )
+        return run_naive(
+            trace, model, config, n_particles=NAIVE_PARTICLES, name="naive"
+        )
+    config = InferenceConfig(
+        reader_particles=100, object_particles=OBJECT_PARTICLES, seed=0
+    )
+    if variant == "indexed":
+        config = config.with_index()
+    elif variant == "compressed":
+        config = config.with_index().with_compression(unread_epochs=30)
+    elif variant != "factored":
+        raise ValueError(f"unknown variant {variant!r}")
+    return run_factored(trace, model, config, name=variant)

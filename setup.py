@@ -1,0 +1,17 @@
+"""Legacy setup shim: lets ``pip install -e .`` work on toolchains without
+the ``wheel`` package (metadata lives in pyproject.toml)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Probabilistic inference over RFID streams in mobile environments "
+        "(reproduction of Tran et al., ICDE 2009)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21"],
+)

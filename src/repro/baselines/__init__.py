@@ -1,0 +1,21 @@
+"""Baselines the paper evaluates against: SMURF adaptive smoothing (plus the
+paper's location-sampling augmentation) and worst-case uniform sampling."""
+
+from .smurf import SmurfConfig, SmurfFilter, SmurfTagState
+from .smurf_location import SmurfLocationConfig, SmurfLocationEstimator
+from .uniform import (
+    UniformConfig,
+    UniformSampler,
+    sample_sensing_shelf_intersection,
+)
+
+__all__ = [
+    "SmurfConfig",
+    "SmurfFilter",
+    "SmurfLocationConfig",
+    "SmurfLocationEstimator",
+    "SmurfTagState",
+    "UniformConfig",
+    "UniformSampler",
+    "sample_sensing_shelf_intersection",
+]

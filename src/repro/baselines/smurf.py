@@ -1,0 +1,154 @@
+"""SMURF: adaptive smoothing-window RFID cleaning (Jeffery et al., VLDB J.).
+
+SMURF is the state-of-the-art cleaning baseline the paper compares against
+(Section V-C).  Its core idea: treat each epoch's read attempt as a Bernoulli
+trial; size each tag's smoothing window adaptively so that (a) the window is
+large enough to catch the tag with high probability if it is present
+(completeness: ``w* = ln(1/delta) / p`` from the binomial tail), and (b) a
+statistically significant shortfall of reads inside the window signals that
+the tag has *left* the range (transition detection via a two-sigma binomial
+test), at which point the window halves.
+
+The published SMURF estimates per-epoch read rates from response-count
+metadata; our streams carry binary per-epoch observations, so the read rate
+is tracked with an EWMA over epochs in which the tag is believed present —
+the same estimator the HiFi implementation falls back to for single-read
+hardware.  This is the one (documented) deviation.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SmurfConfig:
+    """Tuning of the adaptive window."""
+
+    #: Completeness target: miss probability within a window when present.
+    delta: float = 0.05
+    #: Window bounds (epochs).  The cap limits hysteresis: a departed tag
+    #: stays "present" for up to a window after its last read, and location
+    #: samples taken in that tail are biased along the scan direction.
+    min_window: int = 1
+    max_window: int = 12
+    #: EWMA factor for the read-rate estimate.
+    rate_alpha: float = 0.15
+    #: Prior read rate before any evidence.
+    initial_rate: float = 0.6
+    #: Additive window growth per epoch toward w* (SMURF's AIMD shape).
+    growth: int = 1
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.delta < 1.0):
+            raise ConfigurationError("delta must be in (0, 1)")
+        if self.min_window < 1 or self.max_window < self.min_window:
+            raise ConfigurationError("need 1 <= min_window <= max_window")
+        if not (0.0 < self.rate_alpha <= 1.0):
+            raise ConfigurationError("rate_alpha must be in (0, 1]")
+        if not (0.0 < self.initial_rate <= 1.0):
+            raise ConfigurationError("initial_rate must be in (0, 1]")
+
+
+class SmurfTagState:
+    """Per-tag adaptive smoothing window."""
+
+    def __init__(self, config: SmurfConfig = SmurfConfig()):
+        self.config = config
+        self.window = config.min_window
+        self.rate = config.initial_rate
+        self._history: Deque[bool] = deque(maxlen=config.max_window)
+        self.present = False
+        #: True on the epoch the tag transitions present -> absent.
+        self.departed = False
+
+    # ------------------------------------------------------------------
+    def observe(self, read: bool) -> bool:
+        """Feed one epoch's observation; returns presence after smoothing."""
+        config = self.config
+        self._history.append(bool(read))
+        was_present = self.present
+
+        if read:
+            # Reads while present refine the rate estimate upward/downward.
+            self.rate = (1 - config.rate_alpha) * self.rate + config.rate_alpha * 1.0
+        elif self.present:
+            self.rate = (1 - config.rate_alpha) * self.rate + config.rate_alpha * 0.0
+        self.rate = min(max(self.rate, 0.05), 1.0)
+
+        # Completeness-driven target window: w* = ln(1/delta) / p.
+        w_star = math.ceil(math.log(1.0 / config.delta) / self.rate)
+        w_star = min(max(w_star, config.min_window), config.max_window)
+
+        # Grow additively toward w*; shrink instantly if w* dropped.
+        if self.window < w_star:
+            self.window = min(self.window + config.growth, w_star)
+        else:
+            self.window = w_star
+
+        recent = list(self._history)[-self.window:]
+        count = sum(recent)
+
+        transition = False
+        if was_present and len(recent) >= 2:
+            expected = self.window * self.rate
+            slack = 2.0 * math.sqrt(self.window * self.rate * (1.0 - self.rate))
+            if count < expected - slack:
+                transition = True
+
+        if transition:
+            # Binomial test says the tag left: halve the window (AIMD) and
+            # declare absence even if stale reads remain in the history.
+            self.window = max(self.window // 2, config.min_window)
+            self.present = False
+        else:
+            self.present = count >= 1
+
+        self.departed = was_present and not self.present
+        return self.present
+
+
+class SmurfFilter:
+    """Multi-tag SMURF smoother over synchronized epochs.
+
+    Produces, per epoch, the set of tags deemed present.  Location-less —
+    :mod:`repro.baselines.smurf_location` adds the paper's location-sampling
+    augmentation on top.
+    """
+
+    def __init__(self, config: SmurfConfig = SmurfConfig()):
+        self.config = config
+        self._tags: Dict[int, SmurfTagState] = {}
+        self.epoch_index = -1
+
+    def state(self, number: int) -> Optional[SmurfTagState]:
+        return self._tags.get(number)
+
+    def known_tags(self) -> List[int]:
+        return sorted(self._tags)
+
+    def step(self, read_numbers: Iterable[int]) -> Tuple[List[int], List[int]]:
+        """Advance one epoch.
+
+        Returns ``(present, departed)`` tag-number lists.  Tags are tracked
+        from their first read onward.
+        """
+        self.epoch_index += 1
+        reads = set(int(n) for n in read_numbers)
+        for number in reads:
+            if number not in self._tags:
+                self._tags[number] = SmurfTagState(self.config)
+        present: List[int] = []
+        departed: List[int] = []
+        for number, state in self._tags.items():
+            state.observe(number in reads)
+            if state.present:
+                present.append(number)
+            if state.departed:
+                departed.append(number)
+        return sorted(present), sorted(departed)

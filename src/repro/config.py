@@ -1,0 +1,237 @@
+"""Configuration objects and paper-default constants.
+
+Every tunable in the library lives in one of the dataclasses below, with
+defaults taken from the paper's Section V (see DESIGN.md Section 6 for the
+full provenance table).  Configurations validate eagerly so that a bad sweep
+parameter fails at construction, not after minutes of filtering.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from .errors import ConfigurationError
+
+# ---------------------------------------------------------------------------
+# Paper constants (Section V)
+# ---------------------------------------------------------------------------
+
+#: Epoch length in seconds (Section II-A: "fairly coarse-grained, e.g., a second").
+EPOCH_LENGTH_S = 1.0
+
+#: Robot speed in feet per epoch (Section V-A: "travels about 0.1 foot").
+ROBOT_SPEED_FT_PER_EPOCH = 0.1
+
+#: Default motion noise std-dev per axis (Section V-A: sigma_m = .01).
+MOTION_SIGMA_FT = 0.01
+
+#: Default location-sensing noise std-dev per axis (Section V-A: sigma_s = .01).
+SENSING_SIGMA_FT = 0.01
+
+#: Major detection range open angle, radians (Section V-A: 30 degrees).
+MAJOR_OPEN_ANGLE_RAD = math.radians(30.0)
+
+#: Additional minor detection range angle, radians (Section V-A: 15 degrees).
+MINOR_EXTRA_ANGLE_RAD = math.radians(15.0)
+
+#: Particles per object for the factored filter (Section V-B: 1000).
+PARTICLES_PER_OBJECT = 1000
+
+#: Particles used after decompression (Section V-D: "only 10").
+PARTICLES_AFTER_DECOMPRESSION = 10
+
+#: Accuracy requirement used in the scalability tests (Section V-D: .5 foot).
+ACCURACY_REQUIREMENT_FT = 0.5
+
+#: Output delay: event emitted this long after an object enters scope
+#: (Section V-A: "60 seconds after an object came into the scope").
+OUTPUT_DELAY_S = 60.0
+
+#: Lab tag spacing (Section V-C: "spaced four inches apart").
+LAB_TAG_SPACING_FT = 4.0 / 12.0
+
+#: The small / large "imagined shelf" x-depths from Fig 6(b).
+SMALL_SHELF_DEPTH_FT = 0.66
+LARGE_SHELF_DEPTH_FT = 2.6
+SHELF_LENGTH_FT = 4.0
+
+
+# ---------------------------------------------------------------------------
+# Inference configuration
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CompressionConfig:
+    """Belief-compression policy (Section IV-D).
+
+    ``unread_epochs`` triggers compression once a tag has gone unread that
+    many epochs (the "object left the read range" policy used in the paper's
+    scalability tests).  ``kl_threshold``, when set, switches to the
+    rank-by-KL policy: an object is compressed only if the weighted mean
+    squared deviation from its mean (the paper's KL surrogate, in sq ft) is
+    below the threshold.
+    """
+
+    enabled: bool = False
+    unread_epochs: int = 10
+    kl_threshold: Optional[float] = None
+    decompressed_particles: int = PARTICLES_AFTER_DECOMPRESSION
+    min_particles_to_compress: int = 4
+
+    def __post_init__(self) -> None:
+        if self.unread_epochs < 1:
+            raise ConfigurationError("unread_epochs must be >= 1")
+        if self.decompressed_particles < 2:
+            raise ConfigurationError("decompressed_particles must be >= 2")
+        if self.kl_threshold is not None and self.kl_threshold <= 0:
+            raise ConfigurationError("kl_threshold must be positive")
+
+
+@dataclass(frozen=True)
+class SpatialIndexConfig:
+    """Spatial-index behaviour (Section IV-C)."""
+
+    enabled: bool = False
+    rtree_max_entries: int = 16
+    max_regions: Optional[int] = 4096
+    #: Extra padding added to sensing-region bounding boxes so that objects
+    #: just outside the nominal range still count as Case 2 (the sensor model
+    #: keeps a small read probability there).
+    box_padding_ft: float = 0.25
+    #: A new region is inserted only after the reader has moved this far
+    #: from the last recorded region's center; interim epochs attach their
+    #: objects to the last region instead.  Consecutive epochs differ by an
+    #: epoch's travel (~0.1 ft), so per-epoch inserts would bloat the tree
+    #: with near-duplicate boxes; the padding absorbs the quantization.
+    record_spacing_ft: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.rtree_max_entries < 4:
+            raise ConfigurationError("rtree_max_entries must be >= 4")
+        if self.box_padding_ft < 0:
+            raise ConfigurationError("box_padding_ft must be >= 0")
+        if self.record_spacing_ft < 0:
+            raise ConfigurationError("record_spacing_ft must be >= 0")
+
+
+@dataclass(frozen=True)
+class InferenceConfig:
+    """Knobs of the factored particle filter (Section IV).
+
+    The defaults reproduce the paper's configuration for the accuracy
+    experiments: 1000 particles per object, factored representation, no
+    spatial index, no compression.  The scalability variants are built with
+    :meth:`with_index` / :meth:`with_compression`.
+    """
+
+    reader_particles: int = 200
+    object_particles: int = PARTICLES_PER_OBJECT
+    #: Resample a particle set when its effective sample size falls below
+    #: this fraction of the particle count.
+    ess_threshold: float = 0.5
+    #: Feed object-particle likelihoods back into reader resampling
+    #: (Section IV-B "instrument resampling to favor reader particles that
+    #: are associated with good object particles").
+    reader_feedback: bool = True
+    #: Use consecutive reported-position deltas as the motion proposal's
+    #: control input (odometry), instead of the model's constant average
+    #: velocity.  Constant *systematic* location error cancels in deltas, so
+    #: this is compatible with the paper's biased-sensing experiments; it is
+    #: what makes turn-around scans (the lab robot) trackable.  Disable to
+    #: get the paper's pure constant-velocity proposal.
+    use_odometry_control: bool = True
+    #: Distance (ft) beyond which negative evidence ("tag not read") is not
+    #: evaluated; the paper rounds the tiny read probability to zero
+    #: (Section IV-C Case 4).
+    negative_evidence_range_ft: float = 6.0
+    #: Initialization cone: half-angle and range are overestimates of the
+    #: true sensing region (Section IV-A).
+    init_cone_half_angle_rad: float = MAJOR_OPEN_ANGLE_RAD / 2 + MINOR_EXTRA_ANGLE_RAD
+    init_cone_range_ft: float = 4.0
+    #: Re-detection thresholds (Section IV-A), measured between the current
+    #: reader position and the object's belief mean: within ``reinit_near_ft``
+    #: (an overestimate of the read range — an ordinary in-range read) the
+    #: existing particles are kept; between the two, half are moved; above
+    #: ``reinit_far_ft`` all particles are recreated at the new location.
+    reinit_near_ft: float = 4.5
+    reinit_far_ft: float = 9.0
+    #: Surprise trigger: a read whose probability under the current belief
+    #: (belief mean scored at the current reader pose) falls below this value
+    #: is inconsistent with the belief — the object likely moved — and forces
+    #: a SPLIT even inside the KEEP zone.
+    surprise_read_threshold: float = 0.005
+    #: Minimum epochs between SPLITs of the same object, so that occasional
+    #: low-probability fringe reads cannot repeatedly re-seed particles near
+    #: the reader and make the belief "walk" with it.
+    split_cooldown_epochs: int = 12
+    compression: CompressionConfig = field(default_factory=CompressionConfig)
+    spatial_index: SpatialIndexConfig = field(default_factory=SpatialIndexConfig)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.reader_particles < 1:
+            raise ConfigurationError("reader_particles must be >= 1")
+        if self.object_particles < 2:
+            raise ConfigurationError("object_particles must be >= 2")
+        if not (0.0 < self.ess_threshold <= 1.0):
+            raise ConfigurationError("ess_threshold must be in (0, 1]")
+        if self.negative_evidence_range_ft <= 0:
+            raise ConfigurationError("negative_evidence_range_ft must be positive")
+        if self.reinit_near_ft < 0 or self.reinit_far_ft <= self.reinit_near_ft:
+            raise ConfigurationError(
+                "need 0 <= reinit_near_ft < reinit_far_ft, got "
+                f"{self.reinit_near_ft}, {self.reinit_far_ft}"
+            )
+        if not (0.0 < self.surprise_read_threshold < 1.0):
+            raise ConfigurationError("surprise_read_threshold must be in (0, 1)")
+        if self.split_cooldown_epochs < 0:
+            raise ConfigurationError("split_cooldown_epochs must be >= 0")
+        if not (0 < self.init_cone_half_angle_rad <= math.pi):
+            raise ConfigurationError("init_cone_half_angle_rad out of range")
+        if self.init_cone_range_ft <= 0:
+            raise ConfigurationError("init_cone_range_ft must be positive")
+
+    # Convenience builders for the paper's four engine variants -----------
+    def with_index(self, **kwargs) -> "InferenceConfig":
+        """Return a copy with the spatial index enabled."""
+        return replace(self, spatial_index=SpatialIndexConfig(enabled=True, **kwargs))
+
+    def with_compression(self, **kwargs) -> "InferenceConfig":
+        """Return a copy with belief compression enabled."""
+        return replace(self, compression=CompressionConfig(enabled=True, **kwargs))
+
+    def with_particles(self, object_particles: int, reader_particles: Optional[int] = None) -> "InferenceConfig":
+        """Return a copy with different particle counts."""
+        return replace(
+            self,
+            object_particles=object_particles,
+            reader_particles=(
+                reader_particles if reader_particles is not None else self.reader_particles
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class OutputPolicyConfig:
+    """When the pipeline emits location events (Section II-A / V-A).
+
+    ``delay_s`` implements the paper's "within x seconds after an object was
+    read" policy (default 60 s, Section V-A).  ``on_scan_complete`` also
+    emits for every in-scope object when the trace ends (completion of a
+    full area scan).
+    """
+
+    delay_s: float = OUTPUT_DELAY_S
+    on_scan_complete: bool = True
+    #: Also emit an event whenever the estimate moves by more than this
+    #: distance since the last emission (None disables).
+    movement_threshold_ft: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.delay_s < 0:
+            raise ConfigurationError("delay_s must be >= 0")
+        if self.movement_threshold_ft is not None and self.movement_threshold_ft <= 0:
+            raise ConfigurationError("movement_threshold_ft must be positive")

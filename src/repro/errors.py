@@ -1,0 +1,44 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to distinguish configuration mistakes from runtime failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all exceptions raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A parameter object or argument combination is invalid.
+
+    Raised eagerly (at construction time) so that misconfiguration is
+    reported where it happens rather than deep inside an inference loop.
+    """
+
+
+class GeometryError(ReproError):
+    """A geometric argument is degenerate or out of its valid domain."""
+
+
+class StreamError(ReproError):
+    """A stream record or stream ordering invariant was violated."""
+
+
+class InferenceError(ReproError):
+    """The inference engine reached an invalid internal state."""
+
+
+class LearningError(ReproError):
+    """Parameter estimation failed (e.g. singular IRLS system, empty data)."""
+
+
+class QueryError(ReproError):
+    """A stream query was malformed or evaluated against the wrong schema."""
+
+
+class SimulationError(ReproError):
+    """The simulator was asked to produce an impossible scenario."""

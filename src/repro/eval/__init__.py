@@ -1,0 +1,36 @@
+"""Evaluation: the paper's metrics, the experiment harness, and report
+formatting for the benchmark suite."""
+
+from .harness import (
+    SystemResult,
+    final_estimates_from_sink,
+    run_factored,
+    run_naive,
+    run_smurf,
+    run_uniform,
+)
+from .metrics import (
+    ErrorSummary,
+    error_reduction,
+    inference_error,
+    mean_error_reduction,
+    within_accuracy,
+)
+from .report import format_series, format_table, paper_vs_measured
+
+__all__ = [
+    "ErrorSummary",
+    "SystemResult",
+    "error_reduction",
+    "final_estimates_from_sink",
+    "format_series",
+    "format_table",
+    "inference_error",
+    "mean_error_reduction",
+    "paper_vs_measured",
+    "run_factored",
+    "run_naive",
+    "run_smurf",
+    "run_uniform",
+    "within_accuracy",
+]

@@ -1,0 +1,112 @@
+"""Evaluation metrics (Section V-A).
+
+"The accuracy of query output was measured using inference error, which is
+the average distance between reported object locations and true object
+locations."  Fig 6(b) additionally breaks the error into per-axis components
+(X, Y) alongside the planar distance (XY), and the headline comparison is
+the *error reduction* of our system over SMURF (49% on average).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Mean absolute errors over a set of objects, in feet."""
+
+    x: float
+    y: float
+    xy: float
+    n_objects: int
+
+    def __str__(self) -> str:
+        return (
+            f"X={self.x:.3f}ft Y={self.y:.3f}ft XY={self.xy:.3f}ft "
+            f"(n={self.n_objects})"
+        )
+
+
+def inference_error(
+    estimates: Mapping[int, np.ndarray],
+    truth: Mapping[int, np.ndarray],
+    numbers: Optional[Iterable[int]] = None,
+) -> ErrorSummary:
+    """Average per-axis and planar distance between estimates and truth.
+
+    Objects present in ``truth`` but missing from ``estimates`` are an error
+    (the system was supposed to report every object); restrict with
+    ``numbers`` to score a subset.
+    """
+    keys = sorted(numbers) if numbers is not None else sorted(truth)
+    if not keys:
+        raise ConfigurationError("no objects to score")
+    missing = [k for k in keys if k not in estimates]
+    if missing:
+        raise ConfigurationError(
+            f"estimates missing objects {missing[:10]}"
+            + ("..." if len(missing) > 10 else "")
+        )
+    dx = []
+    dy = []
+    dxy = []
+    for key in keys:
+        est = np.asarray(estimates[key], dtype=float)
+        tru = np.asarray(truth[key], dtype=float)
+        dx.append(abs(est[0] - tru[0]))
+        dy.append(abs(est[1] - tru[1]))
+        dxy.append(float(np.hypot(est[0] - tru[0], est[1] - tru[1])))
+    return ErrorSummary(
+        x=float(np.mean(dx)),
+        y=float(np.mean(dy)),
+        xy=float(np.mean(dxy)),
+        n_objects=len(keys),
+    )
+
+
+def error_reduction(ours: float, baseline: float) -> float:
+    """Fractional error reduction of ``ours`` relative to ``baseline``.
+
+    The paper's headline: "our approach offers 49% error reduction over
+    SMURF" = 1 - ours/baseline, averaged across configurations.
+    """
+    if baseline <= 0:
+        raise ConfigurationError("baseline error must be positive")
+    return 1.0 - ours / baseline
+
+
+def mean_error_reduction(
+    pairs: Iterable[tuple],
+) -> float:
+    """Average error reduction over (ours, baseline) pairs."""
+    values = [error_reduction(ours, baseline) for ours, baseline in pairs]
+    if not values:
+        raise ConfigurationError("no pairs")
+    return float(np.mean(values))
+
+
+def within_accuracy(
+    estimates: Mapping[int, np.ndarray],
+    truth: Mapping[int, np.ndarray],
+    requirement_ft: float,
+) -> float:
+    """Fraction of objects whose planar error meets the requirement
+    (Section V-D uses a 0.5 ft accuracy requirement)."""
+    keys = sorted(truth)
+    if not keys:
+        raise ConfigurationError("no objects to score")
+    hits = 0
+    for key in keys:
+        if key not in estimates:
+            continue
+        est = np.asarray(estimates[key], dtype=float)
+        tru = np.asarray(truth[key], dtype=float)
+        if float(np.hypot(est[0] - tru[0], est[1] - tru[1])) <= requirement_ft:
+            hits += 1
+    return hits / len(keys)

@@ -1,0 +1,76 @@
+"""ASCII report tables for the benchmark harness.
+
+Every benchmark prints the same rows/series the corresponding paper table or
+figure reports, via these helpers, so ``pytest benchmarks/ --benchmark-only``
+output can be read side-by-side with the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: Optional[str] = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render a fixed-width table.
+
+    Floats are formatted with ``float_format``; everything else with
+    ``str``.  Columns are sized to their widest cell.
+    """
+    def fmt(value: Any) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    body: List[List[str]] = [[fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in body:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    xs: Sequence[Any],
+    series: Sequence[tuple],
+    title: Optional[str] = None,
+) -> str:
+    """Render figure-style data: one x column plus one column per curve.
+
+    ``series`` is a sequence of ``(name, values)`` pairs, each ``values``
+    parallel to ``xs`` (``None`` marks a point that was not run, rendered
+    as ``-``).
+    """
+    headers = [x_label] + [name for name, _ in series]
+    rows = []
+    for i, x in enumerate(xs):
+        row: List[Any] = [x]
+        for _, values in series:
+            value = values[i]
+            row.append("-" if value is None else value)
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def paper_vs_measured(
+    title: str,
+    rows: Iterable[Sequence[Any]],
+) -> str:
+    """Table with (configuration, paper value, measured value) rows, used by
+    EXPERIMENTS.md generation and the benchmark output."""
+    return format_table(
+        ["configuration", "paper", "measured"], rows, title=title
+    )

@@ -1,0 +1,43 @@
+"""Inference engines (Section IV): naive and factored particle filters,
+spatial-index active-set selection, belief compression, and the cleaning
+pipeline that turns raw epochs into location events."""
+
+from .base import (
+    effective_sample_size,
+    normalize_log_weights,
+    resample_log_weights,
+    systematic_resample,
+    weighted_mean_cov,
+)
+from .compression import (
+    CompressionCandidate,
+    GaussianBelief,
+    compress,
+    compression_error,
+    select_for_compression,
+)
+from .estimates import LocationEstimate
+from .factored import FactoredParticleFilter, ObjectBelief
+from .naive import NaiveParticleFilter
+from .pipeline import CleaningPipeline, InferenceEngine
+from .spatial import ActiveSetSelector
+
+__all__ = [
+    "ActiveSetSelector",
+    "CleaningPipeline",
+    "CompressionCandidate",
+    "FactoredParticleFilter",
+    "GaussianBelief",
+    "InferenceEngine",
+    "LocationEstimate",
+    "NaiveParticleFilter",
+    "ObjectBelief",
+    "compress",
+    "compression_error",
+    "effective_sample_size",
+    "normalize_log_weights",
+    "resample_log_weights",
+    "select_for_compression",
+    "systematic_resample",
+    "weighted_mean_cov",
+]

@@ -1,0 +1,577 @@
+"""The factored particle filter (Section IV-B), with optional spatial
+indexing (Section IV-C) and belief compression (Section IV-D).
+
+Data structures follow Fig. 3 of the paper:
+
+* a list of **reader particles** — reader pose hypotheses with weights;
+* per object, a list of **object particles**, each holding a location
+  hypothesis, a *pointer to a reader particle* (the ``parents`` array), and
+  a weight;
+* an index from tag id to the object's particles (the ``_beliefs`` dict).
+
+Factored weight semantics (Eq. 5): the implicit unfactored particle weight is
+the reader weight times the product of per-object weights; the filter only
+ever manipulates the factors, in log space.
+
+The resampling step is the paper's one omitted detail (deferred to a
+now-unavailable tech report); DESIGN.md Section 3.4 documents the
+reconstruction implemented here:
+
+* object particles resample per-object on low ESS, preserving parent
+  pointers;
+* reader particles resample on low ESS with *feedback-augmented* weights —
+  each active object contributes the mean per-reader likelihood of its
+  attached particles, favouring "reader particles that are associated with
+  good object particles";
+* after a reader resample, parent pointers are remapped through the ancestor
+  map; pointers to dropped readers are re-pointed to a random surviving
+  reader (post-resampling readers are i.i.d. posterior draws, so this is
+  distributionally consistent).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..config import InferenceConfig
+from ..errors import InferenceError
+from ..geometry.cone import Cone
+from ..models.joint import RFIDWorldModel
+from ..models.priors import ReinitDecision, SensorBasedInitializer, classify_redetection
+from ..streams.records import Epoch
+from .base import (
+    effective_sample_size,
+    normalize_log_weights,
+    resample_log_weights,
+    stratified_heading_mean,
+    systematic_resample,
+)
+from .compression import (
+    CompressionCandidate,
+    GaussianBelief,
+    compression_error,
+    select_for_compression,
+)
+from .estimates import LocationEstimate
+from .spatial import ActiveSetSelector
+
+
+@dataclass
+class ObjectBelief:
+    """Belief state for one object: particle cloud or compressed Gaussian."""
+
+    particles: Optional[np.ndarray]  # (K, 3), None when compressed
+    parents: Optional[np.ndarray]  # (K,) int32 pointers into reader particles
+    log_weights: Optional[np.ndarray]  # (K,)
+    gaussian: Optional[GaussianBelief]
+    created_epoch: int
+    last_read_epoch: int
+    last_read_anchor: np.ndarray  # reader location at the last read
+    last_split_epoch: int = -(10**9)  # last SPLIT/RESET (cooldown bookkeeping)
+
+    @property
+    def compressed(self) -> bool:
+        return self.gaussian is not None
+
+    @property
+    def particle_count(self) -> int:
+        return 0 if self.particles is None else int(self.particles.shape[0])
+
+    def estimate(self) -> LocationEstimate:
+        if self.compressed:
+            assert self.gaussian is not None
+            return self.gaussian.estimate()
+        assert self.particles is not None and self.log_weights is not None
+        # Robust: ignores the thin uniform-over-shelves mixture component
+        # that the object movement model injects into unobserved beliefs.
+        return LocationEstimate.robust_from_particles(
+            self.particles, self.log_weights
+        )
+
+
+def _object_log_likelihood(
+    model: RFIDWorldModel,
+    reader_positions: np.ndarray,
+    cos_headings: np.ndarray,
+    sin_headings: np.ndarray,
+    particles: np.ndarray,
+    parents: np.ndarray,
+    is_read: bool,
+) -> np.ndarray:
+    """log p(Ô_i | R_parent, O_k) per object particle.
+
+    Each particle is scored against *its own* reader hypothesis, which is
+    what makes the representation factored rather than marginalized.  The
+    headings' trig is precomputed once per epoch (this function runs for
+    every active object every epoch).
+    """
+    ppos = reader_positions[parents]
+    delta = particles - ppos
+    planar = np.hypot(delta[:, 0], delta[:, 1])
+    d = np.linalg.norm(delta, axis=1)
+    safe = np.where(planar < 1e-12, 1.0, planar)
+    cos_theta = (
+        delta[:, 0] * cos_headings[parents] + delta[:, 1] * sin_headings[parents]
+    ) / safe
+    cos_theta = np.clip(cos_theta, -1.0, 1.0)
+    theta = np.where(planar < 1e-12, 0.0, np.arccos(cos_theta))
+    return model.sensor.log_likelihood(d, theta, is_read)
+
+
+class FactoredParticleFilter:
+    """Streaming inference engine over synchronized epochs.
+
+    Parameters
+    ----------
+    model:
+        The joint probabilistic model to invert.
+    config:
+        Particle counts, resampling thresholds, index/compression policies.
+    initial_position / initial_heading:
+        Prior reader pose.  ``initial_position=None`` defers to the first
+        epoch's reported position (the usual case).
+    """
+
+    def __init__(
+        self,
+        model: RFIDWorldModel,
+        config: InferenceConfig = InferenceConfig(),
+        initial_position=None,
+        initial_heading: float = 0.0,
+        heading_spread: float = 0.05,
+        position_spread: float = 0.1,
+    ):
+        self.model = model
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+        self._initial_position = (
+            None if initial_position is None else np.asarray(initial_position, dtype=float)
+        )
+        self._initial_heading = float(initial_heading)
+        self._heading_spread = float(heading_spread)
+        self._position_spread = float(position_spread)
+
+        self._reader_positions: Optional[np.ndarray] = None  # (J, 3)
+        self._reader_headings: Optional[np.ndarray] = None  # (J,)
+        self._reader_log_w: Optional[np.ndarray] = None  # (J,)
+        self._last_reported: Optional[np.ndarray] = None  # odometry anchor
+        self._last_reported_epoch: int = -(10**9)
+
+        self._beliefs: Dict[int, ObjectBelief] = {}
+        self._selector = ActiveSetSelector(config.spatial_index)
+        self._initializer = SensorBasedInitializer(config, model.shelves)
+        # The Case-2 sensing region (Section IV-C) is sized to where the
+        # sensor's read probability is non-negligible — NOT the (wider)
+        # initialization cone: an oversized region makes past regions chain
+        # into the current one and defeats the active-set restriction.
+        self._sensing_range = max(
+            0.5,
+            min(
+                config.init_cone_range_ft,
+                model.sensor.effective_range(0.02) * 1.15,
+            ),
+        )
+        self._epoch_index = -1
+        #: Diagnostics: counters the benchmarks and tests read.
+        self.stats: Dict[str, int] = {
+            "epochs": 0,
+            "reader_resamples": 0,
+            "object_resamples": 0,
+            "compressions": 0,
+            "decompressions": 0,
+            "objects_processed": 0,
+            "objects_skipped": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def epoch_index(self) -> int:
+        return self._epoch_index
+
+    def known_objects(self) -> List[int]:
+        return sorted(self._beliefs)
+
+    def belief(self, object_number: int) -> ObjectBelief:
+        try:
+            return self._beliefs[object_number]
+        except KeyError:
+            raise InferenceError(f"no belief for object {object_number}") from None
+
+    def object_estimate(self, object_number: int) -> LocationEstimate:
+        return self.belief(object_number).estimate()
+
+    def reader_estimate(self) -> Tuple[np.ndarray, float]:
+        """Posterior mean reader position and circular-mean heading."""
+        if self._reader_positions is None:
+            raise InferenceError("filter has not processed any epoch yet")
+        assert self._reader_log_w is not None and self._reader_headings is not None
+        p, _ = normalize_log_weights(self._reader_log_w)
+        mean = p @ self._reader_positions
+        heading = stratified_heading_mean(self._reader_headings, self._reader_log_w)
+        return mean, heading
+
+    def belief_memory_bytes(self) -> int:
+        """Approximate bytes held by object beliefs (the Section V-D memory
+        metric): 8 bytes per float plus 4 per parent pointer, 9 floats per
+        compressed Gaussian (mean is 3 more)."""
+        total = 0
+        for belief in self._beliefs.values():
+            if belief.compressed:
+                total += (9 + 3) * 8
+            else:
+                k = belief.particle_count
+                total += k * 3 * 8 + k * 4 + k * 8
+        return total
+
+    # ------------------------------------------------------------------
+    # Main update
+    # ------------------------------------------------------------------
+    def step(self, epoch: Epoch) -> None:
+        """Advance the filter by one synchronized epoch (Section IV-A Step 2)."""
+        self._epoch_index += 1
+        self.stats["epochs"] += 1
+        reported = epoch.position_array
+
+        if self._reader_positions is None:
+            self._init_reader(reported, epoch.reported_heading)
+        else:
+            self._propagate_reader(epoch.reported_heading, reported)
+        if reported is not None:
+            self._last_reported = reported
+            self._last_reported_epoch = self._epoch_index
+
+        # --- reader weighting: p(R̂|R) * prod p(Ŝ|R,S)  (Eq. 5, w_rt) ----
+        assert self._reader_positions is not None
+        assert self._reader_headings is not None and self._reader_log_w is not None
+        self._reader_log_w = self._reader_log_w + (
+            self.model.reader_evidence_log_likelihood(
+                self._reader_positions,
+                self._reader_headings,
+                reported,
+                epoch.shelf_tags,
+                negative_evidence_range=self.config.negative_evidence_range_ft,
+            )
+        )
+        self._reader_log_w -= self._reader_log_w.max()
+
+        anchor, heading = self.reader_estimate()
+        sensing_cone = Cone.from_pose(
+            anchor, heading, self.config.init_cone_half_angle_rad, self._sensing_range
+        )
+        current_box = self._selector.sensing_box(sensing_cone) if self._selector.enabled else None
+
+        # --- active set (Cases 1 and 2) ----------------------------------
+        read_now = {tag.number for tag in epoch.object_tags}
+        active = self._selector.select(read_now, self._beliefs.keys(), current_box)
+        self.stats["objects_processed"] += len(active)
+        self.stats["objects_skipped"] += max(0, len(self._beliefs) - len(active))
+
+        # --- (re)initialize / decompress read objects --------------------
+        skip_weighting: Set[int] = set()
+        for number in read_now:
+            if number not in self._beliefs:
+                self._create_belief(number, anchor, heading)
+                skip_weighting.add(number)
+                continue
+            belief = self._beliefs[number]
+            if belief.compressed:
+                self._decompress(number)
+                belief = self._beliefs[number]
+            else:
+                decision = self._redetection_decision(belief, anchor, heading)
+                if decision is not ReinitDecision.KEEP:
+                    assert belief.particles is not None
+                    belief.particles = self._initializer.reinitialize(
+                        belief.particles, decision, anchor, heading, self._rng
+                    )
+                    belief.log_weights = np.zeros(belief.particle_count)
+                    belief.parents = self._random_parents(belief.particle_count)
+                    belief.last_split_epoch = self._epoch_index
+                    skip_weighting.add(number)
+                    if decision is ReinitDecision.RESET:
+                        self._selector.forget_object(number)
+            belief.last_read_epoch = self._epoch_index
+            belief.last_read_anchor = anchor.copy()
+
+        # --- propagate + weight active objects (Eq. 5, w_ti) --------------
+        feedback: Optional[np.ndarray] = None
+        if self.config.reader_feedback:
+            feedback = np.zeros(self._reader_positions.shape[0])
+        cos_headings = np.cos(self._reader_headings)
+        sin_headings = np.sin(self._reader_headings)
+        for number in sorted(active):
+            belief = self._beliefs.get(number)
+            if belief is None or belief.compressed:
+                continue  # compressed Case-2 objects stay compressed
+            assert belief.particles is not None
+            assert belief.parents is not None and belief.log_weights is not None
+            belief.particles = self.model.objects.propagate(belief.particles, self._rng)
+            if number in skip_weighting:
+                continue
+            inc = _object_log_likelihood(
+                self.model,
+                self._reader_positions,
+                cos_headings,
+                sin_headings,
+                belief.particles,
+                belief.parents,
+                is_read=number in read_now,
+            )
+            belief.log_weights = belief.log_weights + inc
+            belief.log_weights -= belief.log_weights.max()
+            if feedback is not None:
+                feedback += self._per_reader_feedback(belief.parents, inc)
+            self._maybe_resample_object(belief)
+
+        # --- record the sensing region (Fig 4b) ---------------------------
+        if self._selector.enabled and current_box is not None:
+            attached = []
+            for number in active:
+                belief = self._beliefs.get(number)
+                if belief is None or belief.particles is None:
+                    continue
+                inside = current_box.contains_points(belief.particles)
+                if not inside.any():
+                    continue
+                assert belief.log_weights is not None
+                p, _ = normalize_log_weights(belief.log_weights)
+                # Attach by weight mass: stray teleported particles must not
+                # pin an object to every region (see ActiveSetSelector).
+                if float(p[inside].sum()) >= 0.005:
+                    attached.append(number)
+            self._selector.record_region(current_box, attached)
+
+        # --- reader resampling --------------------------------------------
+        self._maybe_resample_reader(feedback)
+
+        # --- compression policy -------------------------------------------
+        if self.config.compression.enabled:
+            self._compression_pass()
+
+    def process_trace(self, epochs: Iterable[Epoch]) -> None:
+        for epoch in epochs:
+            self.step(epoch)
+
+    # ------------------------------------------------------------------
+    # Reader particle helpers
+    # ------------------------------------------------------------------
+    def _init_reader(
+        self, reported: Optional[np.ndarray], reported_heading: Optional[float]
+    ) -> None:
+        start = reported if reported is not None else self._initial_position
+        if start is None:
+            raise InferenceError(
+                "first epoch has no reported position and no initial_position "
+                "was given"
+            )
+        j = self.config.reader_particles
+        spread = self._position_spread
+        self._reader_positions = start[None, :] + self._rng.normal(
+            0.0, spread, size=(j, 3)
+        ) * np.array([1.0, 1.0, 0.0])
+        heading = (
+            reported_heading if reported_heading is not None else self._initial_heading
+        )
+        self._reader_headings = heading + self._rng.normal(
+            0.0, self._heading_spread, size=j
+        )
+        self._reader_log_w = np.zeros(j)
+
+    def _propagate_reader(
+        self, reported_heading: Optional[float], reported: Optional[np.ndarray]
+    ) -> None:
+        assert self._reader_positions is not None and self._reader_headings is not None
+        velocity_override = None
+        if (
+            self.config.use_odometry_control
+            and reported is not None
+            and self._last_reported is not None
+            # Only a consecutive report is a per-epoch velocity; a delta that
+            # spans a positioning dropout would be applied as one huge step.
+            and self._last_reported_epoch == self._epoch_index - 1
+        ):
+            velocity_override = reported - self._last_reported
+        self._reader_positions, self._reader_headings = self.model.motion.propagate(
+            self._reader_positions,
+            self._reader_headings,
+            self._rng,
+            velocity_override=velocity_override,
+        )
+        if reported_heading is not None:
+            # Dead-reckoning robots report their commanded orientation; treat
+            # it as a control input and propose headings around it.
+            j = self._reader_headings.shape[0]
+            sigma = max(self.model.motion.params.heading_sigma, self._heading_spread)
+            self._reader_headings = reported_heading + self._rng.normal(
+                0.0, sigma, size=j
+            )
+
+    def _per_reader_feedback(self, parents: np.ndarray, inc: np.ndarray) -> np.ndarray:
+        """log mean-likelihood of this object's particles per reader.
+
+        Readers with no attached particles receive the object's overall mean
+        (neutral), so absence of pointers neither punishes nor rewards.
+        """
+        assert self._reader_positions is not None
+        j = self._reader_positions.shape[0]
+        lik = np.exp(np.clip(inc, -60.0, 0.0))
+        sums = np.bincount(parents, weights=lik, minlength=j)
+        counts = np.bincount(parents, minlength=j)
+        overall = lik.mean()
+        means = np.where(counts > 0, sums / np.maximum(counts, 1), overall)
+        return np.log(np.maximum(means, 1e-300))
+
+    def _maybe_resample_reader(self, feedback: Optional[np.ndarray]) -> None:
+        assert self._reader_log_w is not None
+        j = self._reader_log_w.size
+        if effective_sample_size(self._reader_log_w) >= self.config.ess_threshold * j:
+            return
+        self.stats["reader_resamples"] += 1
+        selection_log_w = self._reader_log_w
+        if feedback is not None:
+            selection_log_w = selection_log_w + feedback
+        chosen = resample_log_weights(selection_log_w, j, self._rng)
+        assert self._reader_positions is not None and self._reader_headings is not None
+        self._reader_positions = self._reader_positions[chosen]
+        self._reader_headings = self._reader_headings[chosen]
+        self._reader_log_w = np.zeros(j)
+        # Remap parent pointers through the ancestor map.  All copies of a
+        # surviving old reader are identical, so pointing at the last copy is
+        # exact; dropped parents re-point to a random survivor.
+        old_to_new = np.full(j, -1, dtype=np.int64)
+        old_to_new[chosen] = np.arange(j)
+        for belief in self._beliefs.values():
+            if belief.parents is None:
+                continue
+            remapped = old_to_new[belief.parents]
+            dropped = remapped < 0
+            if dropped.any():
+                remapped[dropped] = self._rng.integers(0, j, size=int(dropped.sum()))
+            belief.parents = remapped
+
+    # ------------------------------------------------------------------
+    # Object belief helpers
+    # ------------------------------------------------------------------
+    def _random_parents(self, k: int) -> np.ndarray:
+        assert self._reader_positions is not None
+        return self._rng.integers(
+            0, self._reader_positions.shape[0], size=k
+        ).astype(np.int64)
+
+    def _redetection_decision(
+        self, belief: ObjectBelief, anchor: np.ndarray, heading: float
+    ) -> ReinitDecision:
+        """Section IV-A re-detection subtlety, two triggers:
+
+        * distance between the current reader and the belief mean (could the
+          reader plausibly be reading the object where we think it is?), and
+        * a *surprise* trigger — the read's probability under the belief is
+          near zero, so the object very likely moved even though the reader
+          is within the KEEP zone.
+
+        SPLITs are rate-limited by ``split_cooldown_epochs``.
+        """
+        config = self.config
+        # Plain weighted mean: cheaper than the robust estimate and accurate
+        # enough for a threshold decision (this runs for every read object
+        # every epoch).
+        assert belief.particles is not None and belief.log_weights is not None
+        p, _ = normalize_log_weights(belief.log_weights)
+        belief_mean = p @ belief.particles
+        moved = float(
+            np.hypot(anchor[0] - belief_mean[0], anchor[1] - belief_mean[1])
+        )
+        decision = classify_redetection(moved, config)
+        if decision is ReinitDecision.KEEP:
+            p_read = float(
+                self.model.sensor.read_probability_at(
+                    anchor, heading, belief_mean[None, :]
+                )[0]
+            )
+            if p_read < config.surprise_read_threshold:
+                decision = ReinitDecision.SPLIT
+        if decision is ReinitDecision.SPLIT:
+            since_split = self._epoch_index - belief.last_split_epoch
+            if since_split < config.split_cooldown_epochs:
+                decision = ReinitDecision.KEEP
+        return decision
+
+    def _create_belief(self, number: int, anchor: np.ndarray, heading: float) -> None:
+        k = self.config.object_particles
+        particles = self._initializer.sample(anchor, heading, k, self._rng)
+        self._beliefs[number] = ObjectBelief(
+            particles=particles,
+            parents=self._random_parents(k),
+            log_weights=np.zeros(k),
+            gaussian=None,
+            created_epoch=self._epoch_index,
+            last_read_epoch=self._epoch_index,
+            last_read_anchor=anchor.copy(),
+        )
+
+    def _maybe_resample_object(self, belief: ObjectBelief) -> None:
+        assert belief.log_weights is not None
+        k = belief.log_weights.size
+        if effective_sample_size(belief.log_weights) >= self.config.ess_threshold * k:
+            return
+        self.stats["object_resamples"] += 1
+        p, _ = normalize_log_weights(belief.log_weights)
+        idx = systematic_resample(p, k, self._rng)
+        assert belief.particles is not None and belief.parents is not None
+        belief.particles = belief.particles[idx]
+        belief.parents = belief.parents[idx]
+        belief.log_weights = np.zeros(k)
+
+    def _decompress(self, number: int) -> None:
+        belief = self._beliefs[number]
+        assert belief.gaussian is not None
+        k = self.config.compression.decompressed_particles
+        belief.particles = belief.gaussian.sample(self._rng, k)
+        belief.parents = self._random_parents(k)
+        belief.log_weights = np.zeros(k)
+        belief.gaussian = None
+        self.stats["decompressions"] += 1
+
+    def _compression_pass(self) -> None:
+        config = self.config.compression
+        candidates = []
+        for number, belief in self._beliefs.items():
+            if belief.compressed or belief.particles is None:
+                continue
+            unread = self._epoch_index - belief.last_read_epoch
+            if unread < config.unread_epochs:
+                continue
+            error = 0.0
+            if config.kl_threshold is not None:
+                assert belief.log_weights is not None
+                error = compression_error(belief.particles, belief.log_weights)
+            candidates.append(
+                CompressionCandidate(
+                    object_id=number,
+                    epochs_unread=unread,
+                    particle_count=belief.particle_count,
+                    error=error,
+                )
+            )
+        for number in select_for_compression(candidates, config):
+            belief = self._beliefs[number]
+            assert belief.particles is not None and belief.log_weights is not None
+            # Moment-match the robust (dominant-mode) estimate rather than
+            # the raw cloud: by compression time the cloud already carries a
+            # thin teleported-uniform component that would bias the Gaussian.
+            estimate = LocationEstimate.robust_from_particles(
+                belief.particles, belief.log_weights
+            )
+            belief.gaussian = GaussianBelief(
+                mean=estimate.mean, covariance=estimate.covariance
+            )
+            belief.particles = None
+            belief.parents = None
+            belief.log_weights = None
+            self.stats["compressions"] += 1

@@ -1,0 +1,34 @@
+"""Self-calibration (Section III-C): weighted logistic regression, closed-form
+Gaussian fits, and the Monte-Carlo EM driver that learns every model
+parameter from a small training trace."""
+
+from .em import (
+    CalibrationResult,
+    EMConfig,
+    calibrate,
+    fit_sensor_supervised,
+    initial_motion_guess,
+    relabel_tags,
+)
+from .logistic import (
+    LogisticFitResult,
+    fit_logistic,
+    fit_sensor_model,
+    fit_sensor_to_field,
+)
+from .motion_fit import fit_motion_params, fit_sensing_params
+
+__all__ = [
+    "CalibrationResult",
+    "EMConfig",
+    "LogisticFitResult",
+    "calibrate",
+    "fit_logistic",
+    "fit_motion_params",
+    "fit_sensing_params",
+    "fit_sensor_model",
+    "fit_sensor_supervised",
+    "fit_sensor_to_field",
+    "initial_motion_guess",
+    "relabel_tags",
+]

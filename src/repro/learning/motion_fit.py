@@ -1,0 +1,98 @@
+"""Closed-form M-steps for the motion and location-sensing models.
+
+Given (samples of) the true reader trajectory, the Gaussian components of the
+model have standard maximum-likelihood estimates:
+
+* average velocity ``Delta`` = mean of per-epoch displacements,
+* motion noise ``Sigma_m`` = variance of displacement residuals,
+* sensing bias ``mu_s``  = mean of (reported - true) residuals,
+* sensing noise ``Sigma_s`` = variance of those residuals.
+
+The functions accept per-sample weights so the EM driver can feed weighted
+posterior samples directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import LearningError
+from ..models.motion import MotionParams
+from ..models.sensing import SensingNoiseParams
+
+
+def _weighted_mean_std(
+    values: np.ndarray, weights: Optional[np.ndarray]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Weighted per-axis mean and std of an ``(n, 3)`` array."""
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 2 or values.shape[1] != 3:
+        raise LearningError(f"expected (n, 3) array, got {values.shape}")
+    if values.shape[0] == 0:
+        raise LearningError("no samples")
+    if weights is None:
+        w = np.ones(values.shape[0])
+    else:
+        w = np.asarray(weights, dtype=float).ravel()
+        if w.shape[0] != values.shape[0]:
+            raise LearningError("weights length mismatch")
+        if (w < 0).any() or w.sum() <= 0:
+            raise LearningError("weights must be non-negative and not all zero")
+    w = w / w.sum()
+    mean = (w[:, None] * values).sum(axis=0)
+    var = (w[:, None] * (values - mean[None, :]) ** 2).sum(axis=0)
+    return mean, np.sqrt(np.maximum(var, 0.0))
+
+
+def fit_motion_params(
+    trajectory: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+    heading_sigma: float = 0.01,
+    min_sigma: float = 1e-4,
+) -> MotionParams:
+    """Estimate ``Delta`` and ``Sigma_m`` from a reader trajectory.
+
+    ``trajectory`` is ``(T, 3)``; displacement t uses weight ``weights[t]``
+    (weights length T-1, or None).  ``min_sigma`` floors the noise so the
+    motion model never becomes degenerate for the particle filter.
+    """
+    trajectory = np.asarray(trajectory, dtype=float)
+    if trajectory.ndim != 2 or trajectory.shape[0] < 2:
+        raise LearningError("need at least two trajectory points")
+    displacements = np.diff(trajectory, axis=0)
+    mean, sigma = _weighted_mean_std(displacements, weights)
+    sigma = np.maximum(sigma, min_sigma)
+    # z-axis in planar scenes: displacement identically 0 -> keep sigma 0-ish
+    # but respect the floor only on active axes.
+    active = np.abs(displacements).max(axis=0) > 1e-12
+    sigma = np.where(active, sigma, 0.0)
+    return MotionParams(
+        velocity=tuple(float(v) for v in mean),
+        sigma=tuple(float(s) for s in sigma),
+        heading_sigma=heading_sigma,
+    )
+
+
+def fit_sensing_params(
+    reported: np.ndarray,
+    true_positions: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+    min_sigma: float = 1e-4,
+) -> SensingNoiseParams:
+    """Estimate ``mu_s`` and ``Sigma_s`` from report/true position pairs."""
+    reported = np.asarray(reported, dtype=float)
+    true_positions = np.asarray(true_positions, dtype=float)
+    if reported.shape != true_positions.shape:
+        raise LearningError(
+            f"shape mismatch: reported {reported.shape} vs true {true_positions.shape}"
+        )
+    residuals = reported - true_positions
+    mean, sigma = _weighted_mean_std(residuals, weights)
+    active = np.abs(residuals).max(axis=0) > 1e-12
+    sigma = np.where(active, np.maximum(sigma, min_sigma), 0.0)
+    return SensingNoiseParams(
+        mean=tuple(float(v) for v in mean),
+        sigma=tuple(float(s) for s in sigma),
+    )

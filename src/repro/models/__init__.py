@@ -1,0 +1,49 @@
+"""The probabilistic data-generation model of Section III.
+
+Component models (sensor, reader motion, reader location sensing, object
+dynamics) plus the joint dynamic Bayesian network that combines them, and
+the sensor-model-based particle initializer.
+"""
+
+from .joint import RFIDWorldModel
+from .motion import MotionParams, ReaderMotionModel
+from .objects import ObjectDynamicsParams, ObjectLocationModel
+from .priors import (
+    ReinitDecision,
+    SensorBasedInitializer,
+    classify_redetection,
+    config_for_sensor,
+    initialization_geometry,
+)
+from .sensing import LocationSensingModel, SensingNoiseParams
+from .sensor import (
+    DEFAULT_SENSOR_PARAMS,
+    SensorModel,
+    SensorParams,
+    features,
+    field_correlation,
+    log_sigmoid,
+    sigmoid,
+)
+
+__all__ = [
+    "DEFAULT_SENSOR_PARAMS",
+    "LocationSensingModel",
+    "MotionParams",
+    "ObjectDynamicsParams",
+    "ObjectLocationModel",
+    "RFIDWorldModel",
+    "ReaderMotionModel",
+    "ReinitDecision",
+    "SensorBasedInitializer",
+    "SensingNoiseParams",
+    "SensorModel",
+    "SensorParams",
+    "classify_redetection",
+    "config_for_sensor",
+    "initialization_geometry",
+    "features",
+    "field_correlation",
+    "log_sigmoid",
+    "sigmoid",
+]

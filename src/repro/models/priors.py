@@ -1,0 +1,196 @@
+"""Sensor-model-based particle initialization (Section IV-A).
+
+"We create new particles for an object when we see it the first time or at a
+location far away from the previous location of observing it.  At the current
+location, we initialize the particle locations from a uniform distribution
+over a cone originating at the reader location.  The width of the cone of
+initialization is chosen to be an overestimate of the true range of the
+reader."
+
+Also implements the re-detection subtlety: at intermediate re-detection
+distances half the particles are kept and half are moved to the new location
+("the particles will spread out, but over time weighting and resampling will
+favor the particles close to the object's true location").
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+import numpy as np
+
+from ..config import InferenceConfig
+from ..geometry.cone import Cone
+from ..geometry.shapes import ShelfSet
+
+
+class ReinitDecision(enum.Enum):
+    """What to do with an object's particles on a (re-)detection."""
+
+    KEEP = "keep"  # detection near existing belief: keep particles
+    SPLIT = "split"  # intermediate distance: keep half, move half
+    RESET = "reset"  # far away (or first sighting): recreate all particles
+
+
+def classify_redetection(
+    distance_to_belief: Optional[float], config: InferenceConfig
+) -> ReinitDecision:
+    """Apply the paper's distance thresholds to a re-detection event.
+
+    ``distance_to_belief`` is the distance from the current reader position
+    to the belief's posterior mean; ``None`` means first sighting.  The
+    decision asks: *could the reader plausibly be reading the object where we
+    believe it is?*
+
+    * Within ``reinit_near_ft`` (an overestimate of the read range): yes —
+      this is an ordinary in-range read, keep the particles.  Triggering any
+      earlier makes the belief "walk" with the reader, because fringe reads
+      systematically favour particles close to the current pose.
+    * Beyond ``reinit_far_ft``: no — the object clearly moved far away;
+      discard the old particles ("our method discards all the old particles
+      and recreates them from the new location").
+    * In between — the ambiguous shuffling-versus-reflection zone — keep half
+      and move half (the paper's Section IV-A subtlety); this is also the
+      regime where the paper's own Fig 5(h) shows elevated error.
+    """
+    if distance_to_belief is None:
+        return ReinitDecision.RESET
+    if distance_to_belief <= config.reinit_near_ft:
+        return ReinitDecision.KEEP
+    if distance_to_belief >= config.reinit_far_ft:
+        return ReinitDecision.RESET
+    return ReinitDecision.SPLIT
+
+
+def config_for_sensor(config: InferenceConfig, sensor_model) -> InferenceConfig:
+    """Copy of ``config`` with the init cone (and the near re-detection
+    threshold) derived from a sensor model via
+    :func:`initialization_geometry`."""
+    from dataclasses import replace
+
+    half_angle, max_range = initialization_geometry(sensor_model)
+    return replace(
+        config,
+        init_cone_half_angle_rad=half_angle,
+        init_cone_range_ft=max_range,
+        reinit_near_ft=max(config.reinit_near_ft, max_range * 1.1),
+        reinit_far_ft=max(config.reinit_far_ft, max_range * 2.2),
+    )
+
+
+def initialization_geometry(
+    sensor_model, overestimate: float = 1.25, cap_ft: float = 6.0
+):
+    """Derive the initialization cone from a sensor model (Section IV-A).
+
+    Returns ``(half_angle, max_range)``: the range is an overestimate of the
+    distance at which the read rate falls to 5% on boresight; the half-angle
+    an overestimate of the bearing at which the read rate (at half range)
+    falls to 5%.  Keeping the cone matched to the *actual* antenna matters:
+    a wide-field reader (the lab's spherical antenna) reads tags at bearings
+    far outside a default 30-degree cone, and particles that never cover the
+    true location cannot be recovered by reweighting.
+
+    ``cap_ft`` bounds the range: models learned from aisle-constrained data
+    (where distance and bearing co-vary) can be arbitrary off-manifold, and
+    a UHF reader's physical range is a few feet regardless.
+    """
+    import numpy as np
+
+    max_range = sensor_model.effective_range(0.05, theta=0.0) * overestimate
+    max_range = min(max(max_range, 0.5), cap_ft)
+    probe_distance = max_range / (2.0 * overestimate)
+    half_angle = None
+    for theta in np.linspace(0.05, np.pi, 64):
+        p = float(sensor_model.read_probability(probe_distance, theta))
+        if p < 0.05:
+            half_angle = float(theta) * overestimate
+            break
+    if half_angle is None:
+        half_angle = np.pi
+    half_angle = min(max(half_angle, 0.2), np.pi)
+    return half_angle, max_range
+
+
+class SensorBasedInitializer:
+    """Draws initial object particles from the initialization cone."""
+
+    def __init__(self, config: InferenceConfig, shelves: Optional[ShelfSet] = None):
+        self._config = config
+        self._shelves = shelves
+
+    def initialization_cone(self, reader_position, reader_heading: float) -> Cone:
+        return Cone.from_pose(
+            reader_position,
+            reader_heading,
+            self._config.init_cone_half_angle_rad,
+            self._config.init_cone_range_ft,
+        )
+
+    def sample(
+        self,
+        reader_position,
+        reader_heading: float,
+        n: int,
+        rng: np.random.Generator,
+        clip_to_shelves: bool = True,
+    ) -> np.ndarray:
+        """``n`` particles uniform over (init cone) ∩ (shelf union).
+
+        Clipping to the shelf area implements the paper's observation that
+        "such shelf information helps restrict the area for location
+        sampling" — objects live on shelves, so particles in the aisle only
+        add noise (and, being closer to the reader, soak up read likelihood
+        and bias the estimate off the shelf).  When the cone misses every
+        shelf, falls back to sampling the shelf region nearest the cone, and
+        with no shelf geometry at all uses the raw cone.
+        """
+        cone = self.initialization_cone(reader_position, reader_heading)
+        if not clip_to_shelves or self._shelves is None:
+            return cone.sample(rng, n)
+        shelves = self._shelves
+        collected = []
+        have = 0
+        for _ in range(40):
+            cand = cone.sample(rng, max(4 * (n - have), 64))
+            keep = cand[shelves.contains_points(cand)]
+            if keep.shape[0]:
+                collected.append(keep)
+                have += keep.shape[0]
+            if have >= n:
+                break
+        if have >= n:
+            return np.vstack(collected)[:n]
+        # Cone barely touches the shelves: sample shelf points inside the
+        # cone's bounding box (possible when the cone is an underestimate).
+        box = cone.bounding_box().expanded(0.25)
+        cand = shelves.sample_uniform(rng, max(16 * n, 256))
+        keep = cand[box.contains_points(cand)]
+        if collected:
+            keep = np.vstack(collected + [keep])
+        if keep.shape[0] >= n:
+            return keep[:n]
+        extra = shelves.sample_uniform(rng, n - keep.shape[0])
+        return np.vstack([keep, extra]) if keep.shape[0] else extra
+
+    def reinitialize(
+        self,
+        particles: np.ndarray,
+        decision: ReinitDecision,
+        reader_position,
+        reader_heading: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Apply a :class:`ReinitDecision` to an existing particle array."""
+        n = particles.shape[0]
+        if decision is ReinitDecision.KEEP:
+            return particles
+        if decision is ReinitDecision.RESET:
+            return self.sample(reader_position, reader_heading, n, rng)
+        # SPLIT: keep a random half, re-draw the other half in the new cone.
+        half = n // 2
+        order = rng.permutation(n)
+        kept = particles[order[: n - half]]
+        fresh = self.sample(reader_position, reader_heading, half, rng)
+        return np.vstack([kept, fresh])

@@ -1,0 +1,61 @@
+"""CQL-lite continuous query engine (Section II-B): windows, relational
+operators, stream operators, the executor, and the paper's two queries."""
+
+from .engine import ContinuousQuery, QueryEngine
+from .queries import fire_code_query, location_update_query, square_ft_area
+from .relops import (
+    Aggregate,
+    Extend,
+    GroupBy,
+    Having,
+    OrderBy,
+    Project,
+    RelOp,
+    Select,
+    avg_,
+    count_,
+    max_,
+    min_,
+    sum_,
+)
+from .stream_ops import Dstream, Istream, Rstream, StreamOp
+from .tuples import StreamTuple, tuple_from_event
+from .windows import (
+    NowWindow,
+    PartitionRowsWindow,
+    RangeWindow,
+    UnboundedWindow,
+    Window,
+)
+
+__all__ = [
+    "Aggregate",
+    "ContinuousQuery",
+    "Dstream",
+    "Extend",
+    "GroupBy",
+    "Having",
+    "Istream",
+    "NowWindow",
+    "OrderBy",
+    "PartitionRowsWindow",
+    "Project",
+    "QueryEngine",
+    "RangeWindow",
+    "RelOp",
+    "Rstream",
+    "Select",
+    "StreamOp",
+    "StreamTuple",
+    "UnboundedWindow",
+    "Window",
+    "avg_",
+    "count_",
+    "fire_code_query",
+    "location_update_query",
+    "max_",
+    "min_",
+    "square_ft_area",
+    "sum_",
+    "tuple_from_event",
+]

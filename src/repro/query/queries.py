@@ -1,0 +1,90 @@
+"""The paper's two example queries (Section II-B), pre-built.
+
+Query 1 — location updates:
+
+    Select Istream(E.tag_id, E.(x, y, z))
+    From EventStream E [Partition By tag_id Row 1]
+
+Query 2 — fire-code violations ("display of solid merchandise shall not
+exceed 200 pounds per square foot of shelf area"):
+
+    Select Rstream(E2.area, sum(E2.weight))
+    From (Select Rstream(*, SquareFtArea(E.(x,y,z)) As area,
+                            Weight(E.tag_id) As weight)
+          From EventStream E [Now]) E2 [Range 5 seconds]
+    Group By E2.area
+    Having sum(E2.weight) > 200 pounds
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Tuple
+
+from .engine import ContinuousQuery
+from .relops import Extend, GroupBy, Having, Project, sum_
+from .stream_ops import Istream, Rstream
+from .tuples import StreamTuple
+from .windows import NowWindow, PartitionRowsWindow, RangeWindow
+
+
+def location_update_query(name: str = "location_updates") -> ContinuousQuery:
+    """Report each object's location whenever it changes.
+
+    The ``[Partition By tag_id Row 1]`` window keeps only the latest event
+    per tag; projecting to (tag_id, x, y, z) before Istream means a new event
+    with an *unchanged* location inserts an identical value-tuple, which
+    Istream suppresses — only genuine location changes stream out.
+    """
+    return ContinuousQuery(
+        window=PartitionRowsWindow(keys=("tag_id",), rows=1),
+        operators=[Project("tag_id", "x", "y", "z")],
+        streamer=Istream(),
+        name=name,
+    )
+
+
+def square_ft_area(t: StreamTuple) -> Tuple[int, int]:
+    """The paper's ``SquareFtArea`` function: the 1 ft x 1 ft grid cell
+    containing the event's (x, y)."""
+    return (int(math.floor(t["x"])), int(math.floor(t["y"])))
+
+
+def fire_code_query(
+    weight_fn: Callable[[str], float],
+    threshold_lbs: float = 200.0,
+    window_s: float = 5.0,
+    name: str = "fire_code",
+) -> ContinuousQuery:
+    """Detect square-foot areas whose total object weight exceeds the code.
+
+    ``weight_fn`` plays the paper's ``Weight(tag_id)`` lookup.  Structured
+    exactly like the paper's nesting: the inner query extends each event with
+    ``area`` and ``weight`` over a ``[Now]`` window, the outer query windows
+    the derived stream over 5 seconds, groups by area, sums weights and
+    filters with Having.
+    """
+    inner = ContinuousQuery(
+        window=NowWindow(),
+        operators=[
+            Extend(
+                area=square_ft_area,
+                weight=lambda t: float(weight_fn(t["tag_id"])),
+            )
+        ],
+        streamer=Rstream(),
+        # The composed pipeline registers under the *public* name: engine
+        # outputs flow from the downstream query but are keyed by the query
+        # object handed to register(), which is this one.
+        name=name,
+    )
+    outer = ContinuousQuery(
+        window=RangeWindow(window_s),
+        operators=[
+            GroupBy(keys=("area",), aggregates=[sum_("weight", as_="total_weight")]),
+            Having(lambda t: t["total_weight"] > threshold_lbs),
+        ],
+        streamer=Rstream(),
+        name=f"{name}__outer",
+    )
+    return inner.then(outer)

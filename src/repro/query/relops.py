@@ -1,0 +1,169 @@
+"""Relational operators over windowed relations.
+
+Each operator consumes the relation at a tick (a list of tuples) and
+produces a transformed relation.  The set covers what the paper's two
+queries need — selection, projection, attribute extension (the
+``SquareFtArea(...)`` / ``Weight(...)`` function attributes), grouping with
+aggregates, and Having — plus mins/maxes for good measure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from ..errors import QueryError
+from .tuples import StreamTuple
+
+Relation = List[StreamTuple]
+Predicate = Callable[[StreamTuple], bool]
+
+
+class RelOp:
+    """Interface: transform a relation at one tick."""
+
+    def process(self, time: float, relation: Relation) -> Relation:
+        raise NotImplementedError
+
+
+class Select(RelOp):
+    """``Where`` clause: keep tuples satisfying the predicate."""
+
+    def __init__(self, predicate: Predicate):
+        self.predicate = predicate
+
+    def process(self, time: float, relation: Relation) -> Relation:
+        return [t for t in relation if self.predicate(t)]
+
+
+class Project(RelOp):
+    """Keep only the named attributes."""
+
+    def __init__(self, *names: str):
+        if not names:
+            raise QueryError("projection needs at least one attribute")
+        self.names = names
+
+    def process(self, time: float, relation: Relation) -> Relation:
+        return [t.project(*self.names) for t in relation]
+
+
+class Extend(RelOp):
+    """Add computed attributes: ``Select *, f(t) As name`` (the inner
+    sub-query of the fire-code example adds ``area`` and ``weight``)."""
+
+    def __init__(self, **computed: Callable[[StreamTuple], Any]):
+        if not computed:
+            raise QueryError("Extend needs at least one computed attribute")
+        self.computed = computed
+
+    def process(self, time: float, relation: Relation) -> Relation:
+        out = []
+        for t in relation:
+            extra = {name: fn(t) for name, fn in self.computed.items()}
+            out.append(t.extended(**extra))
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+
+class Aggregate:
+    """One named aggregate over an attribute (or over whole tuples)."""
+
+    def __init__(self, name: str, attribute: str, kind: str):
+        if kind not in ("sum", "count", "avg", "min", "max"):
+            raise QueryError(f"unknown aggregate kind {kind!r}")
+        self.name = name
+        self.attribute = attribute
+        self.kind = kind
+
+    def compute(self, rows: Sequence[StreamTuple]) -> Any:
+        if self.kind == "count":
+            return len(rows)
+        values = [row[self.attribute] for row in rows]
+        if not values:
+            return None
+        if self.kind == "sum":
+            return sum(values)
+        if self.kind == "avg":
+            return sum(values) / len(values)
+        if self.kind == "min":
+            return min(values)
+        return max(values)
+
+
+def sum_(attribute: str, as_: str = None) -> Aggregate:
+    return Aggregate(as_ or f"sum_{attribute}", attribute, "sum")
+
+
+def count_(as_: str = "count") -> Aggregate:
+    return Aggregate(as_, "", "count")
+
+
+def avg_(attribute: str, as_: str = None) -> Aggregate:
+    return Aggregate(as_ or f"avg_{attribute}", attribute, "avg")
+
+
+def min_(attribute: str, as_: str = None) -> Aggregate:
+    return Aggregate(as_ or f"min_{attribute}", attribute, "min")
+
+
+def max_(attribute: str, as_: str = None) -> Aggregate:
+    return Aggregate(as_ or f"max_{attribute}", attribute, "max")
+
+
+class GroupBy(RelOp):
+    """``Group By keys`` with aggregates; one output tuple per group."""
+
+    def __init__(self, keys: Sequence[str], aggregates: Sequence[Aggregate]):
+        if not aggregates:
+            raise QueryError("GroupBy needs at least one aggregate")
+        self.keys = tuple(keys)
+        self.aggregates = list(aggregates)
+
+    def process(self, time: float, relation: Relation) -> Relation:
+        groups: Dict[Tuple, List[StreamTuple]] = {}
+        order: List[Tuple] = []
+        for t in relation:
+            key = tuple(t[k] for k in self.keys)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(t)
+        out: Relation = []
+        for key in order:
+            rows = groups[key]
+            values: Dict[str, Any] = dict(zip(self.keys, key))
+            for agg in self.aggregates:
+                values[agg.name] = agg.compute(rows)
+            out.append(StreamTuple(time, values))
+        return out
+
+
+class Having(RelOp):
+    """Post-aggregation filter."""
+
+    def __init__(self, predicate: Predicate):
+        self.predicate = predicate
+
+    def process(self, time: float, relation: Relation) -> Relation:
+        return [t for t in relation if self.predicate(t)]
+
+
+class OrderBy(RelOp):
+    """Deterministic ordering (useful for report output)."""
+
+    def __init__(self, *names: str, descending: bool = False):
+        if not names:
+            raise QueryError("OrderBy needs at least one attribute")
+        self.names = names
+        self.descending = descending
+
+    def process(self, time: float, relation: Relation) -> Relation:
+        return sorted(
+            relation,
+            key=lambda t: tuple(t[n] for n in self.names),
+            reverse=self.descending,
+        )

@@ -1,0 +1,79 @@
+"""Relation-to-stream operators: Istream, Rstream, Dstream (CQL).
+
+* ``Istream`` emits tuples that *entered* the relation since the previous
+  tick — this is what makes the location-update query report only changes;
+* ``Rstream`` emits the whole relation every tick;
+* ``Dstream`` emits tuples that *left* the relation.
+
+Differencing is by tuple value with multiplicity (a bag difference), ignoring
+timestamps: the location-update query must treat "same tag, same location,
+newer timestamp" as unchanged.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Sequence, Tuple
+
+from .tuples import StreamTuple
+
+
+def _value_key(t: StreamTuple) -> Tuple:
+    """Timestamp-free value identity used for relation differencing."""
+    return tuple(sorted(t.items()))
+
+
+class StreamOp:
+    """Interface: turn the tick's relation into an output batch."""
+
+    def process(self, time: float, relation: Sequence[StreamTuple]) -> List[StreamTuple]:
+        raise NotImplementedError
+
+
+class Rstream(StreamOp):
+    """Emit the full relation at every tick."""
+
+    def process(self, time: float, relation: Sequence[StreamTuple]) -> List[StreamTuple]:
+        return [t.extended(time=time) for t in relation]
+
+
+class Istream(StreamOp):
+    """Emit tuples added to the relation since the previous tick."""
+
+    def __init__(self) -> None:
+        self._previous: Counter = Counter()
+
+    def process(self, time: float, relation: Sequence[StreamTuple]) -> List[StreamTuple]:
+        current = Counter(_value_key(t) for t in relation)
+        added = current - self._previous
+        self._previous = current
+        out: List[StreamTuple] = []
+        remaining = dict(added)
+        for t in relation:
+            key = _value_key(t)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                out.append(t.extended(time=time))
+        return out
+
+
+class Dstream(StreamOp):
+    """Emit tuples removed from the relation since the previous tick."""
+
+    def __init__(self) -> None:
+        self._previous: Counter = Counter()
+        self._previous_tuples: List[StreamTuple] = []
+
+    def process(self, time: float, relation: Sequence[StreamTuple]) -> List[StreamTuple]:
+        current = Counter(_value_key(t) for t in relation)
+        removed = self._previous - current
+        out: List[StreamTuple] = []
+        remaining = dict(removed)
+        for t in self._previous_tuples:
+            key = _value_key(t)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                out.append(t.extended(time=time))
+        self._previous = current
+        self._previous_tuples = list(relation)
+        return out

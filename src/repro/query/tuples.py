@@ -1,0 +1,93 @@
+"""Stream tuples for the CQL-lite engine.
+
+The paper's Section II-B motivates the cleaned event stream with two CQL
+queries; this package implements enough of CQL's stream-relational model to
+run them (and queries like them) over our location events:
+
+* a **stream** is a sequence of timestamped tuples;
+* a **window** turns a stream into a time-varying *relation* (a bag of tuples
+  per tick);
+* relational operators transform relations;
+* ``Istream`` / ``Rstream`` / ``Dstream`` turn relations back into streams.
+
+Tuples are immutable mappings plus a timestamp.  Equality/hashing is by value
+(needed by Istream's relation differencing).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Mapping
+
+from ..errors import QueryError
+from ..streams.records import LocationEvent
+
+
+class StreamTuple(Mapping[str, Any]):
+    """An immutable, hashable, timestamped tuple of named values."""
+
+    __slots__ = ("_time", "_values", "_key")
+
+    def __init__(self, time: float, values: Mapping[str, Any]):
+        self._time = float(time)
+        self._values: Dict[str, Any] = dict(values)
+        try:
+            self._key = (self._time, frozenset(self._values.items()))
+        except TypeError as exc:
+            raise QueryError(
+                f"tuple values must be hashable, got {self._values!r}"
+            ) from exc
+
+    # Mapping interface -------------------------------------------------
+    def __getitem__(self, key: str) -> Any:
+        try:
+            return self._values[key]
+        except KeyError:
+            raise QueryError(
+                f"no attribute {key!r}; tuple has {sorted(self._values)}"
+            ) from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    # Extras -------------------------------------------------------------
+    @property
+    def time(self) -> float:
+        return self._time
+
+    def extended(self, time: float = None, **extra: Any) -> "StreamTuple":
+        """Copy with added/overridden attributes (and optionally new time)."""
+        values = dict(self._values)
+        values.update(extra)
+        return StreamTuple(self._time if time is None else time, values)
+
+    def project(self, *names: str) -> "StreamTuple":
+        return StreamTuple(self._time, {n: self[n] for n in names})
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StreamTuple):
+            return NotImplemented
+        return self._key == other._key
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in sorted(self._values.items()))
+        return f"StreamTuple(t={self._time}, {inner})"
+
+
+def tuple_from_event(event: LocationEvent) -> StreamTuple:
+    """Adapt a cleaned location event into the query engine's tuple form."""
+    x, y, z = event.position
+    return StreamTuple(
+        event.time,
+        {
+            "tag_id": str(event.tag),
+            "x": x,
+            "y": y,
+            "z": z,
+        },
+    )

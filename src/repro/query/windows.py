@@ -1,0 +1,99 @@
+"""Window operators: stream -> time-varying relation.
+
+CQL's bracketed window specifications, as used by the paper's queries:
+
+* ``[Now]`` — the tuples arriving at the current tick only;
+* ``[Range N seconds]`` — tuples with timestamp in ``(t - N, t]``;
+* ``[Partition By k1,k2 Rows N]`` — per partition, the most recent N rows;
+  the location-update query uses ``[Partition By tag_id Row 1]``.
+
+A window is a stateful object: ``push(time, batch)`` ingests the tick's new
+tuples and returns the relation contents at that tick (a list of tuples).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, List, Sequence, Tuple
+
+from ..errors import QueryError
+from .tuples import StreamTuple
+
+
+class Window:
+    """Interface: push a tick's batch, get the current relation."""
+
+    def push(self, time: float, batch: Sequence[StreamTuple]) -> List[StreamTuple]:
+        raise NotImplementedError
+
+
+class NowWindow(Window):
+    """``[Now]``: the relation is exactly this tick's arrivals."""
+
+    def push(self, time: float, batch: Sequence[StreamTuple]) -> List[StreamTuple]:
+        return list(batch)
+
+
+class RangeWindow(Window):
+    """``[Range N seconds]``: sliding time window.
+
+    Ticks must be pushed in non-decreasing time order.
+    """
+
+    def __init__(self, range_s: float):
+        if range_s <= 0:
+            raise QueryError(f"window range must be positive, got {range_s}")
+        self.range_s = float(range_s)
+        self._buffer: Deque[StreamTuple] = deque()
+        self._last_time = -float("inf")
+
+    def push(self, time: float, batch: Sequence[StreamTuple]) -> List[StreamTuple]:
+        if time < self._last_time:
+            raise QueryError(
+                f"ticks must be time-ordered: {time} < {self._last_time}"
+            )
+        self._last_time = time
+        self._buffer.extend(batch)
+        cutoff = time - self.range_s
+        while self._buffer and self._buffer[0].time <= cutoff:
+            self._buffer.popleft()
+        return list(self._buffer)
+
+
+class UnboundedWindow(Window):
+    """``[Unbounded]``: everything seen so far (used by tests/examples)."""
+
+    def __init__(self) -> None:
+        self._buffer: List[StreamTuple] = []
+
+    def push(self, time: float, batch: Sequence[StreamTuple]) -> List[StreamTuple]:
+        self._buffer.extend(batch)
+        return list(self._buffer)
+
+
+class PartitionRowsWindow(Window):
+    """``[Partition By keys Rows N]``: most recent N rows per partition.
+
+    Relation order is deterministic: partitions in first-seen order, rows
+    oldest-to-newest within a partition.
+    """
+
+    def __init__(self, keys: Sequence[str], rows: int = 1):
+        if not keys:
+            raise QueryError("partition window needs at least one key")
+        if rows < 1:
+            raise QueryError(f"rows must be >= 1, got {rows}")
+        self.keys = tuple(keys)
+        self.rows = int(rows)
+        self._partitions: "OrderedDict[Tuple, Deque[StreamTuple]]" = OrderedDict()
+
+    def push(self, time: float, batch: Sequence[StreamTuple]) -> List[StreamTuple]:
+        for tup in batch:
+            key = tuple(tup[k] for k in self.keys)
+            if key not in self._partitions:
+                self._partitions[key] = deque(maxlen=self.rows)
+            self._partitions[key].append(tup)
+        out: List[StreamTuple] = []
+        for rows in self._partitions.values():
+            out.extend(rows)
+        return out

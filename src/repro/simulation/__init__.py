@@ -1,0 +1,41 @@
+"""Simulators (Section V-A, V-C): the warehouse scenario generator and the
+lab-deployment emulation, plus the ground-truth sensor fields, the scripted
+robot reader, and object-movement scripting."""
+
+from .lab import LabConfig, LabDeployment, TIMEOUT_FIELDS
+from .layout import LayoutConfig, WarehouseLayout
+from .movement import MovementScript, ScheduledMove, single_group_move
+from .reader import (
+    DeadReckoningSensor,
+    GaussianLocationSensor,
+    ScriptedReader,
+    Waypoint,
+)
+from .truth_sensor import (
+    ConeTruthSensor,
+    LogisticTruthSensor,
+    SphericalTruthSensor,
+    TruthSensor,
+)
+from .warehouse import WarehouseConfig, WarehouseSimulator
+
+__all__ = [
+    "ConeTruthSensor",
+    "DeadReckoningSensor",
+    "GaussianLocationSensor",
+    "LabConfig",
+    "LabDeployment",
+    "LayoutConfig",
+    "LogisticTruthSensor",
+    "MovementScript",
+    "ScheduledMove",
+    "ScriptedReader",
+    "SphericalTruthSensor",
+    "TIMEOUT_FIELDS",
+    "TruthSensor",
+    "WarehouseConfig",
+    "WarehouseLayout",
+    "WarehouseSimulator",
+    "Waypoint",
+    "single_group_move",
+]

@@ -1,0 +1,115 @@
+"""Warehouse layout (Section V-A).
+
+"The simulated warehouse consists of consecutive shelves aligned on the y
+axis, with objects evenly spaced on the shelves.  Both shelves and objects
+are affixed with RFID tags. ... An RFID reader is mounted on a robot that
+moves down the y axis facing the shelves."
+
+The robot's aisle is the y axis at ``x = 0``; shelf fronts sit at
+``x = shelf_x``; objects sit on the shelf-front line, evenly spaced along y;
+shelf tags (known locations) are evenly spaced along the same line.  All z
+coordinates are zero (the paper ignores z in simulation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..geometry.box import Box
+from ..geometry.shapes import ShelfRegion, ShelfSet
+
+
+@dataclass(frozen=True)
+class LayoutConfig:
+    """Geometry knobs of the simulated warehouse."""
+
+    n_objects: int = 16
+    object_spacing_ft: float = 0.5
+    #: Aisle-to-shelf-front distance: objects sit on the line x = shelf_x.
+    shelf_x_ft: float = 2.0
+    #: Depth of the shelf boxes behind the front line (sampling region).
+    shelf_depth_ft: float = 1.0
+    #: Length of one shelf segment; segments tile the object row.
+    shelf_segment_ft: float = 4.0
+    n_shelf_tags: int = 4
+    #: Margin of empty shelf before the first and after the last object.
+    margin_ft: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.n_objects < 1:
+            raise SimulationError("n_objects must be >= 1")
+        if self.object_spacing_ft <= 0 or self.shelf_segment_ft <= 0:
+            raise SimulationError("spacings must be positive")
+        if self.shelf_x_ft <= 0 or self.shelf_depth_ft <= 0:
+            raise SimulationError("shelf_x_ft and shelf_depth_ft must be positive")
+        if self.n_shelf_tags < 0:
+            raise SimulationError("n_shelf_tags must be >= 0")
+
+
+@dataclass
+class WarehouseLayout:
+    """Concrete tag/shelf geometry produced from a :class:`LayoutConfig`."""
+
+    config: LayoutConfig
+    object_positions: Dict[int, np.ndarray]
+    shelf_tag_positions: Dict[int, np.ndarray]
+    shelves: ShelfSet
+
+    @staticmethod
+    def build(config: LayoutConfig = LayoutConfig()) -> "WarehouseLayout":
+        span = (config.n_objects - 1) * config.object_spacing_ft
+        y0 = 0.0
+        object_positions = {
+            i: np.array([config.shelf_x_ft, y0 + i * config.object_spacing_ft, 0.0])
+            for i in range(config.n_objects)
+        }
+        # Shelf tags evenly spaced across the occupied span (inclusive ends).
+        shelf_tag_positions: Dict[int, np.ndarray] = {}
+        if config.n_shelf_tags == 1:
+            ys = [y0 + span / 2.0]
+        else:
+            ys = [
+                y0 + span * k / max(config.n_shelf_tags - 1, 1)
+                for k in range(config.n_shelf_tags)
+            ]
+        for k in range(config.n_shelf_tags):
+            shelf_tag_positions[k] = np.array([config.shelf_x_ft, ys[k], 0.0])
+        # Shelf segments tile the span (plus margins).
+        lo_y = y0 - config.margin_ft
+        hi_y = y0 + span + config.margin_ft
+        segments: List[ShelfRegion] = []
+        seg_id = 0
+        y = lo_y
+        while y < hi_y:
+            top = min(y + config.shelf_segment_ft, hi_y)
+            segments.append(
+                ShelfRegion(
+                    shelf_id=seg_id,
+                    box=Box(
+                        (config.shelf_x_ft, y, 0.0),
+                        (config.shelf_x_ft + config.shelf_depth_ft, top, 0.0),
+                    ),
+                )
+            )
+            seg_id += 1
+            y = top
+        return WarehouseLayout(
+            config=config,
+            object_positions=object_positions,
+            shelf_tag_positions=shelf_tag_positions,
+            shelves=ShelfSet(segments),
+        )
+
+    @property
+    def span_y(self) -> Tuple[float, float]:
+        """(min, max) y coordinate of the object row."""
+        ys = [p[1] for p in self.object_positions.values()]
+        return min(ys), max(ys)
+
+    def object_array(self) -> Tuple[List[int], np.ndarray]:
+        numbers = sorted(self.object_positions)
+        return numbers, np.stack([self.object_positions[n] for n in numbers])

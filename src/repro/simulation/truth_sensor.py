@@ -1,0 +1,172 @@
+"""Ground-truth sensor fields for the simulator (Section V-A, Fig. 5a/5d).
+
+These describe how the *simulated physical reader* actually reads tags; they
+are intentionally NOT in the logistic model family, so that inference faces
+the realistic situation of approximating an unknown field with the
+parametric sensor model (exactly the paper's setup):
+
+* :class:`ConeTruthSensor` — "a cone-shaped sensor model ... a 30 degree open
+  angle for the major detection range that has a uniform read rate, RRmajor,
+  and an additional 15 degree angle for the minor detection range whose read
+  rate degrades from RRmajor down to 0."  We add the distance dimension the
+  figure implies: uniform up to ``max_range`` and a linear fringe beyond.
+* :class:`SphericalTruthSensor` — the lab antenna of Fig 5(d): "spherical
+  with a wide minor range, whose read rate is inversely related to an
+  object's angle from the center of the antenna."
+* :class:`LogisticTruthSensor` — wraps a :class:`~repro.models.sensor
+  .SensorModel` so the simulator can also generate data from inside the
+  model family (well-specified sanity tests).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from ..config import MAJOR_OPEN_ANGLE_RAD, MINOR_EXTRA_ANGLE_RAD
+from ..errors import SimulationError
+from ..geometry.vec import distances_and_bearings
+from ..models.sensor import SensorModel
+
+
+class TruthSensor(Protocol):
+    """Read-rate field: probability of reading each tag from a pose."""
+
+    def read_probability(
+        self, reader_position, reader_heading: float, tag_positions: np.ndarray
+    ) -> np.ndarray: ...
+
+    @property
+    def max_effective_range(self) -> float:
+        """Distance beyond which the read probability is exactly zero."""
+        ...
+
+
+@dataclass(frozen=True)
+class ConeTruthSensor:
+    """The warehouse simulator's cone field."""
+
+    rr_major: float = 1.0
+    major_half_angle: float = MAJOR_OPEN_ANGLE_RAD / 2.0
+    minor_extra_angle: float = MINOR_EXTRA_ANGLE_RAD
+    max_range: float = 3.0
+    #: The distance fringe: read rate decays linearly to zero between
+    #: ``max_range`` and ``max_range * (1 + range_fringe)``.
+    range_fringe: float = 0.15
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.rr_major <= 1.0):
+            raise SimulationError("rr_major must be in [0, 1]")
+        if self.max_range <= 0 or self.major_half_angle <= 0:
+            raise SimulationError("max_range and major_half_angle must be positive")
+        if self.minor_extra_angle < 0 or self.range_fringe < 0:
+            raise SimulationError("minor_extra_angle and range_fringe must be >= 0")
+
+    @property
+    def max_effective_range(self) -> float:
+        return self.max_range * (1.0 + self.range_fringe)
+
+    def read_probability(
+        self, reader_position, reader_heading: float, tag_positions: np.ndarray
+    ) -> np.ndarray:
+        d, theta = distances_and_bearings(reader_position, reader_heading, tag_positions)
+        # Angular factor: 1 in the major range, linear decay across the minor.
+        angular = np.ones_like(theta)
+        if self.minor_extra_angle > 0:
+            in_minor = (theta > self.major_half_angle) & (
+                theta <= self.major_half_angle + self.minor_extra_angle
+            )
+            angular[in_minor] = 1.0 - (
+                (theta[in_minor] - self.major_half_angle) / self.minor_extra_angle
+            )
+        angular[theta > self.major_half_angle + self.minor_extra_angle] = 0.0
+        # Radial factor: 1 inside max_range, linear fringe beyond.
+        radial = np.ones_like(d)
+        if self.range_fringe > 0:
+            fringe_end = self.max_effective_range
+            in_fringe = (d > self.max_range) & (d <= fringe_end)
+            radial[in_fringe] = 1.0 - (
+                (d[in_fringe] - self.max_range) / (fringe_end - self.max_range)
+            )
+        radial[d > self.max_effective_range] = 0.0
+        return self.rr_major * angular * radial
+
+
+@dataclass(frozen=True)
+class SphericalTruthSensor:
+    """The lab antenna's field (Fig 5d): wide, roughly spherical.
+
+    Read rate = ``rr_peak * angular * radial`` where the angular factor falls
+    inversely with bearing out to ``angle_cutoff`` (wide minor range) and the
+    radial factor is flat out to ``inner_range`` then decays to zero at
+    ``max_range``.  ``minor_gain`` scales the off-boresight response — the
+    knob the lab emulation maps the reader *timeout* setting onto (longer
+    timeouts give marginal tags more time to respond, which widens the
+    effective field).
+    """
+
+    rr_peak: float = 0.95
+    angle_cutoff: float = math.radians(85.0)
+    inner_range: float = 1.2
+    max_range: float = 3.2
+    minor_gain: float = 0.6
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.rr_peak <= 1.0):
+            raise SimulationError("rr_peak must be in [0, 1]")
+        if not (0 < self.inner_range <= self.max_range):
+            raise SimulationError("need 0 < inner_range <= max_range")
+        if not (0 < self.angle_cutoff <= math.pi):
+            raise SimulationError("angle_cutoff out of range")
+        if not (0.0 <= self.minor_gain <= 1.0):
+            raise SimulationError("minor_gain must be in [0, 1]")
+
+    @property
+    def max_effective_range(self) -> float:
+        return self.max_range
+
+    def read_probability(
+        self, reader_position, reader_heading: float, tag_positions: np.ndarray
+    ) -> np.ndarray:
+        d, theta = distances_and_bearings(reader_position, reader_heading, tag_positions)
+        frac = np.clip(theta / self.angle_cutoff, 0.0, 1.0)
+        # Inversely related to angle: full response on boresight, decaying to
+        # (minor_gain * ...) shoulder and zero at the cutoff.
+        angular = np.where(
+            frac < 0.25,
+            1.0,
+            self.minor_gain * (1.0 - frac) / 0.75,
+        )
+        angular = np.minimum(angular, 1.0)
+        angular[theta >= self.angle_cutoff] = 0.0
+        radial = np.ones_like(d)
+        tail = d > self.inner_range
+        radial[tail] = np.clip(
+            1.0 - (d[tail] - self.inner_range) / (self.max_range - self.inner_range),
+            0.0,
+            1.0,
+        )
+        return self.rr_peak * angular * radial
+
+
+@dataclass(frozen=True)
+class LogisticTruthSensor:
+    """Simulate directly from a logistic sensor model (well-specified case)."""
+
+    model: SensorModel
+    #: Hard cutoff so the simulator can still window tags by distance.
+    cutoff_range: float = 8.0
+
+    @property
+    def max_effective_range(self) -> float:
+        return self.cutoff_range
+
+    def read_probability(
+        self, reader_position, reader_heading: float, tag_positions: np.ndarray
+    ) -> np.ndarray:
+        p = self.model.read_probability_at(reader_position, reader_heading, tag_positions)
+        d, _ = distances_and_bearings(reader_position, reader_heading, tag_positions)
+        return np.where(d <= self.cutoff_range, p, 0.0)

@@ -1,0 +1,282 @@
+"""The warehouse simulator (Section V-A).
+
+Produces synthetic RFID streams with controlled properties: a robot-mounted
+reader drives down the aisle at 0.1 ft per epoch, senses its location with
+configurable noise, and reads the tags on the facing shelves through a
+cone-shaped ground-truth sensor field.  Scheduled object moves and multiple
+scan rounds support the Fig 5(h) and Fig 5(i)/(j) experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..models.joint import RFIDWorldModel
+from ..models.motion import MotionParams
+from ..models.sensing import SensingNoiseParams
+from ..models.sensor import SensorParams, DEFAULT_SENSOR_PARAMS
+from ..streams.records import ReaderLocationReport, TagId, TagReading
+from ..streams.sources import GroundTruth, ObjectMove, Trace
+from .layout import LayoutConfig, WarehouseLayout
+from .movement import MovementScript, ScheduledMove
+from .reader import GaussianLocationSensor, ScriptedReader, Waypoint
+from .truth_sensor import ConeTruthSensor
+
+
+@dataclass(frozen=True)
+class WarehouseConfig:
+    """Everything the simulator needs for one run.
+
+    Defaults match Section V-A: 0.1 ft/epoch robot, one reading round per
+    epoch, Gaussian motion noise sigma 0.01, Gaussian location sensing noise
+    (mu 0, sigma 0.01), cone sensor with RRmajor = 100%.
+    """
+
+    layout: LayoutConfig = dataclass_field(default_factory=LayoutConfig)
+    sensor: ConeTruthSensor = dataclass_field(default_factory=ConeTruthSensor)
+    speed_ft_per_epoch: float = 0.1
+    motion_sigma: Tuple[float, float, float] = (0.01, 0.01, 0.0)
+    heading_sigma: float = 0.0
+    location_bias: Tuple[float, float, float] = (0.0, 0.0, 0.0)
+    location_sigma: Tuple[float, float, float] = (0.01, 0.01, 0.0)
+    #: The reader attempts a read round every this many epochs (the paper's
+    #: read frequency RF, default once per second = every epoch).
+    read_period_epochs: int = 1
+    epoch_length_s: float = 1.0
+    n_rounds: int = 1
+    #: Aisle overshoot before the first / after the last object.
+    lead_ft: float = 1.0
+    moves: Tuple[ScheduledMove, ...] = ()
+    seed: int = 0
+    #: Hard cap on epochs (safety net for misconfigured waypoints).
+    max_epochs: int = 200_000
+
+    def __post_init__(self) -> None:
+        if self.read_period_epochs < 1:
+            raise SimulationError("read_period_epochs must be >= 1")
+        if self.n_rounds < 1:
+            raise SimulationError("n_rounds must be >= 1")
+        if self.epoch_length_s <= 0:
+            raise SimulationError("epoch_length_s must be positive")
+
+
+class WarehouseSimulator:
+    """Generates traces from a :class:`WarehouseConfig`."""
+
+    def __init__(self, config: WarehouseConfig = WarehouseConfig()):
+        self.config = config
+        self.layout = WarehouseLayout.build(config.layout)
+
+    # ------------------------------------------------------------------
+    def waypoints(self) -> List[Waypoint]:
+        """Aisle path: straight scans along y, alternating direction per
+        round, always facing the shelves (heading 0 = +x)."""
+        lo, hi = self.layout.span_y
+        start = (0.0, lo - self.config.lead_ft, 0.0)
+        end = (0.0, hi + self.config.lead_ft, 0.0)
+        points = [Waypoint(start, 0.0)]
+        for round_index in range(self.config.n_rounds):
+            target = end if round_index % 2 == 0 else start
+            points.append(Waypoint(target, 0.0))
+        return points
+
+    def generate(self) -> Trace:
+        """Run the simulation to completion and return the trace."""
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        robot = ScriptedReader(
+            self.waypoints(),
+            speed_ft_per_epoch=config.speed_ft_per_epoch,
+            motion_sigma=config.motion_sigma,
+            heading_sigma=config.heading_sigma,
+        )
+        location_sensor = GaussianLocationSensor(
+            bias=config.location_bias, sigma=config.location_sigma
+        )
+        script = MovementScript(config.moves)
+
+        positions: Dict[int, np.ndarray] = {
+            n: p.copy() for n, p in self.layout.object_positions.items()
+        }
+        initial_positions = {n: p.copy() for n, p in positions.items()}
+        shelf_numbers = sorted(self.layout.shelf_tag_positions)
+        shelf_array = (
+            np.stack([self.layout.shelf_tag_positions[n] for n in shelf_numbers])
+            if shelf_numbers
+            else np.zeros((0, 3))
+        )
+
+        # Sorted-by-y object table for windowed sensing; rebuilt after moves.
+        numbers_sorted, table = self._sorted_table(positions)
+
+        readings: List[TagReading] = []
+        reports: List[ReaderLocationReport] = []
+        reader_path: List[np.ndarray] = []
+        reader_headings: List[float] = []
+        moves: List[ObjectMove] = []
+        window = config.sensor.max_effective_range + 0.5
+
+        epoch = 0
+        while epoch < config.max_epochs:
+            time = epoch * config.epoch_length_s
+            if epoch > 0:
+                robot.step(rng)
+            reader_path.append(robot.true_position.copy())
+            reader_headings.append(robot.true_heading)
+
+            reported = location_sensor.report(robot.true_position, rng)
+            reports.append(
+                ReaderLocationReport(
+                    time,
+                    tuple(float(v) for v in reported),
+                    heading=robot.heading,  # commanded orientation is known
+                )
+            )
+
+            applied = script.apply(epoch, positions)
+            if applied:
+                moves.extend(applied)
+                numbers_sorted, table = self._sorted_table(positions)
+
+            if epoch % config.read_period_epochs == 0:
+                self._sense(
+                    rng,
+                    robot,
+                    numbers_sorted,
+                    table,
+                    window,
+                    time,
+                    readings,
+                )
+                if shelf_array.shape[0]:
+                    probs = config.sensor.read_probability(
+                        robot.true_position, robot.true_heading, shelf_array
+                    )
+                    hits = rng.uniform(size=len(shelf_numbers)) < probs
+                    for j in np.flatnonzero(hits):
+                        readings.append(TagReading(time, TagId.shelf(shelf_numbers[j])))
+
+            epoch += 1
+            if robot.finished and script.exhausted:
+                break
+
+        truth = GroundTruth(
+            initial_positions=initial_positions,
+            moves=moves,
+            reader_path=np.stack(reader_path),
+            reader_headings=np.asarray(reader_headings),
+            shelf_tag_positions=dict(self.layout.shelf_tag_positions),
+        )
+        return Trace(
+            readings=readings,
+            reports=reports,
+            epoch_length=config.epoch_length_s,
+            truth=truth,
+            metadata={
+                "generator": "WarehouseSimulator",
+                "n_objects": config.layout.n_objects,
+                "rr_major": config.sensor.rr_major,
+                "n_rounds": config.n_rounds,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def _sorted_table(
+        self, positions: Dict[int, np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        numbers = np.array(sorted(positions, key=lambda n: positions[n][1]))
+        table = np.stack([positions[n] for n in numbers])
+        return numbers, table
+
+    def _sense(
+        self,
+        rng: np.random.Generator,
+        robot: ScriptedReader,
+        numbers_sorted: np.ndarray,
+        table: np.ndarray,
+        window: float,
+        time: float,
+        readings: List[TagReading],
+    ) -> None:
+        """One read round: Bernoulli reads over the windowed tag table.
+
+        Only tags whose y coordinate is within the sensor's effective range
+        of the robot are evaluated — with tens of thousands of objects,
+        evaluating every tag every epoch would dominate the simulation.
+        """
+        y = robot.true_position[1]
+        lo = np.searchsorted(table[:, 1], y - window, side="left")
+        hi = np.searchsorted(table[:, 1], y + window, side="right")
+        if lo >= hi:
+            return
+        sub = table[lo:hi]
+        probs = self.config.sensor.read_probability(
+            robot.true_position, robot.true_heading, sub
+        )
+        hits = rng.uniform(size=sub.shape[0]) < probs
+        for k in np.flatnonzero(hits):
+            readings.append(TagReading(time, TagId.object(int(numbers_sorted[lo + k]))))
+
+    # ------------------------------------------------------------------
+    def world_model(
+        self,
+        sensor_params: SensorParams = DEFAULT_SENSOR_PARAMS,
+        motion_params: Optional[MotionParams] = None,
+        sensing_params: Optional[SensingNoiseParams] = None,
+        random_walk_motion: bool = False,
+    ) -> RFIDWorldModel:
+        """Build the inference model matching this simulated deployment.
+
+        Motion defaults to the true commanded velocity with the true noise;
+        sensing defaults to the true bias/noise — callers studying
+        mis-specification (Fig 5g "motion model Off"/"learned") pass their
+        own parameters.  ``random_walk_motion`` swaps the constant-velocity
+        model for a zero-mean random walk whose step matches the robot speed
+        — needed for multi-round scans, where the robot reverses direction
+        and a constant velocity prior would fight the location reports at
+        every turn.
+        """
+        config = self.config
+        if random_walk_motion:
+            motion = motion_params or MotionParams(
+                velocity=(0.0, 0.0, 0.0),
+                sigma=(
+                    max(config.motion_sigma[0], 0.01),
+                    config.speed_ft_per_epoch * 1.2,
+                    0.0,
+                ),
+                heading_sigma=max(config.heading_sigma, 0.005),
+            )
+            sensing = sensing_params or SensingNoiseParams(
+                mean=tuple(float(v) for v in config.location_bias),
+                sigma=tuple(max(float(s), 0.005) for s in config.location_sigma[:2])
+                + (0.0,),
+            )
+            return RFIDWorldModel.build(
+                self.layout.shelves,
+                shelf_tags=self.layout.shelf_tag_positions,
+                sensor_params=sensor_params,
+                motion_params=motion,
+                sensing_params=sensing,
+            )
+        motion = motion_params or MotionParams(
+            velocity=(0.0, config.speed_ft_per_epoch, 0.0),
+            sigma=tuple(float(s) for s in config.motion_sigma),
+            heading_sigma=max(config.heading_sigma, 0.005),
+        )
+        sensing = sensing_params or SensingNoiseParams(
+            mean=tuple(float(v) for v in config.location_bias),
+            sigma=tuple(max(float(s), 0.005) for s in config.location_sigma[:2])
+            + (0.0,),
+        )
+        return RFIDWorldModel.build(
+            self.layout.shelves,
+            shelf_tags=self.layout.shelf_tag_positions,
+            sensor_params=sensor_params,
+            motion_params=motion,
+            sensing_params=sensing,
+        )

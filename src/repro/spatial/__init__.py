@@ -1,0 +1,7 @@
+"""Spatial indexing: a from-scratch simplified R*-tree and the paper's
+sensing-region index built on top of it (Section IV-C)."""
+
+from .region_index import SensingRegionIndex
+from .rtree import RStarTree
+
+__all__ = ["RStarTree", "SensingRegionIndex"]

@@ -1,0 +1,450 @@
+"""A simplified R*-tree over axis-aligned boxes.
+
+Section IV-C of the paper keeps "a standard spatial index (a simplified
+R*-tree)" over the bounding boxes of past sensing regions.  This module
+implements that index from scratch:
+
+* **ChooseSubtree** descends by least overlap-enlargement at the leaf level
+  and least volume-enlargement above it (the R*-tree heuristic).
+* **Split** uses the R*-tree axis-sweep: pick the split axis by minimum total
+  margin over candidate distributions, then the distribution with minimum
+  overlap (ties by minimum combined volume).
+* **Forced reinsertion** on first overflow per level per insertion pass (the
+  R*-tree trick that reduces overlap), simplified to a single reinsert batch.
+
+Entries are ``(box, value)`` pairs; values are opaque to the tree.  Deletion
+is supported (the cleaning pipeline prunes sensing regions that have expired)
+via the classic R-tree condense-tree algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, List, Optional, Tuple
+
+from ..errors import GeometryError
+from ..geometry.box import Box, union_all
+
+
+def _overlap_fast(lo_a, hi_a, lo_b, hi_b) -> float:
+    """Overlap measure on raw lo/hi tuples (volume, falling back to
+    xy-area) without constructing Box objects — ChooseSubtree evaluates
+    O(children^2) overlaps per insert, so this is the tree's hot path."""
+    dx = min(hi_a[0], hi_b[0]) - max(lo_a[0], lo_b[0])
+    if dx < 0.0:
+        return 0.0
+    dy = min(hi_a[1], hi_b[1]) - max(lo_a[1], lo_b[1])
+    if dy < 0.0:
+        return 0.0
+    dz = min(hi_a[2], hi_b[2]) - max(lo_a[2], lo_b[2])
+    if dz < 0.0:
+        return 0.0
+    volume = dx * dy * dz
+    return volume if volume > 0.0 else dx * dy
+
+
+class _Entry:
+    """Leaf entry: a box and its payload."""
+
+    __slots__ = ("box", "value")
+
+    def __init__(self, box: Box, value: Any):
+        self.box = box
+        self.value = value
+
+
+class _Node:
+    """Tree node.  Leaves hold `_Entry`s; internal nodes hold `_Node`s."""
+
+    __slots__ = ("leaf", "children", "box", "parent")
+
+    def __init__(self, leaf: bool):
+        self.leaf = leaf
+        self.children: List[Any] = []
+        self.box: Optional[Box] = None
+        self.parent: Optional["_Node"] = None
+
+    def recompute_box(self) -> None:
+        if not self.children:
+            self.box = None
+            return
+        self.box = union_all([c.box for c in self.children])
+
+    def child_boxes(self) -> List[Box]:
+        return [c.box for c in self.children]
+
+
+class RStarTree:
+    """Simplified R*-tree.
+
+    Parameters
+    ----------
+    max_entries:
+        Node capacity `M`.  Minimum fill is ``max(2, M * min_fill)``.
+    min_fill:
+        Fraction of `M` used as the minimum node occupancy (R*-tree uses 0.4).
+    reinsert_fraction:
+        Fraction of entries removed and reinserted on first overflow
+        (R*-tree uses 0.3).
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 16,
+        min_fill: float = 0.4,
+        reinsert_fraction: float = 0.3,
+    ):
+        if max_entries < 4:
+            raise GeometryError("max_entries must be >= 4")
+        if not (0.0 < min_fill <= 0.5):
+            raise GeometryError("min_fill must be in (0, 0.5]")
+        self._max = max_entries
+        self._min = max(2, int(max_entries * min_fill))
+        self._reinsert = max(1, int(max_entries * reinsert_fraction))
+        self._root = _Node(leaf=True)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, box: Box, value: Any) -> None:
+        """Insert a ``(box, value)`` entry."""
+        self._insert_entry(_Entry(box, value), allow_reinsert=True)
+        self._size += 1
+
+    def _insert_entry(self, entry: _Entry, allow_reinsert: bool) -> None:
+        leaf = self._choose_leaf(self._root, entry.box)
+        leaf.children.append(entry)
+        self._adjust_upward(leaf, allow_reinsert)
+
+    def _choose_leaf(self, node: _Node, box: Box) -> _Node:
+        while not node.leaf:
+            children: List[_Node] = node.children
+            if children[0].leaf:
+                # Children are leaves: minimize overlap enlargement.
+                best = self._least_overlap_child(children, box)
+            else:
+                best = self._least_enlargement_child(children, box)
+            node = best
+        return node
+
+    @staticmethod
+    def _least_enlargement_child(children: List[_Node], box: Box) -> _Node:
+        best = None
+        best_key = None
+        for child in children:
+            assert child.box is not None
+            enlargement = child.box.enlargement(box)
+            key = (enlargement, child.box.volume(), child.box.margin())
+            if best_key is None or key < best_key:
+                best_key = key
+                best = child
+        assert best is not None
+        return best
+
+    @staticmethod
+    def _least_overlap_child(children: List[_Node], box: Box) -> _Node:
+        best = None
+        best_key = None
+        boxes = [(c.box.lo, c.box.hi) for c in children]  # type: ignore[union-attr]
+        for i, child in enumerate(children):
+            assert child.box is not None
+            lo_c, hi_c = boxes[i]
+            lo_g = tuple(min(a, b) for a, b in zip(lo_c, box.lo))
+            hi_g = tuple(max(a, b) for a, b in zip(hi_c, box.hi))
+            overlap_delta = 0.0
+            for j, (lo_o, hi_o) in enumerate(boxes):
+                if j == i:
+                    continue
+                overlap_delta += _overlap_fast(lo_g, hi_g, lo_o, hi_o)
+                overlap_delta -= _overlap_fast(lo_c, hi_c, lo_o, hi_o)
+            key = (overlap_delta, child.box.enlargement(box), child.box.volume())
+            if best_key is None or key < best_key:
+                best_key = key
+                best = child
+        assert best is not None
+        return best
+
+    def _adjust_upward(self, node: _Node, allow_reinsert: bool) -> None:
+        while node is not None:
+            node.recompute_box()
+            if len(node.children) > self._max:
+                if allow_reinsert and node is not self._root:
+                    self._reinsert_overflow(node)
+                    allow_reinsert = False
+                else:
+                    self._split(node)
+            node = node.parent  # type: ignore[assignment]
+
+    def _reinsert_overflow(self, node: _Node) -> None:
+        """Forced reinsertion: remove entries farthest from the node center
+        and insert them again from the root."""
+        node.recompute_box()
+        assert node.box is not None
+        center = node.box.center
+        def dist(child) -> float:
+            c = child.box.center
+            return float(((c - center) ** 2).sum())
+        node.children.sort(key=dist)
+        spill = node.children[-self._reinsert:]
+        node.children = node.children[: -self._reinsert]
+        self._propagate_boxes(node)
+        for child in spill:
+            if node.leaf:
+                self._insert_entry(child, allow_reinsert=False)
+            else:
+                child.parent = None
+                self._insert_subtree(child)
+
+    def _insert_subtree(self, subtree: _Node) -> None:
+        """Reinsert an internal child at its original level (here: one above
+        the leaves; sufficient because we only reinsert from one overflow)."""
+        node = self._root
+        target_height = self._height(subtree)
+        while self._height(node) > target_height + 1 and not node.leaf:
+            node = self._least_enlargement_child(node.children, subtree.box)  # type: ignore[arg-type]
+        subtree.parent = node
+        node.children.append(subtree)
+        self._adjust_upward(node, allow_reinsert=False)
+
+    def _height(self, node: _Node) -> int:
+        h = 0
+        while not node.leaf:
+            node = node.children[0]
+            h += 1
+        return h
+
+    def _split(self, node: _Node) -> None:
+        group_a, group_b = self._rstar_split(node.children)
+        if node is self._root:
+            new_root = _Node(leaf=False)
+            left = _Node(leaf=node.leaf)
+            right = _Node(leaf=node.leaf)
+            left.children = group_a
+            right.children = group_b
+            for child in left.children:
+                if not node.leaf:
+                    child.parent = left
+            for child in right.children:
+                if not node.leaf:
+                    child.parent = right
+            left.recompute_box()
+            right.recompute_box()
+            left.parent = new_root
+            right.parent = new_root
+            new_root.children = [left, right]
+            new_root.recompute_box()
+            self._root = new_root
+            return
+        sibling = _Node(leaf=node.leaf)
+        node.children = group_a
+        sibling.children = group_b
+        if not node.leaf:
+            for child in node.children:
+                child.parent = node
+            for child in sibling.children:
+                child.parent = sibling
+        node.recompute_box()
+        sibling.recompute_box()
+        parent = node.parent
+        assert parent is not None
+        sibling.parent = parent
+        parent.children.append(sibling)
+        parent.recompute_box()
+
+    def _rstar_split(self, children: List[Any]) -> Tuple[List[Any], List[Any]]:
+        """R*-tree split: choose axis by minimum margin sum, then the
+        distribution with least overlap (ties: least combined volume)."""
+        m = self._min
+        best_axis = 0
+        best_margin = None
+        for axis in range(3):
+            margin = 0.0
+            ordered = sorted(children, key=lambda c: (c.box.lo[axis], c.box.hi[axis]))
+            for k in range(m, len(ordered) - m + 1):
+                left = union_all([c.box for c in ordered[:k]])
+                right = union_all([c.box for c in ordered[k:]])
+                margin += left.margin() + right.margin()
+            if best_margin is None or margin < best_margin:
+                best_margin = margin
+                best_axis = axis
+        ordered = sorted(
+            children, key=lambda c: (c.box.lo[best_axis], c.box.hi[best_axis])
+        )
+        best_split = None
+        best_key = None
+        for k in range(m, len(ordered) - m + 1):
+            left_box = union_all([c.box for c in ordered[:k]])
+            right_box = union_all([c.box for c in ordered[k:]])
+            key = (
+                left_box.overlap_measure(right_box),
+                left_box.volume() + right_box.volume(),
+                left_box.margin() + right_box.margin(),
+            )
+            if best_key is None or key < best_key:
+                best_key = key
+                best_split = k
+        assert best_split is not None
+        return list(ordered[:best_split]), list(ordered[best_split:])
+
+    def _propagate_boxes(self, node: Optional[_Node]) -> None:
+        while node is not None:
+            node.recompute_box()
+            node = node.parent
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def search(self, box: Box) -> List[Any]:
+        """Values of all entries whose boxes intersect ``box``."""
+        out: List[Any] = []
+        self._search(self._root, box, out)
+        return out
+
+    def _search(self, node: _Node, box: Box, out: List[Any]) -> None:
+        if node.box is None or not node.box.intersects(box):
+            return
+        if node.leaf:
+            for entry in node.children:
+                if entry.box.intersects(box):
+                    out.append(entry.value)
+            return
+        for child in node.children:
+            self._search(child, box, out)
+
+    def search_entries(self, box: Box) -> List[Tuple[Box, Any]]:
+        """Like :meth:`search` but returns ``(box, value)`` pairs."""
+        out: List[Tuple[Box, Any]] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.box is None or not node.box.intersects(box):
+                continue
+            if node.leaf:
+                for entry in node.children:
+                    if entry.box.intersects(box):
+                        out.append((entry.box, entry.value))
+            else:
+                stack.extend(node.children)
+        return out
+
+    def items(self) -> Iterator[Tuple[Box, Any]]:
+        """Iterate over every ``(box, value)`` entry in the tree."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.leaf:
+                for entry in node.children:
+                    yield (entry.box, entry.value)
+            else:
+                stack.extend(node.children)
+
+    # ------------------------------------------------------------------
+    # Deletion
+    # ------------------------------------------------------------------
+    def delete(self, box: Box, predicate: Callable[[Any], bool]) -> int:
+        """Remove entries intersecting ``box`` whose value satisfies
+        ``predicate``.  Returns the number of entries removed."""
+        removed: List[_Entry] = []
+        self._delete_from(self._root, box, predicate, removed)
+        if removed:
+            self._size -= len(removed)
+            self._condense()
+        return len(removed)
+
+    def _delete_from(
+        self,
+        node: _Node,
+        box: Box,
+        predicate: Callable[[Any], bool],
+        removed: List[_Entry],
+    ) -> None:
+        if node.box is None or not node.box.intersects(box):
+            return
+        if node.leaf:
+            keep = []
+            for entry in node.children:
+                if entry.box.intersects(box) and predicate(entry.value):
+                    removed.append(entry)
+                else:
+                    keep.append(entry)
+            node.children = keep
+            return
+        for child in node.children:
+            self._delete_from(child, box, predicate, removed)
+
+    def _condense(self) -> None:
+        """Rebuild after deletion: collect orphaned entries from underfull
+        nodes and reinsert them.  Simplified full-subtree collection keeps
+        the invariants without per-level bookkeeping."""
+        orphans: List[_Entry] = []
+        self._prune(self._root, orphans)
+        self._root.recompute_box()
+        # Collapse a root with a single internal child.
+        while not self._root.leaf and len(self._root.children) == 1:
+            self._root = self._root.children[0]
+            self._root.parent = None
+        # An internal root can end up with zero children when every subtree
+        # was pruned; reset to an empty leaf so insertion stays well-defined.
+        if not self._root.leaf and not self._root.children:
+            self._root = _Node(leaf=True)
+        for entry in orphans:
+            self._insert_entry(entry, allow_reinsert=False)
+
+    def _prune(self, node: _Node, orphans: List[_Entry]) -> bool:
+        """Post-order prune; returns True if ``node`` should be removed."""
+        if node.leaf:
+            node.recompute_box()
+            return node is not self._root and len(node.children) < self._min
+        keep = []
+        for child in node.children:
+            if self._prune(child, orphans):
+                self._collect_entries(child, orphans)
+            else:
+                keep.append(child)
+        node.children = keep
+        node.recompute_box()
+        return node is not self._root and len(node.children) < self._min
+
+    def _collect_entries(self, node: _Node, out: List[_Entry]) -> None:
+        if node.leaf:
+            out.extend(node.children)
+            return
+        for child in node.children:
+            self._collect_entries(child, out)
+
+    # ------------------------------------------------------------------
+    # Invariant checking (used by the test suite)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise ``AssertionError`` if any structural invariant is broken."""
+        self._check_node(self._root, is_root=True)
+        count = sum(1 for _ in self.items())
+        assert count == self._size, f"size {self._size} != entry count {count}"
+        # All leaves at the same depth.
+        depths = set()
+        self._leaf_depths(self._root, 0, depths)
+        assert len(depths) <= 1, f"leaves at multiple depths: {depths}"
+
+    def _leaf_depths(self, node: _Node, depth: int, out: set) -> None:
+        if node.leaf:
+            out.add(depth)
+            return
+        for child in node.children:
+            self._leaf_depths(child, depth + 1, out)
+
+    def _check_node(self, node: _Node, is_root: bool) -> None:
+        if not is_root:
+            assert len(node.children) >= self._min, "underfull node"
+        assert len(node.children) <= self._max, "overfull node"
+        if node.children:
+            expected = union_all([c.box for c in node.children])
+            assert node.box is not None
+            assert node.box.contains_box(expected), "node box too small"
+            assert expected.contains_box(node.box), "node box too large"
+        if not node.leaf:
+            for child in node.children:
+                assert child.parent is node, "broken parent pointer"
+                self._check_node(child, is_root=False)

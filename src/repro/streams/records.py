@@ -1,0 +1,200 @@
+"""Stream record types.
+
+Section II-A fixes the wire formats:
+
+* the **RFID reading stream** carries ``(time, tag id)`` records, where the
+  tag is either an object tag or a shelf tag;
+* the **reader location stream** carries ``(time, (x, y, z))`` reports;
+* the **output event stream** carries
+  ``(time, tag id, (x, y, z), statistics?)`` location events.
+
+Tag identity is a :class:`TagId`: a kind (object / shelf) plus an integer.
+Keeping the kind inside the id lets a single reading stream interleave shelf
+and object observations exactly as a real reader would produce them.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import StreamError
+from ..geometry.vec import as_point
+
+
+class TagKind(enum.Enum):
+    """What a tag is attached to."""
+
+    OBJECT = "object"
+    SHELF = "shelf"
+
+
+@dataclass(frozen=True, order=True)
+class TagId:
+    """Identity of an RFID tag: kind + number (e.g. ``object:17``)."""
+
+    kind: TagKind
+    number: int
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}:{self.number}"
+
+    @staticmethod
+    def object(number: int) -> "TagId":
+        return TagId(TagKind.OBJECT, int(number))
+
+    @staticmethod
+    def shelf(number: int) -> "TagId":
+        return TagId(TagKind.SHELF, int(number))
+
+    @property
+    def is_object(self) -> bool:
+        return self.kind is TagKind.OBJECT
+
+    @property
+    def is_shelf(self) -> bool:
+        return self.kind is TagKind.SHELF
+
+    @staticmethod
+    def parse(text: str) -> "TagId":
+        """Inverse of ``str()``: ``"object:17" -> TagId.object(17)``."""
+        try:
+            kind_text, number_text = text.split(":")
+            return TagId(TagKind(kind_text), int(number_text))
+        except (ValueError, KeyError) as exc:
+            raise StreamError(f"cannot parse tag id {text!r}") from exc
+
+
+@dataclass(frozen=True)
+class TagReading:
+    """One raw RFID reading: a tag seen at a time."""
+
+    time: float
+    tag: TagId
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.time):
+            raise StreamError(f"non-finite reading time {self.time}")
+
+
+@dataclass(frozen=True)
+class ReaderLocationReport:
+    """One raw reader-location report from the positioning system.
+
+    ``heading`` is optional: dead-reckoning robots know their commanded
+    orientation and report it; handheld readers and plain positioning
+    systems do not (``None``).
+    """
+
+    time: float
+    position: Tuple[float, float, float]
+    heading: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.time):
+            raise StreamError(f"non-finite report time {self.time}")
+        p = self.position
+        if len(p) != 3 or not all(math.isfinite(v) for v in p):
+            raise StreamError(f"invalid position {p}")
+        if self.heading is not None and not math.isfinite(self.heading):
+            raise StreamError(f"non-finite heading {self.heading}")
+
+    @property
+    def array(self) -> np.ndarray:
+        return np.asarray(self.position, dtype=float)
+
+
+@dataclass(frozen=True)
+class LocationStatistics:
+    """Optional statistics attached to a location event (Section II-A):
+    the covariance of the location estimate and a confidence radius."""
+
+    covariance: Tuple[float, ...]  # row-major 3x3, length 9
+    confidence_radius: float  # radius of the ~95% planar confidence region
+    sample_size: int  # particles (or 0 for a compressed Gaussian belief)
+
+    def covariance_matrix(self) -> np.ndarray:
+        return np.asarray(self.covariance, dtype=float).reshape(3, 3)
+
+
+@dataclass(frozen=True)
+class LocationEvent:
+    """One clean output event: an object's inferred location at a time."""
+
+    time: float
+    tag: TagId
+    position: Tuple[float, float, float]
+    statistics: Optional[LocationStatistics] = None
+
+    def __post_init__(self) -> None:
+        if not self.tag.is_object:
+            raise StreamError(f"location events are for object tags, got {self.tag}")
+
+    @property
+    def array(self) -> np.ndarray:
+        return np.asarray(self.position, dtype=float)
+
+
+@dataclass(frozen=True)
+class Epoch:
+    """One synchronized time step (Section II-A).
+
+    The paper's epochs are coarse (about one second); raw readings within an
+    epoch share its time and multiple location reports are averaged into a
+    single one.  ``reported_position`` may be ``None`` for handheld readers
+    that lack a positioning system (the paper's future-work case) — inference
+    then relies on the motion model plus shelf tags alone.
+    """
+
+    time: float
+    reported_position: Optional[Tuple[float, float, float]]
+    object_tags: frozenset  # FrozenSet[TagId]
+    shelf_tags: frozenset  # FrozenSet[TagId]
+    reported_heading: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        for tag in self.object_tags:
+            if not tag.is_object:
+                raise StreamError(f"{tag} in object_tags is not an object tag")
+        for tag in self.shelf_tags:
+            if not tag.is_shelf:
+                raise StreamError(f"{tag} in shelf_tags is not a shelf tag")
+
+    @property
+    def position_array(self) -> Optional[np.ndarray]:
+        if self.reported_position is None:
+            return None
+        return np.asarray(self.reported_position, dtype=float)
+
+    @property
+    def total_readings(self) -> int:
+        return len(self.object_tags) + len(self.shelf_tags)
+
+
+def make_epoch(
+    time: float,
+    reported_position=None,
+    object_tags=(),
+    shelf_tags=(),
+    reported_heading=None,
+) -> Epoch:
+    """Convenience constructor accepting loose types.
+
+    ``object_tags`` / ``shelf_tags`` may be iterables of ints or TagIds;
+    ``reported_position`` any 2/3-vector or ``None``.
+    """
+    objs = frozenset(
+        tag if isinstance(tag, TagId) else TagId.object(tag) for tag in object_tags
+    )
+    shelves = frozenset(
+        tag if isinstance(tag, TagId) else TagId.shelf(tag) for tag in shelf_tags
+    )
+    pos = None
+    if reported_position is not None:
+        pos = tuple(float(v) for v in as_point(reported_position))
+    heading = None if reported_heading is None else float(reported_heading)
+    return Epoch(float(time), pos, objs, shelves, reported_heading=heading)

@@ -1,0 +1,308 @@
+"""Stream sources: traces, ground truth, and persistence.
+
+A *trace* is the library's at-rest representation of one run: the two raw
+streams (Section II-A) plus, for simulated data, the ground truth needed for
+evaluation.  Traces round-trip through a line-oriented JSON format so that
+experiments can be saved, inspected and replayed.
+
+Ground truth stores object locations compactly: objects are overwhelmingly
+stationary (the paper's object model moves with small probability alpha), so
+we keep initial positions plus a sparse list of move records instead of a
+dense per-epoch path — at 20,000 objects and tens of thousands of epochs a
+dense representation would dwarf the simulation itself.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, TextIO, Tuple
+
+import numpy as np
+
+from ..errors import StreamError
+from .records import (
+    Epoch,
+    ReaderLocationReport,
+    TagId,
+    TagReading,
+)
+from .synchronize import synchronize
+
+
+@dataclass(frozen=True)
+class ObjectMove:
+    """A ground-truth relocation: object ``number`` sits at ``position``
+    from ``epoch_index`` onward."""
+
+    epoch_index: int
+    number: int
+    position: Tuple[float, float, float]
+
+
+@dataclass
+class GroundTruth:
+    """Ground truth attached to a simulated trace."""
+
+    initial_positions: Dict[int, np.ndarray]
+    reader_path: np.ndarray  # (T, 3) true reader positions
+    reader_headings: np.ndarray  # (T,)
+    moves: List[ObjectMove] = field(default_factory=list)
+    shelf_tag_positions: Dict[int, np.ndarray] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.initial_positions = {
+            int(k): np.asarray(v, dtype=float) for k, v in self.initial_positions.items()
+        }
+        self.shelf_tag_positions = {
+            int(k): np.asarray(v, dtype=float)
+            for k, v in self.shelf_tag_positions.items()
+        }
+        self.moves = sorted(self.moves, key=lambda m: m.epoch_index)
+
+    @property
+    def n_epochs(self) -> int:
+        return int(self.reader_path.shape[0])
+
+    def object_numbers(self) -> List[int]:
+        return sorted(self.initial_positions)
+
+    def object_location_at(self, number: int, epoch_index: int) -> np.ndarray:
+        """True location of an object at an epoch (last move wins)."""
+        if number not in self.initial_positions:
+            raise StreamError(f"unknown object {number}")
+        position = self.initial_positions[number]
+        for move in self.moves:
+            if move.number != number:
+                continue
+            if move.epoch_index > epoch_index:
+                break
+            position = np.asarray(move.position, dtype=float)
+        return position
+
+    def locations_at(self, epoch_index: int) -> Dict[int, np.ndarray]:
+        """All true object locations at an epoch."""
+        out = {k: v for k, v in self.initial_positions.items()}
+        for move in self.moves:
+            if move.epoch_index > epoch_index:
+                break
+            out[move.number] = np.asarray(move.position, dtype=float)
+        return out
+
+    def final_object_locations(self) -> Dict[int, np.ndarray]:
+        return self.locations_at(self.n_epochs)
+
+
+@dataclass
+class Trace:
+    """One recorded run: raw streams, optional truth, and metadata."""
+
+    readings: List[TagReading]
+    reports: List[ReaderLocationReport]
+    epoch_length: float = 1.0
+    truth: Optional[GroundTruth] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def epochs(self, emit_empty: bool = True) -> List[Epoch]:
+        """Synchronize the raw streams into epochs (Section II-A)."""
+        return synchronize(
+            self.readings,
+            self.reports,
+            epoch_length=self.epoch_length,
+            emit_empty=emit_empty,
+        )
+
+    @property
+    def duration(self) -> float:
+        times = [r.time for r in self.readings] + [r.time for r in self.reports]
+        if not times:
+            return 0.0
+        return max(times) - min(times)
+
+    @property
+    def n_readings(self) -> int:
+        return len(self.readings)
+
+    def object_tag_numbers(self) -> List[int]:
+        return sorted({r.tag.number for r in self.readings if r.tag.is_object})
+
+    def shelf_tag_numbers(self) -> List[int]:
+        return sorted({r.tag.number for r in self.readings if r.tag.is_shelf})
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def dump(self, fp: TextIO) -> None:
+        """Write the trace as line-delimited JSON records."""
+        header = {
+            "type": "header",
+            "epoch_length": self.epoch_length,
+            "metadata": self.metadata,
+        }
+        fp.write(json.dumps(header) + "\n")
+        for reading in self.readings:
+            fp.write(
+                json.dumps(
+                    {"type": "reading", "time": reading.time, "tag": str(reading.tag)}
+                )
+                + "\n"
+            )
+        for report in self.reports:
+            record = {
+                "type": "report",
+                "time": report.time,
+                "position": list(report.position),
+            }
+            if report.heading is not None:
+                record["heading"] = report.heading
+            fp.write(json.dumps(record) + "\n")
+        if self.truth is not None:
+            truth = {
+                "type": "truth",
+                "initial_positions": {
+                    str(k): v.tolist()
+                    for k, v in self.truth.initial_positions.items()
+                },
+                "moves": [
+                    [m.epoch_index, m.number, list(m.position)]
+                    for m in self.truth.moves
+                ],
+                "reader_path": self.truth.reader_path.tolist(),
+                "reader_headings": self.truth.reader_headings.tolist(),
+                "shelf_tag_positions": {
+                    str(k): v.tolist()
+                    for k, v in self.truth.shelf_tag_positions.items()
+                },
+            }
+            fp.write(json.dumps(truth) + "\n")
+
+    def dumps(self) -> str:
+        buf = io.StringIO()
+        self.dump(buf)
+        return buf.getvalue()
+
+    @staticmethod
+    def load(fp: TextIO) -> "Trace":
+        readings: List[TagReading] = []
+        reports: List[ReaderLocationReport] = []
+        epoch_length = 1.0
+        metadata: Dict[str, object] = {}
+        truth: Optional[GroundTruth] = None
+        for line_number, line in enumerate(fp, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise StreamError(f"bad trace line {line_number}") from exc
+            kind = rec.get("type")
+            if kind == "header":
+                epoch_length = float(rec["epoch_length"])
+                metadata = dict(rec.get("metadata", {}))
+            elif kind == "reading":
+                readings.append(
+                    TagReading(float(rec["time"]), TagId.parse(rec["tag"]))
+                )
+            elif kind == "report":
+                heading = rec.get("heading")
+                reports.append(
+                    ReaderLocationReport(
+                        float(rec["time"]),
+                        tuple(float(v) for v in rec["position"]),
+                        heading=None if heading is None else float(heading),
+                    )
+                )
+            elif kind == "truth":
+                truth = GroundTruth(
+                    initial_positions={
+                        int(k): np.asarray(v, dtype=float)
+                        for k, v in rec["initial_positions"].items()
+                    },
+                    moves=[
+                        ObjectMove(int(e), int(n), tuple(float(v) for v in p))
+                        for e, n, p in rec.get("moves", [])
+                    ],
+                    reader_path=np.asarray(rec["reader_path"], dtype=float),
+                    reader_headings=np.asarray(rec["reader_headings"], dtype=float),
+                    shelf_tag_positions={
+                        int(k): np.asarray(v, dtype=float)
+                        for k, v in rec.get("shelf_tag_positions", {}).items()
+                    },
+                )
+            else:
+                raise StreamError(f"unknown record type {kind!r} on line {line_number}")
+        return Trace(
+            readings=readings,
+            reports=reports,
+            epoch_length=epoch_length,
+            truth=truth,
+            metadata=metadata,
+        )
+
+    @staticmethod
+    def loads(text: str) -> "Trace":
+        return Trace.load(io.StringIO(text))
+
+
+def merge_traces(traces: Sequence[Trace]) -> Trace:
+    """Concatenate traces in time order (e.g. multiple scan rounds).
+
+    Traces must not overlap in time.  Ground truth is merged when every part
+    carries it and describes the same objects: the reader path concatenates,
+    later parts' initial positions become move records at their first epoch.
+    """
+    if not traces:
+        raise StreamError("merge_traces of zero traces")
+    ordered = sorted(traces, key=lambda t: t.readings[0].time if t.readings else 0.0)
+    readings: List[TagReading] = []
+    reports: List[ReaderLocationReport] = []
+    for trace in ordered:
+        if readings and trace.readings and trace.readings[0].time < readings[-1].time:
+            raise StreamError("traces overlap in time; cannot merge")
+        readings.extend(trace.readings)
+        reports.extend(trace.reports)
+    truth = None
+    if all(t.truth is not None for t in ordered):
+        first = ordered[0].truth
+        assert first is not None
+        keys = set(first.initial_positions)
+        if all(set(t.truth.initial_positions) == keys for t in ordered):  # type: ignore[union-attr]
+            moves: List[ObjectMove] = list(first.moves)
+            offset = first.n_epochs
+            for trace in ordered[1:]:
+                part = trace.truth
+                assert part is not None
+                for number, position in part.initial_positions.items():
+                    if not np.allclose(
+                        position, first.initial_positions[number], atol=1e-12
+                    ):
+                        moves.append(
+                            ObjectMove(
+                                offset, number, tuple(float(v) for v in position)
+                            )
+                        )
+                moves.extend(
+                    ObjectMove(
+                        m.epoch_index + offset, m.number, m.position
+                    )
+                    for m in part.moves
+                )
+                offset += part.n_epochs
+            truth = GroundTruth(
+                initial_positions=dict(first.initial_positions),
+                moves=moves,
+                reader_path=np.vstack([t.truth.reader_path for t in ordered]),  # type: ignore[union-attr]
+                reader_headings=np.concatenate(
+                    [t.truth.reader_headings for t in ordered]  # type: ignore[union-attr]
+                ),
+                shelf_tag_positions=dict(first.shelf_tag_positions),
+            )
+    return Trace(
+        readings=readings,
+        reports=reports,
+        epoch_length=ordered[0].epoch_length,
+        truth=truth,
+        metadata={"merged_from": len(ordered)},
+    )

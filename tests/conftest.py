@@ -1,0 +1,77 @@
+"""Shared fixtures for the test suite.
+
+Simulation-backed fixtures are deliberately tiny (few objects, short
+traces, few particles) so the whole suite stays fast; the benchmark suite
+owns the paper-scale runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import InferenceConfig
+from repro.geometry.box import Box
+from repro.geometry.shapes import ShelfRegion, ShelfSet
+from repro.models.joint import RFIDWorldModel
+from repro.models.motion import MotionParams
+from repro.models.sensing import SensingNoiseParams
+from repro.models.sensor import SensorParams
+from repro.simulation.layout import LayoutConfig
+from repro.simulation.warehouse import WarehouseConfig, WarehouseSimulator
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def single_shelf():
+    """One shelf box: x in [2, 3], y in [0, 8]."""
+    return ShelfSet([ShelfRegion(0, Box((2.0, 0.0, 0.0), (3.0, 8.0, 0.0)))])
+
+
+@pytest.fixture
+def two_shelves():
+    """Two parallel shelves mirrored across the aisle."""
+    return ShelfSet(
+        [
+            ShelfRegion(0, Box((2.0, 0.0, 0.0), (3.0, 8.0, 0.0))),
+            ShelfRegion(1, Box((-3.0, 0.0, 0.0), (-2.0, 8.0, 0.0))),
+        ]
+    )
+
+
+@pytest.fixture
+def small_model(single_shelf):
+    """A joint model over the single shelf with known dynamics."""
+    return RFIDWorldModel.build(
+        single_shelf,
+        shelf_tags={0: np.array([2.0, 1.0, 0.0]), 1: np.array([2.0, 7.0, 0.0])},
+        sensor_params=SensorParams(a=(4.0, 0.0, -0.9), b=(0.0, -6.0)),
+        motion_params=MotionParams(velocity=(0.0, 0.1, 0.0), sigma=(0.01, 0.01, 0.0)),
+        sensing_params=SensingNoiseParams(mean=(0.0, 0.0, 0.0), sigma=(0.01, 0.01, 0.0)),
+    )
+
+
+@pytest.fixture
+def fast_config():
+    """Small particle counts: fast and still accurate on tiny scenes."""
+    return InferenceConfig(reader_particles=60, object_particles=120, seed=7)
+
+
+@pytest.fixture
+def small_warehouse():
+    """A 6-object warehouse simulator with the paper's default knobs."""
+    return WarehouseSimulator(
+        WarehouseConfig(
+            layout=LayoutConfig(n_objects=6, n_shelf_tags=3),
+            seed=11,
+        )
+    )
+
+
+@pytest.fixture
+def small_trace(small_warehouse):
+    return small_warehouse.generate()

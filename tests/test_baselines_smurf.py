@@ -1,0 +1,135 @@
+"""Tests for the SMURF baseline (adaptive smoothing windows)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.smurf import SmurfConfig, SmurfFilter, SmurfTagState
+from repro.baselines.smurf_location import (
+    SmurfLocationConfig,
+    SmurfLocationEstimator,
+)
+from repro.errors import ConfigurationError
+from repro.streams.records import make_epoch
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SmurfConfig(delta=0.0)
+        with pytest.raises(ConfigurationError):
+            SmurfConfig(min_window=0)
+        with pytest.raises(ConfigurationError):
+            SmurfConfig(max_window=0, min_window=1)
+        with pytest.raises(ConfigurationError):
+            SmurfConfig(rate_alpha=0.0)
+
+
+class TestTagState:
+    def test_present_after_read(self):
+        state = SmurfTagState()
+        assert state.observe(True)
+
+    def test_smooths_over_missed_readings(self):
+        state = SmurfTagState()
+        for _ in range(5):
+            state.observe(True)
+        # One missed epoch should not flip presence (window smoothing).
+        assert state.observe(False)
+
+    def test_departs_after_long_silence(self):
+        state = SmurfTagState()
+        for _ in range(8):
+            state.observe(True)
+        silent = 0
+        while state.present and silent < 60:
+            state.observe(False)
+            silent += 1
+        assert not state.present
+        assert silent < 40  # departure detected in bounded time
+
+    def test_departed_flag_fires_once(self):
+        state = SmurfTagState()
+        for _ in range(8):
+            state.observe(True)
+        departures = 0
+        for _ in range(40):
+            state.observe(False)
+            departures += int(state.departed)
+        assert departures == 1
+
+    def test_low_read_rate_grows_window(self):
+        fast = SmurfTagState()
+        slow = SmurfTagState()
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            fast.observe(True)
+            slow.observe(bool(rng.uniform() < 0.3))
+        assert slow.window > fast.window
+
+    def test_window_respects_bounds(self):
+        config = SmurfConfig(max_window=6)
+        state = SmurfTagState(config)
+        rng = np.random.default_rng(1)
+        for _ in range(60):
+            state.observe(bool(rng.uniform() < 0.2))
+            assert config.min_window <= state.window <= config.max_window
+
+
+class TestSmurfFilter:
+    def test_tracks_multiple_tags(self):
+        smurf = SmurfFilter()
+        present, departed = smurf.step([1, 2])
+        assert present == [1, 2]
+        present, departed = smurf.step([1])
+        assert 1 in present  # 2 may be smoothed-present for a while
+        assert smurf.known_tags() == [1, 2]
+
+    def test_departure_reported(self):
+        smurf = SmurfFilter()
+        for _ in range(8):
+            smurf.step([1])
+        departed_seen = False
+        for _ in range(40):
+            _, departed = smurf.step([])
+            departed_seen = departed_seen or (1 in departed)
+        assert departed_seen
+
+
+class TestSmurfLocation:
+    def test_estimates_near_reader_track(self, single_shelf):
+        estimator = SmurfLocationEstimator(
+            single_shelf, SmurfLocationConfig(read_range_ft=2.5, seed=0)
+        )
+        # Tag 0 at y~3: read while the reader is near y=3.
+        rng = np.random.default_rng(2)
+        for t in range(70):
+            y = 0.1 * t
+            reads = [0] if abs(y - 3.0) < 1.2 and rng.uniform() < 0.8 else []
+            estimator.step(
+                make_epoch(float(t), (0.0, y), object_tags=reads, reported_heading=0.0)
+            )
+        estimate = estimator.estimate(0)
+        assert estimate[1] == pytest.approx(3.0, abs=1.2)
+        assert 2.0 <= estimate[0] <= 3.0  # on the shelf
+
+    def test_run_emits_events(self, single_shelf):
+        estimator = SmurfLocationEstimator(single_shelf)
+        epochs = [
+            make_epoch(float(t), (0.0, 0.1 * t), object_tags=[0] if t < 10 else [])
+            for t in range(30)
+        ]
+        sink = estimator.run(epochs)
+        events = list(sink)
+        assert len(events) == 1
+        assert events[0].tag.number == 0
+
+    def test_unknown_tag_raises(self, single_shelf):
+        estimator = SmurfLocationEstimator(single_shelf)
+        with pytest.raises(ConfigurationError):
+            estimator.estimate(99)
+
+    def test_no_position_epochs_skipped(self, single_shelf):
+        estimator = SmurfLocationEstimator(single_shelf)
+        estimator.step(make_epoch(0.0, None, object_tags=[1]))
+        # Tag known to SMURF but no samples were possible.
+        assert estimator.known_tags() == [1]

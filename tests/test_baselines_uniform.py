@@ -1,0 +1,83 @@
+"""Tests for the uniform-sampling baseline and the shared sampling helper."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.uniform import (
+    UniformConfig,
+    UniformSampler,
+    sample_sensing_shelf_intersection,
+)
+from repro.errors import ConfigurationError
+from repro.streams.records import make_epoch
+
+
+class TestSamplingHelper:
+    def test_samples_on_shelf_and_in_disc(self, single_shelf, rng):
+        center = np.array([0.0, 4.0, 0.0])
+        pts = sample_sensing_shelf_intersection(
+            single_shelf, center, None, 3.0, math.pi, rng, 200
+        )
+        assert pts.shape == (200, 3)
+        assert single_shelf.contains_points(pts).all()
+        d = np.linalg.norm(pts[:, :2] - center[:2], axis=1)
+        assert (d <= 3.0 + 1e-9).all()
+
+    def test_heading_restricts_halfplane(self, two_shelves, rng):
+        center = np.array([0.0, 4.0, 0.0])
+        pts = sample_sensing_shelf_intersection(
+            two_shelves, center, 0.0, 3.0, math.radians(45), rng, 100
+        )
+        assert (pts[:, 0] > 0).all()  # only the facing shelf
+
+    def test_degenerate_overlap_falls_back(self, single_shelf, rng):
+        # Reader too far for the disc to touch the shelf.
+        center = np.array([0.0, 50.0, 0.0])
+        pts = sample_sensing_shelf_intersection(
+            single_shelf, center, None, 1.0, math.pi, rng, 20
+        )
+        assert pts.shape == (20, 3)
+
+
+class TestUniformSampler:
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            UniformConfig(read_range_ft=0.0)
+        with pytest.raises(ConfigurationError):
+            UniformConfig(half_angle_rad=0.0)
+
+    def test_estimate_near_first_read(self, single_shelf):
+        sampler = UniformSampler(single_shelf, UniformConfig(read_range_ft=2.0, seed=1))
+        for t in range(40):
+            y = 0.1 * t
+            reads = [0] if abs(y - 2.0) < 1.0 else []
+            sampler.step(make_epoch(float(t), (0.0, y), object_tags=reads, reported_heading=0.0))
+        estimate = sampler.estimate(0)
+        assert single_shelf.contains_points(estimate[None, :])[0]
+        # Anchored at the first read (y ~ 1.0): estimate within range of it.
+        assert abs(estimate[1] - 1.0) <= 2.5
+
+    def test_never_read_raises(self, single_shelf):
+        sampler = UniformSampler(single_shelf)
+        with pytest.raises(ConfigurationError):
+            sampler.estimate(0)
+
+    def test_run_emits_one_event_per_tag(self, single_shelf):
+        sampler = UniformSampler(single_shelf)
+        epochs = [
+            make_epoch(
+                float(t), (0.0, 0.1 * t), object_tags=[0, 1] if t == 5 else []
+            )
+            for t in range(10)
+        ]
+        sink = sampler.run(epochs)
+        events = list(sink)
+        assert sorted(e.tag.number for e in events) == [0, 1]
+
+    def test_epochs_without_position_ignored(self, single_shelf):
+        sampler = UniformSampler(single_shelf)
+        sampler.step(make_epoch(0.0, None, object_tags=[0]))
+        with pytest.raises(ConfigurationError):
+            sampler.estimate(0)

@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def trace_path(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    code = main(
+        [
+            "simulate",
+            "--objects",
+            "6",
+            "--shelf-tags",
+            "3",
+            "--seed",
+            "11",
+            "--out",
+            str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestSimulate:
+    def test_writes_trace(self, trace_path, capsys):
+        assert trace_path.exists()
+        text = trace_path.read_text()
+        assert '"type": "header"' in text
+        assert '"type": "truth"' in text
+
+    def test_roundtrips(self, trace_path):
+        from repro.streams import Trace
+
+        with open(trace_path) as fp:
+            trace = Trace.load(fp)
+        assert trace.truth is not None
+        assert len(trace.truth.initial_positions) == 6
+
+
+class TestClean:
+    def test_prints_events(self, trace_path, capsys):
+        code = main(["clean", str(trace_path), "--particles", "150", "--delay", "20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "object:" in out
+
+    def test_writes_csv(self, trace_path, tmp_path, capsys):
+        events = tmp_path / "events.csv"
+        code = main(
+            [
+                "clean",
+                str(trace_path),
+                "--events",
+                str(events),
+                "--particles",
+                "150",
+                "--index",
+            ]
+        )
+        assert code == 0
+        lines = events.read_text().strip().splitlines()
+        assert lines[0].startswith("time,tag")
+        assert len(lines) >= 7  # header + one event per object
+
+
+class TestEvaluate:
+    def test_scores_three_systems(self, trace_path, capsys):
+        code = main(["evaluate", str(trace_path), "--particles", "150"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("factored", "smurf", "uniform"):
+            assert name in out
+        assert "XY (ft)" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,94 @@
+"""Tests for the experiment harness (run + score all four system kinds)."""
+
+import pytest
+
+from repro.config import InferenceConfig
+from repro.eval.harness import (
+    run_factored,
+    run_naive,
+    run_smurf,
+    run_uniform,
+)
+
+
+@pytest.fixture(scope="module")
+def scene():
+    from repro.simulation.layout import LayoutConfig
+    from repro.simulation.warehouse import WarehouseConfig, WarehouseSimulator
+
+    sim = WarehouseSimulator(
+        WarehouseConfig(layout=LayoutConfig(n_objects=6, n_shelf_tags=3), seed=11)
+    )
+    return sim, sim.generate()
+
+
+@pytest.fixture(scope="module")
+def fast_cfg():
+    return InferenceConfig(reader_particles=60, object_particles=120, seed=7)
+
+
+class TestRunFactored:
+    def test_scores_all_objects(self, scene, fast_cfg):
+        sim, trace = scene
+        result = run_factored(trace, sim.world_model(), fast_cfg)
+        assert result.error is not None
+        assert result.error.n_objects == 6
+        assert result.error.xy < 0.6
+        assert result.n_readings == trace.n_readings
+        assert result.time_per_reading_ms > 0
+        assert result.extra["belief_memory_bytes"] > 0
+
+    def test_index_variant_skips_objects(self, scene, fast_cfg):
+        sim, trace = scene
+        result = run_factored(trace, sim.world_model(), fast_cfg.with_index())
+        assert result.error.xy < 0.8
+
+    def test_compression_variant(self, scene, fast_cfg):
+        sim, trace = scene
+        result = run_factored(
+            trace,
+            sim.world_model(),
+            fast_cfg.with_index().with_compression(unread_epochs=8),
+        )
+        assert result.error.xy < 0.8
+        assert result.extra["compressions"] >= 1
+
+
+class TestRunNaive:
+    def test_runs_and_scores(self, scene, fast_cfg):
+        sim, trace = scene
+        result = run_naive(trace, sim.world_model(), fast_cfg, n_particles=500)
+        assert result.error is not None
+        assert result.error.xy < 1.5
+
+
+class TestBaselineRunners:
+    def test_smurf(self, scene):
+        sim, trace = scene
+        result = run_smurf(trace, sim.layout.shelves)
+        assert result.error is not None
+        assert result.error.n_objects == 6
+
+    def test_uniform(self, scene):
+        sim, trace = scene
+        result = run_uniform(trace, sim.layout.shelves)
+        assert result.error is not None
+
+    def test_expected_ordering(self, scene, fast_cfg):
+        """The paper's central claim at miniature scale: inference beats the
+        baselines."""
+        sim, trace = scene
+        ours = run_factored(trace, sim.world_model(), fast_cfg)
+        smurf = run_smurf(trace, sim.layout.shelves)
+        uniform = run_uniform(trace, sim.layout.shelves)
+        assert ours.error.xy < smurf.error.xy
+        assert ours.error.xy < uniform.error.xy
+
+
+class TestThroughputAccounting:
+    def test_readings_per_second_consistent(self, scene, fast_cfg):
+        sim, trace = scene
+        result = run_factored(trace, sim.world_model(), fast_cfg)
+        assert result.readings_per_second == pytest.approx(
+            1000.0 / result.time_per_reading_ms, rel=1e-6
+        )

@@ -1,0 +1,89 @@
+"""Tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.eval.metrics import (
+    error_reduction,
+    inference_error,
+    mean_error_reduction,
+    within_accuracy,
+)
+
+
+class TestInferenceError:
+    def test_exact_match_zero_error(self):
+        truth = {1: np.array([1.0, 2.0, 0.0])}
+        summary = inference_error(truth, truth)
+        assert summary.x == 0.0 and summary.y == 0.0 and summary.xy == 0.0
+        assert summary.n_objects == 1
+
+    def test_axis_decomposition(self):
+        estimates = {1: np.array([1.3, 2.4, 0.0])}
+        truth = {1: np.array([1.0, 2.0, 0.0])}
+        summary = inference_error(estimates, truth)
+        assert summary.x == pytest.approx(0.3)
+        assert summary.y == pytest.approx(0.4)
+        assert summary.xy == pytest.approx(0.5)
+
+    def test_averaging_over_objects(self):
+        estimates = {1: np.array([1.0, 0.0, 0.0]), 2: np.array([0.0, 0.0, 0.0])}
+        truth = {1: np.zeros(3), 2: np.zeros(3)}
+        summary = inference_error(estimates, truth)
+        assert summary.x == pytest.approx(0.5)
+        assert summary.n_objects == 2
+
+    def test_subset_scoring(self):
+        estimates = {1: np.zeros(3)}
+        truth = {1: np.zeros(3), 2: np.ones(3)}
+        summary = inference_error(estimates, truth, numbers=[1])
+        assert summary.n_objects == 1
+
+    def test_missing_estimate_raises(self):
+        with pytest.raises(ConfigurationError):
+            inference_error({}, {1: np.zeros(3)})
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            inference_error({}, {})
+
+    def test_str_format(self):
+        truth = {1: np.zeros(3)}
+        assert "n=1" in str(inference_error(truth, truth))
+
+
+class TestErrorReduction:
+    def test_basic(self):
+        assert error_reduction(0.5, 1.0) == pytest.approx(0.5)
+        assert error_reduction(1.0, 1.0) == pytest.approx(0.0)
+
+    def test_negative_when_worse(self):
+        assert error_reduction(2.0, 1.0) == pytest.approx(-1.0)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            error_reduction(0.5, 0.0)
+
+    def test_mean_reduction(self):
+        pairs = [(0.5, 1.0), (0.25, 1.0)]
+        assert mean_error_reduction(pairs) == pytest.approx(0.625)
+
+    def test_mean_reduction_empty(self):
+        with pytest.raises(ConfigurationError):
+            mean_error_reduction([])
+
+
+class TestWithinAccuracy:
+    def test_counts_hits(self):
+        estimates = {
+            1: np.array([0.1, 0.0, 0.0]),
+            2: np.array([2.0, 0.0, 0.0]),
+        }
+        truth = {1: np.zeros(3), 2: np.zeros(3)}
+        assert within_accuracy(estimates, truth, 0.5) == pytest.approx(0.5)
+
+    def test_missing_estimates_count_as_misses(self):
+        truth = {1: np.zeros(3), 2: np.zeros(3)}
+        estimates = {1: np.zeros(3)}
+        assert within_accuracy(estimates, truth, 0.5) == pytest.approx(0.5)

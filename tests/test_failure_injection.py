@@ -1,0 +1,153 @@
+"""Failure-injection and adversarial-input tests.
+
+A cleaning system deployed against real hardware sees pathological streams:
+dropouts, duplicate readings, phantom tags, all-negative epochs, corrupted
+trace files.  These tests pin down that the library degrades gracefully
+(clear exceptions or sensible estimates) instead of silently corrupting
+state.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import InferenceConfig
+from repro.errors import StreamError
+from repro.inference.factored import FactoredParticleFilter
+from repro.streams.records import make_epoch
+from repro.streams.sources import Trace
+
+from test_inference_factored import drive, scan_epochs
+
+
+class TestStreamDropouts:
+    def test_long_location_dropout(self, small_model, fast_config):
+        """The positioning system dies mid-scan: epochs carry no reported
+        position.  Odometry control falls back to the motion model and the
+        filter keeps running."""
+        epochs = []
+        for t in range(50):
+            reported = None if 15 <= t < 35 else (0.0, 0.1 * t)
+            epochs.append(make_epoch(float(t), reported, reported_heading=0.0))
+        engine = drive(small_model, fast_config, epochs)
+        mean, _ = engine.reader_estimate()
+        assert np.isfinite(mean).all()
+        assert mean[1] == pytest.approx(4.9, abs=1.0)
+
+    def test_reading_only_epochs(self, small_model, fast_config):
+        """Readings arrive but no location reports after the first epoch."""
+        epochs = [make_epoch(0.0, (0.0, 0.0), reported_heading=0.0)]
+        for t in range(1, 20):
+            epochs.append(
+                make_epoch(float(t), None, object_tags=[0] if t % 3 == 0 else [])
+            )
+        engine = drive(small_model, fast_config, epochs)
+        assert 0 in engine.known_objects()
+        assert np.isfinite(engine.object_estimate(0).mean).all()
+
+
+class TestPhantomAndDuplicateReads:
+    def test_phantom_tag_far_from_everything(self, small_model, fast_config):
+        """A tag read once by radio reflection: the belief exists, sits in
+        the init cone, and does not disturb other objects."""
+        epochs = scan_epochs(3.0, n=60)
+        # Inject one phantom read of tag 99 at epoch 5.
+        e = epochs[5]
+        epochs[5] = make_epoch(
+            e.time,
+            e.reported_position,
+            object_tags=[t.number for t in e.object_tags] + [99],
+            reported_heading=0.0,
+        )
+        engine = drive(small_model, fast_config, epochs)
+        assert 99 in engine.known_objects()
+        assert engine.object_estimate(0).mean[1] == pytest.approx(3.0, abs=0.6)
+
+    def test_every_tag_read_every_epoch(self, small_model, fast_config):
+        """Degenerate 100%-read-rate stream: tags 0..3 read every epoch from
+        everywhere.  Estimates stay finite and on the shelf."""
+        epochs = [
+            make_epoch(float(t), (0.0, 0.1 * t), object_tags=[0, 1, 2, 3], reported_heading=0.0)
+            for t in range(40)
+        ]
+        engine = drive(small_model, fast_config, epochs)
+        for n in range(4):
+            estimate = engine.object_estimate(n)
+            assert np.isfinite(estimate.mean).all()
+            assert small_model.shelves.bounding_box().expanded(1.0).contains_point(
+                estimate.mean
+            )
+
+
+class TestAdversarialEpochs:
+    def test_teleporting_reports_do_not_crash(self, small_model, fast_config):
+        """Reported positions jump wildly (broken positioning).  The filter
+        must survive (weights renormalize) even if accuracy is gone."""
+        rng = np.random.default_rng(0)
+        epochs = [
+            make_epoch(float(t), tuple(rng.uniform(-5, 5, size=2)), reported_heading=0.0)
+            for t in range(30)
+        ]
+        engine = drive(small_model, fast_config, epochs)
+        mean, _ = engine.reader_estimate()
+        assert np.isfinite(mean).all()
+
+    def test_time_gaps_between_epochs(self, small_model, fast_config):
+        """Epochs with large time gaps (reader paused): nothing special is
+        required of the filter, but the pipeline visit logic must re-arm."""
+        from repro.config import OutputPolicyConfig
+        from repro.inference.pipeline import CleaningPipeline
+        from repro.streams.sinks import CollectingSink
+
+        engine = FactoredParticleFilter(small_model, fast_config)
+        sink = CollectingSink()
+        pipeline = CleaningPipeline(
+            engine, OutputPolicyConfig(delay_s=5.0, on_scan_complete=False), sink
+        )
+        for t in (0.0, 1.0, 2.0, 500.0, 501.0, 502.0, 503.0, 504.0, 505.0, 506.0):
+            pipeline.step(
+                make_epoch(t, (0.0, 1.0), object_tags=[0], reported_heading=0.0)
+            )
+        # Two visits (gap > 30 s) -> two emissions.
+        assert len(sink) == 2
+
+
+class TestCorruptTraces:
+    def test_truncated_json_line(self):
+        with pytest.raises(StreamError):
+            Trace.loads('{"type": "reading", "time": 1.0, "tag": "object:1"\n')
+
+    def test_half_written_reading(self):
+        with pytest.raises((StreamError, KeyError)):
+            Trace.loads('{"type": "reading", "time": 1.0}\n')
+
+    def test_empty_trace_is_valid(self):
+        trace = Trace.loads("")
+        assert trace.n_readings == 0
+        assert trace.epochs() == []
+
+    def test_garbled_tag_kind(self):
+        with pytest.raises(StreamError):
+            Trace.loads('{"type": "reading", "time": 1.0, "tag": "ghost:1"}\n')
+
+
+class TestExtremeConfigs:
+    def test_two_particles_per_object(self, small_model):
+        """The minimum legal particle count must not crash (accuracy aside)."""
+        config = InferenceConfig(reader_particles=2, object_particles=2, seed=0)
+        engine = drive(small_model, config, scan_epochs(3.0, n=40))
+        assert np.isfinite(engine.object_estimate(0).mean).all()
+
+    def test_zero_motion_noise_model(self, single_shelf, fast_config):
+        from repro.models.joint import RFIDWorldModel
+        from repro.models.motion import MotionParams
+        from repro.models.sensor import SensorParams
+
+        model = RFIDWorldModel.build(
+            single_shelf,
+            sensor_params=SensorParams(a=(4.0, 0.0, -0.9), b=(0.0, -6.0)),
+            motion_params=MotionParams(velocity=(0, 0.1, 0), sigma=(0, 0, 0), heading_sigma=0),
+        )
+        epochs = [make_epoch(float(t), (0.0, 0.1 * t)) for t in range(20)]
+        engine = drive(model, fast_config, epochs)
+        mean, _ = engine.reader_estimate()
+        assert mean[1] == pytest.approx(1.9, abs=0.2)

@@ -1,0 +1,130 @@
+"""Tests for repro.geometry.vec: coercion, distances, bearings."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import vec
+
+
+class TestAsPoint:
+    def test_pads_2d_with_zero_z(self):
+        p = vec.as_point((1.0, 2.0))
+        assert p.tolist() == [1.0, 2.0, 0.0]
+
+    def test_accepts_3d(self):
+        p = vec.as_point([1, 2, 3])
+        assert p.tolist() == [1.0, 2.0, 3.0]
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(GeometryError):
+            vec.as_point([1.0])
+        with pytest.raises(GeometryError):
+            vec.as_point([1.0, 2.0, 3.0, 4.0])
+
+    def test_as_points_batches(self):
+        pts = vec.as_points([[0, 0], [1, 1]])
+        assert pts.shape == (2, 3)
+        assert pts[1].tolist() == [1.0, 1.0, 0.0]
+
+    def test_as_points_single_vector(self):
+        pts = vec.as_points([1.0, 2.0, 3.0])
+        assert pts.shape == (1, 3)
+
+
+class TestDistances:
+    def test_distance_basic(self):
+        assert vec.distance((0, 0, 0), (3, 4, 0)) == pytest.approx(5.0)
+
+    def test_planar_distance_ignores_z(self):
+        assert vec.planar_distance((0, 0, 5), (3, 4, -2)) == pytest.approx(5.0)
+
+    def test_distances_batch(self):
+        d = vec.distances(np.array([[3, 4, 0], [0, 0, 0]]), (0, 0, 0))
+        assert d.tolist() == pytest.approx([5.0, 0.0])
+
+
+class TestBearing:
+    def test_dead_ahead_is_zero(self):
+        assert vec.bearing((0, 0, 0), 0.0, (5, 0, 0)) == pytest.approx(0.0)
+
+    def test_perpendicular_is_half_pi(self):
+        assert vec.bearing((0, 0, 0), 0.0, (0, 5, 0)) == pytest.approx(math.pi / 2)
+
+    def test_behind_is_pi(self):
+        assert vec.bearing((0, 0, 0), 0.0, (-5, 0, 0)) == pytest.approx(math.pi)
+
+    def test_heading_rotates_frame(self):
+        # Facing +y, a target at +y is dead ahead.
+        assert vec.bearing((0, 0, 0), math.pi / 2, (0, 5, 0)) == pytest.approx(0.0)
+
+    def test_coincident_target_returns_zero(self):
+        assert vec.bearing((1, 1, 0), 0.3, (1, 1, 0)) == 0.0
+
+    def test_bearings_matches_scalar(self, rng):
+        targets = rng.uniform(-5, 5, size=(20, 3))
+        origin = np.array([0.5, -0.5, 0.0])
+        phi = 0.7
+        batch = vec.bearings(origin, phi, targets)
+        for i in range(20):
+            assert batch[i] == pytest.approx(vec.bearing(origin, phi, targets[i]))
+
+
+class TestDistancesAndBearings:
+    def test_matches_individual_functions(self, rng):
+        targets = rng.uniform(-4, 4, size=(15, 3))
+        origin = np.array([1.0, 2.0, 0.0])
+        phi = -1.1
+        d, theta = vec.distances_and_bearings(origin, phi, targets)
+        assert d == pytest.approx(vec.distances(targets, origin))
+        assert theta == pytest.approx(vec.bearings(origin, phi, targets))
+
+    def test_pairwise_shapes_and_values(self, rng):
+        origins = rng.uniform(-2, 2, size=(4, 3))
+        phis = rng.uniform(-3, 3, size=4)
+        targets = rng.uniform(-2, 2, size=(6, 3))
+        d, theta = vec.pairwise_distances_and_bearings(origins, phis, targets)
+        assert d.shape == (4, 6)
+        assert theta.shape == (4, 6)
+        for i in range(4):
+            di, ti = vec.distances_and_bearings(origins[i], phis[i], targets)
+            assert d[i] == pytest.approx(di)
+            assert theta[i] == pytest.approx(ti)
+
+    def test_pairwise_rejects_mismatched_phis(self):
+        with pytest.raises(GeometryError):
+            vec.pairwise_distances_and_bearings(
+                np.zeros((3, 3)), np.zeros(2), np.zeros((1, 3))
+            )
+
+
+class TestWrapAngle:
+    @given(st.floats(min_value=-50.0, max_value=50.0))
+    def test_wrap_angle_in_range(self, phi):
+        wrapped = vec.wrap_angle(phi)
+        assert -math.pi < wrapped <= math.pi
+
+    @given(st.floats(min_value=-3.1, max_value=3.1))
+    def test_wrap_angle_identity_inside_range(self, phi):
+        assert vec.wrap_angle(phi) == pytest.approx(phi, abs=1e-9)
+
+    @given(st.floats(min_value=-20.0, max_value=20.0))
+    def test_wrap_preserves_direction(self, phi):
+        wrapped = vec.wrap_angle(phi)
+        assert math.cos(wrapped) == pytest.approx(math.cos(phi), abs=1e-9)
+        assert math.sin(wrapped) == pytest.approx(math.sin(phi), abs=1e-9)
+
+
+class TestHeadingVector:
+    def test_axes(self):
+        assert vec.heading_vector(0.0).tolist() == pytest.approx([1, 0, 0])
+        assert vec.heading_vector(math.pi / 2).tolist() == pytest.approx(
+            [0, 1, 0], abs=1e-12
+        )
+
+    def test_unit_norm(self):
+        for phi in np.linspace(-3, 3, 7):
+            assert np.linalg.norm(vec.heading_vector(phi)) == pytest.approx(1.0)

@@ -1,0 +1,132 @@
+"""Tests for log-weight algebra and resampling (with hypothesis properties)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InferenceError
+from repro.inference.base import (
+    effective_sample_size,
+    normalize_log_weights,
+    resample_log_weights,
+    stratified_heading_mean,
+    systematic_resample,
+    weighted_mean_cov,
+)
+
+
+class TestNormalize:
+    def test_uniform(self):
+        p, log_z = normalize_log_weights(np.zeros(4))
+        assert p.tolist() == pytest.approx([0.25] * 4)
+        assert log_z == pytest.approx(np.log(4))
+
+    def test_shift_invariance(self):
+        lw = np.array([-1.0, 0.0, 2.0])
+        p1, _ = normalize_log_weights(lw)
+        p2, _ = normalize_log_weights(lw + 1000.0)
+        assert p1 == pytest.approx(p2)
+
+    def test_all_minus_inf_degrades_to_uniform(self):
+        p, log_z = normalize_log_weights(np.full(3, -np.inf))
+        assert p.tolist() == pytest.approx([1 / 3] * 3)
+        assert log_z == -np.inf
+
+    def test_empty_raises(self):
+        with pytest.raises(InferenceError):
+            normalize_log_weights(np.zeros(0))
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=50))
+    def test_sums_to_one(self, values):
+        p, _ = normalize_log_weights(np.array(values))
+        assert p.sum() == pytest.approx(1.0)
+        assert (p >= 0).all()
+
+
+class TestESS:
+    def test_uniform_is_n(self):
+        assert effective_sample_size(np.zeros(10)) == pytest.approx(10.0)
+
+    def test_degenerate_is_one(self):
+        lw = np.array([0.0, -1e9, -1e9])
+        assert effective_sample_size(lw) == pytest.approx(1.0)
+
+    @given(st.lists(st.floats(min_value=-50, max_value=50), min_size=1, max_size=40))
+    def test_bounds(self, values):
+        ess = effective_sample_size(np.array(values))
+        assert 1.0 - 1e-9 <= ess <= len(values) + 1e-9
+
+
+class TestSystematicResample:
+    def test_deterministic_structure(self, rng):
+        p = np.array([0.5, 0.5])
+        idx = systematic_resample(p, 10, rng)
+        # Exactly half the draws from each atom.
+        assert (idx == 0).sum() == 5
+
+    def test_unbiased_counts(self, rng):
+        p = np.array([0.1, 0.2, 0.7])
+        counts = np.zeros(3)
+        for _ in range(300):
+            idx = systematic_resample(p, 100, rng)
+            counts += np.bincount(idx, minlength=3)
+        frequency = counts / counts.sum()
+        assert frequency == pytest.approx(p, abs=0.01)
+
+    def test_rejects_bad_input(self, rng):
+        with pytest.raises(InferenceError):
+            systematic_resample(np.zeros(0), 5, rng)
+        with pytest.raises(InferenceError):
+            systematic_resample(np.array([0.0, 0.0]), 5, rng)
+        with pytest.raises(InferenceError):
+            systematic_resample(np.array([1.0]), 0, rng)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=0.001, max_value=10), min_size=1, max_size=30),
+        st.integers(min_value=1, max_value=100),
+    )
+    def test_systematic_count_error_below_one(self, raw, n):
+        # Systematic resampling guarantee: per-atom count is within 1 of n*p.
+        rng = np.random.default_rng(0)
+        p = np.array(raw) / np.sum(raw)
+        idx = systematic_resample(p, n, rng)
+        counts = np.bincount(idx, minlength=len(p))
+        assert np.all(np.abs(counts - n * p) <= 1.0 + 1e-9)
+
+    def test_resample_log_weights_favours_heavy(self, rng):
+        lw = np.array([0.0, 5.0])
+        idx = resample_log_weights(lw, 1000, rng)
+        assert (idx == 1).mean() > 0.95
+
+
+class TestWeightedMoments:
+    def test_mean_cov_match_numpy(self, rng):
+        pts = rng.normal(size=(500, 3))
+        lw = np.zeros(500)
+        mean, cov = weighted_mean_cov(pts, lw)
+        assert mean == pytest.approx(pts.mean(axis=0))
+        assert cov == pytest.approx(np.cov(pts.T, bias=True), abs=1e-9)
+
+    def test_weighting_selects_subset(self):
+        pts = np.array([[0, 0, 0], [10, 0, 0]], dtype=float)
+        lw = np.array([0.0, -1e9])
+        mean, cov = weighted_mean_cov(pts, lw)
+        assert mean == pytest.approx([0, 0, 0])
+        assert np.trace(cov) == pytest.approx(0.0, abs=1e-6)
+
+    def test_shape_validation(self):
+        with pytest.raises(InferenceError):
+            weighted_mean_cov(np.zeros((3, 2)), np.zeros(3))
+
+
+class TestHeadingMean:
+    def test_wraps_correctly(self):
+        headings = np.array([np.pi - 0.1, -np.pi + 0.1])
+        mean = stratified_heading_mean(headings, np.zeros(2))
+        assert abs(abs(mean) - np.pi) < 0.01
+
+    def test_weighted(self):
+        headings = np.array([0.0, np.pi / 2])
+        mean = stratified_heading_mean(headings, np.array([0.0, -1e9]))
+        assert mean == pytest.approx(0.0, abs=1e-6)

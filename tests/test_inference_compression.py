@@ -1,0 +1,111 @@
+"""Tests for belief compression (Section IV-D)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CompressionConfig
+from repro.errors import InferenceError
+from repro.inference.compression import (
+    CompressionCandidate,
+    GaussianBelief,
+    compress,
+    compression_error,
+    select_for_compression,
+)
+
+
+class TestGaussianBelief:
+    def test_validates_shapes(self):
+        with pytest.raises(InferenceError):
+            GaussianBelief(np.zeros(2), np.eye(3))
+
+    def test_sample_moments(self, rng):
+        mean = np.array([1.0, 2.0, 0.0])
+        cov = np.diag([0.04, 0.09, 0.0])
+        belief = GaussianBelief(mean, cov)
+        pts = belief.sample(rng, 20000)
+        assert pts.mean(axis=0) == pytest.approx(mean, abs=0.01)
+        assert pts[:, 0].std() == pytest.approx(0.2, rel=0.05)
+        assert pts[:, 1].std() == pytest.approx(0.3, rel=0.05)
+        assert pts[:, 2].std() == pytest.approx(0.0, abs=1e-3)
+
+    def test_sample_degenerate_covariance(self, rng):
+        belief = GaussianBelief(np.zeros(3), np.zeros((3, 3)))
+        pts = belief.sample(rng, 10)
+        assert np.abs(pts).max() < 1e-3
+
+    def test_sample_validates_n(self, rng):
+        belief = GaussianBelief(np.zeros(3), np.eye(3))
+        with pytest.raises(InferenceError):
+            belief.sample(rng, 0)
+
+
+class TestCompress:
+    def test_moment_matching(self, rng):
+        pts = rng.normal(loc=[2, 3, 0], scale=[0.5, 0.2, 0], size=(5000, 3))
+        belief = compress(pts, np.zeros(5000))
+        assert belief.mean == pytest.approx([2, 3, 0], abs=0.03)
+        assert belief.covariance[0, 0] == pytest.approx(0.25, rel=0.1)
+
+    def test_compression_error_is_trace(self, rng):
+        pts = rng.normal(size=(1000, 3))
+        lw = rng.normal(size=1000)
+        err = compression_error(pts, lw)
+        belief = compress(pts, lw)
+        assert err == pytest.approx(float(np.trace(belief.covariance)))
+
+    def test_roundtrip_compress_decompress(self, rng):
+        pts = rng.normal(loc=[1, 1, 0], scale=0.1, size=(2000, 3))
+        pts[:, 2] = 0.0
+        belief = compress(pts, np.zeros(2000))
+        resampled = belief.sample(rng, 2000)
+        recompressed = compress(resampled, np.zeros(2000))
+        assert recompressed.mean == pytest.approx(belief.mean, abs=0.02)
+        assert np.trace(recompressed.covariance) == pytest.approx(
+            np.trace(belief.covariance), rel=0.2
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_error_non_negative(self, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.normal(size=(50, 3))
+        lw = rng.normal(size=50)
+        assert compression_error(pts, lw) >= 0.0
+
+
+class TestPolicy:
+    def make_candidate(self, object_id, unread, error=0.1, count=100):
+        return CompressionCandidate(object_id, unread, count, error)
+
+    def test_unread_policy(self):
+        config = CompressionConfig(enabled=True, unread_epochs=5)
+        candidates = [
+            self.make_candidate(1, 10),
+            self.make_candidate(2, 3),
+            self.make_candidate(3, 5),
+        ]
+        assert select_for_compression(candidates, config) == [1, 3]
+
+    def test_min_particles_guard(self):
+        config = CompressionConfig(enabled=True, unread_epochs=1, min_particles_to_compress=50)
+        candidates = [self.make_candidate(1, 10, count=10)]
+        assert select_for_compression(candidates, config) == []
+
+    def test_kl_policy_ranks_and_thresholds(self):
+        config = CompressionConfig(enabled=True, unread_epochs=1, kl_threshold=0.5)
+        candidates = [
+            self.make_candidate(1, 5, error=0.9),
+            self.make_candidate(2, 5, error=0.1),
+            self.make_candidate(3, 5, error=0.3),
+        ]
+        assert select_for_compression(candidates, config) == [2, 3]
+
+    def test_config_validation(self):
+        with pytest.raises(Exception):
+            CompressionConfig(unread_epochs=0)
+        with pytest.raises(Exception):
+            CompressionConfig(decompressed_particles=1)
+        with pytest.raises(Exception):
+            CompressionConfig(kl_threshold=-1.0)

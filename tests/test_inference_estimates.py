@@ -1,0 +1,54 @@
+"""Tests for posterior summaries (LocationEstimate)."""
+
+import numpy as np
+import pytest
+
+from repro.inference.estimates import LocationEstimate
+from repro.streams.records import TagId
+
+
+class TestFromParticles:
+    def test_mean_and_size(self, rng):
+        pts = rng.normal(loc=[1, 2, 0], scale=0.1, size=(500, 3))
+        est = LocationEstimate.from_particles(pts, np.zeros(500))
+        assert est.mean == pytest.approx([1, 2, 0], abs=0.02)
+        assert est.sample_size == 500
+
+    def test_planar_std_dominant_axis(self):
+        pts = np.zeros((100, 3))
+        pts[:, 1] = np.linspace(-1, 1, 100)  # all variance in y
+        est = LocationEstimate.from_particles(pts, np.zeros(100))
+        assert est.planar_std == pytest.approx(np.std(pts[:, 1]), rel=1e-6)
+
+    def test_confidence_radius_scales(self):
+        pts = np.zeros((100, 3))
+        pts[:, 0] = np.linspace(-1, 1, 100)
+        est = LocationEstimate.from_particles(pts, np.zeros(100))
+        assert est.confidence_radius == pytest.approx(
+            np.sqrt(5.991) * est.planar_std
+        )
+
+    def test_spread_is_trace(self, rng):
+        pts = rng.normal(size=(200, 3))
+        est = LocationEstimate.from_particles(pts, np.zeros(200))
+        assert est.spread == pytest.approx(float(np.trace(est.covariance)))
+
+
+class TestFromGaussian:
+    def test_marks_compressed(self):
+        est = LocationEstimate.from_gaussian(np.zeros(3), np.eye(3))
+        assert est.sample_size == 0
+        assert est.spread == pytest.approx(3.0)
+
+
+class TestToEvent:
+    def test_event_fields(self, rng):
+        pts = rng.normal(loc=[1, 2, 0], scale=0.05, size=(300, 3))
+        est = LocationEstimate.from_particles(pts, np.zeros(300))
+        event = est.to_event(12.5, TagId.object(9))
+        assert event.time == 12.5
+        assert event.tag.number == 9
+        assert event.position == pytest.approx(tuple(est.mean))
+        assert event.statistics is not None
+        assert event.statistics.sample_size == 300
+        assert event.statistics.covariance_matrix() == pytest.approx(est.covariance)

@@ -1,0 +1,202 @@
+"""Tests for the factored particle filter (the paper's Section IV-B engine)."""
+
+import numpy as np
+import pytest
+
+from repro.config import InferenceConfig
+from repro.errors import InferenceError
+from repro.inference.factored import FactoredParticleFilter
+from repro.streams.records import make_epoch
+
+
+def drive(model, config, epochs, **kwargs):
+    engine = FactoredParticleFilter(model, config, **kwargs)
+    for epoch in epochs:
+        engine.step(epoch)
+    return engine
+
+
+def read_probability(reader_y, tag_y, tag_x=2.1):
+    """The conftest model's own field: sigmoid(4 - 0.9 d^2 - 6 theta^2),
+    for a reader on the aisle (x=0) facing +x."""
+    dx, dy = tag_x, tag_y - reader_y
+    d = np.hypot(dx, dy)
+    theta = np.arctan2(abs(dy), dx)
+    z = 4.0 - 0.9 * d * d - 6.0 * theta * theta
+    return 1.0 / (1.0 + np.exp(-z))
+
+
+def scan_epochs(tag_y, n=40, start_y=-1.0, speed=0.1, rng=None):
+    """Reader marches up y past a single object at (2.1, tag_y), with reads
+    drawn from the same logistic field the conftest model uses — so the
+    filter faces well-specified data."""
+    rng = rng or np.random.default_rng(0)
+    epochs = []
+    for t in range(n):
+        y = start_y + t * speed
+        reads = [0] if rng.uniform() < read_probability(y, tag_y) else []
+        epochs.append(
+            make_epoch(float(t), (0.0, y), object_tags=reads, reported_heading=0.0)
+        )
+    return epochs
+
+
+class TestLifecycle:
+    def test_no_estimate_before_first_epoch(self, small_model, fast_config):
+        engine = FactoredParticleFilter(small_model, fast_config)
+        with pytest.raises(InferenceError):
+            engine.reader_estimate()
+        with pytest.raises(InferenceError):
+            engine.object_estimate(0)
+
+    def test_first_epoch_requires_position(self, small_model, fast_config):
+        engine = FactoredParticleFilter(small_model, fast_config)
+        with pytest.raises(InferenceError):
+            engine.step(make_epoch(0.0, None))
+
+    def test_initial_position_fallback(self, small_model, fast_config):
+        engine = FactoredParticleFilter(
+            small_model, fast_config, initial_position=(0.0, 0.0, 0.0)
+        )
+        engine.step(make_epoch(0.0, None))
+        mean, _ = engine.reader_estimate()
+        assert mean == pytest.approx([0, 0, 0], abs=0.2)
+
+    def test_belief_created_on_first_read(self, small_model, fast_config):
+        engine = FactoredParticleFilter(small_model, fast_config)
+        engine.step(make_epoch(0.0, (0.0, 2.0), object_tags=[7]))
+        assert engine.known_objects() == [7]
+        estimate = engine.object_estimate(7)
+        assert estimate.sample_size == fast_config.object_particles
+
+
+class TestLocalization:
+    def test_converges_to_true_location(self, small_model, fast_config):
+        tag_y = 3.0
+        engine = drive(small_model, fast_config, scan_epochs(tag_y, n=60))
+        estimate = engine.object_estimate(0)
+        assert estimate.mean[1] == pytest.approx(tag_y, abs=0.5)
+        assert 2.0 <= estimate.mean[0] <= 3.0  # on the shelf
+
+    def test_estimate_tightens_with_evidence(self, small_model, fast_config):
+        epochs = scan_epochs(3.0, n=70)
+        engine = FactoredParticleFilter(small_model, fast_config)
+        spreads = []
+        for epoch in epochs:
+            engine.step(epoch)
+            if 0 in engine.known_objects():
+                spreads.append(engine.object_estimate(0).spread)
+        assert len(spreads) > 10
+        # Evidence accumulates: the final spread beats the initial one.
+        assert spreads[-1] < spreads[0]
+
+    def test_reader_tracks_reported(self, small_model, fast_config):
+        epochs = [make_epoch(float(t), (0.0, t * 0.1)) for t in range(30)]
+        engine = drive(small_model, fast_config, epochs)
+        mean, heading = engine.reader_estimate()
+        assert mean[1] == pytest.approx(2.9, abs=0.15)
+
+    def test_negative_evidence_repels(self, small_model, fast_config):
+        # Object read early, then the reader passes it without reads at all:
+        # the belief must not follow the reader.
+        epochs = [make_epoch(0.0, (0.0, 2.9), object_tags=[0], reported_heading=0.0)]
+        for t in range(1, 25):
+            epochs.append(
+                make_epoch(float(t), (0.0, 2.9 + 0.1 * t), reported_heading=0.0)
+            )
+        engine = drive(small_model, fast_config, epochs)
+        estimate = engine.object_estimate(0)
+        assert estimate.mean[1] < 4.5
+
+
+class TestCompressionIntegration:
+    def test_unread_objects_compress(self, small_model, fast_config):
+        config = fast_config.with_compression(unread_epochs=5)
+        epochs = scan_epochs(1.0, n=50)
+        engine = drive(small_model, config, epochs)
+        belief = engine.belief(0)
+        assert belief.compressed
+        assert engine.stats["compressions"] == 1
+        # Estimate still available from the Gaussian.
+        estimate = engine.object_estimate(0)
+        assert estimate.sample_size == 0
+        assert estimate.mean[1] == pytest.approx(1.0, abs=0.6)
+
+    def test_decompression_on_reread(self, small_model, fast_config):
+        config = fast_config.with_compression(unread_epochs=3, decompressed_particles=16)
+        epochs = scan_epochs(1.0, n=30)
+        engine = drive(small_model, config, epochs)
+        assert engine.belief(0).compressed
+        # Read it again from nearby.
+        engine.step(make_epoch(100.0, (0.0, 1.0), object_tags=[0], reported_heading=0.0))
+        belief = engine.belief(0)
+        assert not belief.compressed
+        assert belief.particle_count == 16
+        assert engine.stats["decompressions"] == 1
+
+    def test_memory_drops_after_compression(self, small_model, fast_config):
+        config = fast_config.with_compression(unread_epochs=5)
+        epochs = scan_epochs(1.0, n=18)
+        engine_plain = drive(small_model, fast_config, epochs)
+        engine_compressed = drive(small_model, config, scan_epochs(1.0, n=50))
+        assert (
+            engine_compressed.belief_memory_bytes()
+            < engine_plain.belief_memory_bytes()
+        )
+
+
+class TestSpatialIndexIntegration:
+    def test_index_skips_far_objects(self, small_model, fast_config):
+        config = fast_config.with_index()
+        # Two objects far apart; while scanning near the second, the first
+        # must be skipped.
+        epochs = [make_epoch(0.0, (0.0, 1.0), object_tags=[0], reported_heading=0.0)]
+        for t in range(1, 90):
+            y = 1.0 + 0.15 * t
+            reads = [1] if abs(y - 7.0) < 1.5 else []
+            epochs.append(
+                make_epoch(float(t), (0.0, y), object_tags=reads, reported_heading=0.0)
+            )
+        engine = drive(small_model, config, epochs)
+        assert engine.stats["objects_skipped"] > 0
+        # Both objects still have sensible beliefs.
+        assert engine.object_estimate(0).mean[1] == pytest.approx(1.0, abs=1.0)
+        assert engine.object_estimate(1).mean[1] == pytest.approx(7.0, abs=1.0)
+
+    def test_index_accuracy_close_to_plain(self, small_model, fast_config):
+        epochs = scan_epochs(3.0, n=60)
+        plain = drive(small_model, fast_config, epochs)
+        indexed = drive(small_model, fast_config.with_index(), epochs)
+        d = np.linalg.norm(
+            plain.object_estimate(0).mean - indexed.object_estimate(0).mean
+        )
+        assert d < 0.5
+
+
+class TestResamplingMachinery:
+    def test_parent_pointers_stay_valid(self, small_model, fast_config):
+        engine = drive(small_model, fast_config, scan_epochs(3.0, n=40))
+        j = fast_config.reader_particles
+        for number in engine.known_objects():
+            belief = engine.belief(number)
+            assert belief.parents is not None
+            assert (belief.parents >= 0).all()
+            assert (belief.parents < j).all()
+
+    def test_feedback_off_still_works(self, small_model, fast_config):
+        from dataclasses import replace
+
+        config = replace(fast_config, reader_feedback=False)
+        engine = drive(small_model, config, scan_epochs(3.0, n=40))
+        assert engine.object_estimate(0).mean[1] == pytest.approx(3.0, abs=0.7)
+
+    def test_seeded_determinism(self, small_model, fast_config):
+        epochs = scan_epochs(3.0, n=60)
+        a = drive(small_model, fast_config, epochs)
+        b = drive(small_model, fast_config, epochs)
+        assert a.object_estimate(0).mean == pytest.approx(b.object_estimate(0).mean)
+
+    def test_stats_counters(self, small_model, fast_config):
+        engine = drive(small_model, fast_config, scan_epochs(3.0, n=60))
+        assert engine.stats["epochs"] == 60
+        assert engine.stats["objects_processed"] > 0

@@ -1,0 +1,176 @@
+"""Additional factored-filter behaviours: odometry control, the surprise
+re-detection trigger, robust estimation, and handheld (no-location) mode —
+the paper's future-work case ("support handheld readers that lack reader
+location information"), which this implementation already handles via the
+motion model plus shelf-tag anchoring."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.config import InferenceConfig
+from repro.inference.estimates import LocationEstimate
+from repro.inference.factored import FactoredParticleFilter
+from repro.models.motion import MotionParams
+from repro.models.joint import RFIDWorldModel
+from repro.models.sensor import SensorParams
+from repro.models.sensing import SensingNoiseParams
+from repro.streams.records import make_epoch
+
+from test_inference_factored import drive, read_probability, scan_epochs
+
+
+class TestOdometryControl:
+    def test_tracks_turnaround_with_odometry(self, small_model, fast_config):
+        # Reader goes up then comes back; reported positions follow.
+        epochs = []
+        t = 0
+        for step in range(30):
+            epochs.append(make_epoch(float(t), (0.0, 0.1 * step)))
+            t += 1
+        for step in range(30):
+            epochs.append(make_epoch(float(t), (0.0, 3.0 - 0.1 * step)))
+            t += 1
+        engine = drive(small_model, fast_config, epochs)
+        mean, _ = engine.reader_estimate()
+        assert mean[1] == pytest.approx(0.1, abs=0.3)
+
+    def test_constant_velocity_without_odometry(self, small_model, fast_config):
+        config = replace(fast_config, use_odometry_control=False)
+        epochs = [make_epoch(float(t), (0.0, 0.1 * t)) for t in range(30)]
+        engine = drive(small_model, config, epochs)
+        mean, _ = engine.reader_estimate()
+        # Model velocity (0, 0.1) matches the data: tracking works too.
+        assert mean[1] == pytest.approx(2.9, abs=0.3)
+
+    def test_odometry_cancels_constant_bias(self, single_shelf, fast_config):
+        # Reports biased by +0.8 in y; odometry deltas are bias-free, and the
+        # sensing model knows the bias, so the truth is recovered.
+        model = RFIDWorldModel.build(
+            single_shelf,
+            shelf_tags={0: np.array([2.0, 1.0, 0.0]), 1: np.array([2.0, 4.0, 0.0])},
+            sensor_params=SensorParams(a=(4.0, 0.0, -0.9), b=(0.0, -6.0)),
+            sensing_params=SensingNoiseParams(mean=(0.0, 0.8, 0.0), sigma=(0.05, 0.05, 0.0)),
+        )
+        epochs = [
+            make_epoch(float(t), (0.0, 0.1 * t + 0.8), reported_heading=0.0)
+            for t in range(40)
+        ]
+        engine = drive(model, fast_config, epochs)
+        mean, _ = engine.reader_estimate()
+        assert mean[1] == pytest.approx(3.9, abs=0.35)
+
+
+class TestHandheldMode:
+    """No reported positions at all: motion model + shelf tags only."""
+
+    def make_epochs(self, rng, n=70):
+        # True reader marches 0.1/epoch; object 0 at (2.1, 3.0); shelf tags
+        # of the conftest model at y=1 and y=7 anchor the trajectory.
+        epochs = []
+        for t in range(n):
+            y = -1.0 + 0.1 * t
+            reads = [0] if rng.uniform() < read_probability(y, 3.0) else []
+            shelf_reads = []
+            for number, tag_y in ((0, 1.0), (1, 7.0)):
+                if rng.uniform() < read_probability(y, tag_y, tag_x=2.0):
+                    shelf_reads.append(number)
+            epochs.append(
+                make_epoch(
+                    float(t),
+                    None,
+                    object_tags=reads,
+                    shelf_tags=shelf_reads,
+                    reported_heading=None,
+                )
+            )
+        return epochs
+
+    def test_localizes_without_location_stream(self, small_model, fast_config):
+        rng = np.random.default_rng(8)
+        engine = FactoredParticleFilter(
+            small_model,
+            replace(fast_config, reader_particles=150),
+            initial_position=(0.0, -1.0, 0.0),
+        )
+        for epoch in self.make_epochs(rng):
+            engine.step(epoch)
+        # Reader tracked by dead-reckoning prior + shelf evidence.
+        mean, _ = engine.reader_estimate()
+        assert mean[1] == pytest.approx(5.9, abs=0.8)
+        estimate = engine.object_estimate(0)
+        assert estimate.mean[1] == pytest.approx(3.0, abs=0.8)
+
+
+class TestSurpriseTrigger:
+    def test_impossible_read_forces_split(self, small_model, fast_config):
+        # Converge the belief at y=3, then deliver reads from far away
+        # (y=8, within the KEEP distance of nothing) — belief must move.
+        epochs = scan_epochs(3.0, n=60)
+        engine = FactoredParticleFilter(small_model, fast_config)
+        for epoch in epochs:
+            engine.step(epoch)
+        assert engine.object_estimate(0).mean[1] == pytest.approx(3.0, abs=0.5)
+        # Object "moved" to y=8: reads arrive while reader is near y=8.
+        rng = np.random.default_rng(1)
+        t = 100.0
+        for step in range(40):
+            y = 6.0 + 0.1 * step
+            reads = [0] if rng.uniform() < read_probability(y, 8.0) else []
+            engine.step(
+                make_epoch(t, (0.0, y), object_tags=reads, reported_heading=0.0)
+            )
+            t += 1.0
+        assert engine.object_estimate(0).mean[1] == pytest.approx(8.0, abs=1.0)
+
+    def test_cooldown_limits_split_rate(self, small_model, fast_config):
+        config = replace(fast_config, split_cooldown_epochs=1000)
+        epochs = scan_epochs(3.0, n=60)
+        engine = drive(small_model, config, epochs)
+        belief = engine.belief(0)
+        first_split = belief.last_split_epoch
+        # With a huge cooldown, at most one split can ever have happened
+        # after creation.
+        assert first_split <= engine.epoch_index
+
+
+class TestRobustEstimates:
+    def test_contaminated_cloud_recovers_mode(self, rng):
+        core = rng.normal(loc=[2.0, 3.0, 0.0], scale=0.05, size=(900, 3))
+        outliers = rng.uniform(low=[0, 0, 0], high=[4, 40, 0], size=(100, 3))
+        pts = np.vstack([core, outliers])
+        lw = np.zeros(1000)
+        plain = LocationEstimate.from_particles(pts, lw)
+        robust = LocationEstimate.robust_from_particles(pts, lw)
+        assert abs(plain.mean[1] - 3.0) > 0.5  # mean is dragged
+        assert robust.mean[1] == pytest.approx(3.0, abs=0.1)
+
+    def test_unimodal_cloud_unchanged(self, rng):
+        pts = rng.normal(loc=[1.0, 1.0, 0.0], scale=0.2, size=(500, 3))
+        lw = rng.normal(size=500)
+        plain = LocationEstimate.from_particles(pts, lw)
+        robust = LocationEstimate.robust_from_particles(pts, lw)
+        assert robust.mean == pytest.approx(plain.mean, abs=0.05)
+
+    def test_degenerate_cloud(self):
+        pts = np.tile(np.array([1.0, 2.0, 0.0]), (50, 1))
+        robust = LocationEstimate.robust_from_particles(pts, np.zeros(50))
+        assert robust.mean == pytest.approx([1.0, 2.0, 0.0])
+
+
+class TestBeliefDiffusionControl:
+    def test_unobserved_belief_mean_stays_put(self, small_model, fast_config):
+        """With alpha at the default and robust estimation, an unobserved
+        belief's reported location stays near the object for hundreds of
+        epochs (the failure mode this guards against: drifting toward the
+        shelf centroid)."""
+        epochs = scan_epochs(2.0, n=50)
+        engine = FactoredParticleFilter(small_model, fast_config)
+        for epoch in epochs:
+            engine.step(epoch)
+        # March the reader far away for 300 more epochs.
+        for t in range(50, 350):
+            engine.step(make_epoch(float(t), (0.0, 0.1 * t), reported_heading=0.0))
+        estimate = engine.object_estimate(0)
+        assert estimate.mean[1] == pytest.approx(2.0, abs=0.75)

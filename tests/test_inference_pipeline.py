@@ -1,0 +1,147 @@
+"""Tests for the cleaning pipeline's output policies (Section II-A)."""
+
+import numpy as np
+import pytest
+
+from repro.config import OutputPolicyConfig
+from repro.inference.estimates import LocationEstimate
+from repro.inference.pipeline import CleaningPipeline
+from repro.streams.records import make_epoch
+from repro.streams.sinks import CollectingSink
+
+
+class FakeEngine:
+    """Deterministic engine stub: object i sits at (2, i, 0)."""
+
+    def __init__(self):
+        self._known = set()
+        self.epoch_index = -1
+
+    def step(self, epoch):
+        self.epoch_index += 1
+        for tag in epoch.object_tags:
+            self._known.add(tag.number)
+
+    def known_objects(self):
+        return sorted(self._known)
+
+    def object_estimate(self, number):
+        cov = 0.01 * np.eye(3)
+        return LocationEstimate(np.array([2.0, float(number), 0.0]), cov, 100)
+
+
+def epochs_with_read_at(read_times, number=1, total=100):
+    out = []
+    for t in range(total):
+        reads = [number] if t in read_times else []
+        out.append(make_epoch(float(t), (0.0, 0.0), object_tags=reads))
+    return out
+
+
+class TestDelayedEmission:
+    def test_emits_after_delay(self):
+        sink = CollectingSink()
+        pipeline = CleaningPipeline(
+            FakeEngine(), OutputPolicyConfig(delay_s=10.0, on_scan_complete=False), sink
+        )
+        for epoch in epochs_with_read_at({5}, total=30):
+            pipeline.step(epoch)
+        assert len(sink) == 1
+        event = sink.events[0]
+        assert event.time == pytest.approx(15.0)
+        assert event.tag.number == 1
+
+    def test_single_emission_per_visit(self):
+        sink = CollectingSink()
+        pipeline = CleaningPipeline(
+            FakeEngine(), OutputPolicyConfig(delay_s=5.0, on_scan_complete=False), sink
+        )
+        # Reads every epoch: still only one event for the visit.
+        for epoch in epochs_with_read_at(set(range(40)), total=50):
+            pipeline.step(epoch)
+        assert len(sink) == 1
+
+    def test_revisit_rearms(self):
+        sink = CollectingSink()
+        pipeline = CleaningPipeline(
+            FakeEngine(), OutputPolicyConfig(delay_s=5.0, on_scan_complete=False), sink
+        )
+        # Two visits separated by more than VISIT_GAP_S (30 s).
+        for epoch in epochs_with_read_at({0, 80}, total=120):
+            pipeline.step(epoch)
+        assert len(sink) == 2
+
+    def test_statistics_attached(self):
+        sink = CollectingSink()
+        pipeline = CleaningPipeline(
+            FakeEngine(), OutputPolicyConfig(delay_s=0.0, on_scan_complete=False), sink
+        )
+        pipeline.step(epochs_with_read_at({0}, total=1)[0])
+        assert sink.events[0].statistics is not None
+
+
+class TestScanComplete:
+    def test_finish_emits_pending(self):
+        sink = CollectingSink()
+        pipeline = CleaningPipeline(
+            FakeEngine(),
+            OutputPolicyConfig(delay_s=1000.0, on_scan_complete=True),
+            sink,
+        )
+        for epoch in epochs_with_read_at({5}, total=20):
+            pipeline.step(epoch)
+        assert len(sink) == 0  # delay never reached
+        pipeline.finish()
+        assert len(sink) == 1
+
+    def test_finish_no_double_emit(self):
+        sink = CollectingSink()
+        pipeline = CleaningPipeline(
+            FakeEngine(), OutputPolicyConfig(delay_s=2.0, on_scan_complete=True), sink
+        )
+        for epoch in epochs_with_read_at({0}, total=20):
+            pipeline.step(epoch)
+        pipeline.finish()
+        assert len(sink) == 1
+
+    def test_finish_on_empty_pipeline(self):
+        pipeline = CleaningPipeline(FakeEngine())
+        pipeline.finish()  # must not raise
+
+
+class TestMovementTrigger:
+    def test_movement_reemission(self):
+        class MovingEngine(FakeEngine):
+            def object_estimate(self, number):
+                y = 1.0 + 0.2 * self.epoch_index
+                return LocationEstimate(
+                    np.array([2.0, y, 0.0]), 0.01 * np.eye(3), 100
+                )
+
+        sink = CollectingSink()
+        pipeline = CleaningPipeline(
+            MovingEngine(),
+            OutputPolicyConfig(
+                delay_s=2.0, on_scan_complete=False, movement_threshold_ft=1.0
+            ),
+            sink,
+        )
+        for epoch in epochs_with_read_at(set(range(30)), total=30):
+            pipeline.step(epoch)
+        # First delayed event plus movement-triggered re-emissions.
+        assert len(sink) >= 3
+
+
+class TestRun:
+    def test_run_returns_sink(self, small_model, fast_config):
+        from repro.inference.factored import FactoredParticleFilter
+
+        engine = FactoredParticleFilter(small_model, fast_config)
+        pipeline = CleaningPipeline(engine, OutputPolicyConfig(delay_s=3.0))
+        epochs = [
+            make_epoch(float(t), (0.0, 0.1 * t), object_tags=[0] if t < 6 else [])
+            for t in range(12)
+        ]
+        sink = pipeline.run(epochs)
+        assert isinstance(sink, CollectingSink)
+        assert len(sink) >= 1

@@ -1,0 +1,79 @@
+"""Tests for active-set selection (Cases 1-4, Section IV-C)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.config import SpatialIndexConfig
+from repro.geometry.cone import Cone
+from repro.inference.spatial import ActiveSetSelector
+
+
+def cone_at(y):
+    return Cone((0.0, y, 0.0), 0.0, math.radians(35), 3.0)
+
+
+class TestDisabled:
+    def test_all_objects_active(self):
+        selector = ActiveSetSelector(SpatialIndexConfig(enabled=False))
+        assert not selector.enabled
+        active = selector.select({1}, [1, 2, 3], None)
+        assert active == {1, 2, 3}
+
+
+class TestEnabled:
+    @pytest.fixture
+    def selector(self):
+        return ActiveSetSelector(SpatialIndexConfig(enabled=True))
+
+    def test_case1_always_active(self, selector):
+        box = selector.sensing_box(cone_at(0.0))
+        active = selector.select({5}, [5, 6], box)
+        assert 5 in active
+
+    def test_case2_via_recorded_region(self, selector):
+        box0 = selector.sensing_box(cone_at(0.0))
+        selector.record_region(box0, [7])
+        # Nearby later box overlaps the recorded region: 7 becomes Case 2.
+        box1 = selector.sensing_box(cone_at(0.5))
+        active = selector.select(set(), [7], box1)
+        assert active == {7}
+
+    def test_case4_far_objects_skipped(self, selector):
+        box0 = selector.sensing_box(cone_at(0.0))
+        selector.record_region(box0, [7])
+        box_far = selector.sensing_box(cone_at(50.0))
+        active = selector.select(set(), [7], box_far)
+        assert active == set()
+
+    def test_unattached_objects_not_case2(self, selector):
+        box0 = selector.sensing_box(cone_at(0.0))
+        selector.record_region(box0, [7])  # 8 was not attached
+        active = selector.select(set(), [7, 8], selector.sensing_box(cone_at(0.2)))
+        assert active == {7}
+
+    def test_forget_object(self, selector):
+        box0 = selector.sensing_box(cone_at(0.0))
+        selector.record_region(box0, [7])
+        selector.forget_object(7)
+        active = selector.select(set(), [7], selector.sensing_box(cone_at(0.0)))
+        assert active == set()
+
+    def test_unknown_objects_never_active(self, selector):
+        box0 = selector.sensing_box(cone_at(0.0))
+        selector.record_region(box0, [7])
+        active = selector.select(set(), [], selector.sensing_box(cone_at(0.0)))
+        assert active == set()
+
+    def test_no_box_means_case1_only(self, selector):
+        active = selector.select({3}, [3, 4], None)
+        assert active == {3}
+
+    def test_padding_expands_box(self):
+        tight = ActiveSetSelector(SpatialIndexConfig(enabled=True, box_padding_ft=0.0))
+        padded = ActiveSetSelector(SpatialIndexConfig(enabled=True, box_padding_ft=1.0))
+        tb = tight.sensing_box(cone_at(0.0))
+        pb = padded.sensing_box(cone_at(0.0))
+        assert pb.contains_box(tb)
+        assert pb.volume() >= tb.volume()

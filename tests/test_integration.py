@@ -1,0 +1,146 @@
+"""End-to-end integration tests: simulator -> filter -> events -> queries."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CleaningPipeline,
+    FactoredParticleFilter,
+    InferenceConfig,
+    OutputPolicyConfig,
+    QueryEngine,
+    WarehouseConfig,
+    WarehouseSimulator,
+    fire_code_query,
+    location_update_query,
+    tuple_from_event,
+)
+from repro.eval import inference_error, run_factored, run_smurf, run_uniform
+from repro.simulation import LayoutConfig, ScheduledMove
+from repro.streams.sinks import CollectingSink
+
+
+@pytest.fixture(scope="module")
+def scene():
+    sim = WarehouseSimulator(
+        WarehouseConfig(layout=LayoutConfig(n_objects=8, n_shelf_tags=3), seed=42)
+    )
+    return sim, sim.generate()
+
+
+CFG = InferenceConfig(reader_particles=80, object_particles=150, seed=1)
+
+
+class TestFullPipeline:
+    def test_trace_to_events_to_truth(self, scene):
+        sim, trace = scene
+        engine = FactoredParticleFilter(sim.world_model(), CFG)
+        sink = CollectingSink()
+        pipeline = CleaningPipeline(engine, OutputPolicyConfig(delay_s=30.0), sink)
+        pipeline.run(trace.epochs())
+        assert len(sink) >= 8  # every object reported at least once
+        estimates = {
+            tag.number: event.array for tag, event in sink.latest_by_tag().items()
+        }
+        truth = trace.truth.final_object_locations()
+        summary = inference_error(estimates, truth)
+        assert summary.xy < 0.5
+
+    def test_events_feed_location_update_query(self, scene):
+        sim, trace = scene
+        result = run_factored(trace, sim.world_model(), CFG)
+        engine = QueryEngine()
+        engine.register(location_update_query())
+        # Re-emit the final estimates as an event stream.
+        from repro.streams.records import LocationEvent, TagId
+
+        events = [
+            LocationEvent(float(i), TagId.object(n), tuple(p))
+            for i, (n, p) in enumerate(sorted(result.estimates.items()))
+        ]
+        for event in events:
+            engine.push(tuple_from_event(event))
+        engine.finish()
+        assert len(engine.outputs["location_updates"]) == len(events)
+
+    def test_fire_code_query_over_cleaned_stream(self, scene):
+        sim, trace = scene
+        engine = FactoredParticleFilter(sim.world_model(), CFG)
+        sink = CollectingSink()
+        CleaningPipeline(engine, OutputPolicyConfig(delay_s=20.0), sink).run(
+            trace.epochs()
+        )
+        qe = QueryEngine()
+        qe.register(fire_code_query(lambda tag_id: 120.0, threshold_lbs=200.0))
+        for event in sink.events:
+            qe.push(tuple_from_event(event))
+        qe.finish()
+        # Objects are 0.5 ft apart: several share a square-foot cell, so
+        # violations (2 x 120 > 200) must fire.
+        assert len(qe.outputs["fire_code"]) >= 1
+
+
+class TestMovedObjectRecovery:
+    def test_move_relocalized_on_second_round(self):
+        # Object 2 (y=1.0) moves +1.8 ft along the shelf at epoch 48 — after
+        # round 1 observed it, while round 2 can still observe the new spot.
+        move = ScheduledMove(
+            epoch_index=48, numbers=(2,), displacement=(0.0, 1.8, 0.0)
+        )
+        sim = WarehouseSimulator(
+            WarehouseConfig(
+                layout=LayoutConfig(n_objects=6),
+                n_rounds=2,
+                moves=(move,),
+                seed=17,
+            )
+        )
+        trace = sim.generate()
+        model = sim.world_model(random_walk_motion=True)
+        result = run_factored(trace, model, CFG)
+        truth = trace.truth.final_object_locations()
+        # The moved object's final estimate should be near its NEW location
+        # (this is the paper's Fig 5(h) mid-range regime: elevated error is
+        # expected, full-displacement error is not).
+        err = float(np.linalg.norm(result.estimates[2][:2] - truth[2][:2]))
+        assert err < 1.2
+
+
+class TestSystemOrdering:
+    def test_paper_headline_ordering(self, scene):
+        """Inference < SMURF and inference < uniform in XY error."""
+        sim, trace = scene
+        ours = run_factored(trace, sim.world_model(), CFG)
+        smurf = run_smurf(trace, sim.layout.shelves)
+        uniform = run_uniform(trace, sim.layout.shelves)
+        assert ours.error.xy < smurf.error.xy
+        assert ours.error.xy < uniform.error.xy
+
+
+class TestEngineVariantsAgree:
+    def test_all_variants_meet_accuracy(self, scene):
+        sim, trace = scene
+        model = sim.world_model()
+        for config in (
+            CFG,
+            CFG.with_index(),
+            CFG.with_index().with_compression(unread_epochs=8),
+        ):
+            result = run_factored(trace, model, config)
+            assert result.error.xy < 0.5, f"variant {config} too inaccurate"
+
+
+class TestTraceRoundtripInference:
+    def test_saved_trace_replays_identically(self, scene, tmp_path):
+        sim, trace = scene
+        path = tmp_path / "trace.jsonl"
+        with open(path, "w") as fp:
+            trace.dump(fp)
+        from repro.streams.sources import Trace
+
+        with open(path) as fp:
+            loaded = Trace.load(fp)
+        a = run_factored(trace, sim.world_model(), CFG)
+        b = run_factored(loaded, sim.world_model(), CFG)
+        for n in a.estimates:
+            assert a.estimates[n] == pytest.approx(b.estimates[n])

@@ -1,0 +1,132 @@
+"""Tests for the Monte-Carlo EM self-calibration (Section III-C)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LearningError
+from repro.config import InferenceConfig
+from repro.learning.em import (
+    EMConfig,
+    calibrate,
+    fit_sensor_supervised,
+    initial_motion_guess,
+    relabel_tags,
+)
+from repro.models.sensor import SensorModel
+from repro.simulation.layout import LayoutConfig
+from repro.simulation.warehouse import WarehouseConfig, WarehouseSimulator
+from repro.streams.records import TagId
+
+
+@pytest.fixture(scope="module")
+def calibration_scene():
+    """A 10-tag calibration trace with no predeclared shelf tags."""
+    sim = WarehouseSimulator(
+        WarehouseConfig(layout=LayoutConfig(n_objects=10, n_shelf_tags=0), seed=21)
+    )
+    return sim, sim.generate()
+
+
+def small_em_config(iterations=2):
+    return EMConfig(
+        iterations=iterations,
+        posterior_samples=3,
+        inference=InferenceConfig(reader_particles=80, object_particles=150),
+        seed=3,
+    )
+
+
+class TestRelabel:
+    def test_relabel_moves_tags_to_shelf_kind(self, calibration_scene):
+        _, trace = calibration_scene
+        out = relabel_tags(trace, [0, 1])
+        kinds = {r.tag.number: r.tag.is_shelf for r in out.readings}
+        assert kinds[0] and kinds[1]
+        assert not kinds[5]
+
+    def test_relabel_preserves_counts(self, calibration_scene):
+        _, trace = calibration_scene
+        out = relabel_tags(trace, [3])
+        assert out.n_readings == trace.n_readings
+
+
+class TestInitialMotionGuess:
+    def test_close_to_true_speed(self, calibration_scene):
+        _, trace = calibration_scene
+        params = initial_motion_guess(trace)
+        assert params.velocity_array[1] == pytest.approx(0.1, abs=0.02)
+
+
+class TestSupervisedFit:
+    def test_supervised_fit_learns_decay(self, calibration_scene):
+        sim, trace = calibration_scene
+        fit = fit_sensor_supervised(
+            trace,
+            sim.layout.object_positions,
+            trace.truth.reader_path,
+            trace.truth.reader_headings,
+        )
+        model = SensorModel(fit.sensor_params)
+        # Read rate must decay along the deployment's (d, theta) manifold:
+        # tags sit 2 ft across the aisle, so d and theta move together
+        # (d = 2 / cos(theta)); off-manifold points are extrapolation.
+        import math
+
+        def on_manifold(dy):
+            theta = math.atan2(abs(dy), 2.0)
+            return float(model.read_probability(math.hypot(2.0, dy), theta))
+
+        assert on_manifold(0.2) > on_manifold(2.5)
+
+    def test_supervised_fit_empty_raises(self, calibration_scene):
+        sim, trace = calibration_scene
+        with pytest.raises(LearningError):
+            fit_sensor_supervised(
+                trace, {}, trace.truth.reader_path, trace.truth.reader_headings
+            )
+
+
+class TestCalibrate:
+    def test_learns_motion_and_sensing(self, calibration_scene):
+        sim, trace = calibration_scene
+        known = dict(list(sim.layout.object_positions.items())[:6])
+        result = calibrate(trace, sim.layout.shelves, known, small_em_config())
+        assert result.iterations_run == 2
+        assert result.motion_params.velocity_array[1] == pytest.approx(0.1, abs=0.02)
+        assert abs(result.sensing_params.mean_array[1]) < 0.1
+
+    def test_learned_sensor_decays(self, calibration_scene):
+        sim, trace = calibration_scene
+        known = dict(list(sim.layout.object_positions.items())[:6])
+        result = calibrate(trace, sim.layout.shelves, known, small_em_config())
+        model = SensorModel(result.sensor_params)
+
+        # Compare along the deployment's (d, theta) manifold (tags 2 ft
+        # across the aisle): near-boresight must beat far-off-axis.
+        import math
+
+        def on_manifold(dy):
+            theta = math.atan2(abs(dy), 2.0)
+            return float(model.read_probability(math.hypot(2.0, dy), theta))
+
+        assert on_manifold(0.2) > on_manifold(2.5)
+        assert on_manifold(0.2) > 0.3  # genuinely readable up close
+
+    def test_sensor_history_recorded(self, calibration_scene):
+        sim, trace = calibration_scene
+        known = dict(list(sim.layout.object_positions.items())[:4])
+        result = calibrate(trace, sim.layout.shelves, known, small_em_config())
+        assert len(result.sensor_log_likelihoods) == 2
+
+    def test_zero_known_tags_still_runs(self, calibration_scene):
+        sim, trace = calibration_scene
+        result = calibrate(trace, sim.layout.shelves, {}, small_em_config(1))
+        assert np.all(np.isfinite(result.sensor_params.weights))
+
+    def test_validation(self):
+        with pytest.raises(LearningError):
+            EMConfig(iterations=0)
+        with pytest.raises(LearningError):
+            EMConfig(posterior_samples=0)
+        with pytest.raises(LearningError):
+            EMConfig(negative_cutoff_ft=0)

@@ -1,0 +1,59 @@
+"""Tests for the closed-form motion/sensing M-steps."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LearningError
+from repro.learning.motion_fit import fit_motion_params, fit_sensing_params
+
+
+class TestFitMotion:
+    def test_recovers_velocity_and_noise(self, rng):
+        velocity = np.array([0.02, 0.1, 0.0])
+        sigma = np.array([0.01, 0.03, 0.0])
+        steps = velocity + rng.normal(size=(5000, 3)) * sigma
+        trajectory = np.vstack([np.zeros(3), np.cumsum(steps, axis=0)])
+        params = fit_motion_params(trajectory)
+        assert params.velocity_array == pytest.approx(velocity, abs=0.002)
+        assert params.sigma_array[:2] == pytest.approx(sigma[:2], rel=0.1)
+        assert params.sigma_array[2] == 0.0  # inactive axis stays zero
+
+    def test_min_sigma_floor(self):
+        trajectory = np.array([[0, 0, 0], [0, 0.1, 0], [0, 0.2, 0]], dtype=float)
+        params = fit_motion_params(trajectory, min_sigma=0.01)
+        assert params.sigma_array[1] >= 0.01
+
+    def test_weighted_fit(self):
+        trajectory = np.array(
+            [[0, 0, 0], [0, 1, 0], [0, 1.1, 0]], dtype=float
+        )
+        # Weight the second displacement only.
+        params = fit_motion_params(trajectory, weights=np.array([0.0, 1.0]))
+        assert params.velocity_array[1] == pytest.approx(0.1)
+
+    def test_too_short_raises(self):
+        with pytest.raises(LearningError):
+            fit_motion_params(np.zeros((1, 3)))
+
+
+class TestFitSensing:
+    def test_recovers_bias_and_noise(self, rng):
+        true = rng.uniform(-1, 1, size=(4000, 3))
+        true[:, 2] = 0.0
+        bias = np.array([0.05, -0.4, 0.0])
+        sigma = np.array([0.02, 0.2, 0.0])
+        reported = true + bias + rng.normal(size=(4000, 3)) * sigma
+        params = fit_sensing_params(reported, true)
+        assert params.mean_array == pytest.approx(bias, abs=0.01)
+        assert params.sigma_array[:2] == pytest.approx(sigma[:2], rel=0.1)
+        assert params.sigma_array[2] == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(LearningError):
+            fit_sensing_params(np.zeros((3, 3)), np.zeros((4, 3)))
+
+    def test_weights_validated(self):
+        with pytest.raises(LearningError):
+            fit_sensing_params(
+                np.zeros((3, 3)), np.zeros((3, 3)), weights=np.zeros(3)
+            )

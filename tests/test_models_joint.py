@@ -1,0 +1,128 @@
+"""Tests for the joint DBN: generative sampling and evidence likelihoods."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models.joint import RFIDWorldModel
+from repro.models.sensor import SensorModel, SensorParams
+
+
+class TestGenerate:
+    def test_trace_structure(self, small_model, rng):
+        trace = small_model.generate(
+            n_epochs=30,
+            initial_reader_position=(0.0, 0.0, 0.0),
+            n_objects=4,
+            rng=rng,
+        )
+        assert trace.truth is not None
+        assert trace.truth.reader_path.shape == (30, 3)
+        assert len(trace.reports) == 30
+        assert set(trace.truth.initial_positions) == {0, 1, 2, 3}
+        epochs = trace.epochs()
+        assert len(epochs) == 30
+
+    def test_reader_moves_with_velocity(self, small_model, rng):
+        trace = small_model.generate(
+            n_epochs=50, initial_reader_position=(0.0, 0.0, 0.0), n_objects=2, rng=rng
+        )
+        path = trace.truth.reader_path
+        displacement = path[-1] - path[0]
+        # Velocity (0, 0.1, 0) over 49 steps.
+        assert displacement[1] == pytest.approx(4.9, abs=0.5)
+
+    def test_objects_on_shelves(self, small_model, rng):
+        trace = small_model.generate(
+            n_epochs=10, initial_reader_position=(0, 0, 0), n_objects=8, rng=rng
+        )
+        for pos in trace.truth.initial_positions.values():
+            assert small_model.shelves.contains_points(pos[None, :])[0]
+
+    def test_near_objects_get_read(self, small_model, rng):
+        # Object placed right in front of the reader path must be read.
+        positions = np.array([[2.1, 2.0, 0.0]])
+        trace = small_model.generate(
+            n_epochs=60,
+            initial_reader_position=(0.0, 0.0, 0.0),
+            initial_object_positions=positions,
+            rng=rng,
+        )
+        assert trace.object_tag_numbers() == [0]
+
+    def test_shelf_tags_get_read(self, small_model, rng):
+        trace = small_model.generate(
+            n_epochs=80, initial_reader_position=(0.0, 0.0, 0.0), n_objects=1, rng=rng
+        )
+        assert len(trace.shelf_tag_numbers()) >= 1
+
+    def test_rejects_zero_epochs(self, small_model):
+        with pytest.raises(ConfigurationError):
+            small_model.generate(0, (0, 0, 0))
+
+    def test_seeded_determinism(self, small_model):
+        t1 = small_model.generate(
+            20, (0, 0, 0), n_objects=3, rng=np.random.default_rng(5)
+        )
+        t2 = small_model.generate(
+            20, (0, 0, 0), n_objects=3, rng=np.random.default_rng(5)
+        )
+        assert t1.dumps() == t2.dumps()
+
+
+class TestReaderEvidence:
+    def test_reported_position_anchors(self, small_model):
+        positions = np.array([[0.0, 1.0, 0.0], [0.0, 3.0, 0.0]])
+        headings = np.zeros(2)
+        ll = small_model.reader_evidence_log_likelihood(
+            positions, headings, np.array([0.0, 1.0, 0.0]), frozenset()
+        )
+        assert ll[0] > ll[1]
+
+    def test_shelf_tag_read_prefers_nearby_reader(self, small_model):
+        from repro.streams.records import TagId
+
+        # Shelf tag 0 at (2, 1, 0); a reader at y=1 facing +x sees it.
+        positions = np.array([[0.0, 1.0, 0.0], [0.0, 6.5, 0.0]])
+        headings = np.zeros(2)
+        ll = small_model.reader_evidence_log_likelihood(
+            positions, headings, None, frozenset({TagId.shelf(0)})
+        )
+        assert ll[0] > ll[1]
+
+    def test_negative_shelf_evidence_penalizes_nearby(self, small_model):
+        # Shelf tag 0 NOT read: a reader right next to it is less likely.
+        positions = np.array([[0.0, 1.0, 0.0], [0.0, 4.0, 0.0]])
+        headings = np.zeros(2)
+        ll = small_model.reader_evidence_log_likelihood(
+            positions, headings, None, frozenset()
+        )
+        assert ll[1] > ll[0]
+
+    def test_far_negative_evidence_skipped(self, small_model):
+        # With a tight cutoff, far shelf tags contribute nothing.
+        positions = np.array([[0.0, 100.0, 0.0]])
+        headings = np.zeros(1)
+        ll = small_model.reader_evidence_log_likelihood(
+            positions,
+            headings,
+            np.array([0.0, 100.0, 0.0]),
+            frozenset(),
+            negative_evidence_range=1.0,
+        )
+        # Only the position term contributes; likelihood is the Gaussian peak.
+        assert np.isfinite(ll[0])
+
+
+class TestBuilders:
+    def test_with_sensor_swaps_only_sensor(self, small_model):
+        new_sensor = SensorModel(SensorParams(a=(1.0, 0.0, -0.1), b=(0.0, -1.0)))
+        other = small_model.with_sensor(new_sensor)
+        assert other.sensor is new_sensor
+        assert other.motion is small_model.motion
+        assert other.shelf_tags.keys() == small_model.shelf_tags.keys()
+
+    def test_shelf_tag_array_sorted(self, small_model):
+        numbers, positions = small_model.shelf_tag_array()
+        assert numbers == sorted(numbers)
+        assert positions.shape == (len(numbers), 3)

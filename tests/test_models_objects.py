@@ -1,0 +1,69 @@
+"""Tests for the object location model (move w.p. alpha)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models.objects import ObjectDynamicsParams, ObjectLocationModel
+
+
+class TestParams:
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ConfigurationError):
+            ObjectDynamicsParams(move_probability=1.5)
+        with pytest.raises(ConfigurationError):
+            ObjectDynamicsParams(move_probability=-0.1)
+
+    def test_rejects_negative_jitter(self):
+        with pytest.raises(ConfigurationError):
+            ObjectDynamicsParams(stationary_jitter=-1.0)
+
+
+class TestPropagate:
+    def test_zero_alpha_is_identity(self, single_shelf, rng):
+        model = ObjectLocationModel(
+            single_shelf, ObjectDynamicsParams(move_probability=0.0)
+        )
+        positions = single_shelf.sample_uniform(rng, 100)
+        out = model.propagate(positions, rng)
+        assert np.array_equal(out, positions)
+
+    def test_move_fraction_matches_alpha(self, single_shelf, rng):
+        alpha = 0.2
+        model = ObjectLocationModel(
+            single_shelf, ObjectDynamicsParams(move_probability=alpha)
+        )
+        positions = np.tile(np.array([2.5, 4.0, 0.0]), (20000, 1))
+        out = model.propagate(positions, rng)
+        moved = (np.abs(out - positions).max(axis=1) > 1e-12).mean()
+        assert moved == pytest.approx(alpha, abs=0.01)
+
+    def test_moved_particles_land_on_shelves(self, two_shelves, rng):
+        model = ObjectLocationModel(
+            two_shelves, ObjectDynamicsParams(move_probability=1.0)
+        )
+        positions = np.tile(np.array([2.5, 4.0, 0.0]), (500, 1))
+        out = model.propagate(positions, rng)
+        assert two_shelves.contains_points(out).all()
+
+    def test_jitter_moves_stationary_particles(self, single_shelf, rng):
+        model = ObjectLocationModel(
+            single_shelf,
+            ObjectDynamicsParams(move_probability=0.0, stationary_jitter=0.05),
+        )
+        positions = np.tile(np.array([2.5, 4.0, 0.0]), (2000, 1))
+        out = model.propagate(positions, rng)
+        delta = out - positions
+        assert delta[:, 0].std() == pytest.approx(0.05, rel=0.15)
+        assert (delta[:, 2] == 0).all()  # jitter stays in-plane
+
+
+class TestInitialPositions:
+    def test_uniform_over_shelves(self, two_shelves, rng):
+        model = ObjectLocationModel(two_shelves)
+        pts = model.initial_positions(rng, 1000)
+        assert pts.shape == (1000, 3)
+        assert two_shelves.contains_points(pts).all()
+        # Equal-area shelves: roughly half on each.
+        frac = (pts[:, 0] > 0).mean()
+        assert frac == pytest.approx(0.5, abs=0.05)

@@ -1,0 +1,116 @@
+"""Tests for sensor-model-based initialization and re-detection logic."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.config import InferenceConfig
+from repro.models.priors import (
+    ReinitDecision,
+    SensorBasedInitializer,
+    classify_redetection,
+    config_for_sensor,
+    initialization_geometry,
+)
+from repro.models.sensor import SensorModel, SensorParams
+
+
+@pytest.fixture
+def config():
+    return InferenceConfig(
+        reader_particles=10,
+        object_particles=50,
+        reinit_near_ft=4.0,
+        reinit_far_ft=8.0,
+    )
+
+
+class TestClassifyRedetection:
+    def test_first_sighting_resets(self, config):
+        assert classify_redetection(None, config) is ReinitDecision.RESET
+
+    def test_near_keeps(self, config):
+        assert classify_redetection(1.0, config) is ReinitDecision.KEEP
+        assert classify_redetection(4.0, config) is ReinitDecision.KEEP
+
+    def test_middle_splits(self, config):
+        assert classify_redetection(6.0, config) is ReinitDecision.SPLIT
+
+    def test_far_resets(self, config):
+        assert classify_redetection(8.0, config) is ReinitDecision.RESET
+        assert classify_redetection(50.0, config) is ReinitDecision.RESET
+
+
+class TestSample:
+    def test_samples_in_cone_and_on_shelves(self, config, single_shelf, rng):
+        init = SensorBasedInitializer(config, single_shelf)
+        pts = init.sample((0.0, 4.0, 0.0), 0.0, 200, rng)
+        assert pts.shape == (200, 3)
+        assert single_shelf.contains_points(pts).all()
+        cone = init.initialization_cone((0.0, 4.0, 0.0), 0.0)
+        assert cone.contains(pts).mean() > 0.95
+
+    def test_no_shelves_uses_raw_cone(self, config, rng):
+        init = SensorBasedInitializer(config, None)
+        pts = init.sample((0.0, 0.0, 0.0), 0.0, 100, rng)
+        cone = init.initialization_cone((0.0, 0.0, 0.0), 0.0)
+        assert cone.contains(pts).all()
+
+    def test_cone_missing_shelves_falls_back(self, config, single_shelf, rng):
+        # Cone pointing away from the shelf (heading pi = -x).
+        init = SensorBasedInitializer(config, single_shelf)
+        pts = init.sample((0.0, 4.0, 0.0), math.pi, 100, rng)
+        assert pts.shape == (100, 3)
+
+    def test_heading_aims_cone(self, config, two_shelves, rng):
+        init = SensorBasedInitializer(config, two_shelves)
+        forward = init.sample((0.0, 4.0, 0.0), 0.0, 100, rng)
+        backward = init.sample((0.0, 4.0, 0.0), math.pi, 100, rng)
+        assert (forward[:, 0] > 0).all()
+        assert (backward[:, 0] < 0).all()
+
+
+class TestReinitialize:
+    def test_keep_returns_same(self, config, single_shelf, rng):
+        init = SensorBasedInitializer(config, single_shelf)
+        particles = np.ones((20, 3))
+        out = init.reinitialize(particles, ReinitDecision.KEEP, (0, 0, 0), 0.0, rng)
+        assert out is particles
+
+    def test_reset_replaces_all(self, config, single_shelf, rng):
+        init = SensorBasedInitializer(config, single_shelf)
+        particles = np.full((30, 3), 99.0)
+        out = init.reinitialize(particles, ReinitDecision.RESET, (0.0, 4.0, 0.0), 0.0, rng)
+        assert out.shape == (30, 3)
+        assert (np.abs(out) < 50).all()
+
+    def test_split_keeps_half(self, config, single_shelf, rng):
+        init = SensorBasedInitializer(config, single_shelf)
+        particles = np.full((40, 3), 99.0)
+        out = init.reinitialize(particles, ReinitDecision.SPLIT, (0.0, 4.0, 0.0), 0.0, rng)
+        assert out.shape == (40, 3)
+        kept = (np.abs(out - 99.0).max(axis=1) < 1e-9).sum()
+        assert kept == 20
+
+
+class TestInitializationGeometry:
+    def test_narrow_sensor_narrow_cone(self):
+        narrow = SensorModel(SensorParams(a=(4.0, 0.0, -1.0), b=(0.0, -30.0)))
+        wide = SensorModel(SensorParams(a=(4.0, 0.0, -1.0), b=(0.0, -2.0)))
+        half_n, range_n = initialization_geometry(narrow)
+        half_w, range_w = initialization_geometry(wide)
+        assert half_n < half_w
+        assert range_n == pytest.approx(range_w, rel=0.1)
+
+    def test_range_overestimates(self):
+        model = SensorModel(SensorParams(a=(4.0, 0.0, -1.0), b=(0.0, -6.0)))
+        _, max_range = initialization_geometry(model, overestimate=1.25)
+        assert max_range == pytest.approx(model.effective_range(0.05) * 1.25)
+
+    def test_config_for_sensor_updates_thresholds(self, config):
+        model = SensorModel(SensorParams(a=(4.0, 0.0, -1.0), b=(0.0, -6.0)))
+        out = config_for_sensor(config, model)
+        assert out.reinit_near_ft >= out.init_cone_range_ft
+        assert out.reinit_far_ft > out.reinit_near_ft
+        assert 0 < out.init_cone_half_angle_rad <= math.pi

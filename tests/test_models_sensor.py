@@ -1,0 +1,126 @@
+"""Tests for the logistic RFID sensor model (Eq. 1)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.models.sensor import (
+    DEFAULT_SENSOR_PARAMS,
+    SensorModel,
+    SensorParams,
+    features,
+    field_correlation,
+    log_sigmoid,
+    sigmoid,
+)
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(np.array(0.0)) == pytest.approx(0.5)
+
+    def test_extremes_finite(self):
+        assert 0.0 < sigmoid(np.array(-1000.0)) < 1.0
+        assert 0.0 < sigmoid(np.array(1000.0)) < 1.0
+
+    @given(st.floats(min_value=-100, max_value=100))
+    def test_log_sigmoid_consistent(self, x):
+        direct = math.log(float(sigmoid(np.array(x))))
+        assert float(log_sigmoid(np.array(x))) == pytest.approx(direct, abs=1e-9)
+
+    @given(st.floats(min_value=-30, max_value=30))
+    def test_symmetry(self, x):
+        assert float(sigmoid(np.array(x)) + sigmoid(np.array(-x))) == pytest.approx(1.0)
+
+
+class TestSensorParams:
+    def test_weights_roundtrip(self):
+        params = SensorParams(a=(1.0, -2.0, -0.5), b=(-0.1, -3.0))
+        assert SensorParams.from_weights(params.weights) == params
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ConfigurationError):
+            SensorParams(a=(float("nan"), 0, 0), b=(0, 0))
+
+    def test_rejects_bad_weight_shape(self):
+        with pytest.raises(ConfigurationError):
+            SensorParams.from_weights(np.zeros(4))
+
+
+class TestFeatures:
+    def test_design_matrix(self):
+        X = features(np.array([2.0]), np.array([0.5]))
+        assert X.shape == (1, 5)
+        assert X[0].tolist() == pytest.approx([1.0, 2.0, 4.0, 0.5, 0.25])
+
+
+class TestSensorModel:
+    @pytest.fixture
+    def model(self):
+        return SensorModel(SensorParams(a=(4.0, 0.0, -1.0), b=(0.0, -6.0)))
+
+    def test_high_probability_at_reader(self, model):
+        assert float(model.read_probability(0.0, 0.0)) > 0.95
+
+    def test_decays_with_distance(self, model):
+        probs = [float(model.read_probability(d, 0.0)) for d in (0.0, 1.0, 2.0, 3.0)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_decays_with_angle(self, model):
+        probs = [
+            float(model.read_probability(1.0, t)) for t in (0.0, 0.5, 1.0, 2.0)
+        ]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_log_likelihood_matches_probability(self, model):
+        d = np.array([0.5, 2.0])
+        theta = np.array([0.1, 0.8])
+        p = model.read_probability(d, theta)
+        ll_read = model.log_likelihood(d, theta, True)
+        ll_miss = model.log_likelihood(d, theta, False)
+        assert np.exp(ll_read) == pytest.approx(p, rel=1e-6)
+        assert np.exp(ll_miss) == pytest.approx(1 - p, rel=1e-6)
+
+    def test_log_likelihood_finite_at_extremes(self, model):
+        ll = model.log_likelihood(np.array([100.0]), np.array([3.0]), True)
+        assert np.isfinite(ll).all()
+
+    def test_pose_interface_matches_features(self, model):
+        reader = np.array([0.0, 0.0, 0.0])
+        tags = np.array([[2.0, 0.0, 0.0], [0.0, 1.5, 0.0]])
+        p_pose = model.read_probability_at(reader, 0.0, tags)
+        p_feat = model.read_probability(
+            np.array([2.0, 1.5]), np.array([0.0, math.pi / 2])
+        )
+        assert p_pose == pytest.approx(p_feat)
+
+    def test_effective_range_monotone_probability(self, model):
+        r = model.effective_range(0.05)
+        assert float(model.read_probability(r * 0.99, 0.0)) >= 0.05
+        assert float(model.read_probability(r * 1.05, 0.0)) < 0.055
+
+    def test_effective_range_validates(self, model):
+        with pytest.raises(ConfigurationError):
+            model.effective_range(1.5)
+
+    def test_field_grid_shape(self, model):
+        xs, ys, field = model.field_grid(extent_ft=2.0, resolution=11)
+        assert xs.shape == (11,) and ys.shape == (11,)
+        assert field.shape == (11, 11)
+        assert (field >= 0).all() and (field <= 1).all()
+        # Peak at the reader's own cell (center of grid, slightly forward).
+        assert field.max() == pytest.approx(float(model.read_probability(0.0, 0.0)), abs=0.01)
+
+
+class TestFieldCorrelation:
+    def test_self_correlation_is_one(self):
+        m = SensorModel(DEFAULT_SENSOR_PARAMS)
+        assert field_correlation(m, m) == pytest.approx(1.0)
+
+    def test_different_models_lower(self):
+        a = SensorModel(SensorParams(a=(4.0, 0.0, -1.0), b=(0.0, -6.0)))
+        b = SensorModel(SensorParams(a=(1.0, -3.0, 0.0), b=(-4.0, 0.0)))
+        assert field_correlation(a, b) < 0.999

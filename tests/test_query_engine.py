@@ -1,0 +1,101 @@
+"""Tests for the continuous-query executor."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.engine import ContinuousQuery, QueryEngine
+from repro.query.relops import Extend, Select
+from repro.query.stream_ops import Istream, Rstream
+from repro.query.tuples import StreamTuple
+from repro.query.windows import NowWindow, RangeWindow
+
+
+def tup(t, **values):
+    return StreamTuple(t, values)
+
+
+class TestContinuousQuery:
+    def test_window_ops_streamer_chain(self):
+        q = ContinuousQuery(
+            window=NowWindow(),
+            operators=[Select(lambda t: t["v"] > 0), Extend(double=lambda t: t["v"] * 2)],
+            streamer=Rstream(),
+        )
+        out = q.push(0.0, [tup(0.0, v=1), tup(0.0, v=-1)])
+        assert len(out) == 1
+        assert out[0]["double"] == 2
+
+    def test_nesting_via_then(self):
+        inner = ContinuousQuery(NowWindow(), [Extend(w=lambda t: t["v"] * 10)], Rstream())
+        outer = ContinuousQuery(RangeWindow(10.0), [], Rstream(), name="outer")
+        inner.then(outer)
+        inner.push(0.0, [tup(0.0, v=1)])
+        out = inner.push(5.0, [tup(5.0, v=2)])
+        # Outer window holds both derived tuples.
+        assert sorted(t["w"] for t in out) == [10, 20]
+
+    def test_double_then_rejected(self):
+        inner = ContinuousQuery(NowWindow())
+        inner.then(ContinuousQuery(NowWindow()))
+        with pytest.raises(QueryError):
+            inner.then(ContinuousQuery(NowWindow()))
+
+
+class TestQueryEngine:
+    def test_ticks_grouped_by_time(self):
+        engine = QueryEngine()
+        seen_batches = []
+
+        class SpyWindow(NowWindow):
+            def push(self, time, batch):
+                seen_batches.append((time, len(batch)))
+                return super().push(time, batch)
+
+        engine.register(ContinuousQuery(SpyWindow(), name="spy"))
+        engine.push(tup(0.0, v=1))
+        engine.push(tup(0.0, v=2))
+        engine.push(tup(1.0, v=3))
+        engine.finish()
+        assert seen_batches == [(0.0, 2), (1.0, 1)]
+
+    def test_outputs_collected(self):
+        engine = QueryEngine()
+        engine.register(ContinuousQuery(NowWindow(), streamer=Istream(), name="q"))
+        engine.push(tup(0.0, v=1))
+        engine.finish()
+        assert len(engine.outputs["q"]) == 1
+
+    def test_callback_invoked(self):
+        engine = QueryEngine()
+        seen = []
+        engine.register(
+            ContinuousQuery(NowWindow(), name="q"), callback=seen.append
+        )
+        engine.push(tup(0.0, v=1))
+        engine.finish()
+        assert len(seen) == 1
+
+    def test_duplicate_names_rejected(self):
+        engine = QueryEngine()
+        engine.register(ContinuousQuery(NowWindow(), name="q"))
+        with pytest.raises(QueryError):
+            engine.register(ContinuousQuery(NowWindow(), name="q"))
+
+    def test_time_regression_rejected(self):
+        engine = QueryEngine()
+        engine.register(ContinuousQuery(NowWindow(), name="q"))
+        engine.push(tup(5.0, v=1))
+        with pytest.raises(QueryError):
+            engine.push(tup(4.0, v=2))
+
+    def test_advance_to_slides_windows(self):
+        engine = QueryEngine()
+        engine.register(
+            ContinuousQuery(RangeWindow(2.0), streamer=Rstream(), name="q")
+        )
+        engine.push(tup(0.0, v=1))
+        engine.advance_to(10.0)
+        # After sliding to t=10, the relation is empty, so the final flush
+        # (empty tick) emits nothing.
+        outputs = engine.outputs["q"]
+        assert [t.time for t in outputs] == [0.0]

@@ -1,0 +1,105 @@
+"""Tests for the paper's two example queries (Section II-B)."""
+
+import pytest
+
+from repro.query.engine import QueryEngine
+from repro.query.queries import fire_code_query, location_update_query, square_ft_area
+from repro.query.tuples import StreamTuple, tuple_from_event
+from repro.streams.records import LocationEvent, TagId
+
+
+def event(t, number, x, y):
+    return LocationEvent(t, TagId.object(number), (x, y, 0.0))
+
+
+class TestLocationUpdateQuery:
+    def run(self, events):
+        engine = QueryEngine()
+        engine.register(location_update_query())
+        for e in events:
+            engine.push(tuple_from_event(e))
+        engine.finish()
+        return engine.outputs["location_updates"]
+
+    def test_reports_first_location(self):
+        out = self.run([event(0.0, 1, 2.0, 3.0)])
+        assert len(out) == 1
+        assert out[0]["tag_id"] == "object:1"
+
+    def test_suppresses_unchanged_location(self):
+        out = self.run([event(0.0, 1, 2.0, 3.0), event(1.0, 1, 2.0, 3.0)])
+        assert len(out) == 1
+
+    def test_reports_location_change(self):
+        out = self.run(
+            [event(0.0, 1, 2.0, 3.0), event(1.0, 1, 2.0, 5.5)]
+        )
+        assert len(out) == 2
+        assert out[1]["y"] == 5.5
+
+    def test_per_tag_partitioning(self):
+        out = self.run(
+            [
+                event(0.0, 1, 2.0, 3.0),
+                event(1.0, 2, 2.0, 4.0),
+                event(2.0, 1, 2.0, 3.0),  # unchanged
+                event(3.0, 2, 2.0, 9.0),  # moved
+            ]
+        )
+        assert len(out) == 3
+
+
+class TestSquareFtArea:
+    def test_grid_cell(self):
+        t = StreamTuple(0.0, {"x": 2.7, "y": 3.2})
+        assert square_ft_area(t) == (2, 3)
+
+    def test_negative_coordinates_floor(self):
+        t = StreamTuple(0.0, {"x": -0.5, "y": 0.0})
+        assert square_ft_area(t) == (-1, 0)
+
+
+class TestFireCodeQuery:
+    def run(self, events, weights, threshold=200.0):
+        engine = QueryEngine()
+        engine.register(
+            fire_code_query(lambda tag_id: weights[tag_id], threshold_lbs=threshold)
+        )
+        for e in events:
+            engine.push(tuple_from_event(e))
+        engine.finish()
+        return engine.outputs["fire_code"]
+
+    def test_no_violation_below_threshold(self):
+        weights = {"object:1": 100.0}
+        out = self.run([event(0.0, 1, 2.5, 3.5)], weights)
+        assert out == []
+
+    def test_violation_from_accumulated_weight(self):
+        weights = {"object:1": 150.0, "object:2": 120.0}
+        out = self.run(
+            [event(0.0, 1, 2.5, 3.5), event(2.0, 2, 2.6, 3.4)], weights
+        )
+        # Both objects in cell (2, 3): 270 > 200 once the second arrives.
+        violating = [t for t in out if t["total_weight"] > 200]
+        assert violating
+        assert violating[0]["area"] == (2, 3)
+
+    def test_window_expiry_clears_violation(self):
+        weights = {"object:1": 150.0, "object:2": 120.0}
+        engine = QueryEngine()
+        engine.register(fire_code_query(lambda tid: weights[tid]))
+        engine.push(tuple_from_event(event(0.0, 1, 2.5, 3.5)))
+        engine.push(tuple_from_event(event(1.0, 2, 2.6, 3.4)))
+        engine.advance_to(20.0)  # > 5 s window
+        violations_at_20 = [
+            t for t in engine.outputs["fire_code"] if t.time == 20.0
+        ]
+        assert violations_at_20 == []
+
+    def test_different_cells_not_summed(self):
+        weights = {"object:1": 150.0, "object:2": 120.0}
+        out = self.run(
+            [event(0.0, 1, 2.5, 3.5), event(1.0, 2, 7.5, 8.5)], weights
+        )
+        assert out == []

@@ -1,0 +1,115 @@
+"""Tests for relational operators."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.relops import (
+    Extend,
+    GroupBy,
+    Having,
+    OrderBy,
+    Project,
+    Select,
+    avg_,
+    count_,
+    max_,
+    min_,
+    sum_,
+)
+from repro.query.tuples import StreamTuple
+
+
+def tup(t=0.0, **values):
+    return StreamTuple(t, values)
+
+
+REL = [
+    tup(a=1, g="x", w=10.0),
+    tup(a=2, g="x", w=20.0),
+    tup(a=3, g="y", w=5.0),
+]
+
+
+class TestSelectProjectExtend:
+    def test_select_filters(self):
+        out = Select(lambda t: t["a"] > 1).process(0.0, REL)
+        assert [t["a"] for t in out] == [2, 3]
+
+    def test_project(self):
+        out = Project("a").process(0.0, REL)
+        assert all(set(t) == {"a"} for t in out)
+
+    def test_project_validates(self):
+        with pytest.raises(QueryError):
+            Project()
+
+    def test_extend_computes(self):
+        out = Extend(double=lambda t: t["a"] * 2).process(0.0, REL)
+        assert [t["double"] for t in out] == [2, 4, 6]
+
+    def test_extend_validates(self):
+        with pytest.raises(QueryError):
+            Extend()
+
+
+class TestAggregates:
+    def test_kinds(self):
+        rows = REL
+        assert sum_("w").compute(rows) == 35.0
+        assert count_().compute(rows) == 3
+        assert avg_("a").compute(rows) == 2.0
+        assert min_("w").compute(rows) == 5.0
+        assert max_("w").compute(rows) == 20.0
+
+    def test_empty_rows(self):
+        assert sum_("w").compute([]) is None
+        assert count_().compute([]) == 0
+
+    def test_unknown_kind_rejected(self):
+        from repro.query.relops import Aggregate
+
+        with pytest.raises(QueryError):
+            Aggregate("name", "attr", "median")
+
+
+class TestGroupBy:
+    def test_groups_and_aggregates(self):
+        op = GroupBy(("g",), [sum_("w", as_="total"), count_()])
+        out = op.process(5.0, REL)
+        by_key = {t["g"]: t for t in out}
+        assert by_key["x"]["total"] == 30.0
+        assert by_key["x"]["count"] == 2
+        assert by_key["y"]["total"] == 5.0
+        assert all(t.time == 5.0 for t in out)
+
+    def test_group_order_first_seen(self):
+        op = GroupBy(("g",), [count_()])
+        out = op.process(0.0, REL)
+        assert [t["g"] for t in out] == ["x", "y"]
+
+    def test_global_group(self):
+        op = GroupBy((), [sum_("w", as_="total")])
+        out = op.process(0.0, REL)
+        assert len(out) == 1
+        assert out[0]["total"] == 35.0
+
+    def test_requires_aggregates(self):
+        with pytest.raises(QueryError):
+            GroupBy(("g",), [])
+
+
+class TestHavingOrderBy:
+    def test_having(self):
+        grouped = GroupBy(("g",), [sum_("w", as_="total")]).process(0.0, REL)
+        out = Having(lambda t: t["total"] > 10).process(0.0, grouped)
+        assert [t["g"] for t in out] == ["x"]
+
+    def test_order_by(self):
+        out = OrderBy("w").process(0.0, REL)
+        assert [t["w"] for t in out] == [5.0, 10.0, 20.0]
+        out = OrderBy("w", descending=True).process(0.0, REL)
+        assert [t["w"] for t in out] == [20.0, 10.0, 5.0]
+
+    def test_order_by_validates(self):
+        with pytest.raises(QueryError):
+            OrderBy()

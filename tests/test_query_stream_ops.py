@@ -1,0 +1,83 @@
+"""Tests for Istream / Rstream / Dstream."""
+
+from repro.query.stream_ops import Dstream, Istream, Rstream
+from repro.query.tuples import StreamTuple
+
+
+def tup(t=0.0, **values):
+    return StreamTuple(t, values)
+
+
+class TestRstream:
+    def test_emits_full_relation(self):
+        op = Rstream()
+        out = op.process(1.0, [tup(a=1), tup(a=2)])
+        assert len(out) == 2
+        assert all(t.time == 1.0 for t in out)
+
+
+class TestIstream:
+    def test_initial_relation_all_new(self):
+        op = Istream()
+        out = op.process(0.0, [tup(a=1)])
+        assert [t["a"] for t in out] == [1]
+
+    def test_unchanged_relation_emits_nothing(self):
+        op = Istream()
+        op.process(0.0, [tup(0.0, a=1)])
+        out = op.process(1.0, [tup(1.0, a=1)])  # same value, newer timestamp
+        assert out == []
+
+    def test_insertion_detected(self):
+        op = Istream()
+        op.process(0.0, [tup(a=1)])
+        out = op.process(1.0, [tup(a=1), tup(a=2)])
+        assert [t["a"] for t in out] == [2]
+
+    def test_value_replacement_detected(self):
+        op = Istream()
+        op.process(0.0, [tup(k="obj", y=1.0)])
+        out = op.process(1.0, [tup(k="obj", y=2.0)])
+        assert len(out) == 1
+        assert out[0]["y"] == 2.0
+
+    def test_multiplicity_respected(self):
+        op = Istream()
+        op.process(0.0, [tup(a=1)])
+        out = op.process(1.0, [tup(a=1), tup(a=1)])  # second copy is new
+        assert len(out) == 1
+
+    def test_emitted_timestamps_are_tick_time(self):
+        op = Istream()
+        out = op.process(7.0, [tup(0.0, a=1)])
+        assert out[0].time == 7.0
+
+
+class TestDstream:
+    def test_deletion_detected(self):
+        op = Dstream()
+        op.process(0.0, [tup(a=1), tup(a=2)])
+        out = op.process(1.0, [tup(a=2)])
+        assert [t["a"] for t in out] == [1]
+
+    def test_no_deletion_no_output(self):
+        op = Dstream()
+        op.process(0.0, [tup(a=1)])
+        assert op.process(1.0, [tup(a=1)]) == []
+
+    def test_first_tick_emits_nothing(self):
+        op = Dstream()
+        assert op.process(0.0, [tup(a=1)]) == []
+
+
+class TestIstreamDstreamDuality:
+    def test_replacement_appears_in_both(self):
+        ist, dst = Istream(), Dstream()
+        rel0 = [tup(k="a", v=1)]
+        rel1 = [tup(k="a", v=2)]
+        ist.process(0.0, rel0)
+        dst.process(0.0, rel0)
+        inserted = ist.process(1.0, rel1)
+        deleted = dst.process(1.0, rel1)
+        assert [t["v"] for t in inserted] == [2]
+        assert [t["v"] for t in deleted] == [1]

@@ -1,0 +1,53 @@
+"""Tests for stream tuples."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.tuples import StreamTuple, tuple_from_event
+from repro.streams.records import LocationEvent, TagId
+
+
+class TestStreamTuple:
+    def test_mapping_interface(self):
+        t = StreamTuple(1.0, {"a": 1, "b": "x"})
+        assert t["a"] == 1
+        assert len(t) == 2
+        assert set(t) == {"a", "b"}
+        assert t.time == 1.0
+
+    def test_missing_attribute_raises_query_error(self):
+        t = StreamTuple(0.0, {"a": 1})
+        with pytest.raises(QueryError):
+            t["missing"]
+
+    def test_value_equality_and_hash(self):
+        a = StreamTuple(1.0, {"x": 1})
+        b = StreamTuple(1.0, {"x": 1})
+        c = StreamTuple(2.0, {"x": 1})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_extended(self):
+        t = StreamTuple(1.0, {"a": 1}).extended(b=2)
+        assert t["a"] == 1 and t["b"] == 2
+        assert t.time == 1.0
+        t2 = t.extended(time=5.0)
+        assert t2.time == 5.0
+
+    def test_project(self):
+        t = StreamTuple(0.0, {"a": 1, "b": 2, "c": 3}).project("a", "c")
+        assert set(t) == {"a", "c"}
+
+    def test_unhashable_values_rejected(self):
+        with pytest.raises(QueryError):
+            StreamTuple(0.0, {"bad": [1, 2]})
+
+
+class TestTupleFromEvent:
+    def test_adapts_event(self):
+        event = LocationEvent(3.0, TagId.object(7), (1.0, 2.0, 0.0))
+        t = tuple_from_event(event)
+        assert t.time == 3.0
+        assert t["tag_id"] == "object:7"
+        assert t["x"] == 1.0 and t["y"] == 2.0 and t["z"] == 0.0

@@ -1,0 +1,101 @@
+"""Tests for CQL window operators."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import QueryError
+from repro.query.tuples import StreamTuple
+from repro.query.windows import (
+    NowWindow,
+    PartitionRowsWindow,
+    RangeWindow,
+    UnboundedWindow,
+)
+
+
+def tup(t, **values):
+    return StreamTuple(t, values)
+
+
+class TestNowWindow:
+    def test_only_current_batch(self):
+        w = NowWindow()
+        assert w.push(0.0, [tup(0.0, a=1)]) == [tup(0.0, a=1)]
+        assert w.push(1.0, []) == []
+
+
+class TestRangeWindow:
+    def test_slides_out_old_tuples(self):
+        w = RangeWindow(5.0)
+        w.push(0.0, [tup(0.0, a=1)])
+        rel = w.push(4.0, [tup(4.0, a=2)])
+        assert len(rel) == 2
+        rel = w.push(6.0, [])
+        assert rel == [tup(4.0, a=2)]  # tuple at t=0 expired (0 <= 6-5)
+
+    def test_inclusive_endpoint(self):
+        w = RangeWindow(5.0)
+        w.push(0.0, [tup(0.0, a=1)])
+        rel = w.push(4.999, [])
+        assert len(rel) == 1
+
+    def test_rejects_time_regression(self):
+        w = RangeWindow(5.0)
+        w.push(3.0, [])
+        with pytest.raises(QueryError):
+            w.push(2.0, [])
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(QueryError):
+            RangeWindow(0.0)
+
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=40))
+    def test_window_contents_within_range(self, times):
+        times = sorted(times)
+        w = RangeWindow(10.0)
+        for t in times:
+            rel = w.push(t, [tup(t, v=round(t, 3))])
+            assert all(t - 10.0 < r.time <= t for r in rel)
+
+
+class TestUnboundedWindow:
+    def test_accumulates(self):
+        w = UnboundedWindow()
+        w.push(0.0, [tup(0.0, a=1)])
+        rel = w.push(10.0, [tup(10.0, a=2)])
+        assert len(rel) == 2
+
+
+class TestPartitionRowsWindow:
+    def test_row_1_keeps_latest_per_key(self):
+        w = PartitionRowsWindow(("k",), rows=1)
+        w.push(0.0, [tup(0.0, k="a", v=1)])
+        rel = w.push(1.0, [tup(1.0, k="a", v=2), tup(1.0, k="b", v=3)])
+        values = {(t["k"], t["v"]) for t in rel}
+        assert values == {("a", 2), ("b", 3)}
+
+    def test_rows_n(self):
+        w = PartitionRowsWindow(("k",), rows=2)
+        for i in range(4):
+            rel = w.push(float(i), [tup(float(i), k="a", v=i)])
+        assert [t["v"] for t in rel] == [2, 3]
+
+    def test_partition_order_stable(self):
+        w = PartitionRowsWindow(("k",), rows=1)
+        w.push(0.0, [tup(0.0, k="b", v=1)])
+        rel = w.push(1.0, [tup(1.0, k="a", v=2)])
+        assert [t["k"] for t in rel] == ["b", "a"]
+
+    def test_multi_key_partitions(self):
+        w = PartitionRowsWindow(("k1", "k2"), rows=1)
+        rel = w.push(
+            0.0,
+            [tup(0.0, k1="a", k2=1, v=1), tup(0.0, k1="a", k2=2, v=2)],
+        )
+        assert len(rel) == 2
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            PartitionRowsWindow((), rows=1)
+        with pytest.raises(QueryError):
+            PartitionRowsWindow(("k",), rows=0)

@@ -1,0 +1,111 @@
+"""Tests for the lab-deployment emulation (Section V-C)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.config import LARGE_SHELF_DEPTH_FT, SMALL_SHELF_DEPTH_FT
+from repro.errors import SimulationError
+from repro.simulation.lab import LabConfig, LabDeployment, TIMEOUT_FIELDS
+
+
+@pytest.fixture(scope="module")
+def lab():
+    return LabDeployment(LabConfig(tags_per_shelf=20, seed=2))
+
+
+class TestGeometry:
+    def test_two_mirrored_rows(self, lab):
+        xs = {round(p[0], 3) for p in lab.object_positions.values()}
+        assert xs == {1.5, -1.5}
+        assert len(lab.object_positions) == 40
+
+    def test_tag_spacing(self, lab):
+        ys = sorted(
+            p[1] for n, p in lab.object_positions.items() if n < 20
+        )
+        gaps = np.diff(ys)
+        assert gaps == pytest.approx(np.full(19, 4.0 / 12.0))
+
+    def test_reference_tags_per_shelf(self, lab):
+        assert len(lab.reference_positions) == 10
+        on_a = [p for p in lab.reference_positions.values() if p[0] > 0]
+        assert len(on_a) == 5
+
+    def test_imagined_shelves_depths(self, lab):
+        small = lab.small_shelves()
+        large = lab.large_shelves()
+        small_depth = small[0].box.hi[0] - small[0].box.lo[0]
+        large_depth = large[0].box.hi[0] - large[0].box.lo[0]
+        assert small_depth == pytest.approx(SMALL_SHELF_DEPTH_FT)
+        assert large_depth == pytest.approx(LARGE_SHELF_DEPTH_FT)
+
+    def test_tags_on_imagined_shelf_front_edge(self, lab):
+        shelves = lab.small_shelves()
+        for position in lab.object_positions.values():
+            assert shelves.contains_points(position[None, :])[0]
+
+
+class TestTimeouts:
+    def test_known_timeouts(self, lab):
+        for timeout in (0.25, 0.5, 0.75):
+            sensor = lab.sensor_for_timeout(timeout)
+            assert sensor is TIMEOUT_FIELDS[timeout]
+
+    def test_unknown_timeout_raises(self, lab):
+        with pytest.raises(SimulationError):
+            lab.sensor_for_timeout(0.4)
+
+    def test_longer_timeout_wider_field(self):
+        # More reads per tag at higher timeout.
+        lab = LabDeployment(LabConfig(tags_per_shelf=10, seed=4))
+        short = lab.generate(timeout_s=0.25).n_readings
+        long = lab.generate(timeout_s=0.75).n_readings
+        assert long > short
+
+
+class TestGenerate:
+    def test_out_and_back_scan(self, lab):
+        trace = lab.generate(timeout_s=0.25)
+        path = trace.truth.reader_path
+        # Scan goes up then comes back near the start.
+        assert path[:, 1].max() > lab.config.shelf_length_ft
+        assert abs(path[-1, 1] - path[0, 1]) < 1.5
+
+    def test_heading_flips_mid_scan(self, lab):
+        trace = lab.generate(timeout_s=0.25)
+        headings = {round(r.heading, 3) for r in trace.reports}
+        assert round(math.pi, 3) in headings
+        assert 0.0 in headings
+
+    def test_drift_reaches_expected_scale(self, lab):
+        trace = lab.generate(timeout_s=0.25)
+        reported = np.array([r.array for r in trace.reports])
+        truth = trace.truth.reader_path
+        max_error = np.abs(reported[:, 1] - truth[:, 1]).max()
+        # "error in reported location up to 1 foot" (scaled to scene length)
+        assert 0.3 < max_error < 1.5
+
+    def test_both_shelves_read(self, lab):
+        trace = lab.generate(timeout_s=0.5)
+        numbers = set(trace.object_tag_numbers())
+        shelf_a = {n for n in numbers if n < 20}
+        shelf_b = {n for n in numbers if n >= 20}
+        assert len(shelf_a) >= 18
+        assert len(shelf_b) >= 18
+
+    def test_reference_tags_read(self, lab):
+        trace = lab.generate(timeout_s=0.25)
+        assert len(trace.shelf_tag_numbers()) >= 5
+
+
+class TestWorldModel:
+    def test_model_uses_reference_tags(self, lab):
+        from repro.models.sensor import SensorParams
+
+        params = SensorParams(a=(3.0, -1.0, -0.2), b=(-2.0, -0.5))
+        model = lab.world_model(params, lab.small_shelves())
+        assert set(model.shelf_tags) == set(lab.reference_positions)
+        # Random-walk motion for the turnaround.
+        assert model.motion.params.velocity_array.tolist() == [0, 0, 0]

@@ -1,0 +1,64 @@
+"""Tests for warehouse layout construction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.layout import LayoutConfig, WarehouseLayout
+
+
+class TestLayoutConfig:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            LayoutConfig(n_objects=0)
+        with pytest.raises(SimulationError):
+            LayoutConfig(object_spacing_ft=0)
+        with pytest.raises(SimulationError):
+            LayoutConfig(n_shelf_tags=-1)
+
+
+class TestBuild:
+    def test_object_placement(self):
+        layout = WarehouseLayout.build(
+            LayoutConfig(n_objects=5, object_spacing_ft=0.5, shelf_x_ft=2.0)
+        )
+        assert len(layout.object_positions) == 5
+        ys = [layout.object_positions[i][1] for i in range(5)]
+        assert ys == pytest.approx([0.0, 0.5, 1.0, 1.5, 2.0])
+        assert all(layout.object_positions[i][0] == 2.0 for i in range(5))
+
+    def test_shelf_tags_span_layout(self):
+        layout = WarehouseLayout.build(LayoutConfig(n_objects=9, n_shelf_tags=3))
+        ys = sorted(p[1] for p in layout.shelf_tag_positions.values())
+        lo, hi = layout.span_y
+        assert ys[0] == pytest.approx(lo)
+        assert ys[-1] == pytest.approx(hi)
+
+    def test_single_shelf_tag_centered(self):
+        layout = WarehouseLayout.build(LayoutConfig(n_objects=9, n_shelf_tags=1))
+        lo, hi = layout.span_y
+        assert layout.shelf_tag_positions[0][1] == pytest.approx((lo + hi) / 2)
+
+    def test_zero_shelf_tags(self):
+        layout = WarehouseLayout.build(LayoutConfig(n_shelf_tags=0))
+        assert layout.shelf_tag_positions == {}
+
+    def test_shelves_cover_objects(self):
+        layout = WarehouseLayout.build(LayoutConfig(n_objects=30))
+        numbers, table = layout.object_array()
+        assert layout.shelves.contains_points(table).all()
+
+    def test_shelf_segments_tile(self):
+        layout = WarehouseLayout.build(
+            LayoutConfig(n_objects=40, object_spacing_ft=0.5, shelf_segment_ft=4.0)
+        )
+        assert len(layout.shelves) >= 5
+        boxes = sorted((s.box.lo[1], s.box.hi[1]) for s in layout.shelves)
+        for (lo_a, hi_a), (lo_b, hi_b) in zip(boxes, boxes[1:]):
+            assert hi_a == pytest.approx(lo_b)  # contiguous, no gaps
+
+    def test_object_array_sorted(self):
+        layout = WarehouseLayout.build(LayoutConfig(n_objects=7))
+        numbers, table = layout.object_array()
+        assert numbers == sorted(numbers)
+        assert table.shape == (7, 3)

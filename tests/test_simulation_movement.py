@@ -1,0 +1,89 @@
+"""Tests for object movement scripting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.movement import (
+    MovementScript,
+    ScheduledMove,
+    single_group_move,
+)
+
+
+class TestScheduledMove:
+    def test_requires_exactly_one_target_kind(self):
+        with pytest.raises(SimulationError):
+            ScheduledMove(0, (1,))
+        with pytest.raises(SimulationError):
+            ScheduledMove(
+                0, (1,), displacement=(1, 0, 0), targets={1: (0, 0, 0)}
+            )
+
+    def test_targets_must_cover_numbers(self):
+        with pytest.raises(SimulationError):
+            ScheduledMove(0, (1, 2), targets={1: (0, 0, 0)})
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            ScheduledMove(-1, (1,), displacement=(0, 0, 0))
+        with pytest.raises(SimulationError):
+            ScheduledMove(0, (), displacement=(0, 0, 0))
+
+
+class TestMovementScript:
+    def test_displacement_applied_at_epoch(self):
+        script = MovementScript([ScheduledMove(5, (1,), displacement=(0, 2, 0))])
+        positions = {1: np.array([1.0, 1.0, 0.0])}
+        assert script.apply(4, positions) == []
+        records = script.apply(5, positions)
+        assert positions[1].tolist() == [1.0, 3.0, 0.0]
+        assert len(records) == 1
+        assert records[0].number == 1
+        assert script.exhausted
+
+    def test_targets_applied(self):
+        script = MovementScript(
+            [ScheduledMove(2, (1,), targets={1: (9.0, 9.0, 0.0)})]
+        )
+        positions = {1: np.zeros(3)}
+        script.apply(2, positions)
+        assert positions[1].tolist() == [9.0, 9.0, 0.0]
+
+    def test_multiple_moves_ordered(self):
+        script = MovementScript(
+            [
+                ScheduledMove(3, (1,), displacement=(0, 1, 0)),
+                ScheduledMove(1, (1,), displacement=(0, 1, 0)),
+            ]
+        )
+        positions = {1: np.zeros(3)}
+        script.apply(1, positions)
+        assert positions[1][1] == 1.0
+        script.apply(3, positions)
+        assert positions[1][1] == 2.0
+        assert len(script.applied) == 2
+
+    def test_late_apply_catches_up(self):
+        script = MovementScript([ScheduledMove(1, (1,), displacement=(0, 1, 0))])
+        positions = {1: np.zeros(3)}
+        # First apply at epoch 5: the epoch-1 move still fires.
+        records = script.apply(5, positions)
+        assert len(records) == 1
+
+    def test_unknown_object_raises(self):
+        script = MovementScript([ScheduledMove(0, (9,), displacement=(0, 1, 0))])
+        with pytest.raises(SimulationError):
+            script.apply(0, {1: np.zeros(3)})
+
+
+class TestSingleGroupMove:
+    def test_builds_axis_displacement(self):
+        move = single_group_move(100, [3, 4], 6.0)
+        assert move.epoch_index == 100
+        assert move.numbers == (3, 4)
+        assert move.displacement == (0.0, 6.0, 0.0)
+
+    def test_axis_selection(self):
+        move = single_group_move(0, [1], 2.0, axis=0)
+        assert move.displacement == (2.0, 0.0, 0.0)

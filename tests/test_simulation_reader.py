@@ -1,0 +1,123 @@
+"""Tests for the scripted robot reader and location sensors."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.reader import (
+    DeadReckoningSensor,
+    GaussianLocationSensor,
+    ScriptedReader,
+    Waypoint,
+)
+
+
+def straight_robot(**kwargs):
+    return ScriptedReader(
+        [Waypoint((0, 0, 0), 0.0), Waypoint((0, 5, 0), 0.0)],
+        speed_ft_per_epoch=0.5,
+        motion_sigma=(0.0, 0.0, 0.0),
+        **kwargs,
+    )
+
+
+class TestScriptedReader:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            ScriptedReader([Waypoint((0, 0, 0), 0.0)])
+        with pytest.raises(SimulationError):
+            straight_robot().__class__(
+                [Waypoint((0, 0, 0), 0.0), Waypoint((1, 0, 0), 0.0)],
+                speed_ft_per_epoch=0.0,
+            )
+
+    def test_constant_speed_progress(self, rng):
+        robot = straight_robot()
+        for _ in range(4):
+            robot.step(rng)
+        assert robot.commanded[1] == pytest.approx(2.0)
+        assert not robot.finished
+
+    def test_finishes_at_last_waypoint(self, rng):
+        robot = straight_robot()
+        for _ in range(20):
+            robot.step(rng)
+        assert robot.finished
+        assert robot.commanded[1] == pytest.approx(5.0)
+        # Further steps are no-ops.
+        position = robot.commanded.copy()
+        robot.step(rng)
+        assert robot.commanded.tolist() == position.tolist()
+
+    def test_turnaround_heading_change(self, rng):
+        robot = ScriptedReader(
+            [
+                Waypoint((0, 0, 0), 0.0),
+                Waypoint((0, 2, 0), 0.0),
+                Waypoint((0, 0, 0), math.pi),
+            ],
+            speed_ft_per_epoch=0.5,
+            motion_sigma=(0, 0, 0),
+        )
+        headings = []
+        for _ in range(10):
+            robot.step(rng)
+            headings.append(robot.heading)
+        assert 0.0 in headings
+        assert math.pi in headings
+        assert robot.finished
+        assert robot.commanded[1] == pytest.approx(0.0)
+
+    def test_drift_accumulates_in_truth_only(self, rng):
+        robot = straight_robot(drift_rate=(0.0, 0.1, 0.0))
+        for _ in range(5):
+            robot.step(rng)
+        drift = robot.true_position[1] - robot.commanded[1]
+        assert drift == pytest.approx(0.5)
+
+    def test_slip_noise_spreads_truth(self):
+        rng = np.random.default_rng(0)
+        finals = []
+        for seed in range(30):
+            robot = ScriptedReader(
+                [Waypoint((0, 0, 0), 0.0), Waypoint((0, 5, 0), 0.0)],
+                speed_ft_per_epoch=0.5,
+                motion_sigma=(0.05, 0.05, 0.0),
+            )
+            local_rng = np.random.default_rng(seed)
+            for _ in range(10):
+                robot.step(local_rng)
+            finals.append(robot.true_position[0])
+        assert np.std(finals) > 0.05
+
+    def test_waypoint_passthrough_in_one_step(self, rng):
+        # Speed larger than a whole segment: the robot passes through.
+        robot = ScriptedReader(
+            [
+                Waypoint((0, 0, 0), 0.0),
+                Waypoint((0, 0.2, 0), 0.0),
+                Waypoint((0, 1.0, 0), 0.5),
+            ],
+            speed_ft_per_epoch=0.5,
+            motion_sigma=(0, 0, 0),
+        )
+        robot.step(rng)
+        assert robot.commanded[1] == pytest.approx(0.5)
+        assert robot.heading == 0.5
+
+
+class TestLocationSensors:
+    def test_gaussian_sensor_bias(self, rng):
+        sensor = GaussianLocationSensor(bias=(0.0, 0.3, 0.0), sigma=(0.0, 0.0, 0.0))
+        out = sensor.report(np.array([1.0, 1.0, 0.0]), rng)
+        assert out.tolist() == pytest.approx([1.0, 1.3, 0.0])
+
+    def test_dead_reckoning_small_noise(self, rng):
+        sensor = DeadReckoningSensor(encoder_sigma=0.001)
+        reports = np.stack(
+            [sensor.report(np.array([2.0, 3.0, 0.0]), rng) for _ in range(200)]
+        )
+        assert reports.mean(axis=0) == pytest.approx([2.0, 3.0, 0.0], abs=0.001)
+        assert (reports[:, 2] == 0.0).all()

@@ -1,0 +1,105 @@
+"""Tests for ground-truth sensor fields."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.models.sensor import SensorModel, SensorParams
+from repro.simulation.truth_sensor import (
+    ConeTruthSensor,
+    LogisticTruthSensor,
+    SphericalTruthSensor,
+)
+
+
+def probe(sensor, d, theta):
+    tag = np.array([[d * math.cos(theta), d * math.sin(theta), 0.0]])
+    return float(sensor.read_probability(np.zeros(3), 0.0, tag)[0])
+
+
+class TestConeTruthSensor:
+    def test_major_range_uniform(self):
+        cone = ConeTruthSensor(rr_major=0.8, max_range=3.0)
+        assert probe(cone, 1.0, 0.0) == pytest.approx(0.8)
+        assert probe(cone, 2.9, math.radians(10)) == pytest.approx(0.8)
+
+    def test_minor_range_decays(self):
+        cone = ConeTruthSensor(rr_major=1.0)
+        p_mid_minor = probe(cone, 1.0, math.radians(22.5))
+        assert 0.0 < p_mid_minor < 1.0
+        assert p_mid_minor == pytest.approx(0.5, abs=0.05)
+
+    def test_outside_aperture_zero(self):
+        cone = ConeTruthSensor()
+        assert probe(cone, 1.0, math.radians(31)) == 0.0
+        assert probe(cone, 1.0, math.pi) == 0.0
+
+    def test_distance_fringe(self):
+        cone = ConeTruthSensor(max_range=3.0, range_fringe=0.2)
+        assert probe(cone, 3.2, 0.0) == pytest.approx(1.0 - 0.2 / 0.6, abs=0.01)
+        assert probe(cone, 3.7, 0.0) == 0.0
+        assert cone.max_effective_range == pytest.approx(3.6)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            ConeTruthSensor(rr_major=1.5)
+        with pytest.raises(SimulationError):
+            ConeTruthSensor(max_range=0)
+
+    def test_heading_rotates_field(self):
+        cone = ConeTruthSensor()
+        tag = np.array([[0.0, 1.0, 0.0]])
+        p_facing = float(
+            cone.read_probability(np.zeros(3), math.pi / 2, tag)[0]
+        )
+        p_not_facing = float(cone.read_probability(np.zeros(3), 0.0, tag)[0])
+        assert p_facing > 0.9
+        assert p_not_facing == 0.0
+
+
+class TestSphericalTruthSensor:
+    def test_peak_on_boresight(self):
+        s = SphericalTruthSensor(rr_peak=0.9)
+        assert probe(s, 0.5, 0.0) == pytest.approx(0.9)
+
+    def test_wide_minor_range(self):
+        s = SphericalTruthSensor()
+        # Readable far off boresight (the lab antenna's wide field).
+        assert probe(s, 1.0, math.radians(60)) > 0.05
+
+    def test_angle_cutoff(self):
+        s = SphericalTruthSensor(angle_cutoff=math.radians(85))
+        assert probe(s, 1.0, math.radians(90)) == 0.0
+
+    def test_radial_decay(self):
+        s = SphericalTruthSensor(inner_range=1.0, max_range=3.0)
+        assert probe(s, 0.5, 0.0) > probe(s, 2.0, 0.0) > probe(s, 2.9, 0.0)
+        assert probe(s, 3.5, 0.0) == 0.0
+
+    def test_minor_gain_scales_shoulder(self):
+        weak = SphericalTruthSensor(minor_gain=0.2)
+        strong = SphericalTruthSensor(minor_gain=0.8)
+        theta = math.radians(50)
+        assert probe(strong, 1.0, theta) > probe(weak, 1.0, theta)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            SphericalTruthSensor(rr_peak=2.0)
+        with pytest.raises(SimulationError):
+            SphericalTruthSensor(inner_range=5.0, max_range=3.0)
+
+
+class TestLogisticTruthSensor:
+    def test_matches_model_within_cutoff(self):
+        model = SensorModel(SensorParams(a=(3.0, 0.0, -1.0), b=(0.0, -4.0)))
+        truth = LogisticTruthSensor(model, cutoff_range=5.0)
+        assert probe(truth, 1.0, 0.3) == pytest.approx(
+            float(model.read_probability(1.0, 0.3))
+        )
+
+    def test_zero_beyond_cutoff(self):
+        model = SensorModel(SensorParams(a=(10.0, 0.0, -0.01), b=(0.0, -0.01)))
+        truth = LogisticTruthSensor(model, cutoff_range=2.0)
+        assert probe(truth, 3.0, 0.0) == 0.0

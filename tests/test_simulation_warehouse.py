@@ -1,0 +1,126 @@
+"""Tests for the warehouse simulator (Section V-A)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.layout import LayoutConfig
+from repro.simulation.movement import single_group_move
+from repro.simulation.truth_sensor import ConeTruthSensor
+from repro.simulation.warehouse import WarehouseConfig, WarehouseSimulator
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            WarehouseConfig(read_period_epochs=0)
+        with pytest.raises(SimulationError):
+            WarehouseConfig(n_rounds=0)
+        with pytest.raises(SimulationError):
+            WarehouseConfig(epoch_length_s=0)
+
+
+class TestGenerate:
+    def test_trace_has_truth_and_reports(self, small_trace):
+        assert small_trace.truth is not None
+        assert len(small_trace.reports) == small_trace.truth.reader_path.shape[0]
+        assert small_trace.n_readings > 0
+
+    def test_all_objects_read_at_full_rate(self, small_warehouse, small_trace):
+        # RRmajor = 1.0 and the robot passes every object: all tags read.
+        assert small_trace.object_tag_numbers() == list(
+            range(small_warehouse.config.layout.n_objects)
+        )
+
+    def test_shelf_tags_read(self, small_trace):
+        assert len(small_trace.shelf_tag_numbers()) >= 1
+
+    def test_reported_positions_near_truth(self, small_trace):
+        reported = np.array([r.array for r in small_trace.reports])
+        truth = small_trace.truth.reader_path
+        err = np.abs(reported - truth).max()
+        assert err < 0.1  # sigma 0.01, no bias
+
+    def test_heading_carried_in_reports(self, small_trace):
+        assert all(r.heading is not None for r in small_trace.reports)
+
+    def test_bias_injected(self):
+        sim = WarehouseSimulator(
+            WarehouseConfig(
+                layout=LayoutConfig(n_objects=4),
+                location_bias=(0.0, 0.5, 0.0),
+                seed=3,
+            )
+        )
+        trace = sim.generate()
+        reported = np.array([r.array for r in trace.reports])
+        truth = trace.truth.reader_path
+        assert (reported[:, 1] - truth[:, 1]).mean() == pytest.approx(0.5, abs=0.02)
+
+    def test_read_rate_controls_readings(self):
+        def count(rr):
+            sim = WarehouseSimulator(
+                WarehouseConfig(
+                    layout=LayoutConfig(n_objects=6),
+                    sensor=ConeTruthSensor(rr_major=rr),
+                    seed=5,
+                )
+            )
+            return sim.generate().n_readings
+
+        assert count(1.0) > count(0.5)
+
+    def test_read_period_thins_readings(self):
+        def count(period):
+            sim = WarehouseSimulator(
+                WarehouseConfig(
+                    layout=LayoutConfig(n_objects=6),
+                    read_period_epochs=period,
+                    seed=5,
+                )
+            )
+            return sim.generate().n_readings
+
+        assert count(1) > count(3) * 1.5
+
+    def test_two_rounds_doubles_scan(self):
+        one = WarehouseSimulator(
+            WarehouseConfig(layout=LayoutConfig(n_objects=5), n_rounds=1, seed=7)
+        ).generate()
+        two = WarehouseSimulator(
+            WarehouseConfig(layout=LayoutConfig(n_objects=5), n_rounds=2, seed=7)
+        ).generate()
+        assert len(two.reports) == pytest.approx(2 * len(one.reports), rel=0.1)
+
+    def test_scheduled_move_recorded(self):
+        move = single_group_move(30, [0, 1], 3.0)
+        sim = WarehouseSimulator(
+            WarehouseConfig(layout=LayoutConfig(n_objects=6), moves=(move,), seed=9)
+        )
+        trace = sim.generate()
+        moved = {m.number for m in trace.truth.moves}
+        assert moved == {0, 1}
+        finals = trace.truth.final_object_locations()
+        initials = trace.truth.initial_positions
+        assert finals[0][1] - initials[0][1] == pytest.approx(3.0)
+        assert finals[2][1] == initials[2][1]
+
+    def test_determinism(self):
+        config = WarehouseConfig(layout=LayoutConfig(n_objects=4), seed=13)
+        a = WarehouseSimulator(config).generate()
+        b = WarehouseSimulator(config).generate()
+        assert a.dumps() == b.dumps()
+
+
+class TestWorldModel:
+    def test_matches_simulator_motion(self, small_warehouse):
+        model = small_warehouse.world_model()
+        assert model.motion.params.velocity_array[1] == pytest.approx(0.1)
+        assert set(model.shelf_tags) == set(
+            small_warehouse.layout.shelf_tag_positions
+        )
+
+    def test_random_walk_variant(self, small_warehouse):
+        model = small_warehouse.world_model(random_walk_motion=True)
+        assert model.motion.params.velocity_array.tolist() == [0, 0, 0]
+        assert model.motion.params.sigma_array[1] > 0.1

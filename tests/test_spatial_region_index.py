@@ -1,0 +1,95 @@
+"""Tests for the sensing-region index (Section IV-C data structures)."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.box import Box
+from repro.spatial.region_index import SensingRegionIndex
+
+
+def region(x, y, size=2.0):
+    return Box((x, y, 0.0), (x + size, y + size, 0.0))
+
+
+class TestRecordAndQuery:
+    def test_case2_from_overlapping_region(self):
+        index = SensingRegionIndex()
+        index.record(region(0, 0), [1, 2])
+        index.record(region(10, 10), [3])
+        hits = index.case2_candidates(region(1, 1))
+        assert hits == {1, 2}
+
+    def test_case2_union_over_regions(self):
+        index = SensingRegionIndex()
+        index.record(region(0, 0), [1])
+        index.record(region(1, 1), [2])
+        assert index.case2_candidates(region(0.5, 0.5)) == {1, 2}
+
+    def test_no_overlap_no_candidates(self):
+        index = SensingRegionIndex()
+        index.record(region(0, 0), [1])
+        assert index.case2_candidates(region(50, 50)) == set()
+
+    def test_empty_region_recorded(self):
+        index = SensingRegionIndex()
+        index.record(region(0, 0), [])
+        assert index.case2_candidates(region(0, 0)) == set()
+        assert len(index) == 1
+
+    def test_attach_extends_region(self):
+        index = SensingRegionIndex()
+        rid = index.record(region(0, 0), [1])
+        index.attach(rid, [2, 3])
+        assert index.case2_candidates(region(0, 0)) == {1, 2, 3}
+
+    def test_attach_unknown_region_raises(self):
+        index = SensingRegionIndex()
+        with pytest.raises(GeometryError):
+            index.attach(99, [1])
+
+    def test_overlapping_regions_returns_pairs(self):
+        index = SensingRegionIndex()
+        index.record(region(0, 0), [1])
+        out = index.overlapping_regions(region(0.5, 0.5))
+        assert len(out) == 1
+        box, ids = out[0]
+        assert ids == frozenset({1})
+
+
+class TestEviction:
+    def test_max_regions_evicts_oldest(self):
+        index = SensingRegionIndex(max_regions=3)
+        for k in range(5):
+            index.record(region(k * 10, 0), [k])
+        assert len(index) == 3
+        # Regions 0 and 1 evicted.
+        assert index.case2_candidates(region(0, 0)) == set()
+        assert index.case2_candidates(region(40, 0)) == {4}
+        index.check_consistent()
+
+    def test_max_regions_validation(self):
+        with pytest.raises(GeometryError):
+            SensingRegionIndex(max_regions=0)
+
+
+class TestObjectRemoval:
+    def test_remove_object_everywhere(self):
+        index = SensingRegionIndex()
+        index.record(region(0, 0), [1, 2])
+        index.record(region(1, 1), [1])
+        index.remove_object(1)
+        assert index.case2_candidates(region(0, 0)) == {2}
+
+    def test_objects_registered(self):
+        index = SensingRegionIndex()
+        index.record(region(0, 0), [1, 2])
+        index.record(region(5, 5), [2, 7])
+        assert index.objects_registered() == {1, 2, 7}
+
+
+def test_consistency_over_mixed_workload():
+    index = SensingRegionIndex(max_regions=16)
+    for k in range(60):
+        index.record(region((k * 3) % 30, (k * 7) % 20), [k, k + 1])
+    index.check_consistent()
+    assert len(index) == 16

@@ -1,0 +1,157 @@
+"""Tests for the simplified R*-tree, including property-based invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.box import Box
+from repro.spatial.rtree import RStarTree
+
+
+def make_box(x, y, w, h):
+    return Box((x, y, 0.0), (x + w, y + h, 0.0))
+
+
+def brute_force_hits(entries, probe):
+    return sorted(v for b, v in entries if b.intersects(probe))
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree = RStarTree()
+        assert len(tree) == 0
+        assert tree.search(make_box(0, 0, 1, 1)) == []
+
+    def test_insert_and_search_single(self):
+        tree = RStarTree()
+        tree.insert(make_box(0, 0, 1, 1), "a")
+        assert tree.search(make_box(0.5, 0.5, 1, 1)) == ["a"]
+        assert tree.search(make_box(5, 5, 1, 1)) == []
+
+    def test_rejects_tiny_capacity(self):
+        with pytest.raises(GeometryError):
+            RStarTree(max_entries=2)
+
+    def test_search_entries_returns_boxes(self):
+        tree = RStarTree()
+        b = make_box(0, 0, 2, 2)
+        tree.insert(b, 42)
+        [(found_box, value)] = tree.search_entries(make_box(1, 1, 1, 1))
+        assert value == 42
+        assert found_box.lo == b.lo
+
+
+class TestBulk:
+    def test_grid_inserts_and_queries(self):
+        tree = RStarTree(max_entries=8)
+        entries = []
+        for i in range(12):
+            for j in range(12):
+                box = make_box(i * 2.0, j * 2.0, 1.5, 1.5)
+                tree.insert(box, (i, j))
+                entries.append((box, (i, j)))
+        assert len(tree) == 144
+        tree.check_invariants()
+        probe = make_box(3.0, 3.0, 4.0, 4.0)
+        assert sorted(tree.search(probe)) == brute_force_hits(entries, probe)
+
+    def test_duplicate_boxes_allowed(self):
+        tree = RStarTree(max_entries=4)
+        box = make_box(0, 0, 1, 1)
+        for k in range(20):
+            tree.insert(box, k)
+        assert sorted(tree.search(box)) == list(range(20))
+        tree.check_invariants()
+
+    def test_items_iterates_everything(self):
+        tree = RStarTree(max_entries=5)
+        for k in range(30):
+            tree.insert(make_box(k, 0, 0.5, 0.5), k)
+        values = sorted(v for _, v in tree.items())
+        assert values == list(range(30))
+
+
+class TestDeletion:
+    def test_delete_by_predicate(self):
+        tree = RStarTree(max_entries=6)
+        for k in range(25):
+            tree.insert(make_box(k, 0, 0.5, 0.5), k)
+        removed = tree.delete(make_box(0, 0, 30, 1), lambda v: v % 2 == 0)
+        assert removed == 13
+        assert len(tree) == 12
+        remaining = sorted(v for _, v in tree.items())
+        assert remaining == [v for v in range(25) if v % 2 == 1]
+        tree.check_invariants()
+
+    def test_delete_missing_is_noop(self):
+        tree = RStarTree()
+        tree.insert(make_box(0, 0, 1, 1), "a")
+        assert tree.delete(make_box(10, 10, 1, 1), lambda v: True) == 0
+        assert len(tree) == 1
+
+    def test_delete_everything(self):
+        tree = RStarTree(max_entries=4)
+        for k in range(40):
+            tree.insert(make_box(k % 7, k // 7, 0.9, 0.9), k)
+        removed = tree.delete(make_box(-1, -1, 100, 100), lambda v: True)
+        assert removed == 40
+        assert len(tree) == 0
+        assert tree.search(make_box(0, 0, 100, 100)) == []
+
+    def test_interleaved_insert_delete(self):
+        tree = RStarTree(max_entries=5)
+        live = {}
+        rng = np.random.default_rng(3)
+        for step in range(200):
+            if live and rng.uniform() < 0.4:
+                key = int(rng.choice(list(live)))
+                box = live.pop(key)
+                assert tree.delete(box, lambda v, key=key: v == key) == 1
+            else:
+                x, y = rng.uniform(0, 50, size=2)
+                box = make_box(float(x), float(y), 1.0, 1.0)
+                tree.insert(box, step)
+                live[step] = box
+            if step % 25 == 0:
+                tree.check_invariants()
+        assert len(tree) == len(live)
+        probe = make_box(10, 10, 20, 20)
+        expected = sorted(v for v, b in live.items() if b.intersects(probe))
+        assert sorted(tree.search(probe)) == expected
+
+
+boxes_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=100),
+        st.floats(min_value=0, max_value=100),
+        st.floats(min_value=0.1, max_value=10),
+        st.floats(min_value=0.1, max_value=10),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(boxes_strategy)
+    def test_search_matches_brute_force(self, specs):
+        tree = RStarTree(max_entries=6)
+        entries = []
+        for k, (x, y, w, h) in enumerate(specs):
+            box = make_box(x, y, w, h)
+            tree.insert(box, k)
+            entries.append((box, k))
+        tree.check_invariants()
+        probe = make_box(25, 25, 30, 30)
+        assert sorted(tree.search(probe)) == brute_force_hits(entries, probe)
+
+    @settings(max_examples=20, deadline=None)
+    @given(boxes_strategy)
+    def test_every_entry_findable_by_its_own_box(self, specs):
+        tree = RStarTree(max_entries=5)
+        for k, (x, y, w, h) in enumerate(specs):
+            tree.insert(make_box(x, y, w, h), k)
+        for k, (x, y, w, h) in enumerate(specs):
+            assert k in tree.search(make_box(x, y, w, h))

@@ -1,0 +1,98 @@
+"""Property-based tests on the stream layer (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.streams.records import ReaderLocationReport, TagId, TagReading
+from repro.streams.sources import GroundTruth, ObjectMove, Trace
+from repro.streams.synchronize import synchronize
+
+times = st.lists(
+    st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestSynchronizerProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(times, times)
+    def test_every_reading_lands_in_exactly_one_epoch(self, rt, pt):
+        readings = [
+            TagReading(t, TagId.object(i)) for i, t in enumerate(sorted(rt))
+        ]
+        reports = [
+            ReaderLocationReport(t, (0.0, t, 0.0)) for t in sorted(pt)
+        ]
+        epochs = synchronize(readings, reports, epoch_length=1.0)
+        seen = [tag.number for e in epochs for tag in e.object_tags]
+        assert sorted(seen) == sorted(r.tag.number for r in readings)
+
+    @settings(max_examples=40, deadline=None)
+    @given(times, times)
+    def test_epochs_are_time_ordered_and_aligned(self, rt, pt):
+        readings = [TagReading(t, TagId.object(i)) for i, t in enumerate(sorted(rt))]
+        reports = [ReaderLocationReport(t, (0.0, 0.0, 0.0)) for t in sorted(pt)]
+        epochs = synchronize(readings, reports, epoch_length=1.0)
+        starts = [e.time for e in epochs]
+        assert starts == sorted(starts)
+        # Contiguous unit-length epochs.
+        for a, b in zip(starts, starts[1:]):
+            assert b - a == pytest.approx(1.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(times)
+    def test_reading_time_within_its_epoch(self, rt):
+        readings = [TagReading(t, TagId.object(i)) for i, t in enumerate(sorted(rt))]
+        reports = [ReaderLocationReport(max(rt), (0, 0, 0))]
+        epochs = synchronize(readings, reports, epoch_length=1.0)
+        by_number = {}
+        for e in epochs:
+            for tag in e.object_tags:
+                by_number[tag.number] = e.time
+        for reading in readings:
+            start = by_number[reading.tag.number]
+            assert start <= reading.time < start + 1.0
+
+
+class TestTraceRoundtripProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100),
+                st.integers(min_value=0, max_value=50),
+                st.booleans(),
+            ),
+            max_size=40,
+        ),
+        st.integers(min_value=1, max_value=20),
+    )
+    def test_dump_load_preserves_everything(self, reading_specs, n_epochs):
+        reading_specs.sort(key=lambda s: s[0])
+        readings = [
+            TagReading(t, TagId.shelf(n) if shelf else TagId.object(n))
+            for t, n, shelf in reading_specs
+        ]
+        reports = [
+            ReaderLocationReport(float(i), (float(i), 0.5, 0.0), heading=0.1 * i)
+            for i in range(n_epochs)
+        ]
+        truth = GroundTruth(
+            initial_positions={0: np.array([1.0, 2.0, 0.0])},
+            moves=[ObjectMove(min(3, n_epochs), 0, (1.0, 5.0, 0.0))],
+            reader_path=np.random.default_rng(0).normal(size=(n_epochs, 3)),
+            reader_headings=np.zeros(n_epochs),
+            shelf_tag_positions={7: np.array([0.0, 1.0, 0.0])},
+        )
+        trace = Trace(readings=readings, reports=reports, truth=truth)
+        loaded = Trace.loads(trace.dumps())
+        assert [str(r.tag) for r in loaded.readings] == [
+            str(r.tag) for r in readings
+        ]
+        assert [r.time for r in loaded.readings] == [r.time for r in readings]
+        assert len(loaded.reports) == n_epochs
+        assert loaded.truth is not None
+        np.testing.assert_allclose(loaded.truth.reader_path, truth.reader_path)
+        assert loaded.truth.moves == truth.moves

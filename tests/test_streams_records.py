@@ -1,0 +1,109 @@
+"""Tests for stream record types (Section II-A wire formats)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import StreamError
+from repro.streams.records import (
+    Epoch,
+    LocationEvent,
+    LocationStatistics,
+    ReaderLocationReport,
+    TagId,
+    TagKind,
+    TagReading,
+    make_epoch,
+)
+
+
+class TestTagId:
+    def test_constructors_and_predicates(self):
+        obj = TagId.object(5)
+        shelf = TagId.shelf(2)
+        assert obj.is_object and not obj.is_shelf
+        assert shelf.is_shelf and not shelf.is_object
+
+    def test_str_parse_roundtrip(self):
+        for tag in (TagId.object(17), TagId.shelf(0)):
+            assert TagId.parse(str(tag)) == tag
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(StreamError):
+            TagId.parse("banana")
+        with pytest.raises(StreamError):
+            TagId.parse("object:x")
+
+    def test_ordering_and_hash(self):
+        tags = {TagId.object(1), TagId.object(1), TagId.shelf(1)}
+        assert len(tags) == 2
+        assert sorted([TagId.shelf(2), TagId.shelf(1)])[0].number == 1
+
+
+class TestTagReading:
+    def test_valid(self):
+        reading = TagReading(1.5, TagId.object(3))
+        assert reading.time == 1.5
+
+    def test_rejects_nan_time(self):
+        with pytest.raises(StreamError):
+            TagReading(float("nan"), TagId.object(3))
+
+
+class TestReaderLocationReport:
+    def test_array(self):
+        report = ReaderLocationReport(0.0, (1.0, 2.0, 3.0))
+        assert report.array.tolist() == [1.0, 2.0, 3.0]
+        assert report.heading is None
+
+    def test_heading_carried(self):
+        report = ReaderLocationReport(0.0, (0.0, 0.0, 0.0), heading=math.pi)
+        assert report.heading == pytest.approx(math.pi)
+
+    def test_rejects_bad_position(self):
+        with pytest.raises(StreamError):
+            ReaderLocationReport(0.0, (1.0, float("inf"), 0.0))
+        with pytest.raises(StreamError):
+            ReaderLocationReport(0.0, (1.0, 2.0))  # type: ignore[arg-type]
+
+    def test_rejects_bad_heading(self):
+        with pytest.raises(StreamError):
+            ReaderLocationReport(0.0, (0.0, 0.0, 0.0), heading=float("nan"))
+
+
+class TestEpoch:
+    def test_make_epoch_coerces(self):
+        epoch = make_epoch(
+            3.0, (1, 2), object_tags=[1, 2], shelf_tags=[0], reported_heading=0.5
+        )
+        assert epoch.reported_position == (1.0, 2.0, 0.0)
+        assert TagId.object(1) in epoch.object_tags
+        assert TagId.shelf(0) in epoch.shelf_tags
+        assert epoch.reported_heading == 0.5
+        assert epoch.total_readings == 3
+
+    def test_position_array_none(self):
+        epoch = make_epoch(0.0)
+        assert epoch.position_array is None
+
+    def test_kind_enforcement(self):
+        with pytest.raises(StreamError):
+            Epoch(0.0, None, frozenset({TagId.shelf(1)}), frozenset())
+        with pytest.raises(StreamError):
+            Epoch(0.0, None, frozenset(), frozenset({TagId.object(1)}))
+
+
+class TestLocationEvent:
+    def test_event_requires_object_tag(self):
+        with pytest.raises(StreamError):
+            LocationEvent(0.0, TagId.shelf(1), (0.0, 0.0, 0.0))
+
+    def test_statistics_matrix(self):
+        cov = tuple(float(v) for v in np.eye(3).ravel())
+        stats = LocationStatistics(cov, 0.5, 100)
+        assert stats.covariance_matrix().tolist() == np.eye(3).tolist()
+
+    def test_event_array(self):
+        event = LocationEvent(1.0, TagId.object(4), (1.0, 2.0, 0.0))
+        assert event.array.tolist() == [1.0, 2.0, 0.0]

@@ -1,0 +1,119 @@
+"""Tests for traces, ground truth, and persistence."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import StreamError
+from repro.streams.records import ReaderLocationReport, TagId, TagReading
+from repro.streams.sources import GroundTruth, ObjectMove, Trace, merge_traces
+
+
+def tiny_truth(n_epochs=5):
+    return GroundTruth(
+        initial_positions={0: np.array([1.0, 0.0, 0.0]), 1: np.array([1.0, 2.0, 0.0])},
+        moves=[ObjectMove(3, 0, (1.0, 5.0, 0.0))],
+        reader_path=np.zeros((n_epochs, 3)),
+        reader_headings=np.zeros(n_epochs),
+        shelf_tag_positions={9: np.array([1.0, 1.0, 0.0])},
+    )
+
+
+def tiny_trace(offset=0.0, truth=None):
+    return Trace(
+        readings=[
+            TagReading(offset + 0.1, TagId.object(0)),
+            TagReading(offset + 1.1, TagId.object(1)),
+            TagReading(offset + 1.2, TagId.shelf(9)),
+        ],
+        reports=[
+            ReaderLocationReport(offset + 0.0, (0.0, 0.0, 0.0), heading=0.1),
+            ReaderLocationReport(offset + 1.0, (0.0, 0.1, 0.0)),
+        ],
+        truth=truth,
+        metadata={"name": "tiny"},
+    )
+
+
+class TestGroundTruth:
+    def test_location_before_and_after_move(self):
+        truth = tiny_truth()
+        assert truth.object_location_at(0, 0).tolist() == [1.0, 0.0, 0.0]
+        assert truth.object_location_at(0, 2).tolist() == [1.0, 0.0, 0.0]
+        assert truth.object_location_at(0, 3).tolist() == [1.0, 5.0, 0.0]
+        assert truth.object_location_at(0, 10).tolist() == [1.0, 5.0, 0.0]
+
+    def test_unmoved_object_constant(self):
+        truth = tiny_truth()
+        assert truth.object_location_at(1, 4).tolist() == [1.0, 2.0, 0.0]
+
+    def test_unknown_object_raises(self):
+        with pytest.raises(StreamError):
+            tiny_truth().object_location_at(42, 0)
+
+    def test_final_locations_reflect_moves(self):
+        finals = tiny_truth().final_object_locations()
+        assert finals[0].tolist() == [1.0, 5.0, 0.0]
+        assert finals[1].tolist() == [1.0, 2.0, 0.0]
+
+    def test_locations_at_midpoint(self):
+        locations = tiny_truth().locations_at(2)
+        assert locations[0].tolist() == [1.0, 0.0, 0.0]
+
+
+class TestTrace:
+    def test_epochs_synchronized(self):
+        epochs = tiny_trace().epochs()
+        assert len(epochs) == 2
+        assert epochs[0].reported_heading == pytest.approx(0.1)
+
+    def test_counts_and_numbers(self):
+        trace = tiny_trace()
+        assert trace.n_readings == 3
+        assert trace.object_tag_numbers() == [0, 1]
+        assert trace.shelf_tag_numbers() == [9]
+        assert trace.duration == pytest.approx(1.2)
+
+    def test_roundtrip_persistence(self):
+        trace = tiny_trace(truth=tiny_truth())
+        text = trace.dumps()
+        loaded = Trace.loads(text)
+        assert loaded.n_readings == trace.n_readings
+        assert loaded.metadata["name"] == "tiny"
+        assert loaded.reports[0].heading == pytest.approx(0.1)
+        assert loaded.reports[1].heading is None
+        assert loaded.truth is not None
+        assert loaded.truth.final_object_locations()[0].tolist() == [1.0, 5.0, 0.0]
+        assert loaded.truth.shelf_tag_positions[9].tolist() == [1.0, 1.0, 0.0]
+
+    def test_load_rejects_garbage(self):
+        with pytest.raises(StreamError):
+            Trace.load(io.StringIO("not json\n"))
+
+    def test_load_rejects_unknown_type(self):
+        with pytest.raises(StreamError):
+            Trace.load(io.StringIO('{"type": "mystery"}\n'))
+
+
+class TestMerge:
+    def test_merge_two_rounds(self):
+        a = tiny_trace(0.0, truth=tiny_truth())
+        b = tiny_trace(10.0, truth=tiny_truth())
+        merged = merge_traces([a, b])
+        assert merged.n_readings == 6
+        assert merged.truth is not None
+        assert merged.truth.reader_path.shape == (10, 3)
+        # The second part's move is offset by the first part's epochs.
+        move_epochs = [m.epoch_index for m in merged.truth.moves]
+        assert 3 in move_epochs and 8 in move_epochs
+
+    def test_merge_rejects_overlap(self):
+        a = tiny_trace(0.0)
+        b = tiny_trace(0.5)
+        with pytest.raises(StreamError):
+            merge_traces([a, b])
+
+    def test_merge_empty_raises(self):
+        with pytest.raises(StreamError):
+            merge_traces([])

@@ -1,0 +1,120 @@
+"""Tests for epoch synchronization (Section II-A preprocessing)."""
+
+import math
+
+import pytest
+
+from repro.errors import StreamError
+from repro.streams.records import ReaderLocationReport, TagId, TagReading
+from repro.streams.synchronize import EpochSynchronizer, synchronize
+
+
+def reading(t, number, shelf=False):
+    return TagReading(t, TagId.shelf(number) if shelf else TagId.object(number))
+
+
+def report(t, x=0.0, y=0.0, heading=None):
+    return ReaderLocationReport(t, (x, y, 0.0), heading=heading)
+
+
+class TestBatchSynchronize:
+    def test_groups_by_epoch(self):
+        epochs = synchronize(
+            [reading(0.1, 1), reading(0.7, 2), reading(1.2, 3)],
+            [report(0.0), report(1.0)],
+        )
+        assert len(epochs) == 2
+        assert {t.number for t in epochs[0].object_tags} == {1, 2}
+        assert {t.number for t in epochs[1].object_tags} == {3}
+
+    def test_averages_location_reports(self):
+        epochs = synchronize(
+            [reading(0.5, 1)],
+            [report(0.1, 1.0, 0.0), report(0.9, 3.0, 2.0)],
+        )
+        assert epochs[0].reported_position == pytest.approx((2.0, 1.0, 0.0))
+
+    def test_circular_heading_mean(self):
+        # Headings at +pi-0.1 and -pi+0.1 must average to ~pi, not 0.
+        epochs = synchronize(
+            [reading(0.5, 1)],
+            [
+                report(0.1, heading=math.pi - 0.1),
+                report(0.9, heading=-math.pi + 0.1),
+            ],
+        )
+        assert abs(abs(epochs[0].reported_heading) - math.pi) < 0.01
+
+    def test_separates_object_and_shelf_tags(self):
+        epochs = synchronize(
+            [reading(0.5, 1), reading(0.5, 2, shelf=True)], [report(0.5)]
+        )
+        assert {t.number for t in epochs[0].object_tags} == {1}
+        assert {t.number for t in epochs[0].shelf_tags} == {2}
+
+    def test_emit_empty_fills_gaps(self):
+        epochs = synchronize(
+            [reading(0.5, 1), reading(3.5, 2)],
+            [report(0.0), report(3.9)],
+            emit_empty=True,
+        )
+        assert len(epochs) == 4
+        assert epochs[1].total_readings == 0
+        assert epochs[1].reported_position is None
+
+    def test_no_empty_epochs_when_disabled(self):
+        epochs = synchronize(
+            [reading(0.5, 1), reading(3.5, 2)],
+            [report(0.0), report(3.9)],
+            emit_empty=False,
+        )
+        assert len(epochs) == 2
+
+    def test_custom_epoch_length(self):
+        epochs = synchronize(
+            [reading(0.0, 1), reading(0.6, 2)],
+            [report(0.0), report(0.9)],
+            epoch_length=0.5,
+        )
+        assert len(epochs) == 2
+        assert {t.number for t in epochs[0].object_tags} == {1}
+
+
+class TestOnlineSynchronizer:
+    def test_watermark_semantics(self):
+        sync = EpochSynchronizer()
+        sync.push_reading(reading(0.5, 1))
+        sync.push_report(report(0.2))
+        # Neither stream has passed epoch 0's end yet.
+        assert sync.ready_epochs() == []
+        sync.push_reading(reading(1.5, 2))
+        sync.push_report(report(1.1))
+        ready = sync.ready_epochs()
+        assert len(ready) == 1
+        assert {t.number for t in ready[0].object_tags} == {1}
+
+    def test_flush_emits_remaining(self):
+        sync = EpochSynchronizer()
+        sync.push_reading(reading(0.5, 1))
+        sync.push_report(report(0.5))
+        epochs = sync.flush()
+        assert len(epochs) == 1
+
+    def test_rejects_time_regression(self):
+        sync = EpochSynchronizer()
+        sync.push_reading(reading(1.0, 1))
+        with pytest.raises(StreamError):
+            sync.push_reading(reading(0.5, 2))
+        sync.push_report(report(2.0))
+        with pytest.raises(StreamError):
+            sync.push_report(report(1.0))
+
+    def test_rejects_bad_epoch_length(self):
+        with pytest.raises(StreamError):
+            EpochSynchronizer(epoch_length=0.0)
+
+    def test_epoch_times_are_boundaries(self):
+        epochs = synchronize(
+            [reading(2.3, 1)], [report(2.9)], epoch_length=1.0
+        )
+        assert epochs[0].time == pytest.approx(2.0)
