@@ -91,6 +91,34 @@ class CompressionConfig:
 
 
 @dataclass(frozen=True)
+class ArenaConfig:
+    """Sizing policy of the contiguous belief arena (``inference.arena``).
+
+    All uncompressed object particles live in one structure-of-arrays slab;
+    these knobs control how the slab grows and when freed holes (left behind
+    by compression or re-allocation) are squeezed out.
+    """
+
+    #: Rows (particles) allocated up front.  One row is one object particle;
+    #: the default fits ~8 objects at the paper's 1000 particles each before
+    #: the first growth.
+    initial_capacity: int = 8192
+    #: Capacity multiplier applied when an allocation does not fit.
+    growth_factor: float = 2.0
+    #: Compact (squeeze holes out of) the slab once freed rows exceed this
+    #: fraction of the occupied prefix.
+    compaction_threshold: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.initial_capacity < 1:
+            raise ConfigurationError("initial_capacity must be >= 1")
+        if self.growth_factor <= 1.0:
+            raise ConfigurationError("growth_factor must be > 1")
+        if not (0.0 < self.compaction_threshold <= 1.0):
+            raise ConfigurationError("compaction_threshold must be in (0, 1]")
+
+
+@dataclass(frozen=True)
 class SpatialIndexConfig:
     """Spatial-index behaviour (Section IV-C)."""
 
@@ -169,6 +197,7 @@ class InferenceConfig:
     split_cooldown_epochs: int = 12
     compression: CompressionConfig = field(default_factory=CompressionConfig)
     spatial_index: SpatialIndexConfig = field(default_factory=SpatialIndexConfig)
+    arena: ArenaConfig = field(default_factory=ArenaConfig)
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -229,9 +258,19 @@ class OutputPolicyConfig:
     #: Also emit an event whenever the estimate moves by more than this
     #: distance since the last emission (None disables).
     movement_threshold_ft: Optional[float] = None
+    #: Drop per-object visit bookkeeping once an object has been unread this
+    #: long *and* its pending event was emitted.  Bounds the pipeline's
+    #: memory on unbounded streams; a pruned object re-enters as a fresh
+    #: visit on its next read.  ``None`` retains visit state forever.
+    #: Ignored while ``movement_threshold_ft`` is set: movement re-emission
+    #: keeps emitted visits live indefinitely, so pruning would silently
+    #: cancel their future movement events.
+    visit_retention_s: Optional[float] = 900.0
 
     def __post_init__(self) -> None:
         if self.delay_s < 0:
             raise ConfigurationError("delay_s must be >= 0")
         if self.movement_threshold_ft is not None and self.movement_threshold_ft <= 0:
             raise ConfigurationError("movement_threshold_ft must be positive")
+        if self.visit_retention_s is not None and self.visit_retention_s <= 0:
+            raise ConfigurationError("visit_retention_s must be positive")

@@ -113,6 +113,8 @@ def run_factored(
             "compressions": float(engine.stats["compressions"]),
             "objects_processed": float(engine.stats["objects_processed"]),
             "objects_skipped": float(engine.stats["objects_skipped"]),
+            # Final-epoch snapshot (the other counters are whole-trace sums).
+            "last_epoch_active_count": float(engine.active_count),
         },
     )
 

@@ -109,6 +109,30 @@ def bearings(origin: ArrayLike, phi: float, targets: np.ndarray) -> np.ndarray:
     return np.where(d < _EPS, 0.0, theta)
 
 
+def delta_range_bearing(
+    delta: np.ndarray, cos_phi: np.ndarray, sin_phi: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(d, theta)`` from precomputed displacements and heading trig.
+
+    The broadcast-friendly core shared by every likelihood kernel that
+    scores tag positions against *per-hypothesis* reader poses: ``delta``
+    is ``(..., 3)`` (target minus reader) and ``cos_phi``/``sin_phi``
+    broadcast against its leading shape — per-row gathered trig for the
+    factored filter's cross-object batches, a ``(J, 1)`` column for the
+    naive filter's particle-by-object grid, a flat ``(J,)`` vector for
+    shelf-tag evidence.  Keeping the degenerate-planar guard, the cosine
+    clip, and the bearing convention in one place is what lets those three
+    callers stay in exact agreement.
+    """
+    planar = np.hypot(delta[..., 0], delta[..., 1])
+    d = np.sqrt(np.einsum("...i,...i->...", delta, delta))
+    safe = np.where(planar < _EPS, 1.0, planar)
+    cos_theta = (delta[..., 0] * cos_phi + delta[..., 1] * sin_phi) / safe
+    cos_theta = np.clip(cos_theta, -1.0, 1.0)
+    theta = np.where(planar < _EPS, 0.0, np.arccos(cos_theta))
+    return d, theta
+
+
 def distances_and_bearings(
     origin: ArrayLike, phi: float, targets: np.ndarray
 ) -> Tuple[np.ndarray, np.ndarray]:

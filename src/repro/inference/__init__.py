@@ -1,11 +1,15 @@
 """Inference engines (Section IV): naive and factored particle filters,
-spatial-index active-set selection, belief compression, and the cleaning
-pipeline that turns raw epochs into location events."""
+the contiguous belief arena backing them, spatial-index active-set
+selection, belief compression, and the cleaning pipeline that turns raw
+epochs into location events."""
 
+from .arena import BeliefArena, segment_gather_indices
 from .base import (
     effective_sample_size,
     normalize_log_weights,
     resample_log_weights,
+    segmented_ess,
+    segmented_normalize,
     systematic_resample,
     weighted_mean_cov,
 )
@@ -14,6 +18,7 @@ from .compression import (
     GaussianBelief,
     compress,
     compression_error,
+    segmented_compression_errors,
     select_for_compression,
 )
 from .estimates import LocationEstimate
@@ -24,6 +29,7 @@ from .spatial import ActiveSetSelector
 
 __all__ = [
     "ActiveSetSelector",
+    "BeliefArena",
     "CleaningPipeline",
     "CompressionCandidate",
     "FactoredParticleFilter",
@@ -37,6 +43,10 @@ __all__ = [
     "effective_sample_size",
     "normalize_log_weights",
     "resample_log_weights",
+    "segment_gather_indices",
+    "segmented_compression_errors",
+    "segmented_ess",
+    "segmented_normalize",
     "select_for_compression",
     "systematic_resample",
     "weighted_mean_cov",

@@ -1,0 +1,315 @@
+"""Contiguous belief arena: one structure-of-arrays slab for all particles.
+
+The seed implementation stored each object's particles in its own trio of
+small numpy arrays, so the filter's hot loop ran one Python iteration (and a
+dozen tiny numpy kernels) per active object per epoch.  At thousands of tags
+the cost is dominated by interpreter and dispatch overhead, not math.
+
+:class:`BeliefArena` replaces the per-object arrays with one contiguous
+structure-of-arrays —
+
+* ``positions``   — ``(capacity, 3)`` float64 location hypotheses,
+* ``parents``     — ``(capacity,)``  int32 pointers into reader particles,
+* ``log_weights`` — ``(capacity,)``  float64 per-particle log factors,
+
+— plus a slot table mapping each object id to a contiguous ``[start, start +
+count)`` block.  Per-object access stays zero-copy (numpy views into the
+slab), while cross-object kernels (propagation, likelihood scoring,
+per-segment normalization / ESS via ``np.add.reduceat``) run once over the
+whole active set.  Estimates (:mod:`.estimates`) and compression
+(:mod:`.compression`) consume the same views, so nothing downstream copies.
+
+Allocation is a bump allocator over the slab with deferred reclamation:
+freeing a slot (belief compressed, or re-allocated at a different size)
+leaves a hole that is squeezed out by :meth:`compact` once holes exceed
+``ArenaConfig.compaction_threshold`` of the occupied prefix, or earlier if an
+allocation would otherwise force a grow.  Growing multiplies capacity by
+``ArenaConfig.growth_factor``.
+
+**View lifetime**: views returned by :meth:`positions` / :meth:`parents` /
+:meth:`log_weights` are invalidated by any call that can move memory
+(:meth:`allocate`, :meth:`set_object`, :meth:`free`, :meth:`compact`) —
+re-fetch them afterwards.  The filter's epoch loop therefore does all
+allocation up front, then runs its batched kernels on gathered copies and
+scatters the results back.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..config import ArenaConfig
+from ..errors import InferenceError
+
+#: Accounting bytes per occupied row: 3 float64 coordinates, one int32
+#: parent pointer, one float64 log weight (the Section V-D memory metric).
+ROW_BYTES = 3 * 8 + 4 + 8
+
+
+def segment_gather_indices(
+    starts: np.ndarray, lengths: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Row indices that gather segments ``[starts_i, starts_i + lengths_i)``
+    into one contiguous batch, plus each segment's offset within the batch.
+
+    The returned ``batch_starts`` is exactly the ``indices`` argument that
+    ``np.add.reduceat`` / ``np.maximum.reduceat`` need to reduce the gathered
+    batch per segment.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    starts = np.asarray(starts, dtype=np.int64)
+    total = int(lengths.sum())
+    batch_starts = np.zeros(lengths.size, dtype=np.int64)
+    if lengths.size:
+        np.cumsum(lengths[:-1], out=batch_starts[1:])
+    if total == 0:
+        return np.empty(0, dtype=np.int64), batch_starts
+    idx = np.arange(total, dtype=np.int64) + np.repeat(starts - batch_starts, lengths)
+    return idx, batch_starts
+
+
+class BeliefArena:
+    """Slot-allocated SoA storage for every uncompressed object belief."""
+
+    def __init__(self, config: ArenaConfig = ArenaConfig()):
+        self._config = config
+        capacity = int(config.initial_capacity)
+        self._positions = np.zeros((capacity, 3), dtype=float)
+        self._parents = np.zeros(capacity, dtype=np.int32)
+        self._log_weights = np.zeros(capacity, dtype=float)
+        #: object id -> (start, count); blocks never overlap.
+        self._slots: Dict[int, Tuple[int, int]] = {}
+        self._end = 0  # bump pointer: rows at >= _end are virgin
+        self._free_rows = 0  # rows in holes below _end
+        self.stats: Dict[str, int] = {"grows": 0, "compactions": 0}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self._positions.shape[0]
+
+    @property
+    def used_rows(self) -> int:
+        """Rows currently owned by live slots (excludes holes)."""
+        return self._end - self._free_rows
+
+    @property
+    def free_rows(self) -> int:
+        """Reclaimable rows sitting in holes below the bump pointer."""
+        return self._free_rows
+
+    def __contains__(self, object_id: int) -> bool:
+        return object_id in self._slots
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def count(self, object_id: int) -> int:
+        return self._slots[object_id][1]
+
+    def memory_bytes(self) -> int:
+        """Bytes attributable to live particle rows (8 per float, 4 per
+        parent pointer) — holes and slack capacity are not charged, matching
+        the seed's per-belief accounting."""
+        return self.used_rows * ROW_BYTES
+
+    # ------------------------------------------------------------------
+    # Per-object views (zero-copy; invalidated by allocate/free/compact)
+    # ------------------------------------------------------------------
+    def _slice(self, object_id: int) -> slice:
+        try:
+            start, count = self._slots[object_id]
+        except KeyError:
+            raise InferenceError(f"no arena slot for object {object_id}") from None
+        return slice(start, start + count)
+
+    def positions(self, object_id: int) -> np.ndarray:
+        return self._positions[self._slice(object_id)]
+
+    def parents(self, object_id: int) -> np.ndarray:
+        return self._parents[self._slice(object_id)]
+
+    def log_weights(self, object_id: int) -> np.ndarray:
+        return self._log_weights[self._slice(object_id)]
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def allocate(self, object_id: int, count: int) -> None:
+        """Claim a ``count``-row block for ``object_id`` (contents undefined).
+
+        An existing same-size slot is reused in place; a different-size slot
+        is freed and re-claimed at the bump pointer.
+        """
+        if count < 1:
+            raise InferenceError("cannot allocate an empty belief block")
+        existing = self._slots.get(object_id)
+        if existing is not None:
+            if existing[1] == count:
+                return
+            self.free(object_id, compact_ok=False)
+        if self._end + count > self.capacity:
+            self._make_room(count)
+        self._slots[object_id] = (self._end, count)
+        self._end += count
+
+    def set_object(
+        self,
+        object_id: int,
+        positions: np.ndarray,
+        parents: np.ndarray,
+        log_weights: np.ndarray,
+    ) -> None:
+        """Allocate (or reuse) a slot and write a full particle block."""
+        k = positions.shape[0]
+        if parents.shape[0] != k or log_weights.shape[0] != k:
+            raise InferenceError(
+                f"inconsistent block sizes {positions.shape[0]}/"
+                f"{parents.shape[0]}/{log_weights.shape[0]}"
+            )
+        self.allocate(object_id, k)
+        block = self._slice(object_id)
+        self._positions[block] = positions
+        self._parents[block] = parents
+        self._log_weights[block] = log_weights
+
+    def free(self, object_id: int, compact_ok: bool = True) -> None:
+        """Release an object's block, leaving a hole for later compaction."""
+        start, count = self._slots.pop(object_id)
+        if start + count == self._end:
+            self._end -= count  # tail block: reclaim instantly
+        else:
+            self._free_rows += count
+        if (
+            compact_ok
+            and self._free_rows
+            and self._free_rows >= self._config.compaction_threshold * self._end
+        ):
+            self.compact()
+
+    def _make_room(self, count: int) -> None:
+        """Ensure ``count`` rows fit at the bump pointer: compact if that is
+        enough, otherwise grow the slab."""
+        if self.used_rows + count <= self.capacity and self._free_rows:
+            self.compact()
+        while self._end + count > self.capacity:
+            self._grow(self.used_rows + count)
+
+    def _grow(self, minimum_rows: int) -> None:
+        new_capacity = max(
+            int(np.ceil(self.capacity * self._config.growth_factor)),
+            minimum_rows,
+            1,
+        )
+        positions = np.zeros((new_capacity, 3), dtype=float)
+        parents = np.zeros(new_capacity, dtype=np.int32)
+        log_weights = np.zeros(new_capacity, dtype=float)
+        positions[: self._end] = self._positions[: self._end]
+        parents[: self._end] = self._parents[: self._end]
+        log_weights[: self._end] = self._log_weights[: self._end]
+        self._positions, self._parents, self._log_weights = (
+            positions,
+            parents,
+            log_weights,
+        )
+        self.stats["grows"] += 1
+
+    def compact(self) -> None:
+        """Squeeze holes out of the occupied prefix, preserving block order.
+
+        Blocks only ever move toward lower addresses, so the in-place copies
+        below never overwrite a block that has not been moved yet.
+        """
+        write = 0
+        for object_id, (start, count) in sorted(
+            self._slots.items(), key=lambda item: item[1][0]
+        ):
+            if start != write:
+                self._positions[write : write + count] = self._positions[
+                    start : start + count
+                ]
+                self._parents[write : write + count] = self._parents[
+                    start : start + count
+                ]
+                self._log_weights[write : write + count] = self._log_weights[
+                    start : start + count
+                ]
+                self._slots[object_id] = (write, count)
+            write += count
+        self._end = write
+        self._free_rows = 0
+        self.stats["compactions"] += 1
+
+    # ------------------------------------------------------------------
+    # Cross-object batching
+    # ------------------------------------------------------------------
+    def segments(self, object_ids: Sequence[int]) -> Tuple[np.ndarray, np.ndarray]:
+        """Arena ``(starts, lengths)`` for an ordered list of objects."""
+        n = len(object_ids)
+        starts = np.empty(n, dtype=np.int64)
+        lengths = np.empty(n, dtype=np.int64)
+        slots = self._slots
+        for i, object_id in enumerate(object_ids):
+            starts[i], lengths[i] = slots[object_id]
+        return starts, lengths
+
+    def gather(
+        self, object_ids: Sequence[int]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Copy the objects' blocks into one contiguous batch.
+
+        Returns ``(positions, parents, log_weights, row_indices,
+        batch_starts, lengths)``; mutate the copies freely, then push them
+        back with :meth:`scatter(row_indices, ...) <scatter>`.
+        ``batch_starts`` are the per-segment offsets inside the batch (the
+        ``reduceat`` boundaries).
+        """
+        starts, lengths = self.segments(object_ids)
+        idx, batch_starts = segment_gather_indices(starts, lengths)
+        return (
+            self._positions[idx],
+            self._parents[idx],
+            self._log_weights[idx],
+            idx,
+            batch_starts,
+            lengths,
+        )
+
+    def scatter(
+        self,
+        row_indices: np.ndarray,
+        positions: np.ndarray = None,
+        parents: np.ndarray = None,
+        log_weights: np.ndarray = None,
+    ) -> None:
+        """Write gathered (and possibly updated) batch arrays back."""
+        if positions is not None:
+            self._positions[row_indices] = positions
+        if parents is not None:
+            self._parents[row_indices] = parents
+        if log_weights is not None:
+            self._log_weights[row_indices] = log_weights
+
+    def remap_parents(self, old_to_new: np.ndarray, rng: np.random.Generator) -> None:
+        """Rewrite every parent pointer through an ancestor map after a
+        reader resample; pointers at dropped readers (map value < 0) are
+        re-pointed at a random survivor.
+
+        Operates on the whole occupied prefix in one vectorized pass; rows
+        sitting in holes are remapped too, which is harmless — their values
+        are overwritten before any future use.
+        """
+        j = old_to_new.shape[0]
+        live = self._parents[: self._end]
+        remapped = old_to_new[live]
+        dropped = remapped < 0
+        if dropped.any():
+            remapped[dropped] = rng.integers(0, j, size=int(dropped.sum()))
+        self._parents[: self._end] = remapped
+
+    def object_ids(self) -> List[int]:
+        return list(self._slots)

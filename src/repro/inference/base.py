@@ -4,6 +4,14 @@ All engines keep weights in log space (sensor likelihoods of far-away
 negatives multiply thousands of near-one factors; products underflow fast in
 linear space) and resample with the systematic ("stochastic universal")
 scheme, which has lower variance than multinomial resampling and costs O(n).
+
+The ``segmented_*`` family operates on a *batch* of independent particle
+sets laid out back-to-back in one flat array (the belief arena's layout,
+one segment per object), reducing per segment with ``np.add.reduceat`` /
+``np.maximum.reduceat`` so that normalization and ESS for thousands of
+objects cost a handful of numpy calls instead of a Python loop.  Each
+segment's result matches calling the scalar helper on that segment alone
+(up to summation-order roundoff).
 """
 
 from __future__ import annotations
@@ -74,6 +82,40 @@ def resample_log_weights(
     """Systematic resampling straight from log weights."""
     p, _ = normalize_log_weights(log_weights)
     return systematic_resample(p, n, rng)
+
+
+def segmented_normalize(
+    log_weights: np.ndarray, starts: np.ndarray, lengths: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-segment :func:`normalize_log_weights` over a flat batch.
+
+    ``starts``/``lengths`` delimit contiguous segments covering the whole
+    array (``starts[0] == 0``, ``starts[i+1] == starts[i] + lengths[i]``).
+    Returns ``(probabilities, log_normalizers)`` where probabilities are
+    normalized *within* each segment and ``log_normalizers`` has one entry
+    per segment.  A segment of all ``-inf`` degrades to uniform, like the
+    scalar helper.  Hot-path code: inputs are trusted, not validated.
+    """
+    lw = np.asarray(log_weights, dtype=float)
+    m = np.maximum.reduceat(lw, starts)
+    bad = ~np.isfinite(m)
+    if bad.any():
+        m = np.where(bad, 0.0, m)
+    shifted = np.exp(lw - np.repeat(m, lengths))
+    if bad.any():
+        shifted[np.repeat(bad, lengths)] = 1.0
+    totals = np.add.reduceat(shifted, starts)
+    p = shifted / np.repeat(totals, lengths)
+    log_norm = np.where(bad, -np.inf, m + np.log(totals))
+    return p, log_norm
+
+
+def segmented_ess(
+    log_weights: np.ndarray, starts: np.ndarray, lengths: np.ndarray
+) -> np.ndarray:
+    """Per-segment :func:`effective_sample_size` over a flat batch."""
+    p, _ = segmented_normalize(log_weights, starts, lengths)
+    return 1.0 / np.add.reduceat(np.square(p), starts)
 
 
 def weighted_mean_cov(

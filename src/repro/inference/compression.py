@@ -27,7 +27,7 @@ import numpy as np
 
 from ..config import CompressionConfig
 from ..errors import InferenceError
-from .base import weighted_mean_cov
+from .base import segmented_normalize, weighted_mean_cov
 from .estimates import LocationEstimate
 
 #: Diagonal jitter added to compressed covariances so that decompression
@@ -82,6 +82,28 @@ def compression_error(points: np.ndarray, log_weights: np.ndarray) -> float:
     """
     _, cov = weighted_mean_cov(points, log_weights)
     return float(np.trace(cov))
+
+
+def segmented_compression_errors(
+    points: np.ndarray,
+    log_weights: np.ndarray,
+    starts: np.ndarray,
+    lengths: np.ndarray,
+) -> np.ndarray:
+    """Per-segment :func:`compression_error` over a flat cross-object batch
+    (the belief arena's layout): one vectorized pass scores every candidate.
+
+    Uses ``E||x - mu||^2 = E||x||^2 - ||mu||^2`` per segment; warehouse
+    coordinates are tens of feet and spreads fractions of a foot, so the
+    cancellation costs ~8 of the 16 significant digits — far inside the
+    tolerance of a compression *ranking* criterion.
+    """
+    p, _ = segmented_normalize(log_weights, starts, lengths)
+    means = np.add.reduceat(points * p[:, None], starts, axis=0)
+    second_moment = np.add.reduceat(
+        p * np.einsum("ij,ij->i", points, points), starts
+    )
+    return np.maximum(second_moment - np.einsum("ij,ij->i", means, means), 0.0)
 
 
 @dataclass(frozen=True)

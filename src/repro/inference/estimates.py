@@ -5,6 +5,11 @@ can be estimated by a weighted average of the particles ... it is easy to
 compute any desired statistics, such as the mean, the variance, or a
 confidence region."  :class:`LocationEstimate` is that summary object; it
 also converts to the optional statistics field of output events.
+
+The ``*_from_particles`` constructors accept any ``(n, 3)`` float array —
+in particular the zero-copy views the belief arena hands out — and never
+mutate or retain their inputs, so estimates read straight off the arena
+without copying particle blocks.
 """
 
 from __future__ import annotations

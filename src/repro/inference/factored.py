@@ -4,14 +4,28 @@ indexing (Section IV-C) and belief compression (Section IV-D).
 Data structures follow Fig. 3 of the paper:
 
 * a list of **reader particles** — reader pose hypotheses with weights;
-* per object, a list of **object particles**, each holding a location
+* per object, a block of **object particles**, each holding a location
   hypothesis, a *pointer to a reader particle* (the ``parents`` array), and
   a weight;
-* an index from tag id to the object's particles (the ``_beliefs`` dict).
+* an index from tag id to the object's particles (the ``_beliefs`` dict of
+  :class:`ObjectBelief` handles).
 
 Factored weight semantics (Eq. 5): the implicit unfactored particle weight is
 the reader weight times the product of per-object weights; the filter only
 ever manipulates the factors, in log space.
+
+**Storage and batching.**  All uncompressed particle blocks live in one
+contiguous :class:`~repro.inference.arena.BeliefArena` (structure-of-arrays:
+positions, parents, log weights), and the per-epoch update runs as batched
+kernels over the whole active set at once — one fused
+:meth:`~repro.models.objects.ObjectLocationModel.propagate_many` call, one
+fused :meth:`~repro.models.joint.RFIDWorldModel.object_evidence_log_likelihood`
+call with per-row read flags, and per-object (per-segment) weight
+normalization / ESS / feedback reductions via ``np.add.reduceat``.  Only
+objects whose ESS actually collapsed are touched individually (to resample).
+This removes the per-object Python loop that dominated the seed's runtime at
+thousands of tags; semantics are unchanged up to the random-number
+consumption order.
 
 The resampling step is the paper's one omitted detail (deferred to a
 now-unavailable tech report); DESIGN.md Section 3.4 documents the
@@ -31,8 +45,6 @@ reconstruction implemented here:
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
@@ -43,49 +55,97 @@ from ..geometry.cone import Cone
 from ..models.joint import RFIDWorldModel
 from ..models.priors import ReinitDecision, SensorBasedInitializer, classify_redetection
 from ..streams.records import Epoch
+from .arena import BeliefArena
 from .base import (
     effective_sample_size,
     normalize_log_weights,
     resample_log_weights,
+    segmented_normalize,
     stratified_heading_mean,
     systematic_resample,
 )
 from .compression import (
     CompressionCandidate,
     GaussianBelief,
-    compression_error,
+    segmented_compression_errors,
     select_for_compression,
 )
 from .estimates import LocationEstimate
 from .spatial import ActiveSetSelector
 
+#: Bytes accounted per compressed Gaussian: 9 floats (symmetric covariance)
+#: plus 3 for the mean (the Section V-D bookkeeping).
+_GAUSSIAN_BYTES = (9 + 3) * 8
 
-@dataclass
+
 class ObjectBelief:
-    """Belief state for one object: particle cloud or compressed Gaussian."""
+    """Belief handle for one object: arena-backed particle block or
+    compressed Gaussian.
 
-    particles: Optional[np.ndarray]  # (K, 3), None when compressed
-    parents: Optional[np.ndarray]  # (K,) int32 pointers into reader particles
-    log_weights: Optional[np.ndarray]  # (K,)
-    gaussian: Optional[GaussianBelief]
-    created_epoch: int
-    last_read_epoch: int
-    last_read_anchor: np.ndarray  # reader location at the last read
-    last_split_epoch: int = -(10**9)  # last SPLIT/RESET (cooldown bookkeeping)
+    ``particles`` / ``parents`` / ``log_weights`` are zero-copy views into
+    the shared :class:`~repro.inference.arena.BeliefArena` (``None`` while
+    compressed); they are re-fetched on every access, so handles stay valid
+    across arena growth and compaction.
+    """
+
+    __slots__ = (
+        "_arena",
+        "number",
+        "gaussian",
+        "created_epoch",
+        "last_read_epoch",
+        "last_read_anchor",
+        "last_split_epoch",
+    )
+
+    def __init__(
+        self,
+        arena: BeliefArena,
+        number: int,
+        created_epoch: int,
+        last_read_epoch: int,
+        last_read_anchor: np.ndarray,
+    ):
+        self._arena = arena
+        self.number = number
+        self.gaussian: Optional[GaussianBelief] = None
+        self.created_epoch = created_epoch
+        self.last_read_epoch = last_read_epoch
+        self.last_read_anchor = last_read_anchor
+        self.last_split_epoch = -(10**9)  # last SPLIT/RESET (cooldown bookkeeping)
 
     @property
     def compressed(self) -> bool:
         return self.gaussian is not None
 
     @property
+    def particles(self) -> Optional[np.ndarray]:
+        """(K, 3) view into the arena, None when compressed."""
+        if self.gaussian is not None:
+            return None
+        return self._arena.positions(self.number)
+
+    @property
+    def parents(self) -> Optional[np.ndarray]:
+        """(K,) int32 view of pointers into reader particles."""
+        if self.gaussian is not None:
+            return None
+        return self._arena.parents(self.number)
+
+    @property
+    def log_weights(self) -> Optional[np.ndarray]:
+        """(K,) view of per-particle log weight factors."""
+        if self.gaussian is not None:
+            return None
+        return self._arena.log_weights(self.number)
+
+    @property
     def particle_count(self) -> int:
-        return 0 if self.particles is None else int(self.particles.shape[0])
+        return 0 if self.gaussian is not None else self._arena.count(self.number)
 
     def estimate(self) -> LocationEstimate:
-        if self.compressed:
-            assert self.gaussian is not None
+        if self.gaussian is not None:
             return self.gaussian.estimate()
-        assert self.particles is not None and self.log_weights is not None
         # Robust: ignores the thin uniform-over-shelves mixture component
         # that the object movement model injects into unobserved beliefs.
         return LocationEstimate.robust_from_particles(
@@ -93,33 +153,34 @@ class ObjectBelief:
         )
 
 
-def _object_log_likelihood(
-    model: RFIDWorldModel,
-    reader_positions: np.ndarray,
-    cos_headings: np.ndarray,
-    sin_headings: np.ndarray,
-    particles: np.ndarray,
+def _segmented_reader_feedback(
     parents: np.ndarray,
-    is_read: bool,
+    inc: np.ndarray,
+    seg_starts: np.ndarray,
+    lengths: np.ndarray,
+    seg_weighted: np.ndarray,
+    n_readers: int,
 ) -> np.ndarray:
-    """log p(Ô_i | R_parent, O_k) per object particle.
+    """Sum over objects of the log mean-likelihood per reader.
 
-    Each particle is scored against *its own* reader hypothesis, which is
-    what makes the representation factored rather than marginalized.  The
-    headings' trig is precomputed once per epoch (this function runs for
-    every active object every epoch).
+    Per object (segment), readers with attached particles get the mean
+    likelihood of those particles; readers with none get the object's
+    overall mean (neutral — absence of pointers neither punishes nor
+    rewards).  Segments with ``seg_weighted`` False (freshly created or
+    reinitialized this epoch) contribute nothing.  One pass of ``bincount``
+    over (segment, reader) keys replaces the seed's per-object loop.
     """
-    ppos = reader_positions[parents]
-    delta = particles - ppos
-    planar = np.hypot(delta[:, 0], delta[:, 1])
-    d = np.linalg.norm(delta, axis=1)
-    safe = np.where(planar < 1e-12, 1.0, planar)
-    cos_theta = (
-        delta[:, 0] * cos_headings[parents] + delta[:, 1] * sin_headings[parents]
-    ) / safe
-    cos_theta = np.clip(cos_theta, -1.0, 1.0)
-    theta = np.where(planar < 1e-12, 0.0, np.arccos(cos_theta))
-    return model.sensor.log_likelihood(d, theta, is_read)
+    lik = np.exp(np.clip(inc, -60.0, 0.0))
+    n_seg = lengths.size
+    seg_ids = np.repeat(np.arange(n_seg, dtype=np.int64), lengths)
+    keys = seg_ids * n_readers + parents
+    bins = n_seg * n_readers
+    sums = np.bincount(keys, weights=lik, minlength=bins).reshape(n_seg, n_readers)
+    counts = np.bincount(keys, minlength=bins).reshape(n_seg, n_readers)
+    overall = np.add.reduceat(lik, seg_starts) / lengths
+    means = np.where(counts > 0, sums / np.maximum(counts, 1), overall[:, None])
+    log_means = np.log(np.maximum(means, 1e-300))
+    return log_means[seg_weighted].sum(axis=0)
 
 
 class FactoredParticleFilter:
@@ -130,7 +191,8 @@ class FactoredParticleFilter:
     model:
         The joint probabilistic model to invert.
     config:
-        Particle counts, resampling thresholds, index/compression policies.
+        Particle counts, resampling thresholds, index/compression/arena
+        policies.
     initial_position / initial_heading:
         Prior reader pose.  ``initial_position=None`` defers to the first
         epoch's reported position (the usual case).
@@ -161,7 +223,10 @@ class FactoredParticleFilter:
         self._last_reported: Optional[np.ndarray] = None  # odometry anchor
         self._last_reported_epoch: int = -(10**9)
 
+        self.arena = BeliefArena(config.arena)
         self._beliefs: Dict[int, ObjectBelief] = {}
+        self._known_cache: Optional[List[int]] = None
+        self._active_count = 0
         self._selector = ActiveSetSelector(config.spatial_index)
         self._initializer = SensorBasedInitializer(config, model.shelves)
         # The Case-2 sensing region (Section IV-C) is sized to where the
@@ -194,8 +259,18 @@ class FactoredParticleFilter:
     def epoch_index(self) -> int:
         return self._epoch_index
 
+    @property
+    def active_count(self) -> int:
+        """Objects processed in the most recent epoch (O(1) — no re-scan)."""
+        return self._active_count
+
     def known_objects(self) -> List[int]:
-        return sorted(self._beliefs)
+        """Sorted ids of every object seen so far.  The sorted list is
+        cached (objects are only ever added), so repeated per-epoch calls
+        don't re-sort."""
+        if self._known_cache is None:
+            self._known_cache = sorted(self._beliefs)
+        return list(self._known_cache)
 
     def belief(self, object_number: int) -> ObjectBelief:
         try:
@@ -218,16 +293,10 @@ class FactoredParticleFilter:
 
     def belief_memory_bytes(self) -> int:
         """Approximate bytes held by object beliefs (the Section V-D memory
-        metric): 8 bytes per float plus 4 per parent pointer, 9 floats per
-        compressed Gaussian (mean is 3 more)."""
-        total = 0
-        for belief in self._beliefs.values():
-            if belief.compressed:
-                total += (9 + 3) * 8
-            else:
-                k = belief.particle_count
-                total += k * 3 * 8 + k * 4 + k * 8
-        return total
+        metric): 8 bytes per float plus 4 per parent pointer for live arena
+        rows, 9 floats per compressed Gaussian (mean is 3 more)."""
+        compressed = sum(1 for b in self._beliefs.values() if b.compressed)
+        return self.arena.memory_bytes() + compressed * _GAUSSIAN_BYTES
 
     # ------------------------------------------------------------------
     # Main update
@@ -269,29 +338,30 @@ class FactoredParticleFilter:
         # --- active set (Cases 1 and 2) ----------------------------------
         read_now = {tag.number for tag in epoch.object_tags}
         active = self._selector.select(read_now, self._beliefs.keys(), current_box)
+        self._active_count = len(active)
         self.stats["objects_processed"] += len(active)
         self.stats["objects_skipped"] += max(0, len(self._beliefs) - len(active))
 
         # --- (re)initialize / decompress read objects --------------------
         skip_weighting: Set[int] = set()
         for number in read_now:
-            if number not in self._beliefs:
+            belief = self._beliefs.get(number)
+            if belief is None:
                 self._create_belief(number, anchor, heading)
                 skip_weighting.add(number)
                 continue
-            belief = self._beliefs[number]
             if belief.compressed:
                 self._decompress(number)
-                belief = self._beliefs[number]
             else:
                 decision = self._redetection_decision(belief, anchor, heading)
                 if decision is not ReinitDecision.KEEP:
-                    assert belief.particles is not None
-                    belief.particles = self._initializer.reinitialize(
+                    particles = self._initializer.reinitialize(
                         belief.particles, decision, anchor, heading, self._rng
                     )
-                    belief.log_weights = np.zeros(belief.particle_count)
-                    belief.parents = self._random_parents(belief.particle_count)
+                    k = particles.shape[0]
+                    self.arena.set_object(
+                        number, particles, self._random_parents(k), np.zeros(k)
+                    )
                     belief.last_split_epoch = self._epoch_index
                     skip_weighting.add(number)
                     if decision is ReinitDecision.RESET:
@@ -299,53 +369,75 @@ class FactoredParticleFilter:
             belief.last_read_epoch = self._epoch_index
             belief.last_read_anchor = anchor.copy()
 
-        # --- propagate + weight active objects (Eq. 5, w_ti) --------------
+        # --- propagate + weight active objects (Eq. 5, w_ti), batched -----
+        # One gather builds a contiguous cross-object batch; every kernel
+        # below runs once over all active objects.
         feedback: Optional[np.ndarray] = None
-        if self.config.reader_feedback:
-            feedback = np.zeros(self._reader_positions.shape[0])
-        cos_headings = np.cos(self._reader_headings)
-        sin_headings = np.sin(self._reader_headings)
-        for number in sorted(active):
-            belief = self._beliefs.get(number)
-            if belief is None or belief.compressed:
-                continue  # compressed Case-2 objects stay compressed
-            assert belief.particles is not None
-            assert belief.parents is not None and belief.log_weights is not None
-            belief.particles = self.model.objects.propagate(belief.particles, self._rng)
-            if number in skip_weighting:
-                continue
-            inc = _object_log_likelihood(
-                self.model,
-                self._reader_positions,
-                cos_headings,
-                sin_headings,
-                belief.particles,
-                belief.parents,
-                is_read=number in read_now,
-            )
-            belief.log_weights = belief.log_weights + inc
-            belief.log_weights -= belief.log_weights.max()
-            if feedback is not None:
-                feedback += self._per_reader_feedback(belief.parents, inc)
-            self._maybe_resample_object(belief)
+        batch_ids = [
+            n
+            for n in sorted(active)
+            if n in self._beliefs and not self._beliefs[n].compressed
+        ]
+        if batch_ids:
+            pos, par, lw, rows, seg_starts, lengths = self.arena.gather(batch_ids)
+            self.model.objects.propagate_many(pos, self._rng, in_place=True)
 
-        # --- record the sensing region (Fig 4b) ---------------------------
-        if self._selector.enabled and current_box is not None:
-            attached = []
-            for number in active:
-                belief = self._beliefs.get(number)
-                if belief is None or belief.particles is None:
-                    continue
-                inside = current_box.contains_points(belief.particles)
-                if not inside.any():
-                    continue
-                assert belief.log_weights is not None
-                p, _ = normalize_log_weights(belief.log_weights)
+            n_seg = len(batch_ids)
+            seg_read = np.fromiter(
+                (n in read_now for n in batch_ids), dtype=bool, count=n_seg
+            )
+            seg_weighted = np.fromiter(
+                (n not in skip_weighting for n in batch_ids), dtype=bool, count=n_seg
+            )
+
+            # Fused likelihood: every particle against its own reader
+            # hypothesis, per-row read flags expanded from per-segment ones.
+            inc = self.model.object_evidence_log_likelihood(
+                self._reader_positions,
+                np.cos(self._reader_headings),
+                np.sin(self._reader_headings),
+                pos,
+                par,
+                np.repeat(seg_read, lengths),
+            )
+            if not seg_weighted.all():
+                # Freshly created / reinitialized objects keep their uniform
+                # weights this epoch (the seed's skip_weighting semantics).
+                inc[np.repeat(~seg_weighted, lengths)] = 0.0
+            lw += inc
+            lw -= np.repeat(np.maximum.reduceat(lw, seg_starts), lengths)
+
+            if self.config.reader_feedback:
+                feedback = _segmented_reader_feedback(
+                    par, inc, seg_starts, lengths, seg_weighted,
+                    self._reader_positions.shape[0],
+                )
+
+            # Vectorized per-segment ESS; only collapsed segments resample.
+            p, _ = segmented_normalize(lw, seg_starts, lengths)
+            ess = 1.0 / np.add.reduceat(np.square(p), seg_starts)
+            need = np.flatnonzero(ess < self.config.ess_threshold * lengths)
+            for s in need:
+                seg = slice(int(seg_starts[s]), int(seg_starts[s] + lengths[s]))
+                chosen = systematic_resample(p[seg], int(lengths[s]), self._rng)
+                pos[seg] = pos[seg][chosen]
+                par[seg] = par[seg][chosen]
+                lw[seg] = 0.0
+                p[seg] = 1.0 / lengths[s]
+            self.stats["object_resamples"] += int(need.size)
+
+            # --- record the sensing region (Fig 4b) -----------------------
+            if self._selector.enabled and current_box is not None:
+                inside = current_box.contains_points(pos)
                 # Attach by weight mass: stray teleported particles must not
                 # pin an object to every region (see ActiveSetSelector).
-                if float(p[inside].sum()) >= 0.005:
-                    attached.append(number)
-            self._selector.record_region(current_box, attached)
+                mass = np.add.reduceat(p * inside, seg_starts)
+                attached = [batch_ids[s] for s in np.flatnonzero(mass >= 0.005)]
+                self._selector.record_region(current_box, attached)
+
+            self.arena.scatter(rows, pos, par, lw)
+        elif self._selector.enabled and current_box is not None:
+            self._selector.record_region(current_box, [])
 
         # --- reader resampling --------------------------------------------
         self._maybe_resample_reader(feedback)
@@ -412,21 +504,6 @@ class FactoredParticleFilter:
                 0.0, sigma, size=j
             )
 
-    def _per_reader_feedback(self, parents: np.ndarray, inc: np.ndarray) -> np.ndarray:
-        """log mean-likelihood of this object's particles per reader.
-
-        Readers with no attached particles receive the object's overall mean
-        (neutral), so absence of pointers neither punishes nor rewards.
-        """
-        assert self._reader_positions is not None
-        j = self._reader_positions.shape[0]
-        lik = np.exp(np.clip(inc, -60.0, 0.0))
-        sums = np.bincount(parents, weights=lik, minlength=j)
-        counts = np.bincount(parents, minlength=j)
-        overall = lik.mean()
-        means = np.where(counts > 0, sums / np.maximum(counts, 1), overall)
-        return np.log(np.maximum(means, 1e-300))
-
     def _maybe_resample_reader(self, feedback: Optional[np.ndarray]) -> None:
         assert self._reader_log_w is not None
         j = self._reader_log_w.size
@@ -446,14 +523,7 @@ class FactoredParticleFilter:
         # exact; dropped parents re-point to a random survivor.
         old_to_new = np.full(j, -1, dtype=np.int64)
         old_to_new[chosen] = np.arange(j)
-        for belief in self._beliefs.values():
-            if belief.parents is None:
-                continue
-            remapped = old_to_new[belief.parents]
-            dropped = remapped < 0
-            if dropped.any():
-                remapped[dropped] = self._rng.integers(0, j, size=int(dropped.sum()))
-            belief.parents = remapped
+        self.arena.remap_parents(old_to_new, self._rng)
 
     # ------------------------------------------------------------------
     # Object belief helpers
@@ -462,7 +532,7 @@ class FactoredParticleFilter:
         assert self._reader_positions is not None
         return self._rng.integers(
             0, self._reader_positions.shape[0], size=k
-        ).astype(np.int64)
+        ).astype(np.int32)
 
     def _redetection_decision(
         self, belief: ObjectBelief, anchor: np.ndarray, heading: float
@@ -481,9 +551,10 @@ class FactoredParticleFilter:
         # Plain weighted mean: cheaper than the robust estimate and accurate
         # enough for a threshold decision (this runs for every read object
         # every epoch).
-        assert belief.particles is not None and belief.log_weights is not None
+        particles = belief.particles
+        assert particles is not None
         p, _ = normalize_log_weights(belief.log_weights)
-        belief_mean = p @ belief.particles
+        belief_mean = p @ particles
         moved = float(
             np.hypot(anchor[0] - belief_mean[0], anchor[1] - belief_mean[1])
         )
@@ -505,63 +576,57 @@ class FactoredParticleFilter:
     def _create_belief(self, number: int, anchor: np.ndarray, heading: float) -> None:
         k = self.config.object_particles
         particles = self._initializer.sample(anchor, heading, k, self._rng)
+        self.arena.set_object(number, particles, self._random_parents(k), np.zeros(k))
         self._beliefs[number] = ObjectBelief(
-            particles=particles,
-            parents=self._random_parents(k),
-            log_weights=np.zeros(k),
-            gaussian=None,
+            arena=self.arena,
+            number=number,
             created_epoch=self._epoch_index,
             last_read_epoch=self._epoch_index,
             last_read_anchor=anchor.copy(),
         )
-
-    def _maybe_resample_object(self, belief: ObjectBelief) -> None:
-        assert belief.log_weights is not None
-        k = belief.log_weights.size
-        if effective_sample_size(belief.log_weights) >= self.config.ess_threshold * k:
-            return
-        self.stats["object_resamples"] += 1
-        p, _ = normalize_log_weights(belief.log_weights)
-        idx = systematic_resample(p, k, self._rng)
-        assert belief.particles is not None and belief.parents is not None
-        belief.particles = belief.particles[idx]
-        belief.parents = belief.parents[idx]
-        belief.log_weights = np.zeros(k)
+        self._known_cache = None
 
     def _decompress(self, number: int) -> None:
         belief = self._beliefs[number]
         assert belief.gaussian is not None
         k = self.config.compression.decompressed_particles
-        belief.particles = belief.gaussian.sample(self._rng, k)
-        belief.parents = self._random_parents(k)
-        belief.log_weights = np.zeros(k)
+        samples = belief.gaussian.sample(self._rng, k)
+        self.arena.set_object(number, samples, self._random_parents(k), np.zeros(k))
         belief.gaussian = None
         self.stats["decompressions"] += 1
 
     def _compression_pass(self) -> None:
         config = self.config.compression
-        candidates = []
+        eligible: List[Tuple[int, int, int]] = []  # (number, unread, count)
         for number, belief in self._beliefs.items():
-            if belief.compressed or belief.particles is None:
+            if belief.compressed:
                 continue
             unread = self._epoch_index - belief.last_read_epoch
             if unread < config.unread_epochs:
                 continue
-            error = 0.0
-            if config.kl_threshold is not None:
-                assert belief.log_weights is not None
-                error = compression_error(belief.particles, belief.log_weights)
-            candidates.append(
-                CompressionCandidate(
-                    object_id=number,
-                    epochs_unread=unread,
-                    particle_count=belief.particle_count,
-                    error=error,
-                )
+            eligible.append((number, unread, belief.particle_count))
+        if not eligible:
+            return
+        if config.kl_threshold is not None:
+            # One segmented pass computes every candidate's compression
+            # error straight off the arena batch.
+            pos, _, lw, _, seg_starts, lengths = self.arena.gather(
+                [e[0] for e in eligible]
             )
+            errors = segmented_compression_errors(pos, lw, seg_starts, lengths)
+        else:
+            errors = np.zeros(len(eligible))
+        candidates = [
+            CompressionCandidate(
+                object_id=number,
+                epochs_unread=unread,
+                particle_count=count,
+                error=float(error),
+            )
+            for (number, unread, count), error in zip(eligible, errors)
+        ]
         for number in select_for_compression(candidates, config):
             belief = self._beliefs[number]
-            assert belief.particles is not None and belief.log_weights is not None
             # Moment-match the robust (dominant-mode) estimate rather than
             # the raw cloud: by compression time the cloud already carries a
             # thin teleported-uniform component that would bias the Gaussian.
@@ -571,7 +636,5 @@ class FactoredParticleFilter:
             belief.gaussian = GaussianBelief(
                 mean=estimate.mean, covariance=estimate.covariance
             )
-            belief.particles = None
-            belief.parents = None
-            belief.log_weights = None
+            self.arena.free(number)
             self.stats["compressions"] += 1

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..config import InferenceConfig
 from ..errors import InferenceError
+from ..geometry.vec import delta_range_bearing
 from ..models.joint import RFIDWorldModel
 from ..models.priors import ReinitDecision, SensorBasedInitializer, classify_redetection
 from ..streams.records import Epoch
@@ -81,6 +82,12 @@ class NaiveParticleFilter:
     @property
     def epoch_index(self) -> int:
         return self._epoch_index
+
+    @property
+    def active_count(self) -> int:
+        """The naive filter has no active-set machinery: every discovered
+        object is processed every epoch (that is the point)."""
+        return len(self._columns)
 
     def known_objects(self) -> List[int]:
         return sorted(self._columns)
@@ -167,15 +174,13 @@ class NaiveParticleFilter:
             self._last_read_anchor[number] = anchor.copy()
 
         # Object evidence: every known object, read or not (the naive filter
-        # has no active-set machinery — that is the point).
+        # has no active-set machinery — that is the point).  All columns are
+        # scored in one fused kernel over the (J, n) particle-by-object grid
+        # instead of a per-column Python loop.
         if self._objects is not None and self._objects.shape[1]:
-            for number, column in self._columns.items():
-                if number in skip:
-                    continue
-                locs = self._objects[:, column, :]
-                self._log_w = self._log_w + self._column_log_likelihood(
-                    locs, number in read_now
-                )
+            self._log_w = self._log_w + self._all_columns_log_likelihood(
+                read_now, skip
+            )
         self._log_w -= self._log_w.max()
 
         self._maybe_resample()
@@ -234,23 +239,32 @@ class NaiveParticleFilter:
         assert self._objects is not None
         j, n, _ = self._objects.shape
         if n:
+            # The transition is i.i.d. per particle: propagate the whole
+            # (J * n, 3) slab in place through one fused kernel.
             flat = self._objects.reshape(j * n, 3)
-            flat = self.model.objects.propagate(flat, self._rng)
-            self._objects = flat.reshape(j, n, 3)
+            self.model.objects.propagate_many(flat, self._rng, in_place=True)
 
-    def _column_log_likelihood(self, locations: np.ndarray, is_read: bool) -> np.ndarray:
-        """log p(Ô_i | R^(j), O^(j)_i) per joint particle."""
+    def _all_columns_log_likelihood(self, read_now, skip) -> np.ndarray:
+        """sum_i log p(Ô_i | R^(j), O^(j)_i) per joint particle, all object
+        columns scored in one vectorized pass over the (J, n) grid."""
         assert self._positions is not None and self._headings is not None
-        delta = locations - self._positions
-        planar = np.hypot(delta[:, 0], delta[:, 1])
-        d = np.linalg.norm(delta, axis=1)
-        safe = np.where(planar < 1e-12, 1.0, planar)
-        cos_theta = (
-            delta[:, 0] * np.cos(self._headings) + delta[:, 1] * np.sin(self._headings)
-        ) / safe
-        cos_theta = np.clip(cos_theta, -1.0, 1.0)
-        theta = np.where(planar < 1e-12, 0.0, np.arccos(cos_theta))
-        return self.model.sensor.log_likelihood(d, theta, is_read)
+        assert self._objects is not None
+        n = self._objects.shape[1]
+        delta = self._objects - self._positions[:, None, :]  # (J, n, 3)
+        d, theta = delta_range_bearing(
+            delta,
+            np.cos(self._headings)[:, None],
+            np.sin(self._headings)[:, None],
+        )
+        read_columns = np.zeros(n, dtype=bool)
+        weighted_columns = np.ones(n, dtype=bool)
+        for number, column in self._columns.items():
+            read_columns[column] = number in read_now
+            weighted_columns[column] = number not in skip
+        inc = self.model.sensor.log_likelihood_rows(d, theta, read_columns[None, :])
+        if not weighted_columns.all():
+            inc[:, ~weighted_columns] = 0.0
+        return inc.sum(axis=1)
 
     def _add_object(self, number: int, anchor: np.ndarray, heading: float) -> None:
         assert self._objects is not None

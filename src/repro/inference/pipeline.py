@@ -16,7 +16,7 @@ objects into an :class:`~repro.streams.sinks.EventSink`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Protocol
+from typing import Dict, Iterable, Optional, Protocol, Set
 
 import numpy as np
 
@@ -66,6 +66,12 @@ class CleaningPipeline:
         self.policy = policy
         self.sink: EventSink = sink if sink is not None else CollectingSink()
         self._visits: Dict[int, _VisitState] = {}
+        #: Objects that have emitted at least once — a tombstone that
+        #: outlives visit pruning, so ``finish()`` never re-reports a pruned
+        #: (already-emitted) object.  A set of ints: O(objects), not
+        #: O(particles), so it does not reintroduce the memory leak that
+        #: pruning removes.
+        self._emitted_ever: Set[int] = set()
         self._last_epoch_time: Optional[float] = None
 
     # ------------------------------------------------------------------
@@ -95,6 +101,7 @@ class CleaningPipeline:
                 state.last_read_time = now
 
         self._emission_pass(now)
+        self._prune_visits(now)
 
     def _emission_pass(self, now: float) -> None:
         for number, state in self._visits.items():
@@ -106,6 +113,33 @@ class CleaningPipeline:
                 self._emit(number, now)
                 state.emitted_this_visit = True
 
+    def _prune_visits(self, now: float) -> None:
+        """Drop visit bookkeeping for long-unread objects.
+
+        Without pruning ``_visits`` grows with every object ever read and the
+        per-epoch emission pass scans all of them — a memory *and* time leak
+        on unbounded streams.  Only emitted visits are pruned (a pending
+        delayed event is never lost), and the horizon never undercuts
+        ``VISIT_GAP_S``, so re-entry semantics are unchanged — a pruned
+        object simply re-enters as a fresh visit on its next read.
+
+        Movement-triggered re-emission (``movement_threshold_ft``) keeps
+        every emitted visit semantically live — pruning one would silently
+        cancel its future movement events — so pruning is disabled entirely
+        while that policy is active.
+        """
+        horizon = self.policy.visit_retention_s
+        if horizon is None or self.policy.movement_threshold_ft is not None:
+            return
+        horizon = max(horizon, self.VISIT_GAP_S)
+        stale = [
+            number
+            for number, state in self._visits.items()
+            if state.emitted_this_visit and now - state.last_read_time > horizon
+        ]
+        for number in stale:
+            del self._visits[number]
+
     def finish(self) -> None:
         """End of trace: emit pending objects (scan-complete policy)."""
         if self._last_epoch_time is None:
@@ -115,10 +149,14 @@ class CleaningPipeline:
         if self.policy.on_scan_complete:
             for number in self.engine.known_objects():
                 state = self._visits.get(number)
-                if state is None or not state.emitted_this_visit:
+                if state is None:
+                    # No live visit: emit only if the object was never
+                    # reported at all (a pruned visit already emitted).
+                    if number not in self._emitted_ever:
+                        self._emit(number, now)
+                elif not state.emitted_this_visit:
                     self._emit(number, now)
-                    if state is not None:
-                        state.emitted_this_visit = True
+                    state.emitted_this_visit = True
         self.sink.close()
 
     def run(self, epochs: Iterable[Epoch]) -> EventSink:
@@ -133,6 +171,7 @@ class CleaningPipeline:
         estimate = self.engine.object_estimate(number)
         event = estimate.to_event(now, TagId.object(number))
         self.sink.emit(event)
+        self._emitted_ever.add(number)
         state = self._visits.get(number)
         if state is not None:
             state.last_emitted_position = estimate.mean.copy()

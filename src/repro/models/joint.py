@@ -26,7 +26,7 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from ..geometry.shapes import ShelfSet
-from ..geometry.vec import as_point
+from ..geometry.vec import as_point, delta_range_bearing
 from ..streams.records import ReaderLocationReport, TagId, TagReading
 from ..streams.sources import GroundTruth, ObjectMove, Trace
 from .motion import MotionParams, ReaderMotionModel
@@ -234,6 +234,33 @@ class RFIDWorldModel:
             )
         return out
 
+    def object_evidence_log_likelihood(
+        self,
+        reader_positions: np.ndarray,
+        cos_headings: np.ndarray,
+        sin_headings: np.ndarray,
+        particles: np.ndarray,
+        parents: np.ndarray,
+        read_rows: np.ndarray,
+    ) -> np.ndarray:
+        """log p(Ô_i | R_parent, O_k) per object particle, batched across
+        objects (Eq. 5's per-object factor, the factored filter's inner
+        kernel).
+
+        ``particles`` may concatenate many objects' clouds back-to-back (the
+        belief arena's layout); ``parents`` points each row at its own
+        reader hypothesis — scoring each particle against *its* reader is
+        what keeps the representation factored rather than marginalized —
+        and ``read_rows`` flags per row whether the owning tag was read this
+        epoch (expand per-segment flags with ``np.repeat`` over the segment
+        lengths).  Heading trig is precomputed once per epoch by the caller.
+        """
+        delta = particles - reader_positions[parents]
+        d, theta = delta_range_bearing(
+            delta, cos_headings[parents], sin_headings[parents]
+        )
+        return self.sensor.log_likelihood_rows(d, theta, read_rows)
+
     def _shelf_tag_log_likelihood(
         self,
         reader_positions: np.ndarray,
@@ -249,12 +276,7 @@ class RFIDWorldModel:
         (tag - reader)).
         """
         delta = tag_position[None, :] - reader_positions
-        planar = np.hypot(delta[:, 0], delta[:, 1])
-        d = np.linalg.norm(delta, axis=1)
-        safe = np.where(planar < 1e-12, 1.0, planar)
-        cos_theta = (
-            delta[:, 0] * np.cos(reader_headings) + delta[:, 1] * np.sin(reader_headings)
-        ) / safe
-        cos_theta = np.clip(cos_theta, -1.0, 1.0)
-        theta = np.where(planar < 1e-12, 0.0, np.arccos(cos_theta))
+        d, theta = delta_range_bearing(
+            delta, np.cos(reader_headings), np.sin(reader_headings)
+        )
         return self.sensor.log_likelihood(d, theta, is_read)

@@ -62,8 +62,27 @@ class ObjectLocationModel:
         self, positions: np.ndarray, rng: np.random.Generator
     ) -> np.ndarray:
         """Sample next locations for an ``(n, 3)`` batch of particles."""
+        return self.propagate_many(positions, rng, in_place=False)
+
+    def propagate_many(
+        self,
+        positions: np.ndarray,
+        rng: np.random.Generator,
+        in_place: bool = False,
+    ) -> np.ndarray:
+        """Batched transition over a flat ``(n, 3)`` particle slab.
+
+        The transition is i.i.d. per particle, so a slab concatenating many
+        objects' clouds (the belief arena's layout) propagates in one
+        vectorized pass — this is the fused kernel behind the filters' "one
+        propagate call per epoch".  With ``in_place=True`` the slab is
+        mutated and returned (no copy), which is safe on gathered batches
+        and on reshaped views of a filter's own state.
+        """
         n = positions.shape[0]
-        out = positions.copy()
+        out = positions if in_place else positions.copy()
+        if n == 0:
+            return out
         alpha = self.params.move_probability
         if alpha > 0.0:
             moves = rng.uniform(size=n) < alpha

@@ -123,6 +123,25 @@ class SensorModel:
         read_arr = np.broadcast_to(np.asarray(read, dtype=bool), z.shape)
         return np.where(read_arr, log_sigmoid(z), log_sigmoid(-z))
 
+    def log_likelihood_rows(self, d, theta, read) -> np.ndarray:
+        """Fused log p(read | d, theta) for large flat batches.
+
+        Same model as :meth:`log_likelihood`, specialized for the inference
+        hot path: the logit is evaluated in Horner form (no ``(n, 5)``
+        design-matrix allocation) and the read/unread branch is folded into
+        one ``logaddexp`` via ``log sigma(±z) = -log(1 + e^{∓z})``.
+        ``read`` is a boolean mask broadcastable against ``d`` — per-row
+        flags for a cross-object batch, per-column for a joint filter.
+        """
+        a0, a1, a2 = self.params.a
+        b1, b2 = self.params.b
+        d = np.asarray(d, dtype=float)
+        theta = np.asarray(theta, dtype=float)
+        z = a0 + d * (a1 + a2 * d) + theta * (b1 + b2 * theta)
+        np.clip(z, -_LOGIT_CLIP, _LOGIT_CLIP, out=z)
+        sign = np.where(read, 1.0, -1.0)
+        return -np.logaddexp(0.0, -sign * z)
+
     # ------------------------------------------------------------------
     # Pose-space interface
     # ------------------------------------------------------------------

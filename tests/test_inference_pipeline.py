@@ -132,6 +132,117 @@ class TestMovementTrigger:
         assert len(sink) >= 3
 
 
+class TestVisitPruning:
+    def test_visits_bounded_on_long_stream(self):
+        sink = CollectingSink()
+        pipeline = CleaningPipeline(
+            FakeEngine(),
+            OutputPolicyConfig(
+                delay_s=1.0, on_scan_complete=False, visit_retention_s=100.0
+            ),
+            sink,
+        )
+        # 50 distinct objects, each read once, spread over a long stream:
+        # states of objects unread > 100 s must be dropped.
+        for t in range(2000):
+            reads = [t // 10] if (t % 10 == 0 and t < 500) else []
+            pipeline.step(make_epoch(float(t), (0.0, 0.0), object_tags=reads))
+        assert len(pipeline._visits) == 0
+        assert len(sink) == 50  # every visit still emitted exactly once
+
+    def test_pending_visits_never_pruned(self):
+        sink = CollectingSink()
+        pipeline = CleaningPipeline(
+            FakeEngine(),
+            OutputPolicyConfig(
+                delay_s=500.0, on_scan_complete=False, visit_retention_s=100.0
+            ),
+            sink,
+        )
+        # Delay longer than retention: the visit must survive (unemitted
+        # states are exempt) and emit once the delay elapses.
+        for t in range(700):
+            reads = [7] if t == 0 else []
+            pipeline.step(make_epoch(float(t), (0.0, 0.0), object_tags=reads))
+        assert len(sink) == 1
+        assert sink.events[0].time == pytest.approx(500.0)
+
+    def test_none_retention_keeps_states_forever(self):
+        pipeline = CleaningPipeline(
+            FakeEngine(),
+            OutputPolicyConfig(
+                delay_s=1.0, on_scan_complete=False, visit_retention_s=None
+            ),
+        )
+        for t in range(500):
+            reads = [t] if t < 40 else []
+            pipeline.step(make_epoch(float(t), (0.0, 0.0), object_tags=reads))
+        assert len(pipeline._visits) == 40
+
+    def test_pruned_object_reenters_as_fresh_visit(self):
+        sink = CollectingSink()
+        pipeline = CleaningPipeline(
+            FakeEngine(),
+            OutputPolicyConfig(
+                delay_s=2.0, on_scan_complete=False, visit_retention_s=50.0
+            ),
+            sink,
+        )
+        for epoch in epochs_with_read_at({0, 200}, total=300):
+            pipeline.step(epoch)
+        assert len(sink) == 2  # one emission per visit, pruning in between
+
+    def test_finish_does_not_reemit_pruned_objects(self):
+        sink = CollectingSink()
+        pipeline = CleaningPipeline(
+            FakeEngine(),
+            OutputPolicyConfig(
+                delay_s=10.0, on_scan_complete=True, visit_retention_s=100.0
+            ),
+            sink,
+        )
+        # Read once at t=0, emitted at t=10, pruned after t=100: the
+        # scan-complete pass must not report the object a second time.
+        for epoch in epochs_with_read_at({0}, total=2000):
+            pipeline.step(epoch)
+        assert len(pipeline._visits) == 0
+        pipeline.finish()
+        assert len(sink) == 1
+
+    def test_movement_tracking_disables_pruning(self):
+        class MovingEngine(FakeEngine):
+            def object_estimate(self, number):
+                y = 1.0 + 0.01 * self.epoch_index
+                return LocationEstimate(
+                    np.array([2.0, y, 0.0]), 0.01 * np.eye(3), 100
+                )
+
+        sink = CollectingSink()
+        pipeline = CleaningPipeline(
+            MovingEngine(),
+            OutputPolicyConfig(
+                delay_s=2.0,
+                on_scan_complete=False,
+                movement_threshold_ft=1.0,
+                visit_retention_s=50.0,
+            ),
+            sink,
+        )
+        # One read at t=0, then silence far past the retention horizon: the
+        # visit must survive (movement tracking keeps it live) and re-emit
+        # once the estimate has drifted a foot (~epoch 102).
+        for epoch in epochs_with_read_at({0}, total=300):
+            pipeline.step(epoch)
+        assert len(pipeline._visits) == 1
+        assert len(sink) >= 2
+
+    def test_retention_validation(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            OutputPolicyConfig(visit_retention_s=0.0)
+
+
 class TestRun:
     def test_run_returns_sink(self, small_model, fast_config):
         from repro.inference.factored import FactoredParticleFilter
