@@ -34,6 +34,7 @@ from .config import (
     CompressionConfig,
     InferenceConfig,
     OutputPolicyConfig,
+    RuntimeConfig,
     SpatialIndexConfig,
 )
 from .errors import (
@@ -53,6 +54,7 @@ from .eval import (
     inference_error,
     run_factored,
     run_naive,
+    run_sharded,
     run_smurf,
     run_uniform,
 )
@@ -91,6 +93,7 @@ from .query import (
     location_update_query,
     tuple_from_event,
 )
+from .runtime import EventBus, QueryBridge, ShardedRuntime
 from .simulation import (
     ConeTruthSensor,
     LabConfig,
@@ -128,6 +131,7 @@ __all__ = [
     "DEFAULT_SENSOR_PARAMS",
     "EMConfig",
     "Epoch",
+    "EventBus",
     "ErrorSummary",
     "FactoredParticleFilter",
     "GaussianBelief",
@@ -146,6 +150,7 @@ __all__ = [
     "ObjectDynamicsParams",
     "ObjectLocationModel",
     "OutputPolicyConfig",
+    "QueryBridge",
     "QueryEngine",
     "QueryError",
     "RFIDWorldModel",
@@ -153,7 +158,9 @@ __all__ = [
     "ReaderLocationReport",
     "ReaderMotionModel",
     "ReproError",
+    "RuntimeConfig",
     "ScheduledMove",
+    "ShardedRuntime",
     "SensingNoiseParams",
     "SensingRegionIndex",
     "SensorModel",
@@ -187,6 +194,7 @@ __all__ = [
     "make_epoch",
     "run_factored",
     "run_naive",
+    "run_sharded",
     "run_smurf",
     "run_uniform",
     "tuple_from_event",

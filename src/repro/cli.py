@@ -1,15 +1,18 @@
-"""Command-line interface: simulate, clean, and evaluate from the shell.
+"""Command-line interface: simulate, clean, query, and evaluate from the shell.
 
     python -m repro simulate --objects 16 --out trace.jsonl
-    python -m repro clean trace.jsonl --events events.csv
+    python -m repro clean trace.jsonl --events events.csv --shards 4
+    python -m repro query trace.jsonl --shards 2
     python -m repro evaluate trace.jsonl
     python -m repro lab --timeout 0.25
 
 ``simulate`` writes a warehouse trace (raw streams + ground truth) in the
-line-JSON trace format; ``clean`` runs the factored-filter pipeline over a
-trace and writes the location events as CSV; ``evaluate`` scores the three
-systems (ours / SMURF / uniform) against the trace's ground truth; ``lab``
-runs the Fig 6(b)-style lab comparison at one timeout setting.
+line-JSON trace format; ``clean`` runs the sharded cleaning runtime over a
+trace and writes the location events as CSV; ``query`` runs the full
+paper stack — epochs -> filter shards -> event bus -> continuous queries —
+printing the query outputs; ``evaluate`` scores the three systems (ours /
+SMURF / uniform) against the trace's ground truth; ``lab`` runs the
+Fig 6(b)-style lab comparison at one timeout setting.
 """
 
 from __future__ import annotations
@@ -19,12 +22,13 @@ import sys
 from typing import List, Optional
 
 from .baselines import SmurfLocationConfig, UniformConfig
-from .config import InferenceConfig, OutputPolicyConfig
+from .config import InferenceConfig, OutputPolicyConfig, RuntimeConfig
 from .eval import run_factored, run_smurf, run_uniform
 from .eval.report import format_table
-from .inference import CleaningPipeline, FactoredParticleFilter
 from .learning import fit_sensor_supervised
 from .models import SensorModel, config_for_sensor, initialization_geometry
+from .query import QueryEngine, fire_code_query, location_update_query
+from .runtime import QueryBridge, ShardedRuntime
 from .simulation import (
     ConeTruthSensor,
     LabConfig,
@@ -60,6 +64,32 @@ def _build_parser() -> argparse.ArgumentParser:
     clean.add_argument("--delay", type=float, default=30.0, help="output delay (s)")
     clean.add_argument("--index", action="store_true", help="enable spatial index")
     clean.add_argument("--compress", action="store_true", help="enable compression")
+    _add_runtime_arguments(clean)
+
+    query = sub.add_parser(
+        "query",
+        help="clean a trace and run continuous queries over the event bus",
+    )
+    query.add_argument("trace", type=str)
+    query.add_argument("--particles", type=int, default=400)
+    query.add_argument("--reader-particles", type=int, default=120)
+    query.add_argument("--delay", type=float, default=30.0, help="output delay (s)")
+    query.add_argument(
+        "--weight-lbs",
+        type=float,
+        default=90.0,
+        help="per-object weight for the fire-code query",
+    )
+    query.add_argument(
+        "--threshold-lbs",
+        type=float,
+        default=200.0,
+        help="fire-code weight limit per square foot of shelf area",
+    )
+    query.add_argument(
+        "--window", type=float, default=5.0, help="fire-code window (s)"
+    )
+    _add_runtime_arguments(query)
 
     ev = sub.add_parser("evaluate", help="score ours vs SMURF vs uniform on a trace")
     ev.add_argument("trace", type=str)
@@ -69,6 +99,35 @@ def _build_parser() -> argparse.ArgumentParser:
     lab.add_argument("--timeout", type=float, default=0.25, choices=[0.25, 0.5, 0.75])
     lab.add_argument("--seed", type=int, default=5)
     return parser
+
+
+def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition the tag population across N filter shards",
+    )
+    parser.add_argument(
+        "--partitioner",
+        type=str,
+        default="hash",
+        choices=["hash", "mod"],
+        help="tag-to-shard assignment scheme",
+    )
+    parser.add_argument(
+        "--threads",
+        action="store_true",
+        help="step shards concurrently on a thread pool",
+    )
+
+
+def _runtime_config(args: argparse.Namespace) -> RuntimeConfig:
+    return RuntimeConfig(
+        n_shards=args.shards,
+        partitioner=args.partitioner,
+        executor="thread" if args.threads else "serial",
+    )
 
 
 def _simulator_for(args: argparse.Namespace) -> WarehouseSimulator:
@@ -157,24 +216,85 @@ def _cmd_clean(args: argparse.Namespace) -> int:
         config = config.with_index()
     if args.compress:
         config = config.with_compression()
-    engine = FactoredParticleFilter(model, config)
     collector = CollectingSink()
     sink = collector
     handle = None
+    try:
+        if args.events:
+            handle = open(args.events, "w")
+            sink = TeeSink([collector, CsvSink(handle)])
+        runtime = ShardedRuntime(
+            model,
+            config,
+            _runtime_config(args),
+            OutputPolicyConfig(delay_s=args.delay),
+            sink=sink,
+        )
+        runtime.run(trace.epochs())
+    finally:
+        if handle is not None:
+            handle.close()
     if args.events:
-        handle = open(args.events, "w")
-        sink = TeeSink([collector, CsvSink(handle)])
-    pipeline = CleaningPipeline(
-        engine, OutputPolicyConfig(delay_s=args.delay), sink
-    )
-    pipeline.run(trace.epochs())
-    if handle is not None:
-        handle.close()
-        print(f"wrote {args.events}: {len(collector.events)} events")
+        print(
+            f"wrote {args.events}: {len(collector.events)} events "
+            f"({args.shards} shard{'s' if args.shards != 1 else ''})"
+        )
     else:
         for event in collector.events:
             x, y, _ = event.position
             print(f"{event.time:9.1f}  {str(event.tag):>12}  ({x:7.3f}, {y:7.3f})")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    """The paper's full stack: epochs -> shards -> event bus -> CQL queries."""
+    trace = _load_trace(args.trace)
+    model, _, sensor = _default_model(trace)
+    config = config_for_sensor(
+        InferenceConfig(
+            reader_particles=args.reader_particles, object_particles=args.particles
+        ),
+        sensor,
+    )
+    engine = QueryEngine()
+    engine.register(location_update_query())
+    engine.register(
+        fire_code_query(
+            weight_fn=lambda tag_id: args.weight_lbs,
+            threshold_lbs=args.threshold_lbs,
+            window_s=args.window,
+        )
+    )
+    runtime = ShardedRuntime(
+        model,
+        config,
+        _runtime_config(args),
+        OutputPolicyConfig(delay_s=args.delay),
+    )
+    bridge = QueryBridge(engine, runtime.bus)
+    runtime.run(trace.epochs())
+    print(
+        f"cleaned {runtime.bus.published} events through {runtime.n_shards} "
+        f"shard{'s' if runtime.n_shards != 1 else ''} "
+        f"({bridge.tuples_pushed} tuples bridged)"
+    )
+    updates = engine.outputs["location_updates"]
+    print(f"\nlocation_updates: {len(updates)} tuples")
+    for tup in updates:
+        print(
+            f"{tup.time:9.1f}  {tup['tag_id']:>12}  "
+            f"({tup['x']:7.3f}, {tup['y']:7.3f})"
+        )
+    violations = engine.outputs["fire_code"]
+    print(
+        f"\nfire_code (> {args.threshold_lbs:g} lbs/sq-ft, "
+        f"{args.window:g} s window): {len(violations)} violations"
+    )
+    for tup in violations:
+        print(
+            f"{tup.time:9.1f}  area={tup['area']}  "
+            f"total_weight={tup['total_weight']:g} lbs"
+        )
     return 0
 
 
@@ -251,6 +371,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "simulate": _cmd_simulate,
         "clean": _cmd_clean,
+        "query": _cmd_query,
         "evaluate": _cmd_evaluate,
         "lab": _cmd_lab,
     }

@@ -243,6 +243,54 @@ class InferenceConfig:
         )
 
 
+#: Partitioner names accepted by :class:`RuntimeConfig`.  The implementations
+#: live in ``repro.runtime.partition`` (which imports this tuple); the names
+#: are declared here so configuration validates without importing the runtime.
+PARTITIONER_NAMES: Tuple[str, ...] = ("hash", "mod")
+
+#: Executor names accepted by :class:`RuntimeConfig`.
+EXECUTOR_NAMES: Tuple[str, ...] = ("serial", "thread")
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """The sharded streaming runtime (``repro.runtime``).
+
+    A :class:`~repro.runtime.ShardedRuntime` hash-partitions the object-tag
+    population across ``n_shards`` independent filter shards (each its own
+    particle filter + arena + cleaning pipeline, seeded deterministically
+    from the inference config's root seed) and merges their cleaned events
+    in timestamp order onto an event bus.
+    """
+
+    n_shards: int = 1
+    #: How object-tag numbers map to shards: ``"hash"`` (a splitmix64-style
+    #: mix, robust to strided/clustered tag numbering) or ``"mod"`` (plain
+    #: ``number % n_shards``; transparent, but strided tag populations all
+    #: land on one shard).
+    partitioner: str = "hash"
+    #: How shards advance within one epoch: ``"serial"`` steps them in order
+    #: in the calling thread; ``"thread"`` steps them concurrently in a
+    #: thread pool (the numpy kernels release the GIL).  Output is identical
+    #: either way — shards share no mutable state and the merge is a
+    #: deterministic sort.
+    executor: str = "serial"
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ConfigurationError("n_shards must be >= 1")
+        if self.partitioner not in PARTITIONER_NAMES:
+            raise ConfigurationError(
+                f"unknown partitioner {self.partitioner!r}; "
+                f"expected one of {PARTITIONER_NAMES}"
+            )
+        if self.executor not in EXECUTOR_NAMES:
+            raise ConfigurationError(
+                f"unknown executor {self.executor!r}; "
+                f"expected one of {EXECUTOR_NAMES}"
+            )
+
+
 @dataclass(frozen=True)
 class OutputPolicyConfig:
     """When the pipeline emits location events (Section II-A / V-A).

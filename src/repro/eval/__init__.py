@@ -6,6 +6,7 @@ from .harness import (
     final_estimates_from_sink,
     run_factored,
     run_naive,
+    run_sharded,
     run_smurf,
     run_uniform,
 )
@@ -30,6 +31,7 @@ __all__ = [
     "paper_vs_measured",
     "run_factored",
     "run_naive",
+    "run_sharded",
     "run_smurf",
     "run_uniform",
     "within_accuracy",

@@ -18,12 +18,13 @@ import numpy as np
 
 from ..baselines.smurf_location import SmurfLocationConfig, SmurfLocationEstimator
 from ..baselines.uniform import UniformConfig, UniformSampler
-from ..config import InferenceConfig, OutputPolicyConfig
+from ..config import InferenceConfig, OutputPolicyConfig, RuntimeConfig
 from ..geometry.shapes import ShelfSet
 from ..inference.factored import FactoredParticleFilter
 from ..inference.naive import NaiveParticleFilter
 from ..inference.pipeline import CleaningPipeline
 from ..models.joint import RFIDWorldModel
+from ..runtime import ShardedRuntime
 from ..streams.sinks import CollectingSink
 from ..streams.sources import Trace
 from .metrics import ErrorSummary, inference_error
@@ -116,6 +117,55 @@ def run_factored(
             # Final-epoch snapshot (the other counters are whole-trace sums).
             "last_epoch_active_count": float(engine.active_count),
         },
+    )
+
+
+def run_sharded(
+    trace: Trace,
+    model: RFIDWorldModel,
+    config: InferenceConfig = InferenceConfig(),
+    runtime_config: RuntimeConfig = RuntimeConfig(),
+    policy: OutputPolicyConfig = OutputPolicyConfig(),
+    initial_heading: float = 0.0,
+    name: str = "sharded",
+) -> SystemResult:
+    """Run the sharded runtime (epochs -> shards -> event bus) over a trace.
+
+    ``extra`` reports per-shard arena statistics (``shard<i>_*``) alongside
+    the aggregate belief memory, so scalability sweeps can see how evenly
+    the partitioner spread the population.
+    """
+    runtime = ShardedRuntime(
+        model, config, runtime_config, policy, initial_heading=initial_heading
+    )
+    epochs = trace.epochs()
+    start = _time.perf_counter()
+    sink = runtime.run(epochs)
+    elapsed = _time.perf_counter() - start
+    assert isinstance(sink, CollectingSink)
+    estimates = final_estimates_from_sink(sink)
+    for n in runtime.known_objects():
+        if n not in estimates:
+            estimates[n] = runtime.object_estimate(n).mean
+    extra: Dict[str, float] = {
+        "n_shards": float(runtime.n_shards),
+        "events_published": float(runtime.bus.published),
+    }
+    total_memory = 0.0
+    for row in runtime.shard_stats():
+        index = int(row.pop("shard"))
+        total_memory += row.get("belief_memory_bytes", 0.0)
+        for key, value in row.items():
+            extra[f"shard{index}_{key}"] = value
+    extra["belief_memory_bytes"] = total_memory
+    return SystemResult(
+        name=name,
+        estimates=estimates,
+        error=_score(estimates, trace),
+        elapsed_s=elapsed,
+        n_readings=trace.n_readings,
+        n_epochs=len(epochs),
+        extra=extra,
     )
 
 

@@ -22,7 +22,7 @@ import numpy as np
 
 from ..config import OutputPolicyConfig
 from ..streams.records import Epoch, LocationEvent, TagId
-from ..streams.sinks import CollectingSink, EventSink
+from ..streams.sinks import BusSink, CollectingSink, EventSink
 from .estimates import LocationEstimate
 
 
@@ -61,10 +61,22 @@ class CleaningPipeline:
         engine: InferenceEngine,
         policy: OutputPolicyConfig = OutputPolicyConfig(),
         sink: Optional[EventSink] = None,
+        close_sink: bool = True,
     ):
         self.engine = engine
         self.policy = policy
-        self.sink: EventSink = sink if sink is not None else CollectingSink()
+        if sink is None:
+            sink = CollectingSink()
+        elif not isinstance(sink, EventSink) and hasattr(sink, "publish"):
+            # Bus-capable: an event bus (anything with ``publish``) may be
+            # passed directly; it is wrapped so events flow onto it.  The
+            # bus is NOT closed by finish() — several pipelines may share
+            # it, so its producer coordinates the close.
+            sink = BusSink(sink, close_bus=False)
+        self.sink: EventSink = sink
+        #: Whether ``finish()`` closes the sink.  Turn off when the sink is
+        #: shared with other pipelines (e.g. the sharded runtime's bus).
+        self.close_sink = close_sink
         self._visits: Dict[int, _VisitState] = {}
         #: Objects that have emitted at least once — a tombstone that
         #: outlives visit pruning, so ``finish()`` never re-reports a pruned
@@ -143,7 +155,8 @@ class CleaningPipeline:
     def finish(self) -> None:
         """End of trace: emit pending objects (scan-complete policy)."""
         if self._last_epoch_time is None:
-            self.sink.close()
+            if self.close_sink:
+                self.sink.close()
             return
         now = self._last_epoch_time
         if self.policy.on_scan_complete:
@@ -157,7 +170,8 @@ class CleaningPipeline:
                 elif not state.emitted_this_visit:
                     self._emit(number, now)
                     state.emitted_this_visit = True
-        self.sink.close()
+        if self.close_sink:
+            self.sink.close()
 
     def run(self, epochs: Iterable[Epoch]) -> EventSink:
         """Convenience: process every epoch then finish."""

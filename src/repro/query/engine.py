@@ -79,6 +79,18 @@ class QueryEngine:
         self.outputs[query.name] = []
         self._sinks[query.name] = [callback] if callback else []
 
+    def add_sink(self, name: str, callback: Callable[[StreamTuple], None]) -> None:
+        """Attach another per-output callback to an already-registered query.
+
+        Lets late consumers (e.g. the runtime's bus bridge) tap into queries
+        registered before they existed, without re-registering the plan.
+        """
+        if name not in self._queries:
+            raise QueryError(
+                f"unknown query {name!r}; registered: {sorted(self._queries)}"
+            )
+        self._sinks[name].append(callback)
+
     def push(self, tup: StreamTuple) -> None:
         """Feed one tuple; tuples must arrive in non-decreasing time order."""
         if self._pending_time is None:

@@ -1,0 +1,93 @@
+"""The event bus: a merged, time-ordered channel of cleaned location events.
+
+The paper's architecture is a pipeline — noisy epochs in, clean location
+events out, continuous queries over the clean stream.  The bus is the seam
+between the last two stages: shards publish their merged events here, and
+any number of consumers (query bridges, sinks, metrics) subscribe without
+the producers knowing about them.
+
+The bus enforces the one invariant every downstream consumer relies on:
+**event time never goes backwards**.  The CQL engine batches tuples into
+ticks by timestamp and raises on regressions, so catching a mis-merged
+stream here — at the producer seam, with shard context — beats a confusing
+failure deep inside a query window.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..errors import StreamError
+from ..streams.records import LocationEvent
+from ..streams.sinks import EventSink
+
+
+class EventBus:
+    """Time-ordered pub/sub channel for :class:`LocationEvent` streams.
+
+    Subscribers are called synchronously, in subscription order, for every
+    published event; close hooks run once when the producer closes the bus.
+    """
+
+    def __init__(self, enforce_order: bool = True):
+        self._subscribers: List[Callable[[LocationEvent], None]] = []
+        self._close_hooks: List[Callable[[], None]] = []
+        self._enforce_order = enforce_order
+        self._last_time: Optional[float] = None
+        self._closed = False
+        #: Events published so far (diagnostics).
+        self.published = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def subscribe(
+        self,
+        callback: Callable[[LocationEvent], None],
+        on_close: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Register a per-event callback (and optionally a close hook)."""
+        self._subscribers.append(callback)
+        if on_close is not None:
+            self._close_hooks.append(on_close)
+
+    def subscribe_sink(self, sink: EventSink, close: bool = True) -> None:
+        """Feed every bus event into an :class:`EventSink`.
+
+        ``close`` forwards the bus close to ``sink.close()`` — leave it on
+        for sinks the bus owns outright, off for sinks shared with other
+        producers.
+        """
+        self.subscribe(sink.emit, on_close=sink.close if close else None)
+
+    # ------------------------------------------------------------------
+    def publish(self, event: LocationEvent) -> None:
+        if self._closed:
+            raise StreamError("cannot publish on a closed event bus")
+        if (
+            self._enforce_order
+            and self._last_time is not None
+            and event.time < self._last_time
+        ):
+            raise StreamError(
+                f"event time went backwards on the bus: {event.time} < "
+                f"{self._last_time} (shard merge out of order?)"
+            )
+        self._last_time = event.time
+        self.published += 1
+        for callback in self._subscribers:
+            callback(event)
+
+    def publish_many(self, events) -> None:
+        for event in events:
+            self.publish(event)
+
+    def close(self) -> None:
+        """End of stream: run every close hook.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for hook in self._close_hooks:
+            hook()

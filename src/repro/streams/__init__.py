@@ -11,11 +11,19 @@ from .records import (
     TagReading,
     make_epoch,
 )
-from .sinks import CallbackSink, CollectingSink, CsvSink, EventSink, TeeSink
+from .sinks import (
+    BusSink,
+    CallbackSink,
+    CollectingSink,
+    CsvSink,
+    EventSink,
+    TeeSink,
+)
 from .sources import GroundTruth, ObjectMove, Trace, merge_traces
 from .synchronize import EpochSynchronizer, synchronize
 
 __all__ = [
+    "BusSink",
     "CallbackSink",
     "CollectingSink",
     "CsvSink",

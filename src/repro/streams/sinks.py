@@ -76,6 +76,28 @@ class TeeSink(EventSink):
             sink.close()
 
 
+class BusSink(EventSink):
+    """Publishes each event onto an event bus (the runtime layer's merged
+    stream).  The bus is duck-typed (anything with ``publish``/``close``)
+    so the stream layer does not depend on ``repro.runtime``.
+
+    ``close_bus`` controls whether closing this sink closes the bus: leave
+    it off when several producers (e.g. filter shards) share one bus and a
+    coordinator owns the close.
+    """
+
+    def __init__(self, bus, close_bus: bool = False):
+        self._bus = bus
+        self._close_bus = close_bus
+
+    def emit(self, event: LocationEvent) -> None:
+        self._bus.publish(event)
+
+    def close(self) -> None:
+        if self._close_bus:
+            self._bus.close()
+
+
 class CsvSink(EventSink):
     """Writes events as CSV rows ``time,tag,x,y,z,confidence_radius``."""
 

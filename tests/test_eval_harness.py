@@ -2,10 +2,11 @@
 
 import pytest
 
-from repro.config import InferenceConfig
+from repro.config import InferenceConfig, RuntimeConfig
 from repro.eval.harness import (
     run_factored,
     run_naive,
+    run_sharded,
     run_smurf,
     run_uniform,
 )
@@ -52,6 +53,35 @@ class TestRunFactored:
         )
         assert result.error.xy < 0.8
         assert result.extra["compressions"] >= 1
+
+
+class TestRunSharded:
+    def test_scores_and_reports_per_shard_stats(self, scene, fast_cfg):
+        sim, trace = scene
+        result = run_sharded(
+            trace, sim.world_model(), fast_cfg, RuntimeConfig(n_shards=2)
+        )
+        assert result.error is not None
+        assert result.error.n_objects == 6
+        assert result.error.xy < 0.8
+        assert result.extra["n_shards"] == 2.0
+        assert result.extra["events_published"] >= 6
+        assert result.extra["belief_memory_bytes"] > 0
+        per_shard = [
+            result.extra[f"shard{i}_arena_used_rows"] for i in range(2)
+        ]
+        assert sum(per_shard) > 0
+        assert (
+            result.extra["shard0_objects"] + result.extra["shard1_objects"] == 6
+        )
+
+    def test_single_shard_matches_factored_error(self, scene, fast_cfg):
+        sim, trace = scene
+        factored = run_factored(trace, sim.world_model(), fast_cfg)
+        sharded = run_sharded(trace, sim.world_model(), fast_cfg)
+        # n_shards=1 preserves the root seed: identical event stream,
+        # identical score.
+        assert sharded.error.xy == pytest.approx(factored.error.xy, abs=1e-12)
 
 
 class TestRunNaive:

@@ -256,3 +256,39 @@ class TestRun:
         sink = pipeline.run(epochs)
         assert isinstance(sink, CollectingSink)
         assert len(sink) >= 1
+
+
+class TestBusCapableSink:
+    def test_event_bus_accepted_as_sink(self):
+        """An EventBus passed directly as the sink is auto-wrapped; events
+        flow onto the bus and finish() leaves the shared bus open."""
+        from repro.runtime import EventBus
+
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        pipeline = CleaningPipeline(
+            FakeEngine(),
+            OutputPolicyConfig(delay_s=5.0, on_scan_complete=False),
+            sink=bus,
+        )
+        pipeline.run(epochs_with_read_at([0], total=20))
+        assert len(seen) == 1 and bus.published == 1
+        assert not bus.closed  # several pipelines may share the bus
+
+    def test_close_sink_false_leaves_sink_open(self):
+        closes = []
+
+        class TrackingSink(CollectingSink):
+            def close(self):
+                closes.append(1)
+
+        shared = TrackingSink()
+        CleaningPipeline(
+            FakeEngine(), OutputPolicyConfig(delay_s=5.0), shared, close_sink=False
+        ).run(epochs_with_read_at([0], total=20))
+        assert closes == []
+        CleaningPipeline(
+            FakeEngine(), OutputPolicyConfig(delay_s=5.0), shared
+        ).run(epochs_with_read_at([0], total=20))
+        assert closes == [1]

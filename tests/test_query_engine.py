@@ -99,3 +99,32 @@ class TestQueryEngine:
         # (empty tick) emits nothing.
         outputs = engine.outputs["q"]
         assert [t.time for t in outputs] == [0.0]
+
+
+class TestAddSink:
+    def test_sink_added_after_register_receives_outputs(self):
+        engine = QueryEngine()
+        engine.register(ContinuousQuery(NowWindow(), name="q"))
+        late, early = [], []
+        engine.register(
+            ContinuousQuery(NowWindow(), name="p"), callback=early.append
+        )
+        engine.add_sink("q", late.append)
+        engine.push(tup(0.0, v=1))
+        engine.finish()
+        assert len(late) == 1 and len(early) == 1
+
+    def test_multiple_sinks_on_one_query(self):
+        engine = QueryEngine()
+        engine.register(ContinuousQuery(NowWindow(), name="q"), callback=lambda t: None)
+        seen_a, seen_b = [], []
+        engine.add_sink("q", seen_a.append)
+        engine.add_sink("q", seen_b.append)
+        engine.push(tup(0.0, v=1))
+        engine.finish()
+        assert len(seen_a) == 1 and len(seen_b) == 1
+
+    def test_unknown_query_rejected(self):
+        engine = QueryEngine()
+        with pytest.raises(QueryError):
+            engine.add_sink("nope", lambda t: None)

@@ -64,3 +64,27 @@ class TestCsvSink:
         buf = io.StringIO()
         CsvSink(buf, write_header=False).emit(event(0.0, 1))
         assert not buf.getvalue().startswith("time")
+
+
+class TestBusSink:
+    def test_publishes_each_event(self):
+        from repro.runtime import EventBus
+        from repro.streams.sinks import BusSink
+
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        sink = BusSink(bus)
+        sink.emit(event(0.0, 1))
+        sink.emit(event(1.0, 2))
+        assert bus.published == 2 and len(seen) == 2
+
+    def test_close_leaves_shared_bus_open_by_default(self):
+        from repro.runtime import EventBus
+        from repro.streams.sinks import BusSink
+
+        bus = EventBus()
+        BusSink(bus).close()
+        assert not bus.closed
+        BusSink(bus, close_bus=True).close()
+        assert bus.closed
