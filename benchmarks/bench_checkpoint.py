@@ -1,0 +1,183 @@
+"""Checkpoint/restore cost: snapshot latency, restore latency, and bytes.
+
+The durable-state subsystem (``repro.state``) serializes every shard's
+belief arena, RNG stream, reader belief, and visit bookkeeping to disk and
+rebuilds a live runtime from it.  This benchmark measures what that costs at
+production scale — 2000 active tags — for shard counts {1, 4}:
+
+* ``save_s``     — one coordinated ``ShardedRuntime.checkpoint()`` call
+  (snapshot capture + npz compression + manifest + checksums);
+* ``restore_s``  — ``restore_runtime()`` (load + checksum verify + apply);
+* ``reshard_s``  — restoring the same checkpoint into 2 shards (the elastic
+  repartition path);
+* ``bytes``      — the checkpoint directory size on disk, against the live
+  arena's accounted belief bytes for compression-ratio context.
+
+Standalone (no pytest-benchmark dependency) so CI can smoke-run it::
+
+    PYTHONPATH=src python benchmarks/bench_checkpoint.py [--quick]
+
+Results are written to ``BENCH_checkpoint.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import InferenceConfig, OutputPolicyConfig, RuntimeConfig
+from repro.geometry.box import Box
+from repro.geometry.shapes import ShelfRegion, ShelfSet
+from repro.models.joint import RFIDWorldModel
+from repro.models.motion import MotionParams
+from repro.models.sensing import SensingNoiseParams
+from repro.models.sensor import SensorParams
+from repro.runtime import ShardedRuntime
+from repro.state import checkpoint_size_bytes, restore_runtime
+from repro.streams.records import make_epoch
+
+READS_PER_EPOCH = 16
+N_TAGS = 2000
+SHARD_COUNTS = (1, 4)
+RESHARD_TO = 2
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_checkpoint.json"
+
+
+def build_model(n_objects: int) -> RFIDWorldModel:
+    length = max(8.0, n_objects * 0.05)
+    shelves = ShelfSet([ShelfRegion(0, Box((2.0, 0.0, 0.0), (3.0, length, 0.0)))])
+    return RFIDWorldModel.build(
+        shelves,
+        shelf_tags={
+            0: np.array([2.0, 1.0, 0.0]),
+            1: np.array([2.0, length - 1.0, 0.0]),
+        },
+        sensor_params=SensorParams(a=(4.0, 0.0, -0.9), b=(0.0, -6.0)),
+        motion_params=MotionParams(velocity=(0.0, 0.1, 0.0), sigma=(0.01, 0.01, 0.0)),
+        sensing_params=SensingNoiseParams(sigma=(0.01, 0.01, 0.0)),
+    )
+
+
+def warmed_runtime(
+    model: RFIDWorldModel, n_shards: int, n_tags: int, epochs: int
+) -> ShardedRuntime:
+    """A runtime mid-trace with the full population resident."""
+    config = InferenceConfig(reader_particles=100, object_particles=100, seed=3)
+    runtime = ShardedRuntime(
+        model,
+        config,
+        RuntimeConfig(n_shards=n_shards),
+        OutputPolicyConfig(delay_s=1e9, on_scan_complete=False),
+    )
+    runtime.step(
+        make_epoch(0.0, (0.0, 1.0), object_tags=list(range(n_tags)), reported_heading=0.0)
+    )
+    for t in range(1, 1 + epochs):
+        reads = [(t * READS_PER_EPOCH + i) % n_tags for i in range(READS_PER_EPOCH)]
+        runtime.step(
+            make_epoch(
+                float(t), (0.0, 1.0 + 0.1 * t), object_tags=reads, reported_heading=0.0
+            )
+        )
+    return runtime
+
+
+def measure(model: RFIDWorldModel, n_shards: int, n_tags: int, epochs: int) -> dict:
+    runtime = warmed_runtime(model, n_shards, n_tags, epochs)
+    live_bytes = sum(
+        int(row.get("arena_memory_bytes", 0)) for row in runtime.shard_stats()
+    )
+    with tempfile.TemporaryDirectory() as scratch:
+        target = os.path.join(scratch, "ck")
+        start = time.perf_counter()
+        runtime.checkpoint(target)
+        save_s = time.perf_counter() - start
+        size = checkpoint_size_bytes(target)
+        runtime.abort()
+
+        start = time.perf_counter()
+        restored, manifest = restore_runtime(target, model)
+        restore_s = time.perf_counter() - start
+        assert len(restored.known_objects()) == n_tags
+        assert manifest.epochs_processed == epochs + 1
+        restored.abort()
+
+        start = time.perf_counter()
+        resharded, _ = restore_runtime(
+            target, model, runtime_config=RuntimeConfig(n_shards=RESHARD_TO)
+        )
+        reshard_s = time.perf_counter() - start
+        assert len(resharded.known_objects()) == n_tags
+        resharded.abort()
+    return {
+        "n_shards": n_shards,
+        "active_tags": n_tags,
+        "epochs_before_checkpoint": epochs + 1,
+        "save_s": round(save_s, 4),
+        "restore_s": round(restore_s, 4),
+        "reshard_to": RESHARD_TO,
+        "reshard_s": round(reshard_s, 4),
+        "bytes": int(size),
+        "live_belief_bytes": int(live_bytes),
+        "bytes_per_tag": round(size / n_tags, 1),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller population (CI smoke run)"
+    )
+    parser.add_argument(
+        "--no-write", action="store_true", help="print only, skip BENCH_checkpoint.json"
+    )
+    args = parser.parse_args()
+
+    n_tags = 200 if args.quick else N_TAGS
+    epochs = 3 if args.quick else 10
+    model = build_model(n_tags)
+
+    results = []
+    print(
+        f"{'shards':>7} {'save_s':>8} {'restore_s':>10} {'reshard_s':>10} "
+        f"{'MiB':>8} {'B/tag':>8}"
+    )
+    for n_shards in SHARD_COUNTS:
+        row = measure(model, n_shards, n_tags, epochs)
+        results.append(row)
+        print(
+            f"{n_shards:>7} {row['save_s']:>8.3f} {row['restore_s']:>10.3f} "
+            f"{row['reshard_s']:>10.3f} {row['bytes'] / 2**20:>8.2f} "
+            f"{row['bytes_per_tag']:>8.1f}"
+        )
+
+    payload = {
+        "benchmark": "checkpoint",
+        "description": (
+            "Durable-state costs at scale: coordinated checkpoint save, "
+            f"exact restore, and elastic re-shard to {RESHARD_TO} shards, at "
+            f"{n_tags} active tags (100 particles/object, 100 reader "
+            "particles/shard).  bytes is the on-disk checkpoint directory "
+            "(compressed npz + manifest); live_belief_bytes is the arenas' "
+            "accounted row bytes for compression-ratio context."
+        ),
+        "quick": bool(args.quick),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "results": results,
+    }
+    if not args.no_write:
+        RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {RESULT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,7 +5,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
     description=(
         "Probabilistic inference over RFID streams in mobile environments "
         "(reproduction of Tran et al., ICDE 2009)"

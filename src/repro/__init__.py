@@ -45,6 +45,7 @@ from .errors import (
     QueryError,
     ReproError,
     SimulationError,
+    StateError,
     StreamError,
 )
 from .eval import (
@@ -105,6 +106,12 @@ from .simulation import (
     WarehouseSimulator,
 )
 from .spatial import RStarTree, SensingRegionIndex
+from .state import (
+    CheckpointManifest,
+    load_checkpoint,
+    restore_runtime,
+    save_checkpoint,
+)
 from .streams import (
     CollectingSink,
     Epoch,
@@ -116,11 +123,12 @@ from .streams import (
     make_epoch,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Box",
     "CalibrationResult",
+    "CheckpointManifest",
     "CleaningPipeline",
     "CollectingSink",
     "CompressionConfig",
@@ -174,6 +182,7 @@ __all__ = [
     "SmurfLocationEstimator",
     "SpatialIndexConfig",
     "SphericalTruthSensor",
+    "StateError",
     "StreamError",
     "SystemResult",
     "TagId",
@@ -190,13 +199,16 @@ __all__ = [
     "fit_sensor_supervised",
     "fit_sensor_to_field",
     "inference_error",
+    "load_checkpoint",
     "location_update_query",
     "make_epoch",
+    "restore_runtime",
     "run_factored",
     "run_naive",
     "run_sharded",
     "run_smurf",
     "run_uniform",
+    "save_checkpoint",
     "tuple_from_event",
     "__version__",
 ]

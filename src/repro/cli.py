@@ -2,17 +2,26 @@
 
     python -m repro simulate --objects 16 --out trace.jsonl
     python -m repro clean trace.jsonl --events events.csv --shards 4
+    python -m repro clean trace.jsonl --checkpoint-every 30 --checkpoint-dir ck/
+    python -m repro checkpoint trace.jsonl --epochs 40 --out ck/
+    python -m repro restore ck/ trace.jsonl --shards 2
     python -m repro query trace.jsonl --shards 2
     python -m repro evaluate trace.jsonl
     python -m repro lab --timeout 0.25
 
 ``simulate`` writes a warehouse trace (raw streams + ground truth) in the
 line-JSON trace format; ``clean`` runs the sharded cleaning runtime over a
-trace and writes the location events as CSV; ``query`` runs the full
-paper stack — epochs -> filter shards -> event bus -> continuous queries —
-printing the query outputs; ``evaluate`` scores the three systems (ours /
-SMURF / uniform) against the trace's ground truth; ``lab`` runs the
-Fig 6(b)-style lab comparison at one timeout setting.
+trace and writes the location events as CSV (optionally taking periodic
+checkpoints, or resuming from one with ``--resume``); ``checkpoint`` runs a
+trace prefix and writes one durable snapshot; ``restore`` resumes a
+checkpointed run to the end of its trace, optionally re-sharded to a
+different shard count; ``query`` runs the full paper stack — epochs ->
+filter shards -> event bus -> continuous queries — printing the query
+outputs; ``evaluate`` scores the three systems (ours / SMURF / uniform)
+against the trace's ground truth; ``lab`` runs the Fig 6(b)-style lab
+comparison at one timeout setting.
+
+Unknown subcommands exit with status 2 and a usage message on stderr.
 """
 
 from __future__ import annotations
@@ -21,6 +30,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from . import __version__
 from .baselines import SmurfLocationConfig, UniformConfig
 from .config import InferenceConfig, OutputPolicyConfig, RuntimeConfig
 from .eval import run_factored, run_smurf, run_uniform
@@ -45,6 +55,9 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Probabilistic RFID stream cleaning (Tran et al., ICDE 2009)",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sim = sub.add_parser("simulate", help="generate a warehouse trace")
@@ -64,7 +77,83 @@ def _build_parser() -> argparse.ArgumentParser:
     clean.add_argument("--delay", type=float, default=30.0, help="output delay (s)")
     clean.add_argument("--index", action="store_true", help="enable spatial index")
     clean.add_argument("--compress", action="store_true", help="enable compression")
+    clean.add_argument(
+        "--checkpoint-every",
+        type=float,
+        default=None,
+        metavar="S",
+        help="take a durable checkpoint every S seconds of stream time",
+    )
+    clean.add_argument(
+        "--checkpoint-dir",
+        type=str,
+        default=None,
+        help="directory for periodic checkpoints (required with --checkpoint-every)",
+    )
+    clean.add_argument(
+        "--resume",
+        type=str,
+        default=None,
+        metavar="CHECKPOINT",
+        help="resume from a checkpoint directory instead of starting at epoch 0 "
+        "(engine options come from the checkpoint manifest, not the flags)",
+    )
     _add_runtime_arguments(clean)
+
+    ckpt = sub.add_parser(
+        "checkpoint",
+        help="run a trace prefix and write one durable snapshot",
+    )
+    ckpt.add_argument("trace", type=str)
+    ckpt.add_argument("--out", type=str, required=True, help="checkpoint directory")
+    ckpt.add_argument(
+        "--epochs",
+        type=int,
+        required=True,
+        help="number of epochs to process before snapshotting",
+    )
+    ckpt.add_argument(
+        "--events", type=str, default=None, help="CSV path for the prefix's events"
+    )
+    ckpt.add_argument("--particles", type=int, default=400)
+    ckpt.add_argument("--reader-particles", type=int, default=120)
+    ckpt.add_argument("--delay", type=float, default=30.0, help="output delay (s)")
+    ckpt.add_argument("--index", action="store_true", help="enable spatial index")
+    ckpt.add_argument("--compress", action="store_true", help="enable compression")
+    _add_runtime_arguments(ckpt)
+
+    restore = sub.add_parser(
+        "restore",
+        help="resume a checkpointed run to the end of its trace",
+    )
+    restore.add_argument("checkpoint", type=str, help="checkpoint directory")
+    restore.add_argument("trace", type=str)
+    restore.add_argument(
+        "--events", type=str, default=None, help="CSV path for the resumed events"
+    )
+    restore.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="elastically re-shard to this many shards (default: recorded layout)",
+    )
+    restore.add_argument(
+        "--partitioner",
+        type=str,
+        default=None,
+        choices=["hash", "mod"],
+        help="partitioner for the re-sharded layout",
+    )
+    restore.add_argument(
+        "--threads",
+        action="store_true",
+        help="step shards concurrently on a thread pool",
+    )
+    restore.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip checkpoint checksum verification",
+    )
 
     query = sub.add_parser(
         "query",
@@ -127,6 +216,8 @@ def _runtime_config(args: argparse.Namespace) -> RuntimeConfig:
         n_shards=args.shards,
         partitioner=args.partitioner,
         executor="thread" if args.threads else "serial",
+        checkpoint_every_s=getattr(args, "checkpoint_every", None),
+        checkpoint_dir=getattr(args, "checkpoint_dir", None),
     )
 
 
@@ -203,9 +294,7 @@ def _load_trace(path: str) -> Trace:
         return Trace.load(fp)
 
 
-def _cmd_clean(args: argparse.Namespace) -> int:
-    trace = _load_trace(args.trace)
-    model, _, sensor = _default_model(trace)
+def _engine_config(args: argparse.Namespace, sensor) -> InferenceConfig:
     config = config_for_sensor(
         InferenceConfig(
             reader_particles=args.reader_particles, object_particles=args.particles
@@ -216,6 +305,60 @@ def _cmd_clean(args: argparse.Namespace) -> int:
         config = config.with_index()
     if args.compress:
         config = config.with_compression()
+    return config
+
+
+def _resolve_checkpoint(path: str) -> str:
+    """Accept either a checkpoint directory or a directory of periodic
+    checkpoints (resolved through its ``LATEST`` pointer)."""
+    import os
+
+    from .state import latest_checkpoint
+    from .state.checkpoint import MANIFEST_NAME
+
+    if os.path.isfile(os.path.join(path, MANIFEST_NAME)):
+        return path
+    resolved = latest_checkpoint(path)
+    if resolved is None:
+        raise SystemExit(
+            f"{path} is neither a checkpoint (no {MANIFEST_NAME}) nor a "
+            "checkpoint directory with a LATEST pointer"
+        )
+    return resolved
+
+
+def _print_or_write_events(events, csv_path: Optional[str], summary: str) -> None:
+    if csv_path:
+        with open(csv_path, "w") as handle:
+            csv_sink = CsvSink(handle)
+            for event in events:
+                csv_sink.emit(event)
+        print(f"wrote {csv_path}: {len(events)} events {summary}")
+    else:
+        for event in events:
+            x, y, _ = event.position
+            print(f"{event.time:9.1f}  {str(event.tag):>12}  ({x:7.3f}, {y:7.3f})")
+
+
+def _cmd_clean(args: argparse.Namespace) -> int:
+    if args.checkpoint_every is not None and args.checkpoint_dir is None:
+        raise SystemExit("--checkpoint-every requires --checkpoint-dir")
+    trace = _load_trace(args.trace)
+    model, _, sensor = _default_model(trace)
+    if args.resume is not None:
+        from .state import restore_runtime
+
+        runtime, manifest = restore_runtime(_resolve_checkpoint(args.resume), model)
+        runtime.run(trace.epochs(start=manifest.epochs_processed))
+        assert isinstance(runtime.sink, CollectingSink)
+        _print_or_write_events(
+            runtime.sink.events,
+            args.events,
+            f"(resumed from epoch {manifest.epochs_processed}, "
+            f"{runtime.n_shards} shard{'s' if runtime.n_shards != 1 else ''})",
+        )
+        return 0
+    config = _engine_config(args, sensor)
     collector = CollectingSink()
     sink = collector
     handle = None
@@ -243,6 +386,89 @@ def _cmd_clean(args: argparse.Namespace) -> int:
         for event in collector.events:
             x, y, _ = event.position
             print(f"{event.time:9.1f}  {str(event.tag):>12}  ({x:7.3f}, {y:7.3f})")
+    return 0
+
+
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    import os
+
+    from .state import checkpoint_size_bytes
+
+    if os.path.exists(args.out):
+        raise SystemExit(f"checkpoint target already exists: {args.out}")
+    trace = _load_trace(args.trace)
+    model, _, sensor = _default_model(trace)
+    config = _engine_config(args, sensor)
+    epochs = trace.epochs()
+    if not (0 < args.epochs <= len(epochs)):
+        raise SystemExit(
+            f"--epochs must be in [1, {len(epochs)}] for this trace, "
+            f"got {args.epochs}"
+        )
+    runtime = ShardedRuntime(
+        model,
+        config,
+        _runtime_config(args),
+        OutputPolicyConfig(delay_s=args.delay),
+    )
+    try:
+        for epoch in epochs[: args.epochs]:
+            runtime.step(epoch)
+        runtime.checkpoint(args.out)
+        assert isinstance(runtime.sink, CollectingSink)
+        events = list(runtime.sink.events)
+    finally:
+        # The run is *not* finished: no scan-complete flush — this snapshot
+        # is the state a crash-resumed run would continue from.  abort()
+        # releases the thread pool and closes the bus on both paths.
+        runtime.abort()
+    if args.events:
+        _print_or_write_events(events, args.events, "(prefix)")
+    print(
+        f"checkpointed {args.epochs}/{len(epochs)} epochs to {args.out}: "
+        f"{runtime.n_shards} shard{'s' if runtime.n_shards != 1 else ''}, "
+        f"{checkpoint_size_bytes(args.out)} bytes, {len(events)} events emitted"
+    )
+    return 0
+
+
+def _cmd_restore(args: argparse.Namespace) -> int:
+    import json
+    import os
+    from dataclasses import replace as dc_replace
+
+    from .state import restore_runtime
+    from .state.checkpoint import MANIFEST_NAME, runtime_config_from_dict
+
+    path = _resolve_checkpoint(args.checkpoint)
+    trace = _load_trace(args.trace)
+    model, _, _ = _default_model(trace)
+    with open(os.path.join(path, MANIFEST_NAME)) as fp:
+        recorded = runtime_config_from_dict(json.load(fp)["runtime_config"])
+    target = dc_replace(
+        recorded,
+        n_shards=args.shards if args.shards is not None else recorded.n_shards,
+        partitioner=(
+            args.partitioner if args.partitioner is not None else recorded.partitioner
+        ),
+        executor="thread" if args.threads else recorded.executor,
+    )
+    runtime, manifest = restore_runtime(
+        path, model, runtime_config=target, verify=not args.no_verify
+    )
+    resharded = target.n_shards != manifest.n_shards
+    runtime.run(trace.epochs(start=manifest.epochs_processed))
+    assert isinstance(runtime.sink, CollectingSink)
+    _print_or_write_events(
+        runtime.sink.events,
+        args.events,
+        f"(resumed from epoch {manifest.epochs_processed}"
+        + (
+            f", re-sharded {manifest.n_shards} -> {target.n_shards})"
+            if resharded
+            else f", {target.n_shards} shard{'s' if target.n_shards != 1 else ''})"
+        ),
+    )
     return 0
 
 
@@ -371,6 +597,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "simulate": _cmd_simulate,
         "clean": _cmd_clean,
+        "checkpoint": _cmd_checkpoint,
+        "restore": _cmd_restore,
         "query": _cmd_query,
         "evaluate": _cmd_evaluate,
         "lab": _cmd_lab,

@@ -275,10 +275,30 @@ class RuntimeConfig:
     #: either way — shards share no mutable state and the merge is a
     #: deterministic sort.
     executor: str = "serial"
+    #: Take a coordinated checkpoint of every shard (``repro.state``) once
+    #: at least this much *stream time* has elapsed since the previous one,
+    #: measured on epoch timestamps at epoch boundaries.  ``None`` disables
+    #: periodic checkpointing; :meth:`ShardedRuntime.checkpoint` can still
+    #: be called explicitly.
+    checkpoint_every_s: Optional[float] = None
+    #: Directory that periodic checkpoints are written into (one
+    #: subdirectory per checkpoint, ``epoch_<n>``, plus a ``LATEST``
+    #: pointer file).  Required when ``checkpoint_every_s`` is set.
+    checkpoint_dir: Optional[str] = None
+    #: Periodic checkpoints retained before the oldest is deleted.
+    checkpoint_keep: int = 2
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
             raise ConfigurationError("n_shards must be >= 1")
+        if self.checkpoint_every_s is not None and self.checkpoint_every_s <= 0:
+            raise ConfigurationError("checkpoint_every_s must be positive")
+        if self.checkpoint_every_s is not None and self.checkpoint_dir is None:
+            raise ConfigurationError(
+                "checkpoint_every_s requires checkpoint_dir"
+            )
+        if self.checkpoint_keep < 1:
+            raise ConfigurationError("checkpoint_keep must be >= 1")
         if self.partitioner not in PARTITIONER_NAMES:
             raise ConfigurationError(
                 f"unknown partitioner {self.partitioner!r}; "

@@ -42,3 +42,12 @@ class QueryError(ReproError):
 
 class SimulationError(ReproError):
     """The simulator was asked to produce an impossible scenario."""
+
+
+class StateError(ReproError):
+    """A checkpoint could not be written, read, or applied.
+
+    Raised for corrupt or version-incompatible snapshot files, checksum
+    mismatches, configuration drift between a checkpoint and the runtime it
+    is restored into, and engines that do not support state capture.
+    """

@@ -111,6 +111,9 @@ def run_factored(
         n_epochs=len(epochs),
         extra={
             "belief_memory_bytes": float(engine.belief_memory_bytes()),
+            "arena_grows": float(engine.arena.stats["grows"]),
+            "arena_compactions": float(engine.arena.stats["compactions"]),
+            "arena_memory_bytes": float(engine.arena.memory_bytes()),
             "compressions": float(engine.stats["compressions"]),
             "objects_processed": float(engine.stats["objects_processed"]),
             "objects_skipped": float(engine.stats["objects_skipped"]),
@@ -152,12 +155,18 @@ def run_sharded(
         "events_published": float(runtime.bus.published),
     }
     total_memory = 0.0
+    # Aggregate arena health across shards (grows/compactions are churn
+    # indicators; memory bytes bound the checkpoint payload size).
+    arena_totals = {"arena_grows": 0.0, "arena_compactions": 0.0, "arena_memory_bytes": 0.0}
     for row in runtime.shard_stats():
         index = int(row.pop("shard"))
         total_memory += row.get("belief_memory_bytes", 0.0)
+        for key in arena_totals:
+            arena_totals[key] += row.get(key, 0.0)
         for key, value in row.items():
             extra[f"shard{index}_{key}"] = value
     extra["belief_memory_bytes"] = total_memory
+    extra.update(arena_totals)
     return SystemResult(
         name=name,
         estimates=estimates,

@@ -294,22 +294,111 @@ class BeliefArena:
         if log_weights is not None:
             self._log_weights[row_indices] = log_weights
 
+    def live_row_mask(self) -> np.ndarray:
+        """Boolean mask over ``[0, _end)``: True for rows owned by a slot.
+
+        With no holes this is all-True; holes left by :meth:`free` are False
+        until the next :meth:`compact`.
+        """
+        mask = np.zeros(self._end, dtype=bool)
+        if self._free_rows == 0:
+            mask[:] = True
+            return mask
+        for start, count in self._slots.values():
+            mask[start : start + count] = True
+        return mask
+
     def remap_parents(self, old_to_new: np.ndarray, rng: np.random.Generator) -> None:
         """Rewrite every parent pointer through an ancestor map after a
         reader resample; pointers at dropped readers (map value < 0) are
         re-pointed at a random survivor.
 
-        Operates on the whole occupied prefix in one vectorized pass; rows
-        sitting in holes are remapped too, which is harmless — their values
-        are overwritten before any future use.
+        Only *live* rows consume random draws: rows sitting in holes are
+        remapped to a placeholder instead.  Hole contents are overwritten
+        before any future use, so skipping them is harmless — and it makes
+        the RNG stream independent of the slab's hole layout, which is what
+        lets a compacted-on-write checkpoint resume bitwise-identically to
+        an uninterrupted run.
         """
         j = old_to_new.shape[0]
-        live = self._parents[: self._end]
-        remapped = old_to_new[live]
+        rows = self._parents[: self._end]
+        remapped = old_to_new[rows]
         dropped = remapped < 0
+        if self._free_rows:
+            dropped &= self.live_row_mask()
         if dropped.any():
             remapped[dropped] = rng.integers(0, j, size=int(dropped.sum()))
+        # Holes may still hold a negative placeholder; clamp so the column
+        # stays a valid index array (the values are dead either way).
+        np.maximum(remapped, 0, out=remapped)
         self._parents[: self._end] = remapped
 
     def object_ids(self) -> List[int]:
         return list(self._slots)
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (the durable-state subsystem, ``repro.state``)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, np.ndarray]:
+        """Copy the live slab content, compacted on write.
+
+        Blocks are emitted in slot-start order (the same order
+        :meth:`compact` preserves), concatenated into contiguous arrays;
+        holes and slack capacity are not serialized.  The arena itself is
+        not mutated.
+        """
+        ordered = sorted(self._slots.items(), key=lambda item: item[1][0])
+        ids = np.fromiter((oid for oid, _ in ordered), dtype=np.int64, count=len(ordered))
+        counts = np.fromiter(
+            (slot[1] for _, slot in ordered), dtype=np.int64, count=len(ordered)
+        )
+        starts = np.fromiter(
+            (slot[0] for _, slot in ordered), dtype=np.int64, count=len(ordered)
+        )
+        idx, _ = segment_gather_indices(starts, counts)
+        return {
+            "ids": ids,
+            "counts": counts,
+            "positions": self._positions[idx],
+            "parents": self._parents[idx],
+            "log_weights": self._log_weights[idx],
+        }
+
+    def load_snapshot(self, state: Dict[str, np.ndarray]) -> None:
+        """Replace the arena content with a :meth:`snapshot`'s blocks.
+
+        The restored slab is fully compacted (blocks packed in snapshot
+        order, no holes); capacity grows as needed but is never shrunk.
+        Counter stats (grows/compactions) are preserved by the caller, not
+        here — loading resets them to zero like a fresh arena.
+        """
+        ids = np.asarray(state["ids"], dtype=np.int64)
+        counts = np.asarray(state["counts"], dtype=np.int64)
+        total = int(counts.sum())
+        if (
+            np.asarray(state["positions"]).shape[0] != total
+            or np.asarray(state["parents"]).shape[0] != total
+            or np.asarray(state["log_weights"]).shape[0] != total
+        ):
+            raise InferenceError(
+                "arena snapshot is inconsistent: block rows do not match counts"
+            )
+        if counts.size and int(counts.min()) < 1:
+            raise InferenceError("arena snapshot contains an empty block")
+        if np.unique(ids).size != ids.size:
+            raise InferenceError("arena snapshot contains duplicate object ids")
+        self._slots = {}
+        self._end = 0
+        self._free_rows = 0
+        self.stats = {"grows": 0, "compactions": 0}
+        if total > self.capacity:
+            self._grow(total)
+            self.stats["grows"] = 0  # sizing to fit a snapshot is not churn
+        self._positions[:total] = state["positions"]
+        self._parents[:total] = state["parents"]
+        self._log_weights[:total] = state["log_weights"]
+        offset = 0
+        for oid, count in zip(ids, counts):
+            self._slots[int(oid)] = (offset, int(count))
+            offset += int(count)
+        self._end = total

@@ -50,7 +50,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 import numpy as np
 
 from ..config import InferenceConfig
-from ..errors import InferenceError
+from ..errors import InferenceError, StateError
 from ..geometry.cone import Cone
 from ..models.joint import RFIDWorldModel
 from ..models.priors import ReinitDecision, SensorBasedInitializer, classify_redetection
@@ -638,3 +638,134 @@ class FactoredParticleFilter:
             )
             self.arena.free(number)
             self.stats["compressions"] += 1
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (the durable-state subsystem, ``repro.state``)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Capture the complete mutable filter state.
+
+        The returned tree mixes numpy arrays with JSON-able scalars; the
+        ``repro.state`` layer splits it for serialization.  Everything that
+        influences future epochs is here — RNG bit-generator state, reader
+        belief, the arena's particle blocks (compacted on write), per-object
+        belief metadata in *dict insertion order* (the compression pass
+        iterates ``_beliefs``, so order is semantically load-bearing), and
+        the spatial-index state when enabled.  Restoring this snapshot into
+        an engine built from the same config resumes bitwise-identically.
+        """
+        b = len(self._beliefs)
+        ids = np.empty(b, dtype=np.int64)
+        created = np.empty(b, dtype=np.int64)
+        last_read = np.empty(b, dtype=np.int64)
+        last_split = np.empty(b, dtype=np.int64)
+        anchors = np.zeros((b, 3), dtype=float)
+        compressed = np.zeros(b, dtype=bool)
+        gauss_mean = np.zeros((b, 3), dtype=float)
+        gauss_cov = np.zeros((b, 3, 3), dtype=float)
+        for i, (number, belief) in enumerate(self._beliefs.items()):
+            ids[i] = number
+            created[i] = belief.created_epoch
+            last_read[i] = belief.last_read_epoch
+            last_split[i] = belief.last_split_epoch
+            anchors[i] = belief.last_read_anchor
+            if belief.gaussian is not None:
+                compressed[i] = True
+                gauss_mean[i] = belief.gaussian.mean
+                gauss_cov[i] = belief.gaussian.covariance
+        reader = None
+        if self._reader_positions is not None:
+            assert self._reader_headings is not None and self._reader_log_w is not None
+            reader = {
+                "positions": self._reader_positions.copy(),
+                "headings": self._reader_headings.copy(),
+                "log_w": self._reader_log_w.copy(),
+            }
+        return {
+            "engine": "factored",
+            "rng_state": self._rng.bit_generator.state,
+            "epoch_index": int(self._epoch_index),
+            "active_count": int(self._active_count),
+            "stats": {k: int(v) for k, v in self.stats.items()},
+            "arena_stats": {k: int(v) for k, v in self.arena.stats.items()},
+            "last_reported": (
+                None if self._last_reported is None else self._last_reported.copy()
+            ),
+            "last_reported_epoch": int(self._last_reported_epoch),
+            "reader": reader,
+            "arena": self.arena.snapshot(),
+            "beliefs": {
+                "ids": ids,
+                "created": created,
+                "last_read": last_read,
+                "last_split": last_split,
+                "anchors": anchors,
+                "compressed": compressed,
+                "gauss_mean": gauss_mean,
+                "gauss_cov": gauss_cov,
+            },
+            "selector": self._selector.snapshot(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Apply a :meth:`snapshot_state` tree to this (same-config) engine.
+
+        The engine must have been constructed from the same
+        :class:`~repro.config.InferenceConfig` the snapshot was taken under
+        (the checkpoint layer enforces this via the manifest's config hash);
+        derived quantities (initializer, sensing range) are left as built.
+        """
+        if state.get("engine") != "factored":
+            raise StateError(
+                f"snapshot is for engine {state.get('engine')!r}, not 'factored'"
+            )
+        from ..state.snapshot import generator_from_state
+
+        self._rng = generator_from_state(state["rng_state"])
+        self._epoch_index = int(state["epoch_index"])
+        self._active_count = int(state["active_count"])
+        self.stats = {k: int(v) for k, v in state["stats"].items()}
+        last_reported = state["last_reported"]
+        self._last_reported = (
+            None if last_reported is None else np.asarray(last_reported, dtype=float)
+        )
+        self._last_reported_epoch = int(state["last_reported_epoch"])
+        reader = state["reader"]
+        if reader is None:
+            self._reader_positions = None
+            self._reader_headings = None
+            self._reader_log_w = None
+        else:
+            self._reader_positions = np.asarray(reader["positions"], dtype=float)
+            self._reader_headings = np.asarray(reader["headings"], dtype=float)
+            self._reader_log_w = np.asarray(reader["log_w"], dtype=float)
+        self.arena.load_snapshot(state["arena"])
+        self.arena.stats = {k: int(v) for k, v in state["arena_stats"].items()}
+        beliefs = state["beliefs"]
+        compressed = np.asarray(beliefs["compressed"], dtype=bool)
+        anchors = np.asarray(beliefs["anchors"], dtype=float)
+        gauss_mean = np.asarray(beliefs["gauss_mean"], dtype=float)
+        gauss_cov = np.asarray(beliefs["gauss_cov"], dtype=float)
+        self._beliefs = {}
+        for i, number in enumerate(np.asarray(beliefs["ids"], dtype=np.int64)):
+            number = int(number)
+            belief = ObjectBelief(
+                arena=self.arena,
+                number=number,
+                created_epoch=int(beliefs["created"][i]),
+                last_read_epoch=int(beliefs["last_read"][i]),
+                last_read_anchor=anchors[i].copy(),
+            )
+            belief.last_split_epoch = int(beliefs["last_split"][i])
+            if compressed[i]:
+                belief.gaussian = GaussianBelief(
+                    mean=gauss_mean[i].copy(), covariance=gauss_cov[i].copy()
+                )
+            elif number not in self.arena:
+                raise StateError(
+                    f"belief {number} is uncompressed but has no arena block"
+                )
+            self._beliefs[number] = belief
+        self._known_cache = None
+        self._selector = ActiveSetSelector(self.config.spatial_index)
+        self._selector.load_snapshot(state["selector"])

@@ -190,6 +190,62 @@ class CleaningPipeline:
         if state is not None:
             state.last_emitted_position = estimate.mean.copy()
 
+    # ------------------------------------------------------------------
+    # Snapshot / restore (the durable-state subsystem, ``repro.state``)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Capture the output-policy bookkeeping.
+
+        Visits are recorded in dict insertion order: the emission pass
+        iterates ``_visits``, so with a single shard (no cross-shard merge
+        sort) the order of same-epoch events depends on it.
+        """
+        v = len(self._visits)
+        ids = np.empty(v, dtype=np.int64)
+        entered = np.empty(v, dtype=float)
+        last_read = np.empty(v, dtype=float)
+        emitted = np.zeros(v, dtype=bool)
+        has_pos = np.zeros(v, dtype=bool)
+        pos = np.zeros((v, 3), dtype=float)
+        for i, (number, state) in enumerate(self._visits.items()):
+            ids[i] = number
+            entered[i] = state.entered_time
+            last_read[i] = state.last_read_time
+            emitted[i] = state.emitted_this_visit
+            if state.last_emitted_position is not None:
+                has_pos[i] = True
+                pos[i] = state.last_emitted_position
+        return {
+            "visits": {
+                "ids": ids,
+                "entered": entered,
+                "last_read": last_read,
+                "emitted": emitted,
+                "has_pos": has_pos,
+                "pos": pos,
+            },
+            "emitted_ever": np.asarray(sorted(self._emitted_ever), dtype=np.int64),
+            "last_epoch_time": (
+                None if self._last_epoch_time is None else float(self._last_epoch_time)
+            ),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        visits = state["visits"]
+        has_pos = np.asarray(visits["has_pos"], dtype=bool)
+        pos = np.asarray(visits["pos"], dtype=float)
+        self._visits = {}
+        for i, number in enumerate(np.asarray(visits["ids"], dtype=np.int64)):
+            self._visits[int(number)] = _VisitState(
+                entered_time=float(visits["entered"][i]),
+                last_read_time=float(visits["last_read"][i]),
+                emitted_this_visit=bool(visits["emitted"][i]),
+                last_emitted_position=pos[i].copy() if has_pos[i] else None,
+            )
+        self._emitted_ever = {int(n) for n in np.asarray(state["emitted_ever"])}
+        last_time = state["last_epoch_time"]
+        self._last_epoch_time = None if last_time is None else float(last_time)
+
     def _maybe_emit_movement(self, number: int, state: _VisitState, now: float) -> None:
         threshold = self.policy.movement_threshold_ft
         assert threshold is not None

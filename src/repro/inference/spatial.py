@@ -27,6 +27,7 @@ from typing import Iterable, Optional, Set
 import numpy as np
 
 from ..config import SpatialIndexConfig
+from ..errors import StateError
 from ..geometry.box import Box
 from ..geometry.cone import Cone
 from ..spatial.region_index import SensingRegionIndex
@@ -120,3 +121,44 @@ class ActiveSetSelector:
         """Detach an object everywhere (it was reset far from its past)."""
         if self._index is not None:
             self._index.remove_object(object_id)
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (the durable-state subsystem, ``repro.state``)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Optional[dict]:
+        """Serializable state, or ``None`` when the index is disabled."""
+        if self._index is None:
+            return None
+        return {
+            "index": self._index.snapshot(),
+            "last_region_id": (
+                None if self._last_region_id is None else int(self._last_region_id)
+            ),
+            "last_center": (
+                None
+                if self._last_center is None
+                else [float(v) for v in self._last_center]
+            ),
+        }
+
+    def load_snapshot(self, state: Optional[dict]) -> None:
+        if self._index is None:
+            if state is not None:
+                raise StateError(
+                    "selector snapshot carries index state but the spatial "
+                    "index is disabled in this configuration"
+                )
+            return
+        if state is None:
+            raise StateError(
+                "spatial index is enabled but the snapshot has no index state"
+            )
+        self._index.load_snapshot(state["index"])
+        self._last_region_id = (
+            None if state["last_region_id"] is None else int(state["last_region_id"])
+        )
+        self._last_center = (
+            None
+            if state["last_center"] is None
+            else np.asarray(state["last_center"], dtype=float)
+        )

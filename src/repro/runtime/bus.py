@@ -43,6 +43,11 @@ class EventBus:
     def closed(self) -> bool:
         return self._closed
 
+    @property
+    def last_time(self) -> Optional[float]:
+        """Timestamp of the most recent published event (the watermark)."""
+        return self._last_time
+
     def subscribe(
         self,
         callback: Callable[[LocationEvent], None],
@@ -83,6 +88,20 @@ class EventBus:
     def publish_many(self, events) -> None:
         for event in events:
             self.publish(event)
+
+    def resume_from(self, last_time: Optional[float]) -> None:
+        """Seed the ordering watermark from a restored checkpoint.
+
+        A runtime restored mid-trace re-publishes nothing, but the events it
+        *will* publish must not step behind what already reached downstream
+        consumers before the checkpoint; seeding the watermark keeps the
+        monotonicity check meaningful across the restore boundary.
+        """
+        if self._closed:
+            raise StreamError("cannot resume a closed event bus")
+        if self.published:
+            raise StreamError("cannot seed the watermark of a bus already in use")
+        self._last_time = None if last_time is None else float(last_time)
 
     def close(self) -> None:
         """End of stream: run every close hook.  Idempotent."""

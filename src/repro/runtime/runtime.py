@@ -25,12 +25,14 @@ Monitoring" (Cao et al.) builds its cluster runtime on the same observation.
 
 from __future__ import annotations
 
+import os
+import shutil
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
 from typing import Callable, Dict, Iterable, List, Optional
 
 from ..config import InferenceConfig, OutputPolicyConfig, RuntimeConfig
-from ..errors import InferenceError
+from ..errors import InferenceError, StateError
 from ..inference.estimates import LocationEstimate
 from ..inference.factored import FactoredParticleFilter
 from ..inference.pipeline import InferenceEngine
@@ -91,6 +93,8 @@ class ShardedRuntime:
         self.model = model
         self.config = config
         self.runtime_config = runtime
+        self.policy = policy
+        self.initial_heading = float(initial_heading)
         self.router = EpochRouter(runtime.n_shards, runtime.partitioner)
         self.bus = bus if bus is not None else EventBus()
         self.sink: EventSink = sink if sink is not None else CollectingSink()
@@ -122,8 +126,12 @@ class ShardedRuntime:
                 thread_name_prefix="repro-shard",
             )
         self._finished = False
-        #: Epochs processed (diagnostics).
+        #: Epochs processed — also the stream offset recorded in checkpoints
+        #: (resume seeks the epoch source to this index).
         self.epochs_processed = 0
+        #: Stream timestamp of the last periodic checkpoint (armed at the
+        #: first epoch so a checkpoint is not taken immediately at start).
+        self._last_checkpoint_time: Optional[float] = None
 
     # ------------------------------------------------------------------
     @property
@@ -166,6 +174,50 @@ class ShardedRuntime:
                 shard.step(sub)
         self.epochs_processed += 1
         self._merge()
+        if self.runtime_config.checkpoint_every_s is not None:
+            self._maybe_checkpoint(epoch.time)
+
+    # ------------------------------------------------------------------
+    # Durability (``repro.state``)
+    # ------------------------------------------------------------------
+    def checkpoint(self, path) -> None:
+        """Write a coordinated snapshot of every shard to ``path``.
+
+        All shards have been advanced through the same epoch and drained
+        (``step`` merges before returning), so the snapshot is a consistent
+        cut of the whole pipeline: arena slabs, RNG streams, reader beliefs,
+        visit bookkeeping, and the stream offset.  See
+        :func:`repro.state.save_checkpoint` for the on-disk format and
+        :func:`repro.state.restore_runtime` to resume from one.
+        """
+        from ..state.checkpoint import save_checkpoint  # deferred: no cycle
+
+        if self._finished:
+            raise StateError("cannot checkpoint a finished runtime")
+        save_checkpoint(self, path)
+
+    def _maybe_checkpoint(self, stream_time: float) -> None:
+        every = self.runtime_config.checkpoint_every_s
+        if self._last_checkpoint_time is None:
+            self._last_checkpoint_time = stream_time
+            return
+        if stream_time - self._last_checkpoint_time < every:
+            return
+        from ..state.checkpoint import rotate_checkpoints, save_checkpoint
+
+        directory = self.runtime_config.checkpoint_dir
+        os.makedirs(directory, exist_ok=True)
+        target = os.path.join(directory, f"epoch_{self.epochs_processed:08d}")
+        if os.path.exists(target):
+            # A run resumed from an older periodic checkpoint re-crosses the
+            # epochs of a newer one; our own deterministic names are safe to
+            # replace (explicit `checkpoint()` targets still refuse).
+            shutil.rmtree(target)
+        save_checkpoint(self, target)
+        with open(os.path.join(directory, "LATEST"), "w") as fp:
+            fp.write(os.path.basename(target) + "\n")
+        rotate_checkpoints(directory, keep=self.runtime_config.checkpoint_keep)
+        self._last_checkpoint_time = stream_time
 
     def finish(self) -> None:
         """Flush every shard's pending events and close the bus."""

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from ..config import OutputPolicyConfig
+from ..errors import StateError
 from ..inference.pipeline import CleaningPipeline, InferenceEngine
 from ..streams.records import Epoch, LocationEvent
 from ..streams.sinks import CollectingSink
@@ -69,7 +70,43 @@ class FilterShard:
         if arena is not None:
             row["arena_used_rows"] = float(arena.used_rows)
             row["arena_capacity"] = float(arena.capacity)
+            row["arena_grows"] = float(arena.stats.get("grows", 0))
+            row["arena_compactions"] = float(arena.stats.get("compactions", 0))
+            row["arena_memory_bytes"] = float(arena.memory_bytes())
         memory = getattr(engine, "belief_memory_bytes", None)
         if callable(memory):
             row["belief_memory_bytes"] = float(memory())
         return row
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (the durable-state subsystem, ``repro.state``)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, dict]:
+        """Capture the shard's complete mutable state (engine + pipeline).
+
+        Checkpoints are taken at epoch boundaries *after* the runtime drained
+        the event buffer; a non-empty buffer means events would be lost, so
+        it is an error, not a silent drop.
+        """
+        capture = getattr(self.engine, "snapshot_state", None)
+        if not callable(capture):
+            raise StateError(
+                f"engine {type(self.engine).__name__} does not support "
+                "state capture (no snapshot_state method)"
+            )
+        if self._buffer.events:
+            raise StateError(
+                f"shard {self.index} has {len(self._buffer.events)} undrained "
+                "events; checkpoint only at epoch boundaries after a merge"
+            )
+        return {"engine": capture(), "pipeline": self.pipeline.snapshot_state()}
+
+    def restore(self, state: Dict[str, dict]) -> None:
+        apply = getattr(self.engine, "restore_state", None)
+        if not callable(apply):
+            raise StateError(
+                f"engine {type(self.engine).__name__} does not support "
+                "state restore (no restore_state method)"
+            )
+        apply(state["engine"])
+        self.pipeline.restore_state(state["pipeline"])

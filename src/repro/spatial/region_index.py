@@ -41,6 +41,7 @@ class SensingRegionIndex:
         self._regions: "OrderedDict[int, Tuple[Box, Set[int]]]" = OrderedDict()
         self._next_id = 0
         self._max_regions = max_regions
+        self._max_entries = max_entries
 
     def __len__(self) -> int:
         return len(self._regions)
@@ -116,6 +117,44 @@ class SensingRegionIndex:
         for _, ids in self._regions.values():
             out.update(ids)
         return out
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (the durable-state subsystem, ``repro.state``)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Serializable content: regions in recording order plus the id
+        counter.  The R*-tree itself is not serialized — it is a derived
+        structure and is rebuilt by re-inserting the regions, which yields
+        identical *query semantics* (overlap search is exact set semantics
+        regardless of tree shape)."""
+        regions = [
+            {
+                "id": int(region_id),
+                "lo": [float(v) for v in box.lo],
+                "hi": [float(v) for v in box.hi],
+                "objects": sorted(int(i) for i in ids),
+            }
+            for region_id, (box, ids) in self._regions.items()
+        ]
+        return {"next_id": int(self._next_id), "regions": regions}
+
+    def load_snapshot(self, state: Dict[str, object]) -> None:
+        """Replace the index content with a :meth:`snapshot`'s regions,
+        preserving recording order (which drives ``max_regions`` eviction)
+        and the original region ids."""
+        self._tree = RStarTree(max_entries=self._max_entries)
+        self._regions = OrderedDict()
+        for rec in state["regions"]:  # type: ignore[index]
+            region_id = int(rec["id"])
+            box = Box(tuple(rec["lo"]), tuple(rec["hi"]))
+            self._regions[region_id] = (box, set(int(i) for i in rec["objects"]))
+            self._tree.insert(box, region_id)
+        self._next_id = int(state["next_id"])
+        if self._regions and self._next_id <= max(self._regions):
+            raise GeometryError("region snapshot id counter behind live ids")
+        if self._max_regions is not None:
+            while len(self._regions) > self._max_regions:
+                self._evict_oldest()
 
     def check_consistent(self) -> None:
         """Test hook: tree and map must describe the same regions."""

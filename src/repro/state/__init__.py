@@ -1,0 +1,56 @@
+"""Durable state: checkpoint, restore, replay, and elastic re-sharding.
+
+The cleaning pipeline is a long-running stateful stream operator; this
+package makes its state survive the process.  A *checkpoint* is a
+coordinated, versioned, integrity-checked snapshot of every filter shard —
+belief-arena slabs (compacted on write), RNG bit-generator states, reader
+beliefs, output-policy bookkeeping, and the stream offset — written as one
+directory of ``.npz`` files plus a JSON manifest.
+
+* :func:`save_checkpoint` / :meth:`ShardedRuntime.checkpoint` write one;
+  ``RuntimeConfig(checkpoint_every_s=..., checkpoint_dir=...)`` makes the
+  runtime write them periodically at epoch boundaries, with rotation.
+* :func:`load_checkpoint` parses one back into configs + state trees.
+* :func:`restore_runtime` rebuilds a live runtime from one: exact (bitwise
+  resume) at the recorded shard layout, or *elastically re-sharded* to a
+  different shard count without replaying from epoch 0.
+
+See the module docstrings of :mod:`.checkpoint` (on-disk format) and
+:mod:`.restore` (resume/re-shard semantics and guarantees).
+"""
+
+from .checkpoint import (
+    FORMAT_VERSION,
+    CheckpointManifest,
+    checkpoint_size_bytes,
+    config_hash,
+    latest_checkpoint,
+    load_checkpoint,
+    rotate_checkpoints,
+    save_checkpoint,
+)
+from .restore import restore_runtime
+from .snapshot import (
+    generator_from_state,
+    join_state_tree,
+    jsonable_to_rng_state,
+    rng_state_to_jsonable,
+    split_state_tree,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "CheckpointManifest",
+    "checkpoint_size_bytes",
+    "config_hash",
+    "generator_from_state",
+    "join_state_tree",
+    "jsonable_to_rng_state",
+    "latest_checkpoint",
+    "load_checkpoint",
+    "restore_runtime",
+    "rng_state_to_jsonable",
+    "rotate_checkpoints",
+    "save_checkpoint",
+    "split_state_tree",
+]

@@ -1,0 +1,331 @@
+"""Checkpoint persistence: a versioned on-disk pipeline snapshot.
+
+One checkpoint is a directory::
+
+    <checkpoint>/
+        manifest.json     # format version, configs, offsets, checksums
+        shard_0000.npz    # every numpy array of shard 0's state tree
+        shard_0001.npz
+        ...
+
+The manifest is the source of truth: it embeds the full
+:class:`~repro.config.InferenceConfig` / :class:`OutputPolicyConfig` /
+:class:`RuntimeConfig` as JSON (so a restore rebuilds *exactly* the
+configuration the state was captured under), the stream offset
+(``epochs_processed`` — the resume seek position), the event-bus watermark,
+and per-shard JSON skeletons whose array leaves point into the shard's
+``.npz`` file.  Each ``.npz`` is integrity-checked by a SHA-256 recorded in
+the manifest; a flipped bit fails loudly at load, not as a silently wrong
+posterior three thousand epochs later.
+
+Writes are atomic at the directory level: content lands in a ``*.tmp``
+sibling which is renamed into place, so a crash mid-checkpoint leaves either
+the previous checkpoint or a ``.tmp`` turd, never a half-written manifest
+that a restore would trust.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import shutil
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..config import (
+    ArenaConfig,
+    CompressionConfig,
+    InferenceConfig,
+    OutputPolicyConfig,
+    RuntimeConfig,
+    SpatialIndexConfig,
+)
+from ..errors import StateError
+from .snapshot import (
+    join_state_tree,
+    jsonable_to_rng_state,
+    rng_state_to_jsonable,
+    split_state_tree,
+)
+
+#: Bump when the manifest or state-tree layout changes incompatibly.
+FORMAT_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+
+
+# ---------------------------------------------------------------------------
+# Config (de)serialization
+# ---------------------------------------------------------------------------
+def inference_config_to_dict(config: InferenceConfig) -> dict:
+    return dataclasses.asdict(config)
+
+
+def inference_config_from_dict(data: dict) -> InferenceConfig:
+    data = dict(data)
+    try:
+        data["compression"] = CompressionConfig(**data["compression"])
+        data["spatial_index"] = SpatialIndexConfig(**data["spatial_index"])
+        data["arena"] = ArenaConfig(**data["arena"])
+        return InferenceConfig(**data)
+    except (KeyError, TypeError) as exc:
+        raise StateError(f"manifest inference config is invalid: {exc}") from exc
+
+
+def policy_config_from_dict(data: dict) -> OutputPolicyConfig:
+    try:
+        return OutputPolicyConfig(**data)
+    except TypeError as exc:
+        raise StateError(f"manifest output policy is invalid: {exc}") from exc
+
+
+def runtime_config_from_dict(data: dict) -> RuntimeConfig:
+    try:
+        return RuntimeConfig(**data)
+    except TypeError as exc:
+        raise StateError(f"manifest runtime config is invalid: {exc}") from exc
+
+
+def config_hash(
+    config: InferenceConfig, policy: OutputPolicyConfig, initial_heading: float
+) -> str:
+    """Digest of everything that must match between capture and restore.
+
+    The runtime config is deliberately excluded: shard count, executor, and
+    checkpoint cadence are *deployment* choices a restore may change
+    (elastic re-sharding); the inference semantics live in the engine and
+    policy configs.
+    """
+    payload = json.dumps(
+        {
+            "inference": inference_config_to_dict(config),
+            "policy": dataclasses.asdict(policy),
+            "initial_heading": float(initial_heading),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Manifest model
+# ---------------------------------------------------------------------------
+@dataclass
+class CheckpointManifest:
+    """Parsed manifest plus fully re-joined per-shard state trees."""
+
+    version: int
+    config: InferenceConfig
+    policy: OutputPolicyConfig
+    runtime: RuntimeConfig
+    initial_heading: float
+    epochs_processed: int
+    bus_last_time: Optional[float]
+    bus_published: int
+    config_digest: str
+    shard_states: List[dict]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shard_states)
+
+
+# ---------------------------------------------------------------------------
+# Save
+# ---------------------------------------------------------------------------
+def _sha256_file(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as fp:
+        for chunk in iter(lambda: fp.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _shard_file_name(index: int) -> str:
+    return f"shard_{index:04d}.npz"
+
+
+def _encode_shard_state(state: dict) -> Tuple[dict, Dict[str, np.ndarray]]:
+    """Split a shard state tree, normalizing the RNG leaf to JSON first."""
+    state = dict(state)
+    engine = dict(state["engine"])
+    engine["rng_state"] = rng_state_to_jsonable(engine["rng_state"])
+    state["engine"] = engine
+    return split_state_tree(state)
+
+
+def save_checkpoint(runtime, path) -> str:
+    """Write a coordinated snapshot of a :class:`ShardedRuntime`.
+
+    ``runtime`` is duck-typed (needs ``shards``, ``config``, ``policy``,
+    ``runtime_config``, ``initial_heading``, ``epochs_processed``, ``bus``)
+    so this module does not import the runtime layer.  Returns the final
+    checkpoint path.
+    """
+    path = os.fspath(path)
+    if os.path.exists(path):
+        raise StateError(f"checkpoint target already exists: {path}")
+    shard_payloads = []
+    for shard in runtime.shards:
+        skeleton, arrays = _encode_shard_state(shard.snapshot())
+        shard_payloads.append((skeleton, arrays))
+
+    tmp = path + ".tmp"
+    if os.path.exists(tmp):
+        shutil.rmtree(tmp)
+    os.makedirs(tmp)
+    try:
+        shard_records = []
+        for index, (skeleton, arrays) in enumerate(shard_payloads):
+            file_name = _shard_file_name(index)
+            file_path = os.path.join(tmp, file_name)
+            # npz keys may contain '/', which savez would mangle through its
+            # zip-member naming on some platforms; index arrays explicitly.
+            keys = sorted(arrays)
+            np.savez_compressed(
+                file_path,
+                __keys__=np.asarray(keys, dtype=str),
+                **{f"a{i}": arrays[k] for i, k in enumerate(keys)},
+            )
+            shard_records.append(
+                {
+                    "file": file_name,
+                    "sha256": _sha256_file(file_path),
+                    "state": skeleton,
+                }
+            )
+        manifest = {
+            "format": "repro-checkpoint",
+            "version": FORMAT_VERSION,
+            "config_hash": config_hash(
+                runtime.config, runtime.policy, runtime.initial_heading
+            ),
+            "inference_config": inference_config_to_dict(runtime.config),
+            "output_policy": dataclasses.asdict(runtime.policy),
+            "runtime_config": dataclasses.asdict(runtime.runtime_config),
+            "initial_heading": float(runtime.initial_heading),
+            "epochs_processed": int(runtime.epochs_processed),
+            "bus_last_time": runtime.bus.last_time,
+            "bus_published": int(runtime.bus.published),
+            "shards": shard_records,
+        }
+        with open(os.path.join(tmp, MANIFEST_NAME), "w") as fp:
+            json.dump(manifest, fp, indent=1)
+            fp.write("\n")
+        os.rename(tmp, path)
+    except BaseException:
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Load
+# ---------------------------------------------------------------------------
+def _load_shard_arrays(path: str) -> Dict[str, np.ndarray]:
+    with np.load(path) as data:
+        keys = [str(k) for k in data["__keys__"]]
+        return {k: data[f"a{i}"] for i, k in enumerate(keys)}
+
+
+def _decode_shard_state(skeleton: dict, arrays: Dict[str, np.ndarray]) -> dict:
+    state = join_state_tree(skeleton, arrays)
+    state["engine"]["rng_state"] = jsonable_to_rng_state(state["engine"]["rng_state"])
+    return state
+
+
+def load_checkpoint(path, verify: bool = True) -> CheckpointManifest:
+    """Parse a checkpoint directory back into configs + shard state trees.
+
+    ``verify`` checks each shard file's SHA-256 against the manifest before
+    deserializing it (skippable for speed when the storage is trusted).
+    """
+    path = os.fspath(path)
+    manifest_path = os.path.join(path, MANIFEST_NAME)
+    try:
+        with open(manifest_path) as fp:
+            manifest = json.load(fp)
+    except FileNotFoundError:
+        raise StateError(f"no checkpoint manifest at {manifest_path}") from None
+    except json.JSONDecodeError as exc:
+        raise StateError(f"corrupt checkpoint manifest {manifest_path}") from exc
+    if manifest.get("format") != "repro-checkpoint":
+        raise StateError(f"{manifest_path} is not a repro checkpoint manifest")
+    version = manifest.get("version")
+    if version != FORMAT_VERSION:
+        raise StateError(
+            f"checkpoint format version {version} is not supported "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    shard_states = []
+    for record in manifest["shards"]:
+        file_path = os.path.join(path, record["file"])
+        if verify:
+            actual = _sha256_file(file_path)
+            if actual != record["sha256"]:
+                raise StateError(
+                    f"checksum mismatch for {file_path}: manifest says "
+                    f"{record['sha256'][:12]}…, file is {actual[:12]}…"
+                )
+        arrays = _load_shard_arrays(file_path)
+        shard_states.append(_decode_shard_state(record["state"], arrays))
+    return CheckpointManifest(
+        version=int(version),
+        config=inference_config_from_dict(manifest["inference_config"]),
+        policy=policy_config_from_dict(manifest["output_policy"]),
+        runtime=runtime_config_from_dict(manifest["runtime_config"]),
+        initial_heading=float(manifest["initial_heading"]),
+        epochs_processed=int(manifest["epochs_processed"]),
+        bus_last_time=manifest["bus_last_time"],
+        bus_published=int(manifest["bus_published"]),
+        config_digest=str(manifest["config_hash"]),
+        shard_states=shard_states,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Periodic-checkpoint housekeeping
+# ---------------------------------------------------------------------------
+def checkpoint_size_bytes(path) -> int:
+    """Total on-disk size of a checkpoint directory."""
+    path = os.fspath(path)
+    return sum(
+        os.path.getsize(os.path.join(path, name)) for name in os.listdir(path)
+    )
+
+
+def latest_checkpoint(directory) -> Optional[str]:
+    """Resolve the ``LATEST`` pointer the runtime maintains, if present."""
+    directory = os.fspath(directory)
+    pointer = os.path.join(directory, "LATEST")
+    try:
+        with open(pointer) as fp:
+            name = fp.read().strip()
+    except FileNotFoundError:
+        return None
+    target = os.path.join(directory, name)
+    return target if os.path.isdir(target) else None
+
+
+def rotate_checkpoints(directory, keep: int) -> List[str]:
+    """Delete the oldest ``epoch_*`` checkpoints beyond ``keep``.
+
+    Ordering is by the zero-padded epoch index in the directory name, so it
+    is stable regardless of filesystem timestamps.  Returns removed paths.
+    """
+    directory = os.fspath(directory)
+    entries = sorted(
+        name
+        for name in os.listdir(directory)
+        if name.startswith("epoch_") and os.path.isdir(os.path.join(directory, name))
+    )
+    removed = []
+    for name in entries[:-keep] if keep > 0 else entries:
+        target = os.path.join(directory, name)
+        shutil.rmtree(target)
+        removed.append(target)
+    return removed

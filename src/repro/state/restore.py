@@ -1,0 +1,310 @@
+"""Restore: rebuild a live :class:`ShardedRuntime` from a checkpoint.
+
+Two restore modes, chosen by comparing the checkpoint's shard layout with
+the requested one:
+
+**Exact restore** — same shard count and partitioner.  Every shard's state
+tree is applied verbatim: RNG bit-generator states, reader beliefs, arena
+blocks, visit bookkeeping.  The resumed run is *bitwise identical* to an
+uninterrupted run — same events, same timestamps, same positions — because
+every source of randomness and every piece of mutable state crosses the
+checkpoint boundary intact (the arena's parent remapping was made
+hole-layout-independent for exactly this reason).
+
+**Elastic re-shard** — different shard count (or partitioner).  Per-object
+state (particle blocks, belief metadata, visit bookkeeping) is repartitioned
+across the new shards with the new runtime's own partitioner, so a run can
+scale from N to M shards *without replaying from epoch 0*.  Three pieces of
+state cannot migrate exactly and are handled explicitly:
+
+* **Reader beliefs** are duplicated per shard by design (each shard tracks
+  the reader from the same broadcast evidence), so new shard ``m`` inherits
+  the posterior of source shard ``m * N // M``.  Migrated objects' parent
+  pointers then index a *different but equally valid* reader posterior —
+  post-resampling reader particles are approximately i.i.d. posterior
+  draws, so re-pointing is distributionally consistent (the same argument
+  the filter itself uses for dropped parents after a reader resample).
+* **RNG streams** are re-derived deterministically from the root seed, the
+  new shard index, and the resume offset; splicing old bit-generator
+  streams across a changed shard layout would correlate shards.
+* **Spatial-index regions** (when enabled) are *not* migrated: each shard's
+  recorded regions are keyed to its own reader-belief history, which does
+  not survive repartitioning.  Restored shards start with an empty index
+  and re-record regions as the reader moves — a documented warm-up cost,
+  not a correctness issue (Case-1 processing is unaffected).
+
+Consequently an exact restore is bitwise; a re-shard is exact on event
+times and tags (the output policy's clock is deterministic) and accurate on
+positions to the same tolerance as running sharded vs. unsharded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..config import RuntimeConfig
+from ..errors import StateError
+from ..models.joint import RFIDWorldModel
+from ..runtime import EventBus, ShardedRuntime
+from ..streams.sinks import EventSink
+from .checkpoint import CheckpointManifest, config_hash, load_checkpoint
+
+#: Selector snapshot applied to re-sharded engines when the index is
+#: enabled: structurally valid, semantically empty (regions re-record).
+_EMPTY_SELECTOR = {
+    "index": {"next_id": 0, "regions": []},
+    "last_region_id": None,
+    "last_center": None,
+}
+
+
+def restore_runtime(
+    path,
+    model: RFIDWorldModel,
+    runtime_config: Optional[RuntimeConfig] = None,
+    sink: Optional[EventSink] = None,
+    bus: Optional[EventBus] = None,
+    verify: bool = True,
+) -> Tuple[ShardedRuntime, CheckpointManifest]:
+    """Rebuild a runtime from a checkpoint directory and prime it to resume.
+
+    Parameters
+    ----------
+    path:
+        Checkpoint directory written by :func:`repro.state.save_checkpoint`
+        (or by the runtime's periodic checkpointing).
+    model:
+        The world model — models are code + fitted parameters, not runtime
+        state, so the caller re-derives them the same way the original run
+        did (e.g. from the trace's calibration data).
+    runtime_config:
+        Target shard layout.  ``None`` restores the recorded layout
+        exactly; a different ``n_shards`` (or partitioner) triggers the
+        elastic re-shard path.
+    verify:
+        Check shard-file checksums against the manifest before applying.
+
+    Returns the primed runtime and the parsed manifest; resume by feeding
+    ``trace.epochs(start=manifest.epochs_processed)`` to ``runtime.run``.
+    """
+    manifest = load_checkpoint(path, verify=verify)
+    digest = config_hash(manifest.config, manifest.policy, manifest.initial_heading)
+    if digest != manifest.config_digest:
+        raise StateError(
+            "checkpoint config hash does not match its own configuration "
+            "payload — the manifest was modified after it was written"
+        )
+    target = runtime_config if runtime_config is not None else manifest.runtime
+    runtime = ShardedRuntime(
+        model,
+        manifest.config,
+        target,
+        manifest.policy,
+        sink=sink,
+        bus=bus,
+        initial_heading=manifest.initial_heading,
+    )
+    exact = (
+        target.n_shards == manifest.n_shards
+        and target.partitioner == manifest.runtime.partitioner
+    )
+    if exact:
+        for shard, state in zip(runtime.shards, manifest.shard_states):
+            shard.restore(state)
+    else:
+        _reshard(runtime, manifest)
+    runtime.epochs_processed = manifest.epochs_processed
+    runtime.bus.resume_from(manifest.bus_last_time)
+    return runtime, manifest
+
+
+# ---------------------------------------------------------------------------
+# Elastic re-sharding
+# ---------------------------------------------------------------------------
+def _arena_blocks(
+    arena_state: dict,
+) -> Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Per-object ``(positions, parents, log_weights)`` views into a
+    snapshot's concatenated block arrays."""
+    counts = np.asarray(arena_state["counts"], dtype=np.int64)
+    offsets = np.zeros(counts.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    positions = np.asarray(arena_state["positions"])
+    parents = np.asarray(arena_state["parents"])
+    log_weights = np.asarray(arena_state["log_weights"])
+    blocks = {}
+    for i, oid in enumerate(np.asarray(arena_state["ids"], dtype=np.int64)):
+        block = slice(int(offsets[i]), int(offsets[i + 1]))
+        blocks[int(oid)] = (positions[block], parents[block], log_weights[block])
+    return blocks
+
+
+def _belief_entries(engine_state: dict) -> List[dict]:
+    """Flatten one engine snapshot into per-object records, preserving the
+    belief dict's insertion order (it is semantically load-bearing)."""
+    beliefs = engine_state["beliefs"]
+    blocks = _arena_blocks(engine_state["arena"])
+    ids = np.asarray(beliefs["ids"], dtype=np.int64)
+    compressed = np.asarray(beliefs["compressed"], dtype=bool)
+    entries = []
+    for i, number in enumerate(ids):
+        number = int(number)
+        entry = {
+            "number": number,
+            "created": int(beliefs["created"][i]),
+            "last_read": int(beliefs["last_read"][i]),
+            "last_split": int(beliefs["last_split"][i]),
+            "anchor": np.asarray(beliefs["anchors"][i], dtype=float),
+            "compressed": bool(compressed[i]),
+            "gauss_mean": np.asarray(beliefs["gauss_mean"][i], dtype=float),
+            "gauss_cov": np.asarray(beliefs["gauss_cov"][i], dtype=float),
+            "block": None if compressed[i] else blocks.get(number),
+        }
+        if not entry["compressed"] and entry["block"] is None:
+            raise StateError(f"belief {number} has no arena block in checkpoint")
+        entries.append(entry)
+    return entries
+
+
+def _visit_entries(pipeline_state: dict) -> List[dict]:
+    visits = pipeline_state["visits"]
+    ids = np.asarray(visits["ids"], dtype=np.int64)
+    has_pos = np.asarray(visits["has_pos"], dtype=bool)
+    return [
+        {
+            "number": int(number),
+            "entered": float(visits["entered"][i]),
+            "last_read": float(visits["last_read"][i]),
+            "emitted": bool(visits["emitted"][i]),
+            "has_pos": bool(has_pos[i]),
+            "pos": np.asarray(visits["pos"][i], dtype=float),
+        }
+        for i, number in enumerate(ids)
+    ]
+
+
+def _pack_beliefs(entries: List[dict]) -> Tuple[dict, dict]:
+    """Reassemble per-object records into engine ``beliefs`` + ``arena``
+    snapshot trees (the inverse of :func:`_belief_entries`)."""
+    b = len(entries)
+    beliefs = {
+        "ids": np.asarray([e["number"] for e in entries], dtype=np.int64),
+        "created": np.asarray([e["created"] for e in entries], dtype=np.int64),
+        "last_read": np.asarray([e["last_read"] for e in entries], dtype=np.int64),
+        "last_split": np.asarray([e["last_split"] for e in entries], dtype=np.int64),
+        "anchors": (
+            np.stack([e["anchor"] for e in entries])
+            if entries
+            else np.zeros((0, 3))
+        ),
+        "compressed": np.asarray([e["compressed"] for e in entries], dtype=bool),
+        "gauss_mean": (
+            np.stack([e["gauss_mean"] for e in entries])
+            if entries
+            else np.zeros((0, 3))
+        ),
+        "gauss_cov": (
+            np.stack([e["gauss_cov"] for e in entries])
+            if entries
+            else np.zeros((0, 3, 3))
+        ),
+    }
+    live = [e for e in entries if not e["compressed"]]
+    arena = {
+        "ids": np.asarray([e["number"] for e in live], dtype=np.int64),
+        "counts": np.asarray(
+            [e["block"][0].shape[0] for e in live], dtype=np.int64
+        ),
+        "positions": (
+            np.concatenate([e["block"][0] for e in live])
+            if live
+            else np.zeros((0, 3))
+        ),
+        "parents": (
+            np.concatenate([e["block"][1] for e in live])
+            if live
+            else np.zeros(0, dtype=np.int32)
+        ),
+        "log_weights": (
+            np.concatenate([e["block"][2] for e in live]) if live else np.zeros(0)
+        ),
+    }
+    return beliefs, arena
+
+
+def _reshard_rng_state(root_seed: int, shard_index: int, n_shards: int, offset: int) -> dict:
+    """Fresh, deterministic bit-generator state for a re-sharded engine.
+
+    Keyed on the resume offset too, so restoring the same checkpoint into
+    the same layout twice is reproducible while a later checkpoint of the
+    same run yields independent streams.
+    """
+    seq = np.random.SeedSequence(
+        [int(root_seed), int(shard_index), int(n_shards), int(offset)]
+    )
+    return np.random.default_rng(seq).bit_generator.state
+
+
+def _reshard(runtime: ShardedRuntime, manifest: CheckpointManifest) -> None:
+    """Repartition N-shard checkpoint state onto the runtime's M shards."""
+    n_old = manifest.n_shards
+    n_new = runtime.n_shards
+    for state in manifest.shard_states:
+        if state["engine"].get("engine") != "factored":
+            raise StateError("elastic re-shard supports the factored engine only")
+
+    # Per-object state from every old shard, tagged with its origin so the
+    # merged order is deterministic: old shard index, then original order.
+    beliefs_by_new: List[List[dict]] = [[] for _ in range(n_new)]
+    visits_by_new: List[List[dict]] = [[] for _ in range(n_new)]
+    emitted_by_new: List[set] = [set() for _ in range(n_new)]
+    for state in manifest.shard_states:
+        for entry in _belief_entries(state["engine"]):
+            beliefs_by_new[runtime.router.shard_of(entry["number"])].append(entry)
+        for visit in _visit_entries(state["pipeline"]):
+            visits_by_new[runtime.router.shard_of(visit["number"])].append(visit)
+        for number in np.asarray(state["pipeline"]["emitted_ever"]):
+            emitted_by_new[runtime.router.shard_of(int(number))].add(int(number))
+
+    root_seed = manifest.config.seed
+    spatial_enabled = manifest.config.spatial_index.enabled
+    for m, shard in enumerate(runtime.shards):
+        source = manifest.shard_states[(m * n_old) // n_new]
+        engine_src = source["engine"]
+        beliefs, arena = _pack_beliefs(beliefs_by_new[m])
+        engine_state = {
+            "engine": "factored",
+            "rng_state": _reshard_rng_state(
+                root_seed, m, n_new, manifest.epochs_processed
+            ),
+            "epoch_index": engine_src["epoch_index"],
+            "active_count": len(beliefs_by_new[m]),
+            "stats": dict(engine_src["stats"]),
+            "arena_stats": {"grows": 0, "compactions": 0},
+            "last_reported": engine_src["last_reported"],
+            "last_reported_epoch": engine_src["last_reported_epoch"],
+            "reader": engine_src["reader"],
+            "arena": arena,
+            "beliefs": beliefs,
+            "selector": dict(_EMPTY_SELECTOR) if spatial_enabled else None,
+        }
+        entries = visits_by_new[m]
+        pipeline_state = {
+            "visits": {
+                "ids": np.asarray([v["number"] for v in entries], dtype=np.int64),
+                "entered": np.asarray([v["entered"] for v in entries]),
+                "last_read": np.asarray([v["last_read"] for v in entries]),
+                "emitted": np.asarray([v["emitted"] for v in entries], dtype=bool),
+                "has_pos": np.asarray([v["has_pos"] for v in entries], dtype=bool),
+                "pos": (
+                    np.stack([v["pos"] for v in entries])
+                    if entries
+                    else np.zeros((0, 3))
+                ),
+            },
+            "emitted_ever": np.asarray(sorted(emitted_by_new[m]), dtype=np.int64),
+            "last_epoch_time": source["pipeline"]["last_epoch_time"],
+        }
+        shard.restore({"engine": engine_state, "pipeline": pipeline_state})

@@ -1,0 +1,163 @@
+"""State-tree serialization primitives for the durable-state subsystem.
+
+A *state tree* is what the snapshot hooks on the live objects return
+(:meth:`FactoredParticleFilter.snapshot_state`,
+:meth:`CleaningPipeline.snapshot_state`, …): a nested structure of dicts and
+lists whose leaves are numpy arrays, numbers, strings, booleans, or ``None``.
+This module splits such a tree into
+
+* a JSON-able skeleton in which every array leaf is replaced by an
+  ``{"__array__": <key>}`` placeholder, and
+* a flat ``{key: ndarray}`` mapping destined for one ``.npz`` file,
+
+and joins them back on load.  Keeping the split generic means the engines
+describe *what* their state is while this layer owns *how* it is persisted —
+new engine fields serialize without touching the format code.
+
+The RNG codec is here too: :class:`numpy.random.Generator` bit-generator
+state is a nested dict whose leaves may be Python ints of arbitrary size
+(PCG64 carries 128-bit words) or numpy integers; the codec normalizes it to
+pure JSON types and back, for any bit-generator family.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import StateError
+
+#: Placeholder key marking an extracted array leaf in the JSON skeleton.
+ARRAY_MARKER = "__array__"
+
+
+# ---------------------------------------------------------------------------
+# RNG bit-generator state codec
+# ---------------------------------------------------------------------------
+def rng_state_to_jsonable(state: Any) -> Any:
+    """Normalize a ``Generator.bit_generator.state`` tree to JSON types.
+
+    Numpy integers and integer arrays (some bit generators keep their word
+    pool as a uint array) become Python ints / lists of ints; containers
+    recurse; everything else must already be JSON-able.
+    """
+    if isinstance(state, dict):
+        return {str(k): rng_state_to_jsonable(v) for k, v in state.items()}
+    if isinstance(state, (list, tuple)):
+        return [rng_state_to_jsonable(v) for v in state]
+    if isinstance(state, np.ndarray):
+        return {"__ndarray_int__": [int(v) for v in state.ravel()]}
+    if isinstance(state, (np.integer, np.bool_)):
+        return int(state)
+    if isinstance(state, (int, float, str, bool)) or state is None:
+        return state
+    raise StateError(f"cannot serialize RNG state leaf of type {type(state)!r}")
+
+
+def jsonable_to_rng_state(state: Any) -> Any:
+    """Inverse of :func:`rng_state_to_jsonable`."""
+    if isinstance(state, dict):
+        if set(state) == {"__ndarray_int__"}:
+            return np.asarray(state["__ndarray_int__"], dtype=np.uint64)
+        return {k: jsonable_to_rng_state(v) for k, v in state.items()}
+    if isinstance(state, list):
+        return [jsonable_to_rng_state(v) for v in state]
+    return state
+
+
+def generator_from_state(state: dict) -> np.random.Generator:
+    """Rebuild a :class:`numpy.random.Generator` from a captured state dict.
+
+    The bit-generator class is looked up by the name recorded in the state
+    itself, so PCG64 checkpoints restore as PCG64 even if numpy's default
+    changes between versions.
+    """
+    name = state.get("bit_generator")
+    try:
+        cls = getattr(np.random, str(name))
+    except AttributeError:
+        raise StateError(f"unknown bit generator {name!r} in RNG state") from None
+    bit_generator = cls()
+    bit_generator.state = state
+    return np.random.Generator(bit_generator)
+
+
+# ---------------------------------------------------------------------------
+# State-tree split / join
+# ---------------------------------------------------------------------------
+def split_state_tree(tree: Any) -> Tuple[Any, Dict[str, np.ndarray]]:
+    """Extract every ndarray leaf out of a state tree.
+
+    Returns the JSON-able skeleton plus a flat ``{path_key: array}`` dict;
+    path keys join the tree path with ``/`` (``"engine/arena/positions"``).
+    """
+    arrays: Dict[str, np.ndarray] = {}
+
+    def walk(node: Any, path: str) -> Any:
+        if isinstance(node, np.ndarray):
+            arrays[path] = node
+            return {ARRAY_MARKER: path}
+        if isinstance(node, dict):
+            if ARRAY_MARKER in node:
+                raise StateError(f"state tree at {path!r} uses the reserved key")
+            return {
+                str(k): walk(v, f"{path}/{k}" if path else str(k))
+                for k, v in node.items()
+            }
+        if isinstance(node, (list, tuple)):
+            return [walk(v, f"{path}/{i}") for i, v in enumerate(node)]
+        if isinstance(node, (np.integer,)):
+            return int(node)
+        if isinstance(node, (np.floating,)):
+            return float(node)
+        if isinstance(node, (np.bool_,)):
+            return bool(node)
+        if isinstance(node, (int, float, str, bool)) or node is None:
+            return node
+        raise StateError(
+            f"cannot serialize state leaf of type {type(node)!r} at {path!r}"
+        )
+
+    return walk(tree, ""), arrays
+
+
+def join_state_tree(skeleton: Any, arrays: Dict[str, np.ndarray]) -> Any:
+    """Inverse of :func:`split_state_tree`: re-inject arrays by path key."""
+
+    def walk(node: Any) -> Any:
+        if isinstance(node, dict):
+            if set(node) == {ARRAY_MARKER}:
+                key = node[ARRAY_MARKER]
+                try:
+                    return arrays[key]
+                except KeyError:
+                    raise StateError(
+                        f"checkpoint is missing array {key!r}"
+                    ) from None
+            return {k: walk(v) for k, v in node.items()}
+        if isinstance(node, list):
+            return [walk(v) for v in node]
+        return node
+
+    return walk(skeleton)
+
+
+def missing_array_keys(skeleton: Any, arrays: Dict[str, np.ndarray]) -> List[str]:
+    """Array placeholders in ``skeleton`` with no backing entry (test hook)."""
+    missing: List[str] = []
+
+    def walk(node: Any) -> None:
+        if isinstance(node, dict):
+            if set(node) == {ARRAY_MARKER}:
+                if node[ARRAY_MARKER] not in arrays:
+                    missing.append(node[ARRAY_MARKER])
+                return
+            for v in node.values():
+                walk(v)
+        elif isinstance(node, list):
+            for v in node:
+                walk(v)
+
+    walk(skeleton)
+    return missing

@@ -104,14 +104,26 @@ class Trace:
     truth: Optional[GroundTruth] = None
     metadata: Dict[str, object] = field(default_factory=dict)
 
-    def epochs(self, emit_empty: bool = True) -> List[Epoch]:
-        """Synchronize the raw streams into epochs (Section II-A)."""
-        return synchronize(
+    def epochs(self, emit_empty: bool = True, start: int = 0) -> List[Epoch]:
+        """Synchronize the raw streams into epochs (Section II-A).
+
+        ``start`` seeks past the first ``start`` epochs — the resume path:
+        a checkpoint records how many epochs the runtime consumed
+        (``epochs_processed``), and restoring feeds
+        ``trace.epochs(start=offset)`` so the stream picks up exactly where
+        the snapshot was cut.  Synchronization always runs over the full
+        raw streams first, so the epoch grid (and therefore every epoch's
+        timestamp and contents) is identical to the uninterrupted run's.
+        """
+        if start < 0:
+            raise StreamError(f"epoch seek offset must be >= 0, got {start}")
+        epochs = synchronize(
             self.readings,
             self.reports,
             epoch_length=self.epoch_length,
             emit_empty=emit_empty,
         )
+        return epochs[start:] if start else epochs
 
     @property
     def duration(self) -> float:

@@ -78,10 +78,148 @@ class TestEvaluate:
 
 
 class TestParser:
-    def test_requires_command(self):
-        with pytest.raises(SystemExit):
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
             main([])
+        assert excinfo.value.code == 2
+        assert "usage:" in capsys.readouterr().err
 
-    def test_unknown_command(self):
-        with pytest.raises(SystemExit):
+    def test_unknown_command_exits_2_with_usage(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
             main(["frobnicate"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "usage:" in err and "invalid choice" in err
+
+    def test_unknown_option_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["simulate", "--bogus-flag"])
+        assert excinfo.value.code == 2
+        assert "usage:" in capsys.readouterr().err
+
+    def test_version_exits_0_and_prints(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+
+class TestCheckpointRestore:
+    CLEAN_OPTS = ["--particles", "150", "--delay", "20", "--shards", "2"]
+
+    def test_checkpoint_then_restore_matches_full_run(
+        self, trace_path, tmp_path, capsys
+    ):
+        """The kill-and-resume drill through the CLI: prefix events plus
+        resumed events must equal the uninterrupted run byte for byte."""
+        full = tmp_path / "full.csv"
+        assert main(
+            ["clean", str(trace_path), "--events", str(full)] + self.CLEAN_OPTS
+        ) == 0
+        ck = tmp_path / "ck"
+        prefix = tmp_path / "prefix.csv"
+        assert main(
+            [
+                "checkpoint",
+                str(trace_path),
+                "--epochs",
+                "20",
+                "--out",
+                str(ck),
+                "--events",
+                str(prefix),
+            ]
+            + self.CLEAN_OPTS
+        ) == 0
+        assert (ck / "manifest.json").exists()
+        out = capsys.readouterr().out
+        assert "checkpointed 20/" in out
+        suffix = tmp_path / "suffix.csv"
+        assert main(
+            ["restore", str(ck), str(trace_path), "--events", str(suffix)]
+        ) == 0
+        full_rows = full.read_text().splitlines()
+        resumed_rows = (
+            prefix.read_text().splitlines()
+            + suffix.read_text().splitlines()[1:]  # drop duplicate header
+        )
+        assert resumed_rows == full_rows
+
+    def test_restore_resharded(self, trace_path, tmp_path, capsys):
+        ck = tmp_path / "ck"
+        assert main(
+            ["checkpoint", str(trace_path), "--epochs", "20", "--out", str(ck)]
+            + self.CLEAN_OPTS
+        ) == 0
+        capsys.readouterr()
+        assert main(["restore", str(ck), str(trace_path), "--shards", "1"]) == 0
+        # Without --events the resumed events print to stdout.
+        assert "object:" in capsys.readouterr().out
+
+    def test_clean_periodic_checkpoint_and_resume(self, trace_path, tmp_path, capsys):
+        directory = tmp_path / "periodic"
+        assert main(
+            [
+                "clean",
+                str(trace_path),
+                "--checkpoint-every",
+                "10",
+                "--checkpoint-dir",
+                str(directory),
+            ]
+            + self.CLEAN_OPTS
+        ) == 0
+        assert (directory / "LATEST").exists()
+        capsys.readouterr()
+        events = tmp_path / "resumed.csv"
+        assert main(
+            [
+                "clean",
+                str(trace_path),
+                "--resume",
+                str(directory),
+                "--events",
+                str(events),
+            ]
+        ) == 0
+        assert "resumed from epoch" in capsys.readouterr().out
+        assert events.read_text().startswith("time,tag")
+
+    def test_clean_checkpoint_every_requires_dir(self, trace_path):
+        with pytest.raises(SystemExit, match="checkpoint-dir"):
+            main(["clean", str(trace_path), "--checkpoint-every", "10"])
+
+    def test_checkpoint_epochs_out_of_range(self, trace_path, tmp_path):
+        with pytest.raises(SystemExit, match="--epochs"):
+            main(
+                [
+                    "checkpoint",
+                    str(trace_path),
+                    "--epochs",
+                    "100000",
+                    "--out",
+                    str(tmp_path / "ck"),
+                ]
+            )
+
+    def test_restore_from_non_checkpoint_fails(self, trace_path, tmp_path):
+        with pytest.raises(SystemExit, match="manifest"):
+            main(["restore", str(tmp_path), str(trace_path)])
+
+    def test_checkpoint_refuses_existing_target_upfront(self, trace_path, tmp_path):
+        target = tmp_path / "ck"
+        target.mkdir()
+        # Must fail before any epochs are processed, not after the run.
+        with pytest.raises(SystemExit, match="already exists"):
+            main(
+                [
+                    "checkpoint",
+                    str(trace_path),
+                    "--epochs",
+                    "5",
+                    "--out",
+                    str(target),
+                ]
+            )

@@ -10,7 +10,7 @@ class TestExports:
             assert hasattr(repro, name), f"repro.{name} missing"
 
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_key_classes_present(self):
         for name in (

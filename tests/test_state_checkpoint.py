@@ -1,0 +1,405 @@
+"""Integration tests for the checkpoint format and runtime restore.
+
+The acceptance guarantees of the durable-state subsystem:
+
+* a run checkpointed mid-trace and restored *at the same shard count* emits
+  bitwise-identical events (tags, timestamps, positions) to the
+  uninterrupted run — for 1 and 2 shards, with and without compression;
+* restoring a 4-shard checkpoint into 2 shards (elastic re-shard) completes
+  the trace with the exact (time, tag) stream and positions within the
+  sharded-parity tolerance (0.6 ft);
+* corruption — flipped npz bytes, edited manifests, wrong versions — fails
+  loudly with :class:`StateError` at load, never silently.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    InferenceConfig,
+    OutputPolicyConfig,
+    RuntimeConfig,
+)
+from repro.errors import ConfigurationError, StateError, StreamError
+from repro.inference.naive import NaiveParticleFilter
+from repro.runtime import EventBus, ShardedRuntime
+from repro.state import (
+    FORMAT_VERSION,
+    checkpoint_size_bytes,
+    latest_checkpoint,
+    load_checkpoint,
+    restore_runtime,
+    rotate_checkpoints,
+    save_checkpoint,
+)
+
+POLICY = OutputPolicyConfig(delay_s=20.0)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    from repro.simulation.layout import LayoutConfig
+    from repro.simulation.warehouse import WarehouseConfig, WarehouseSimulator
+
+    simulator = WarehouseSimulator(
+        WarehouseConfig(layout=LayoutConfig(n_objects=8, n_shelf_tags=3), seed=11)
+    )
+    trace = simulator.generate()
+    config = InferenceConfig(reader_particles=60, object_particles=120, seed=7)
+    return simulator.world_model(), trace, config
+
+
+def run_full(model, trace, config, n_shards):
+    runtime = ShardedRuntime(
+        model, config, RuntimeConfig(n_shards=n_shards), POLICY
+    )
+    return runtime.run(trace.epochs()).events
+
+
+def checkpoint_at(model, trace, config, n_shards, split, path):
+    """Run a prefix, checkpoint, and abandon the runtime (simulated kill)."""
+    runtime = ShardedRuntime(
+        model, config, RuntimeConfig(n_shards=n_shards), POLICY
+    )
+    for epoch in trace.epochs()[:split]:
+        runtime.step(epoch)
+    runtime.checkpoint(path)
+    prefix = list(runtime.sink.events)
+    runtime.abort()
+    return prefix
+
+
+def assert_bitwise_equal(events, reference):
+    assert len(events) == len(reference)
+    for ours, ref in zip(events, reference):
+        assert ours.time == ref.time and ours.tag == ref.tag
+        np.testing.assert_array_equal(ours.position, ref.position)
+
+
+class TestCheckpointFormat:
+    def test_manifest_round_trip(self, scenario, tmp_path):
+        model, trace, config = scenario
+        path = tmp_path / "ck"
+        checkpoint_at(model, trace, config, 2, 15, path)
+        manifest = load_checkpoint(path)
+        assert manifest.version == FORMAT_VERSION
+        assert manifest.n_shards == 2
+        assert manifest.epochs_processed == 15
+        assert manifest.config == config  # exact dataclass round trip
+        assert manifest.policy == POLICY
+        assert manifest.runtime.n_shards == 2
+        assert checkpoint_size_bytes(path) > 0
+        for state in manifest.shard_states:
+            assert state["engine"]["engine"] == "factored"
+            assert state["engine"]["epoch_index"] == 14
+
+    def test_refuses_existing_target(self, scenario, tmp_path):
+        model, trace, config = scenario
+        path = tmp_path / "ck"
+        checkpoint_at(model, trace, config, 1, 5, path)
+        runtime = ShardedRuntime(model, config, RuntimeConfig(), POLICY)
+        runtime.step(trace.epochs()[0])
+        with pytest.raises(StateError, match="already exists"):
+            save_checkpoint(runtime, path)
+        runtime.abort()
+
+    def test_checksum_mismatch_detected(self, scenario, tmp_path):
+        model, trace, config = scenario
+        path = tmp_path / "ck"
+        checkpoint_at(model, trace, config, 1, 5, path)
+        shard_file = path / "shard_0000.npz"
+        blob = bytearray(shard_file.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        shard_file.write_bytes(bytes(blob))
+        with pytest.raises(StateError, match="checksum mismatch"):
+            load_checkpoint(path)
+
+    def test_edited_manifest_config_detected(self, scenario, tmp_path):
+        model, trace, config = scenario
+        path = tmp_path / "ck"
+        checkpoint_at(model, trace, config, 1, 5, path)
+        manifest_path = path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["inference_config"]["seed"] = 999  # tamper
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(StateError, match="config hash"):
+            restore_runtime(path, model)
+
+    def test_unsupported_version_rejected(self, scenario, tmp_path):
+        model, trace, config = scenario
+        path = tmp_path / "ck"
+        checkpoint_at(model, trace, config, 1, 5, path)
+        manifest_path = path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["version"] = FORMAT_VERSION + 1
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(StateError, match="version"):
+            load_checkpoint(path)
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(StateError, match="manifest"):
+            load_checkpoint(tmp_path)
+
+    def test_checkpoint_after_finish_raises_state_error(self, scenario, tmp_path):
+        model, trace, config = scenario
+        runtime = ShardedRuntime(model, config, RuntimeConfig(), POLICY)
+        runtime.run(trace.epochs())
+        with pytest.raises(StateError, match="finished"):
+            runtime.checkpoint(tmp_path / "ck")
+
+    def test_naive_engine_cannot_snapshot(self, scenario, tmp_path):
+        model, trace, config = scenario
+        runtime = ShardedRuntime(
+            model,
+            config,
+            RuntimeConfig(),
+            POLICY,
+            engine_factory=lambda cfg: NaiveParticleFilter(model, cfg, n_particles=50),
+        )
+        runtime.step(trace.epochs()[0])
+        with pytest.raises(StateError, match="snapshot_state"):
+            runtime.checkpoint(tmp_path / "ck")
+        runtime.abort()
+
+    def test_undrained_shard_refuses_snapshot(self, scenario):
+        model, trace, config = scenario
+        runtime = ShardedRuntime(model, config, RuntimeConfig(), POLICY)
+        for epoch in trace.epochs()[:25]:
+            runtime.step(epoch)
+        shard = runtime.shards[0]
+        from repro.streams.records import LocationEvent, TagId
+
+        shard._buffer.emit(
+            LocationEvent(time=1.0, tag=TagId.object(0), position=(0, 0, 0))
+        )
+        with pytest.raises(StateError, match="undrained"):
+            shard.snapshot()
+        runtime.abort()
+
+
+class TestResumeParity:
+    @pytest.mark.parametrize("n_shards", [1, 2])
+    def test_resume_is_bitwise_identical(self, scenario, tmp_path, n_shards):
+        model, trace, config = scenario
+        reference = run_full(model, trace, config, n_shards)
+        split = len(trace.epochs()) // 2
+        path = tmp_path / f"ck{n_shards}"
+        prefix = checkpoint_at(model, trace, config, n_shards, split, path)
+        runtime, manifest = restore_runtime(path, model)
+        assert manifest.epochs_processed == split
+        sink = runtime.run(trace.epochs(start=split))
+        assert_bitwise_equal(prefix + sink.events, reference)
+
+    def test_resume_with_compression_is_bitwise_identical(self, scenario, tmp_path):
+        from dataclasses import replace
+
+        from repro.config import ArenaConfig
+
+        model, trace, _ = scenario
+        config = replace(
+            InferenceConfig(
+                reader_particles=50, object_particles=100, seed=5
+            ).with_compression(unread_epochs=3),
+            arena=ArenaConfig(initial_capacity=128, compaction_threshold=0.1),
+        )
+        reference = run_full(model, trace, config, 1)
+        split = int(len(trace.epochs()) * 0.7)
+        path = tmp_path / "ck"
+        prefix = checkpoint_at(model, trace, config, 1, split, path)
+        manifest = load_checkpoint(path)
+        assert manifest.shard_states[0]["engine"]["arena_stats"]["compactions"] > 0
+        runtime, _ = restore_runtime(path, model)
+        sink = runtime.run(trace.epochs(start=split))
+        assert_bitwise_equal(prefix + sink.events, reference)
+
+    def test_restored_runtime_reports_offsets(self, scenario, tmp_path):
+        model, trace, config = scenario
+        split = 20
+        path = tmp_path / "ck"
+        checkpoint_at(model, trace, config, 2, split, path)
+        runtime, manifest = restore_runtime(path, model)
+        assert runtime.epochs_processed == split
+        assert runtime.bus.last_time == manifest.bus_last_time
+        assert runtime.known_objects()  # beliefs came back
+
+    def test_restore_into_custom_bus(self, scenario, tmp_path):
+        model, trace, config = scenario
+        split = 20
+        path = tmp_path / "ck"
+        checkpoint_at(model, trace, config, 2, split, path)
+        times = []
+        bus = EventBus()
+        bus.subscribe(lambda e: times.append(e.time))
+        runtime, manifest = restore_runtime(path, model, bus=bus)
+        runtime.run(trace.epochs(start=split))
+        assert times == sorted(times)
+        assert all(
+            manifest.bus_last_time is None or t >= manifest.bus_last_time
+            for t in times
+        )
+
+
+class TestElasticReshard:
+    def test_reshard_4_to_2_within_tolerance(self, scenario, tmp_path):
+        """The acceptance criterion: a 4-shard checkpoint restored into 2
+        shards completes the trace with the exact (time, tag) stream and
+        positions within the sharded-parity tolerance."""
+        model, trace, config = scenario
+        reference = run_full(model, trace, config, 1)
+        split = len(trace.epochs()) // 2
+        path = tmp_path / "ck4"
+        prefix = checkpoint_at(model, trace, config, 4, split, path)
+        runtime, manifest = restore_runtime(
+            path, model, runtime_config=RuntimeConfig(n_shards=2)
+        )
+        assert manifest.n_shards == 4 and runtime.n_shards == 2
+        sink = runtime.run(trace.epochs(start=split))
+        resumed = prefix + sink.events
+        assert sorted((e.time, str(e.tag)) for e in resumed) == sorted(
+            (e.time, str(e.tag)) for e in reference
+        )
+        by_key = {(e.time, e.tag): np.asarray(e.position) for e in reference}
+        for event in resumed:
+            ref = by_key[(event.time, event.tag)]
+            drift = float(
+                np.hypot(event.position[0] - ref[0], event.position[1] - ref[1])
+            )
+            assert drift < 0.6, f"{event.tag} drifted {drift:.3f} ft"
+        # Every new shard owns part of the population.
+        counts = [s["objects"] for s in runtime.shard_stats()]
+        assert all(c > 0 for c in counts) and sum(counts) == 8
+
+    def test_reshard_2_to_4_scales_out(self, scenario, tmp_path):
+        model, trace, config = scenario
+        reference = run_full(model, trace, config, 1)
+        split = len(trace.epochs()) // 2
+        path = tmp_path / "ck2"
+        prefix = checkpoint_at(model, trace, config, 2, split, path)
+        runtime, _ = restore_runtime(
+            path, model, runtime_config=RuntimeConfig(n_shards=4)
+        )
+        sink = runtime.run(trace.epochs(start=split))
+        resumed = prefix + sink.events
+        assert sorted((e.time, str(e.tag)) for e in resumed) == sorted(
+            (e.time, str(e.tag)) for e in reference
+        )
+        by_key = {(e.time, e.tag): np.asarray(e.position) for e in reference}
+        for event in resumed:
+            ref = by_key[(event.time, event.tag)]
+            assert (
+                float(np.hypot(event.position[0] - ref[0], event.position[1] - ref[1]))
+                < 0.6
+            )
+
+    def test_reshard_is_deterministic(self, scenario, tmp_path):
+        model, trace, config = scenario
+        split = len(trace.epochs()) // 2
+        path = tmp_path / "ck"
+        checkpoint_at(model, trace, config, 4, split, path)
+        runs = []
+        for _ in range(2):
+            runtime, _ = restore_runtime(
+                path, model, runtime_config=RuntimeConfig(n_shards=2)
+            )
+            runs.append(runtime.run(trace.epochs(start=split)).events)
+        assert_bitwise_equal(runs[0], runs[1])
+
+
+class TestPeriodicCheckpoints:
+    def test_periodic_rotation_and_resume(self, scenario, tmp_path):
+        model, trace, config = scenario
+        reference = run_full(model, trace, config, 2)
+        directory = tmp_path / "periodic"
+        runtime_config = RuntimeConfig(
+            n_shards=2,
+            checkpoint_every_s=10.0,
+            checkpoint_dir=str(directory),
+            checkpoint_keep=2,
+        )
+        runtime = ShardedRuntime(model, config, runtime_config, POLICY)
+        runtime.run(trace.epochs())
+        kept = sorted(
+            name for name in os.listdir(directory) if name.startswith("epoch_")
+        )
+        assert len(kept) == 2  # rotation pruned the older ones
+        latest = latest_checkpoint(directory)
+        assert latest is not None and os.path.basename(latest) == kept[-1]
+        # Crash-recovery drill: resume from the latest periodic checkpoint
+        # and check the tail matches the uninterrupted run bitwise.
+        manifest = load_checkpoint(latest)
+        resumed, _ = restore_runtime(latest, model)
+        sink = resumed.run(trace.epochs(start=manifest.epochs_processed))
+        tail = [e for e in reference if e.time > (manifest.bus_last_time or -1)]
+        assert_bitwise_equal(sink.events, tail)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            RuntimeConfig(checkpoint_every_s=0.0, checkpoint_dir="x")
+        with pytest.raises(ConfigurationError):
+            RuntimeConfig(checkpoint_every_s=5.0)  # no directory
+        with pytest.raises(ConfigurationError):
+            RuntimeConfig(checkpoint_keep=0)
+
+    def test_rotate_checkpoints_orders_by_epoch(self, tmp_path):
+        for n in (3, 1, 12):
+            os.makedirs(tmp_path / f"epoch_{n:08d}")
+        removed = rotate_checkpoints(tmp_path, keep=1)
+        assert [os.path.basename(p) for p in removed] == [
+            "epoch_00000001",
+            "epoch_00000003",
+        ]
+        assert sorted(os.listdir(tmp_path)) == ["epoch_00000012"]
+
+
+class TestBusResume:
+    def test_resume_seeds_watermark(self):
+        from repro.streams.records import LocationEvent, TagId
+
+        bus = EventBus()
+        bus.resume_from(40.0)
+        with pytest.raises(StreamError):
+            bus.publish(
+                LocationEvent(time=39.0, tag=TagId.object(0), position=(0, 0, 0))
+            )
+        bus.publish(LocationEvent(time=41.0, tag=TagId.object(0), position=(0, 0, 0)))
+        with pytest.raises(StreamError):
+            bus.resume_from(50.0)  # already in use
+
+    def test_resume_on_closed_bus_rejected(self):
+        bus = EventBus()
+        bus.close()
+        with pytest.raises(StreamError):
+            bus.resume_from(1.0)
+
+
+class TestEpochSeek:
+    def test_epochs_start_offset(self, scenario):
+        _, trace, _ = scenario
+        epochs = trace.epochs()
+        assert trace.epochs(start=10) == epochs[10:]
+        assert trace.epochs(start=0) == epochs
+        assert trace.epochs(start=len(epochs)) == []
+        with pytest.raises(StreamError):
+            trace.epochs(start=-1)
+
+
+class TestShardStats:
+    def test_arena_health_in_shard_stats_and_harness(self, scenario):
+        from repro.eval.harness import run_sharded
+
+        model, trace, config = scenario
+        result = run_sharded(
+            trace, model, config, RuntimeConfig(n_shards=2), POLICY
+        )
+        for key in ("arena_grows", "arena_compactions", "arena_memory_bytes"):
+            assert key in result.extra
+            assert f"shard0_{key}" in result.extra
+            assert f"shard1_{key}" in result.extra
+        assert result.extra["arena_memory_bytes"] > 0
+        assert result.extra["arena_memory_bytes"] == (
+            result.extra["shard0_arena_memory_bytes"]
+            + result.extra["shard1_arena_memory_bytes"]
+        )
