@@ -15,6 +15,12 @@ Standalone (no pytest-benchmark dependency) so CI can smoke-run it::
 Results are written to ``BENCH_hot_loop.json`` at the repo root alongside
 the recorded seed baseline, so the performance trajectory is tracked in
 version control.
+
+``--check BENCH_hot_loop.json`` turns the run into a regression guard: the
+measured epochs/sec at every tag count must stay within ``--check-tolerance``
+(default 30%) of the committed baseline or the process exits non-zero — CI
+runs this against the repository's recorded numbers so a hot-loop regression
+fails the build instead of landing silently.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import sys
 import time
 from pathlib import Path
 
@@ -117,6 +124,20 @@ def main() -> None:
     parser.add_argument(
         "--no-write", action="store_true", help="print only, skip BENCH_hot_loop.json"
     )
+    parser.add_argument(
+        "--check",
+        type=str,
+        default=None,
+        metavar="BASELINE_JSON",
+        help="compare against a recorded BENCH_hot_loop.json and exit "
+        "non-zero on regression",
+    )
+    parser.add_argument(
+        "--check-tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional drop below the baseline (default 0.30)",
+    )
     args = parser.parse_args()
 
     plan = [(100, 60), (500, 30), (2000, 10)]
@@ -152,6 +173,35 @@ def main() -> None:
     if not args.no_write:
         RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"\nwrote {RESULT_PATH}")
+    if args.check is not None and not _check_regression(
+        results, args.check, args.check_tolerance
+    ):
+        sys.exit(1)
+
+
+def _check_regression(results: dict, baseline_path: str, tolerance: float) -> bool:
+    """True iff every measured tag count stays within ``tolerance`` of the
+    recorded baseline's epochs/sec (tag counts absent from the baseline are
+    reported but not enforced)."""
+    with open(baseline_path) as fp:
+        baseline = json.load(fp)["results"]
+    ok = True
+    print(f"\nregression check vs {baseline_path} (tolerance {tolerance:.0%}):")
+    for tags, row in results.items():
+        recorded = baseline.get(tags, {}).get("epochs_per_sec")
+        if not recorded:
+            print(f"  {tags} tags: no baseline recorded, skipping")
+            continue
+        floor = (1.0 - tolerance) * recorded
+        measured = row["epochs_per_sec"]
+        verdict = "ok" if measured >= floor else "REGRESSION"
+        print(
+            f"  {tags} tags: {measured:.2f} vs baseline {recorded:.2f} "
+            f"(floor {floor:.2f}) {verdict}"
+        )
+        if measured < floor:
+            ok = False
+    return ok
 
 
 if __name__ == "__main__":

@@ -1,19 +1,20 @@
-"""Sharded-runtime throughput: epochs/sec vs shard count.
+"""Sharded-runtime throughput: epochs/sec vs shard count and executor.
 
 PR 1 made the single engine fast (batched kernels over one arena); this
 benchmark measures the next axis — partitioning the tag population across
 independent filter shards (``repro.runtime.ShardedRuntime``).  It drives the
 full runtime (router -> shards -> merged event bus) in steady state over
-2000 active tags at shard counts {1, 2, 4}, with both the serial and the
-thread-pool executor.
+2000 active tags at shard counts {1, 2, 4} with the serial, thread-pool, and
+worker-process executors, plus a 10000-tag scaling row.
 
-What to expect in-process: sharding is a *distribution* mechanism, not an
-in-process speedup — total kernel work is constant, so the serial numbers
-mainly show the partitioning overhead staying small, while the threaded
-numbers show how much of the per-epoch kernel time runs with the GIL
-released.  The recorded JSON tracks both so regressions in either the
-routing overhead or the kernels' GIL behaviour are visible in version
-control.
+What the executors can and cannot show in one container: sharding is a
+*distribution* mechanism — total kernel work is constant — so serial rows
+measure partitioning/merge overhead staying small; thread rows measure how
+much of the kernel time runs with the GIL released; process rows measure the
+full scale-out path (persistent workers, pipe protocol, shared-memory
+arenas), whose speedup is bounded by ``cpu_count`` — on a single-core
+runner the process rows price the IPC overhead instead (the recorded
+``cpu_count`` says which reading you are looking at).
 
 Standalone (no pytest-benchmark dependency) so CI can smoke-run it::
 
@@ -26,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import time
 from pathlib import Path
@@ -48,6 +50,7 @@ from repro.streams.sinks import EventSink
 READS_PER_EPOCH = 16
 
 N_TAGS = 2000
+SCALE_TAGS = 10000
 SHARD_COUNTS = (1, 2, 4)
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_runtime_sharding.json"
@@ -81,6 +84,7 @@ def build_model(n_objects: int) -> RFIDWorldModel:
 
 def measure(
     model: RFIDWorldModel,
+    n_tags: int,
     n_shards: int,
     executor: str,
     timed_epochs: int,
@@ -99,7 +103,7 @@ def measure(
     )
 
     def epoch_at(t: int):
-        reads = [(t * READS_PER_EPOCH + i) % N_TAGS for i in range(READS_PER_EPOCH)]
+        reads = [(t * READS_PER_EPOCH + i) % n_tags for i in range(READS_PER_EPOCH)]
         return make_epoch(
             float(t), (0.0, 1.0 + 0.1 * t), object_tags=reads, reported_heading=0.0
         )
@@ -108,7 +112,7 @@ def measure(
     # whole population is known and — with the index disabled — active.
     runtime.step(
         make_epoch(
-            0.0, (0.0, 1.0), object_tags=list(range(N_TAGS)), reported_heading=0.0
+            0.0, (0.0, 1.0), object_tags=list(range(n_tags)), reported_heading=0.0
         )
     )
     for t in range(1, 1 + warmup):
@@ -122,11 +126,11 @@ def measure(
 
     stats = runtime.shard_stats()
     objects_per_shard = [int(row["objects"]) for row in stats]
-    assert sum(objects_per_shard) == N_TAGS, "population fell out of the shards"
+    assert sum(objects_per_shard) == n_tags, "population fell out of the shards"
     return {
         "n_shards": n_shards,
         "executor": executor,
-        "active_tags": N_TAGS,
+        "active_tags": n_tags,
         "particles_per_object": config.object_particles,
         "timed_epochs": timed_epochs,
         "elapsed_s": round(elapsed, 4),
@@ -134,6 +138,21 @@ def measure(
         "objects_per_shard": objects_per_shard,
         "arena_rows_per_shard": [int(row["arena_used_rows"]) for row in stats],
     }
+
+
+def _plan(quick: bool):
+    """(n_tags, n_shards, executor, timed_epochs) rows to measure."""
+    timed = 3 if quick else 10
+    rows = [(N_TAGS, 1, "serial", timed)]
+    for n_shards in SHARD_COUNTS[1:]:
+        for executor in ("serial", "thread", "process"):
+            rows.append((N_TAGS, n_shards, executor, timed))
+    if not quick:
+        # Scaling-headroom row: the process executor at 5x the population.
+        rows.append((SCALE_TAGS, 1, "serial", 5))
+        rows.append((SCALE_TAGS, 4, "serial", 5))
+        rows.append((SCALE_TAGS, 4, "process", 5))
+    return rows
 
 
 def main() -> None:
@@ -148,34 +167,44 @@ def main() -> None:
     )
     args = parser.parse_args()
 
-    timed_epochs = 3 if args.quick else 10
-    model = build_model(N_TAGS)
-
+    models = {}
     results = []
-    print(f"{'shards':>7} {'executor':>9} {'epochs/s':>10} {'objs/shard':>24}")
-    for n_shards in SHARD_COUNTS:
-        for executor in ("serial",) if n_shards == 1 else ("serial", "thread"):
-            row = measure(model, n_shards, executor, timed_epochs)
-            results.append(row)
-            spread = "/".join(str(c) for c in row["objects_per_shard"])
-            print(
-                f"{n_shards:>7} {executor:>9} {row['epochs_per_sec']:>10.2f} "
-                f"{spread:>24}"
-            )
+    serial_baseline = {}  # n_tags -> 1-shard serial epochs/sec
+    print(f"{'tags':>6} {'shards':>7} {'executor':>9} {'epochs/s':>10} {'vs serial':>10}")
+    for n_tags, n_shards, executor, timed_epochs in _plan(args.quick):
+        if n_tags not in models:
+            models[n_tags] = build_model(n_tags)
+        row = measure(models[n_tags], n_tags, n_shards, executor, timed_epochs)
+        if n_shards == 1 and executor == "serial":
+            serial_baseline[n_tags] = row["epochs_per_sec"]
+        baseline = serial_baseline.get(n_tags)
+        row["speedup_vs_serial_1shard"] = (
+            round(row["epochs_per_sec"] / baseline, 2) if baseline else None
+        )
+        results.append(row)
+        speedup = row["speedup_vs_serial_1shard"]
+        print(
+            f"{n_tags:>6} {n_shards:>7} {executor:>9} {row['epochs_per_sec']:>10.2f} "
+            f"{f'{speedup:.2f}x' if speedup else '-':>10}"
+        )
 
     payload = {
         "benchmark": "runtime_sharding",
         "description": (
-            "ShardedRuntime steady-state epochs/sec vs shard count at "
-            f"{N_TAGS} active tags (index disabled, 100 particles/object, "
-            f"100 reader particles/shard, {READS_PER_EPOCH} reads/epoch). "
-            "Serial rows measure partitioning+merge overhead (total kernel "
-            "work is constant in-process); thread rows measure GIL-released "
-            "kernel concurrency."
+            "ShardedRuntime steady-state epochs/sec vs shard count and "
+            f"executor at {N_TAGS} active tags plus a {SCALE_TAGS}-tag "
+            "scaling row (index disabled, 100 particles/object, 100 reader "
+            f"particles/shard, {READS_PER_EPOCH} reads/epoch).  Serial rows "
+            "measure partitioning+merge overhead (total kernel work is "
+            "constant in-process); thread rows measure GIL-released kernel "
+            "concurrency; process rows measure the worker-process scale-out "
+            "path, whose speedup ceiling is cpu_count (on a 1-core runner "
+            "they price the IPC overhead instead)."
         ),
         "quick": bool(args.quick),
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
         "results": results,
     }
     if not args.no_write:

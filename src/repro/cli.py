@@ -2,10 +2,11 @@
 
     python -m repro simulate --objects 16 --out trace.jsonl
     python -m repro clean trace.jsonl --events events.csv --shards 4
+    python -m repro clean trace.jsonl --shards 4 --executor process
     python -m repro clean trace.jsonl --checkpoint-every 30 --checkpoint-dir ck/
     python -m repro checkpoint trace.jsonl --epochs 40 --out ck/
     python -m repro restore ck/ trace.jsonl --shards 2
-    python -m repro query trace.jsonl --shards 2
+    python -m repro query trace.jsonl --shards 2 --executor process
     python -m repro evaluate trace.jsonl
     python -m repro lab --timeout 0.25
 
@@ -32,7 +33,7 @@ from typing import List, Optional
 
 from . import __version__
 from .baselines import SmurfLocationConfig, UniformConfig
-from .config import InferenceConfig, OutputPolicyConfig, RuntimeConfig
+from .config import EXECUTOR_NAMES, InferenceConfig, OutputPolicyConfig, RuntimeConfig
 from .eval import run_factored, run_smurf, run_uniform
 from .eval.report import format_table
 from .learning import fit_sensor_supervised
@@ -144,11 +145,7 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=["hash", "mod"],
         help="partitioner for the re-sharded layout",
     )
-    restore.add_argument(
-        "--threads",
-        action="store_true",
-        help="step shards concurrently on a thread pool",
-    )
+    _add_executor_arguments(restore)
     restore.add_argument(
         "--no-verify",
         action="store_true",
@@ -204,18 +201,44 @@ def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
         choices=["hash", "mod"],
         help="tag-to-shard assignment scheme",
     )
+    _add_executor_arguments(parser)
+
+
+def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--executor",
+        type=str,
+        default=None,
+        choices=list(EXECUTOR_NAMES),
+        help="how shards advance each epoch: serial (default), thread "
+        "(GIL-sharing pool), or process (persistent workers with "
+        "shared-memory arenas; output is identical across executors)",
+    )
     parser.add_argument(
         "--threads",
         action="store_true",
-        help="step shards concurrently on a thread pool",
+        help="deprecated alias for --executor thread",
     )
+
+
+def _resolve_executor(args: argparse.Namespace, default: str = "serial") -> str:
+    """Executor name from ``--executor``, falling back to legacy ``--threads``."""
+    if args.executor is not None:
+        return args.executor
+    if args.threads:
+        print(
+            "warning: --threads is deprecated; use --executor thread",
+            file=sys.stderr,
+        )
+        return "thread"
+    return default
 
 
 def _runtime_config(args: argparse.Namespace) -> RuntimeConfig:
     return RuntimeConfig(
         n_shards=args.shards,
         partitioner=args.partitioner,
-        executor="thread" if args.threads else "serial",
+        executor=_resolve_executor(args),
         checkpoint_every_s=getattr(args, "checkpoint_every", None),
         checkpoint_dir=getattr(args, "checkpoint_dir", None),
     )
@@ -451,7 +474,7 @@ def _cmd_restore(args: argparse.Namespace) -> int:
         partitioner=(
             args.partitioner if args.partitioner is not None else recorded.partitioner
         ),
-        executor="thread" if args.threads else recorded.executor,
+        executor=_resolve_executor(args, default=recorded.executor),
     )
     runtime, manifest = restore_runtime(
         path, model, runtime_config=target, verify=not args.no_verify

@@ -249,7 +249,7 @@ class InferenceConfig:
 PARTITIONER_NAMES: Tuple[str, ...] = ("hash", "mod")
 
 #: Executor names accepted by :class:`RuntimeConfig`.
-EXECUTOR_NAMES: Tuple[str, ...] = ("serial", "thread")
+EXECUTOR_NAMES: Tuple[str, ...] = ("serial", "thread", "process")
 
 
 @dataclass(frozen=True)
@@ -271,9 +271,12 @@ class RuntimeConfig:
     partitioner: str = "hash"
     #: How shards advance within one epoch: ``"serial"`` steps them in order
     #: in the calling thread; ``"thread"`` steps them concurrently in a
-    #: thread pool (the numpy kernels release the GIL).  Output is identical
-    #: either way — shards share no mutable state and the merge is a
-    #: deterministic sort.
+    #: thread pool (the numpy kernels release the GIL); ``"process"`` steps
+    #: them on persistent worker processes (``repro.runtime.workers``) —
+    #: routed reads and emitted events cross pipes, belief arenas live in
+    #: per-worker shared memory, and the GIL stops being the scaling limit.
+    #: Output is identical across executors at equal shard counts — shards
+    #: share no mutable state and the merge is deterministic.
     executor: str = "serial"
     #: Take a coordinated checkpoint of every shard (``repro.state``) once
     #: at least this much *stream time* has elapsed since the previous one,

@@ -153,6 +153,12 @@ def run_sharded(
     extra: Dict[str, float] = {
         "n_shards": float(runtime.n_shards),
         "events_published": float(runtime.bus.published),
+        # Deployment shape: worker processes backing the run (0 = in-process
+        # executor).  Stats below still come from the live shards either way
+        # — proxies answer them over the worker pipe.
+        "worker_processes": float(
+            runtime.n_shards if runtime_config.executor == "process" else 0
+        ),
     }
     total_memory = 0.0
     # Aggregate arena health across shards (grows/compactions are churn

@@ -32,11 +32,22 @@ allocation would otherwise force a grow.  Growing multiplies capacity by
 re-fetch them afterwards.  The filter's epoch loop therefore does all
 allocation up front, then runs its batched kernels on gathered copies and
 scatters the results back.
+
+**Shared-memory backing**: constructed with ``shared=True`` the three column
+arrays live in one :class:`multiprocessing.shared_memory.SharedMemory`
+segment (:class:`SharedSlab`) instead of private heap pages.  The process
+executor's workers use this so the parent process can *read* belief state —
+attach with :func:`attach_shared_slab` using the ``(name, capacity)`` pair
+from :meth:`BeliefArena.shared_segment` — without any array crossing a pipe.
+Growing allocates a fresh segment and unlinks the old one, so a reader must
+re-attach whenever the advertised segment changes; :meth:`release` frees the
+segment at worker teardown (shared slabs are not reclaimed by the garbage
+collector — whoever created the arena must release it).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -70,20 +81,108 @@ def segment_gather_indices(
     return idx, batch_starts
 
 
+def _slab_layout(capacity: int) -> Tuple[int, int, int]:
+    """Byte offsets of (positions, log_weights, parents) within one segment.
+
+    float64 columns come first so both stay 8-byte aligned for any capacity;
+    the int32 parent column (4-byte alignment) trails them.
+    """
+    positions_bytes = capacity * 3 * 8
+    log_weights_bytes = capacity * 8
+    return 0, positions_bytes, positions_bytes + log_weights_bytes
+
+
+def slab_nbytes(capacity: int) -> int:
+    """Total segment size for ``capacity`` rows (3 f8 + 1 f8 + 1 i4 each)."""
+    return capacity * (3 * 8 + 8 + 4)
+
+
+class SharedSlab:
+    """One shared-memory segment holding the arena's three column arrays.
+
+    Created by the arena that owns it (``create=True``) or attached read-only
+    by another process that learned the ``(name, capacity)`` pair out of
+    band.  POSIX shared memory is zero-filled on creation, matching the
+    private allocator's ``np.zeros``.
+    """
+
+    def __init__(self, capacity: int, name: Optional[str] = None, create: bool = True):
+        from multiprocessing import shared_memory
+
+        self.capacity = int(capacity)
+        self._shm = shared_memory.SharedMemory(
+            name=name, create=create, size=slab_nbytes(self.capacity)
+        )
+        pos_off, lw_off, par_off = _slab_layout(self.capacity)
+        buf = self._shm.buf
+        self.positions = np.ndarray(
+            (self.capacity, 3), dtype=np.float64, buffer=buf, offset=pos_off
+        )
+        self.log_weights = np.ndarray(
+            self.capacity, dtype=np.float64, buffer=buf, offset=lw_off
+        )
+        self.parents = np.ndarray(
+            self.capacity, dtype=np.int32, buffer=buf, offset=par_off
+        )
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def close(self) -> None:
+        """Drop this process's mapping (the segment itself survives)."""
+        self.positions = self.log_weights = self.parents = None  # type: ignore[assignment]
+        try:
+            self._shm.close()
+        except BufferError:
+            # A caller still holds a view into the mapping; leak the mapping
+            # rather than crash — unlink (if any) already freed the name.
+            pass
+
+    def unlink(self) -> None:
+        """Free the segment system-wide.  Safe to call once, by the owner."""
+        self._shm.unlink()
+
+
+def attach_shared_slab(name: str, capacity: int) -> SharedSlab:
+    """Attach to another process's arena slab (read-side; do not unlink).
+
+    Raises ``FileNotFoundError`` if the segment is gone — the owner grew its
+    arena (re-request the current segment) or released it (worker gone).
+    """
+    return SharedSlab(capacity, name=name, create=False)
+
+
 class BeliefArena:
     """Slot-allocated SoA storage for every uncompressed object belief."""
 
-    def __init__(self, config: ArenaConfig = ArenaConfig()):
+    def __init__(self, config: ArenaConfig = ArenaConfig(), shared: bool = False):
         self._config = config
+        self._shared = bool(shared)
+        self._slab: Optional[SharedSlab] = None
         capacity = int(config.initial_capacity)
-        self._positions = np.zeros((capacity, 3), dtype=float)
-        self._parents = np.zeros(capacity, dtype=np.int32)
-        self._log_weights = np.zeros(capacity, dtype=float)
+        self._positions, self._parents, self._log_weights = self._alloc(capacity)
         #: object id -> (start, count); blocks never overlap.
         self._slots: Dict[int, Tuple[int, int]] = {}
         self._end = 0  # bump pointer: rows at >= _end are virgin
         self._free_rows = 0  # rows in holes below _end
         self.stats: Dict[str, int] = {"grows": 0, "compactions": 0}
+
+    def _alloc(self, capacity: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Allocate column arrays, swapping in a fresh shared slab if shared.
+
+        The previous slab (if any) is left for the caller to copy out of and
+        retire via :meth:`_retire_slab`.
+        """
+        if not self._shared:
+            return (
+                np.zeros((capacity, 3), dtype=float),
+                np.zeros(capacity, dtype=np.int32),
+                np.zeros(capacity, dtype=float),
+            )
+        slab = SharedSlab(capacity)
+        self._slab = slab
+        return slab.positions, slab.parents, slab.log_weights
 
     # ------------------------------------------------------------------
     # Introspection
@@ -205,9 +304,8 @@ class BeliefArena:
             minimum_rows,
             1,
         )
-        positions = np.zeros((new_capacity, 3), dtype=float)
-        parents = np.zeros(new_capacity, dtype=np.int32)
-        log_weights = np.zeros(new_capacity, dtype=float)
+        old_slab = self._slab
+        positions, parents, log_weights = self._alloc(new_capacity)
         positions[: self._end] = self._positions[: self._end]
         parents[: self._end] = self._parents[: self._end]
         log_weights[: self._end] = self._log_weights[: self._end]
@@ -216,7 +314,41 @@ class BeliefArena:
             parents,
             log_weights,
         )
+        if old_slab is not None:
+            old_slab.unlink()
+            old_slab.close()
         self.stats["grows"] += 1
+
+    # ------------------------------------------------------------------
+    # Shared-memory backing (the process executor, ``repro.runtime.workers``)
+    # ------------------------------------------------------------------
+    def shared_segment(self) -> Optional[Tuple[str, int]]:
+        """``(segment name, capacity)`` of the backing shared-memory slab,
+        or ``None`` for a private arena.  The pair changes on every grow —
+        readers re-attach when it does."""
+        if self._slab is None:
+            return None
+        return self._slab.name, self._slab.capacity
+
+    def slot_table(self) -> Dict[int, Tuple[int, int]]:
+        """Copy of the object-id -> (start, count) block map, for readers
+        interpreting the shared slab from another process."""
+        return dict(self._slots)
+
+    def release(self) -> None:
+        """Free the shared-memory segment (no-op for private arenas).
+
+        The arena must not be used afterwards; workers call this once at
+        teardown so segments never outlive their owning process.  Idempotent.
+        """
+        slab, self._slab = self._slab, None
+        if slab is None:
+            return
+        try:
+            slab.unlink()
+        except FileNotFoundError:
+            pass  # already unlinked by a supervising parent
+        slab.close()
 
     def compact(self) -> None:
         """Squeeze holes out of the occupied prefix, preserving block order.

@@ -196,6 +196,14 @@ class FactoredParticleFilter:
     initial_position / initial_heading:
         Prior reader pose.  ``initial_position=None`` defers to the first
         epoch's reported position (the usual case).
+    shared_arena:
+        Back the belief arena with a shared-memory slab
+        (:class:`~repro.inference.arena.SharedSlab`) so another process can
+        read particle blocks without serialization.  A *deployment* choice,
+        not an inference one — it is deliberately not part of
+        :class:`~repro.config.InferenceConfig`, so checkpoints taken under
+        the process executor hash identically to serial ones.  The owner
+        must call ``arena.release()`` at teardown.
     """
 
     def __init__(
@@ -206,6 +214,7 @@ class FactoredParticleFilter:
         initial_heading: float = 0.0,
         heading_spread: float = 0.05,
         position_spread: float = 0.1,
+        shared_arena: bool = False,
     ):
         self.model = model
         self.config = config
@@ -223,7 +232,7 @@ class FactoredParticleFilter:
         self._last_reported: Optional[np.ndarray] = None  # odometry anchor
         self._last_reported_epoch: int = -(10**9)
 
-        self.arena = BeliefArena(config.arena)
+        self.arena = BeliefArena(config.arena, shared=shared_arena)
         self._beliefs: Dict[int, ObjectBelief] = {}
         self._known_cache: Optional[List[int]] = None
         self._active_count = 0

@@ -12,12 +12,15 @@ from .partition import hash_partition, make_partitioner, mod_partition, shard_se
 from .router import EpochRouter
 from .runtime import ShardedRuntime
 from .shard import FilterShard
+from .workers import FactoredEngineFactory, ShardWorkerProxy
 
 __all__ = [
     "EpochRouter",
     "EventBus",
+    "FactoredEngineFactory",
     "FilterShard",
     "QueryBridge",
+    "ShardWorkerProxy",
     "ShardedRuntime",
     "hash_partition",
     "make_partitioner",

@@ -9,10 +9,14 @@ derived deterministically from the root seed.  Per epoch the runtime:
 1. **routes** — splits the epoch's object-tag reads by shard ownership
    while broadcasting the reader pose and shelf-tag reads to every shard
    (:class:`~repro.runtime.router.EpochRouter`);
-2. **steps** — advances every shard, serially or on a thread pool (the
-   shards share no mutable state; the numpy kernels release the GIL);
-3. **merges** — drains every shard's emitted events and publishes them in
-   ``(time, tag)`` order onto the :class:`~repro.runtime.bus.EventBus`.
+2. **steps** — advances every shard: serially, on a thread pool (the shards
+   share no mutable state; the numpy kernels release the GIL), or on
+   persistent worker *processes* (:mod:`~repro.runtime.workers`) that
+   sidestep the GIL entirely — routed reads go out and emitted events come
+   back over pipes, belief state stays in per-worker shared-memory slabs;
+3. **merges** — streams every shard's emitted events onto the
+   :class:`~repro.runtime.bus.EventBus` via a ``(time, tag)``-keyed k-way
+   merge of the per-shard (already time-ordered) event lists.
 
 Factorization makes this exact, not approximate: the paper's Eq. 5 already
 treats object beliefs as conditionally independent given the reader belief,
@@ -25,6 +29,7 @@ Monitoring" (Cao et al.) builds its cluster runtime on the same observation.
 
 from __future__ import annotations
 
+import heapq
 import os
 import shutil
 from concurrent.futures import ThreadPoolExecutor
@@ -43,6 +48,7 @@ from .bus import EventBus
 from .partition import shard_seed
 from .router import EpochRouter
 from .shard import FilterShard
+from .workers import ShardWorkerProxy
 
 #: Builds one shard's engine from its (re-seeded) inference config.
 EngineFactory = Callable[[InferenceConfig], InferenceEngine]
@@ -99,26 +105,54 @@ class ShardedRuntime:
         self.bus = bus if bus is not None else EventBus()
         self.sink: EventSink = sink if sink is not None else CollectingSink()
         self.bus.subscribe_sink(self.sink)
-        factory: EngineFactory = (
-            engine_factory
-            if engine_factory is not None
-            else lambda cfg: FactoredParticleFilter(
-                model, cfg, initial_heading=initial_heading
-            )
-        )
-        self.shards = [
-            FilterShard(
-                index,
-                factory(
-                    replace(
-                        config,
-                        seed=shard_seed(config.seed, index, runtime.n_shards),
+        self._process = runtime.executor == "process"
+        if self._process:
+            # Persistent worker processes, one per shard, each owning a
+            # FilterShard built from the same re-seeded config the local
+            # executors would use — output parity is exact.  A custom
+            # engine_factory is forwarded (it must be picklable under a
+            # spawn start method; anything goes under fork).
+            self.shards: List = []
+            try:
+                for index in range(runtime.n_shards):
+                    self.shards.append(
+                        ShardWorkerProxy(
+                            index,
+                            model,
+                            replace(
+                                config,
+                                seed=shard_seed(config.seed, index, runtime.n_shards),
+                            ),
+                            policy,
+                            initial_heading=self.initial_heading,
+                            engine_factory=engine_factory,
+                        )
                     )
-                ),
-                policy,
+            except BaseException:
+                for proxy in self.shards:
+                    proxy.close(force=True)
+                raise
+        else:
+            factory: EngineFactory = (
+                engine_factory
+                if engine_factory is not None
+                else lambda cfg: FactoredParticleFilter(
+                    model, cfg, initial_heading=initial_heading
+                )
             )
-            for index in range(runtime.n_shards)
-        ]
+            self.shards = [
+                FilterShard(
+                    index,
+                    factory(
+                        replace(
+                            config,
+                            seed=shard_seed(config.seed, index, runtime.n_shards),
+                        )
+                    ),
+                    policy,
+                )
+                for index in range(runtime.n_shards)
+            ]
         self._pool: Optional[ThreadPoolExecutor] = None
         if runtime.executor == "thread" and runtime.n_shards > 1:
             self._pool = ThreadPoolExecutor(
@@ -126,6 +160,14 @@ class ShardedRuntime:
                 thread_name_prefix="repro-shard",
             )
         self._finished = False
+        #: Post-finish query caches for the process executor: ``finish()``
+        #: retires the workers, so it first captures each shard's stats,
+        #: known objects, and final estimates (one bulk reply per worker) —
+        #: the runtime stays queryable after the run exactly like the
+        #: in-process executors, whose shards simply outlive the run.
+        self._final_stats: Optional[List[Dict[str, float]]] = None
+        self._final_known: Optional[set] = None
+        self._final_estimates: Optional[Dict[int, LocationEstimate]] = None
         #: Epochs processed — also the stream offset recorded in checkpoints
         #: (resume seeks the epoch source to this index).
         self.epochs_processed = 0
@@ -140,17 +182,26 @@ class ShardedRuntime:
 
     def known_objects(self) -> List[int]:
         """Sorted union of every shard's known objects."""
+        if self._final_known is not None:
+            return sorted(self._final_known)
         known: set = set()
         for shard in self.shards:
-            known.update(shard.engine.known_objects())
+            known.update(shard.known_objects())
         return sorted(known)
 
     def object_estimate(self, number: int) -> LocationEstimate:
         """Delegate to the shard that owns the tag."""
+        if self._final_estimates is not None:
+            try:
+                return self._final_estimates[number]
+            except KeyError:
+                raise InferenceError(f"unknown object {number}") from None
         shard = self.shards[self.router.shard_of(number)]
-        return shard.engine.object_estimate(number)
+        return shard.object_estimate(number)
 
     def shard_stats(self) -> List[Dict[str, float]]:
+        if self._final_stats is not None:
+            return [dict(row) for row in self._final_stats]
         return [shard.stats() for shard in self.shards]
 
     # ------------------------------------------------------------------
@@ -158,22 +209,39 @@ class ShardedRuntime:
         """Route one epoch to every shard, then merge onto the bus."""
         if self._finished:
             raise InferenceError("runtime already finished")
-        sub_epochs = self.router.split(epoch)
-        if self._pool is not None:
-            # Shards share no mutable state, so concurrent steps are safe
-            # and — because the merge below is a deterministic sort — the
-            # output is identical to serial execution.
-            futures = [
-                self._pool.submit(shard.step, sub)
-                for shard, sub in zip(self.shards, sub_epochs)
-            ]
-            for future in futures:
-                future.result()
+        if self._process:
+            # Routed reads + broadcast pose out, events back: all workers
+            # receive their sub-epoch before any reply is awaited, so the
+            # shards compute concurrently across processes.
+            buckets = self.router.split_numbers(epoch)
+            shelf_numbers = [tag.number for tag in epoch.shelf_tags]
+            for shard, numbers in zip(self.shards, buckets):
+                shard.step_async(
+                    epoch.time,
+                    epoch.reported_position,
+                    epoch.reported_heading,
+                    numbers,
+                    shelf_numbers,
+                )
+            per_shard = [shard.collect_events() for shard in self.shards]
         else:
-            for shard, sub in zip(self.shards, sub_epochs):
-                shard.step(sub)
+            sub_epochs = self.router.split(epoch)
+            if self._pool is not None:
+                # Shards share no mutable state, so concurrent steps are safe
+                # and — because the merge below is deterministic — the output
+                # is identical to serial execution.
+                futures = [
+                    self._pool.submit(shard.step, sub)
+                    for shard, sub in zip(self.shards, sub_epochs)
+                ]
+                for future in futures:
+                    future.result()
+            else:
+                for shard, sub in zip(self.shards, sub_epochs):
+                    shard.step(sub)
+            per_shard = [shard.drain() for shard in self.shards]
         self.epochs_processed += 1
-        self._merge()
+        self._merge(per_shard)
         if self.runtime_config.checkpoint_every_s is not None:
             self._maybe_checkpoint(epoch.time)
 
@@ -223,19 +291,37 @@ class ShardedRuntime:
         """Flush every shard's pending events and close the bus."""
         if self._finished:
             return
-        for shard in self.shards:
-            shard.finish()
-        self._merge()
+        if self._process:
+            for shard in self.shards:
+                shard.finish_async()
+            per_shard = [shard.collect_events() for shard in self.shards]
+            # Capture the post-run query surface before retiring the
+            # workers (pipelined: all requests in flight, then collect).
+            for shard in self.shards:
+                shard.final_async()
+            self._final_stats = []
+            self._final_known = set()
+            self._final_estimates = {}
+            for shard in self.shards:
+                stats, known, estimates = shard.collect_final()
+                self._final_stats.append(stats)
+                self._final_known.update(known)
+                self._final_estimates.update(estimates)
+        else:
+            for shard in self.shards:
+                shard.finish()
+            per_shard = [shard.drain() for shard in self.shards]
+        self._merge(per_shard)
         self._finished = True
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        self._release_executors()
         self.bus.close()
 
     def abort(self) -> None:
         """Tear down without flushing shard output.
 
-        Releases the thread pool and closes the bus (close hooks run, so
+        Releases the executor (thread pool, or worker processes — stopped
+        gracefully so they free their shared-memory slabs, escalating to
+        terminate if unresponsive) and closes the bus (close hooks run, so
         bridged query engines and bus-owned sinks still see end-of-stream)
         but does NOT emit the shards' pending events — the stream failed,
         and publishing a scan-complete flush after an error would present a
@@ -245,10 +331,16 @@ class ShardedRuntime:
         if self._finished:
             return
         self._finished = True
+        self._release_executors()
+        self.bus.close()
+
+    def _release_executors(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
-        self.bus.close()
+        if self._process:
+            for shard in self.shards:
+                shard.close()
 
     def run(self, epochs: Iterable[Epoch]) -> EventSink:
         """Convenience: process every epoch then finish; returns the sink.
@@ -267,17 +359,26 @@ class ShardedRuntime:
         return self.sink
 
     # ------------------------------------------------------------------
-    def _merge(self) -> None:
-        """Publish drained shard events in (time, tag) order.
+    @staticmethod
+    def _merge_key(event: LocationEvent):
+        return (event.time, event.tag.number)
 
-        All shards were advanced through the same epoch before draining, so
-        sorting the drained batch yields a globally time-ordered stream; the
-        tag tie-break makes cross-shard order deterministic regardless of
-        shard count or executor.
+    def _merge(self, per_shard: List[List[LocationEvent]]) -> None:
+        """Publish per-shard event lists as one time-ordered stream.
+
+        Each shard's pipeline emits in nondecreasing time order, so a k-way
+        ``heapq.merge`` keyed on ``(time, tag)`` yields a globally
+        time-ordered stream without re-sorting the whole drained batch every
+        epoch (the previous global ``sort`` was O(total log total) even when
+        one shard emitted everything).  The tag tie-break keeps cross-shard
+        order at equal timestamps deterministic regardless of shard count or
+        executor; when at most one shard emitted there is nothing to
+        interleave, so its batch is published as-is.
         """
-        drained: List[LocationEvent] = []
-        for shard in self.shards:
-            drained.extend(shard.drain())
-        if len(self.shards) > 1:
-            drained.sort(key=lambda e: (e.time, e.tag.number))
-        self.bus.publish_many(drained)
+        emitted = [events for events in per_shard if events]
+        if not emitted:
+            return
+        if len(emitted) == 1:
+            self.bus.publish_many(emitted[0])
+        else:
+            self.bus.publish_many(heapq.merge(*emitted, key=self._merge_key))

@@ -44,6 +44,15 @@ class FilterShard:
     def finish(self) -> None:
         self.pipeline.finish()
 
+    # Engine queries, exposed at the shard boundary so callers (the runtime,
+    # the state layer) never reach into ``.engine`` — the process executor's
+    # ShardWorkerProxy implements this same surface over a pipe.
+    def known_objects(self) -> List[int]:
+        return self.engine.known_objects()
+
+    def object_estimate(self, number: int):
+        return self.engine.object_estimate(number)
+
     def drain(self) -> List[LocationEvent]:
         """Take (and clear) the events buffered since the last drain."""
         buffered = self._buffer.events

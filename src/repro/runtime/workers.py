@@ -1,0 +1,553 @@
+"""Process executor workers: persistent shard processes behind pipes.
+
+The thread executor keeps every shard inside one interpreter, so routing,
+resampling bookkeeping, and event merging all contend for the GIL; only the
+numpy kernels overlap.  This module moves each
+:class:`~repro.runtime.shard.FilterShard` into its own long-lived worker
+process — spawned once at runtime construction, not per epoch — with two
+transport rules that keep the steady-state cost per epoch tiny:
+
+* **Pipes carry control, not arrays.**  The per-epoch protocol is a compact
+  tuple per direction: the parent sends the routed object-tag *numbers* plus
+  the broadcast reader pose/shelf context (never a pickled
+  :class:`~repro.streams.records.Epoch`), and the worker replies with the
+  epoch's emitted events encoded as primitive tuples plus its current arena
+  segment.  Checkpoint state trees do cross the pipe, but only on explicit
+  ``snapshot`` / ``restore`` requests — never in the hot loop.
+* **Shared memory carries beliefs.**  Each worker's
+  :class:`~repro.inference.arena.BeliefArena` is backed by a
+  :class:`~repro.inference.arena.SharedSlab`, so the parent can attach and
+  read particle blocks (:meth:`ShardWorkerProxy.arena_view`) without any
+  serialization, and stats collection stays scalar-only.
+
+Determinism: a worker builds its shard from exactly the same re-seeded
+config the in-process executors use, and reconstructs each epoch from the
+same routed content, so the process executor is **bitwise identical** to the
+serial executor at equal shard counts.
+
+Lifecycle: ``ready`` handshake at spawn (carrying the initial arena segment
+so the parent can reclaim it even if the worker later dies uncleanly),
+graceful ``stop`` at teardown (the worker releases its own segment), and a
+parent-side unlink fallback keyed on the last segment each reply advertised.
+A dead pipe surfaces as :class:`~repro.errors.InferenceError` on the next
+request; the runtime's abort path then reaps every worker.
+
+The ``fork`` start method is preferred (no pickling of the model or engine
+factory); on platforms without it the module falls back to ``spawn``, which
+additionally requires the engine factory to be picklable (the default
+:class:`FactoredEngineFactory` is).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import InferenceConfig, OutputPolicyConfig
+from ..errors import InferenceError, StateError
+from ..inference.arena import SharedSlab, attach_shared_slab
+from ..inference.estimates import LocationEstimate
+from ..models.joint import RFIDWorldModel
+from ..streams.records import LocationEvent, LocationStatistics, TagId, make_epoch
+from .shard import FilterShard
+
+
+def worker_context() -> mp.context.BaseContext:
+    """The multiprocessing context workers run under (fork when available)."""
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _ensure_resource_tracker() -> None:
+    """Start the resource tracker in the parent before any worker forks.
+
+    Forked workers then inherit (and register their shared-memory segments
+    with) the *parent's* tracker, so the parent-side unlink after a worker
+    crash genuinely unregisters the name.  Without this each worker lazily
+    spawns a private tracker that outlives it only to warn about a segment
+    the parent already reclaimed.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
+    except Exception:  # pragma: no cover - tracker API moved/unavailable
+        pass
+
+
+class FactoredEngineFactory:
+    """Picklable default engine factory for worker processes.
+
+    Builds a :class:`~repro.inference.factored.FactoredParticleFilter` with
+    a shared-memory arena, mirroring the runtime's default in-process
+    factory (which closes over the model and so cannot cross a ``spawn``).
+    """
+
+    def __init__(
+        self,
+        model: RFIDWorldModel,
+        initial_heading: float = 0.0,
+        shared_arena: bool = True,
+    ):
+        self.model = model
+        self.initial_heading = float(initial_heading)
+        self.shared_arena = bool(shared_arena)
+
+    def __call__(self, config: InferenceConfig):
+        from ..inference.factored import FactoredParticleFilter
+
+        return FactoredParticleFilter(
+            self.model,
+            config,
+            initial_heading=self.initial_heading,
+            shared_arena=self.shared_arena,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Wire encoding (events as primitive tuples — no dataclass pickling per event)
+# ---------------------------------------------------------------------------
+def encode_events(events: Sequence[LocationEvent]) -> List[tuple]:
+    rows = []
+    for event in events:
+        stats = event.statistics
+        rows.append(
+            (
+                event.time,
+                event.tag.number,
+                event.position,
+                None
+                if stats is None
+                else (stats.covariance, stats.confidence_radius, stats.sample_size),
+            )
+        )
+    return rows
+
+
+def decode_events(rows: Sequence[tuple]) -> List[LocationEvent]:
+    events = []
+    for time, number, position, stats in rows:
+        statistics = (
+            None
+            if stats is None
+            else LocationStatistics(
+                covariance=stats[0],
+                confidence_radius=stats[1],
+                sample_size=stats[2],
+            )
+        )
+        events.append(
+            LocationEvent(
+                time=time,
+                tag=TagId.object(number),
+                position=position,
+                statistics=statistics,
+            )
+        )
+    return events
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+def _segment_of(shard: FilterShard) -> Optional[Tuple[str, int]]:
+    arena = getattr(shard.engine, "arena", None)
+    if arena is None:
+        return None
+    return arena.shared_segment()
+
+
+def _release_arena(shard: Optional[FilterShard]) -> None:
+    if shard is None:
+        return
+    arena = getattr(shard.engine, "arena", None)
+    if arena is not None:
+        arena.release()
+
+
+def _worker_main(
+    conn,
+    shard_index: int,
+    model: RFIDWorldModel,
+    config: InferenceConfig,
+    policy: OutputPolicyConfig,
+    initial_heading: float,
+    engine_factory,
+) -> None:
+    """Body of one worker process: build the shard, serve the message loop.
+
+    Request errors are caught and replied as ``("error", kind, text)`` so a
+    failed snapshot (say, an engine without state capture) leaves the worker
+    serving — matching the in-process executors, where a failed checkpoint
+    does not kill the runtime.  Anything that escapes the loop (or the
+    process) surfaces to the parent as a dead pipe.
+    """
+    shard: Optional[FilterShard] = None
+    try:
+        factory = (
+            engine_factory
+            if engine_factory is not None
+            else FactoredEngineFactory(model, initial_heading)
+        )
+        shard = FilterShard(shard_index, factory(config), policy)
+        conn.send(("ready", _segment_of(shard)))
+    except BaseException as exc:  # construction failed: report and bail
+        try:
+            conn.send(("error", type(exc).__name__, str(exc)))
+        finally:
+            conn.close()
+        return
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                break
+            op = message[0]
+            if op == "stop":
+                conn.send(("bye",))
+                break
+            try:
+                if op == "step":
+                    _, time, position, heading, object_numbers, shelf_numbers = message
+                    shard.step(
+                        make_epoch(
+                            time,
+                            position,
+                            object_tags=object_numbers,
+                            shelf_tags=shelf_numbers,
+                            reported_heading=heading,
+                        )
+                    )
+                    conn.send(
+                        ("events", encode_events(shard.drain()), _segment_of(shard))
+                    )
+                elif op == "finish":
+                    shard.finish()
+                    conn.send(
+                        ("events", encode_events(shard.drain()), _segment_of(shard))
+                    )
+                elif op == "snapshot":
+                    conn.send(("ok", shard.snapshot()))
+                elif op == "restore":
+                    shard.restore(message[1])
+                    conn.send(("ok", None))
+                elif op == "stats":
+                    conn.send(("ok", shard.stats()))
+                elif op == "known":
+                    conn.send(("ok", shard.known_objects()))
+                elif op == "final":
+                    # Bulk post-run summary: one reply instead of one
+                    # round-trip per object, so the parent can retire the
+                    # worker while staying queryable after finish().
+                    known = shard.known_objects()
+                    estimates = {}
+                    for number in known:
+                        est = shard.object_estimate(number)
+                        estimates[number] = (
+                            est.mean,
+                            est.covariance,
+                            est.sample_size,
+                        )
+                    conn.send(("ok", (shard.stats(), known, estimates)))
+                elif op == "estimate":
+                    estimate = shard.object_estimate(message[1])
+                    conn.send(
+                        (
+                            "ok",
+                            (
+                                estimate.mean,
+                                estimate.covariance,
+                                estimate.sample_size,
+                            ),
+                        )
+                    )
+                elif op == "slots":
+                    arena = getattr(shard.engine, "arena", None)
+                    if arena is None:
+                        conn.send(("ok", None))
+                    else:
+                        conn.send(
+                            ("ok", (arena.shared_segment(), arena.slot_table()))
+                        )
+                else:
+                    conn.send(
+                        ("error", "InferenceError", f"unknown worker op {op!r}")
+                    )
+            except BaseException as exc:
+                conn.send(("error", type(exc).__name__, str(exc)))
+    finally:
+        _release_arena(shard)
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+class ArenaView:
+    """Read-only view of a worker's belief slab, attached in the parent.
+
+    Wraps the shared segment plus a point-in-time slot table; valid until
+    the worker grows its arena (re-fetch via
+    :meth:`ShardWorkerProxy.arena_view`) and must be :meth:`close`\\ d.
+    Reads are consistent between steps — the worker only mutates the slab
+    while serving a ``step``.
+    """
+
+    def __init__(self, slab: SharedSlab, slots: Dict[int, Tuple[int, int]]):
+        self._slab = slab
+        self.slots = slots
+
+    def object_ids(self) -> List[int]:
+        return list(self.slots)
+
+    def _slice(self, object_id: int) -> slice:
+        try:
+            start, count = self.slots[object_id]
+        except KeyError:
+            raise InferenceError(
+                f"object {object_id} has no block in the shared slab"
+            ) from None
+        return slice(start, start + count)
+
+    def positions(self, object_id: int) -> np.ndarray:
+        return self._slab.positions[self._slice(object_id)]
+
+    def parents(self, object_id: int) -> np.ndarray:
+        return self._slab.parents[self._slice(object_id)]
+
+    def log_weights(self, object_id: int) -> np.ndarray:
+        return self._slab.log_weights[self._slice(object_id)]
+
+    def close(self) -> None:
+        self._slab.close()
+
+
+class ShardWorkerProxy:
+    """Parent-side handle to one persistent shard worker.
+
+    Implements the :class:`~repro.runtime.shard.FilterShard` query/snapshot
+    surface (``known_objects``, ``object_estimate``, ``stats``, ``snapshot``,
+    ``restore``) over the pipe, plus the split-phase step the runtime uses to
+    overlap shards: ``step_async`` on every proxy first, then
+    ``collect_events`` on each — the workers compute concurrently between
+    the two.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        model: RFIDWorldModel,
+        config: InferenceConfig,
+        policy: OutputPolicyConfig,
+        initial_heading: float = 0.0,
+        engine_factory=None,
+        context: Optional[mp.context.BaseContext] = None,
+    ):
+        self.index = index
+        ctx = context if context is not None else worker_context()
+        _ensure_resource_tracker()
+        self._conn, child_conn = ctx.Pipe()
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(
+                child_conn,
+                index,
+                model,
+                config,
+                policy,
+                initial_heading,
+                engine_factory,
+            ),
+            name=f"repro-shard-{index}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        self._dead = False
+        #: Last (name, capacity) the worker advertised — the reclamation key
+        #: if the worker dies without releasing its own segment.
+        self._segment: Optional[Tuple[str, int]] = None
+        reply = self._recv()  # ready handshake (or construction error)
+        if reply[0] != "ready":
+            raise InferenceError(
+                f"shard worker {index} sent {reply[0]!r} instead of ready"
+            )
+        self._segment = reply[1]
+
+    # -- plumbing ------------------------------------------------------
+    def _send(self, message: tuple) -> None:
+        if self.process is None or self._dead:
+            raise InferenceError(f"shard worker {self.index} is not running")
+        try:
+            self._conn.send(message)
+        except (BrokenPipeError, OSError) as exc:
+            self._dead = True
+            raise InferenceError(
+                f"shard worker {self.index} died (pipe closed on send)"
+            ) from exc
+
+    def _recv(self) -> tuple:
+        try:
+            reply = self._conn.recv()
+        except (EOFError, OSError) as exc:
+            self._dead = True
+            raise InferenceError(
+                f"shard worker {self.index} died mid-request "
+                f"(exit code {self.process.exitcode})"
+            ) from exc
+        if reply[0] == "error":
+            _, kind, text = reply
+            if kind == "StateError":
+                raise StateError(f"shard worker {self.index}: {text}")
+            raise InferenceError(f"shard worker {self.index}: {kind}: {text}")
+        return reply
+
+    def _request(self, message: tuple) -> tuple:
+        self._send(message)
+        return self._recv()
+
+    def _collect_event_reply(self) -> List[LocationEvent]:
+        reply = self._recv()
+        if reply[0] != "events":
+            raise InferenceError(
+                f"shard worker {self.index} sent {reply[0]!r} instead of events"
+            )
+        _, rows, segment = reply
+        self._segment = segment
+        return decode_events(rows)
+
+    # -- the split-phase epoch step ------------------------------------
+    def step_async(
+        self,
+        time: float,
+        reported_position,
+        reported_heading,
+        object_numbers: Sequence[int],
+        shelf_numbers: Sequence[int],
+    ) -> None:
+        self._send(
+            ("step", time, reported_position, reported_heading, object_numbers, shelf_numbers)
+        )
+
+    def finish_async(self) -> None:
+        self._send(("finish",))
+
+    def collect_events(self) -> List[LocationEvent]:
+        return self._collect_event_reply()
+
+    # -- FilterShard surface -------------------------------------------
+    def known_objects(self) -> List[int]:
+        return self._request(("known",))[1]
+
+    def object_estimate(self, number: int) -> LocationEstimate:
+        mean, covariance, sample_size = self._request(("estimate", number))[1]
+        return LocationEstimate(
+            mean=np.asarray(mean, dtype=float),
+            covariance=np.asarray(covariance, dtype=float),
+            sample_size=int(sample_size),
+        )
+
+    def stats(self) -> Dict[str, float]:
+        return self._request(("stats",))[1]
+
+    def final_async(self) -> None:
+        self._send(("final",))
+
+    def collect_final(self):
+        """(stats, known objects, {number: LocationEstimate}) in one reply."""
+        stats, known, estimates = self._recv()[1]
+        return (
+            stats,
+            known,
+            {
+                number: LocationEstimate(
+                    mean=np.asarray(mean, dtype=float),
+                    covariance=np.asarray(covariance, dtype=float),
+                    sample_size=int(sample_size),
+                )
+                for number, (mean, covariance, sample_size) in estimates.items()
+            },
+        )
+
+    def snapshot_async(self) -> None:
+        self._send(("snapshot",))
+
+    def collect_snapshot(self) -> dict:
+        return self._recv()[1]
+
+    def snapshot(self) -> dict:
+        self.snapshot_async()
+        return self.collect_snapshot()
+
+    def restore(self, state: dict) -> None:
+        self._request(("restore", state))
+
+    # -- shared-memory reads -------------------------------------------
+    def arena_view(self) -> ArenaView:
+        """Attach to the worker's belief slab: zero-copy particle reads.
+
+        Raises :class:`InferenceError` for engines without a shared arena.
+        """
+        payload = self._request(("slots",))[1]
+        if payload is None or payload[0] is None:
+            raise InferenceError(
+                f"shard worker {self.index} has no shared belief arena"
+            )
+        (name, capacity), slots = payload
+        self._segment = (name, capacity)
+        return ArenaView(attach_shared_slab(name, capacity), slots)
+
+    # -- teardown -------------------------------------------------------
+    def _unlink_segment(self) -> None:
+        """Reclaim the worker's last advertised segment if it leaked.
+
+        A graceful worker unlinks its own segment, so the attach below
+        normally finds nothing; after a crash this is what keeps shared
+        memory from outliving the runtime.  ``unlink`` also unregisters the
+        name from the (fork-shared) resource tracker.
+        """
+        segment, self._segment = self._segment, None
+        if segment is None:
+            return
+        name, capacity = segment
+        try:
+            slab = attach_shared_slab(name, capacity)
+        except FileNotFoundError:
+            return
+        slab.unlink()
+        slab.close()
+
+    def close(self, force: bool = False, timeout: float = 5.0) -> None:
+        """Stop the worker and reclaim its resources.  Idempotent.
+
+        Graceful by default (``stop`` message, worker releases its own
+        segment); ``force`` (or an unresponsive worker) escalates to
+        ``terminate``.  Either way the process is joined and any leaked
+        shared-memory segment is unlinked.
+        """
+        if self.process is None:
+            return
+        if not force and not self._dead and self.process.is_alive():
+            try:
+                self._conn.send(("stop",))
+                # Drain queued replies (e.g. an uncollected step) until the
+                # goodbye; a deadline bounds a wedged worker.
+                import time as _time
+
+                deadline = _time.monotonic() + timeout
+                while self._conn.poll(max(0.0, deadline - _time.monotonic())):
+                    if self._conn.recv()[0] == "bye":
+                        break
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+        self.process.join(timeout)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout)
+        self._conn.close()
+        self._unlink_segment()
+        self.process = None
+        self._dead = True

@@ -44,7 +44,7 @@ from ..config import (
     RuntimeConfig,
     SpatialIndexConfig,
 )
-from ..errors import StateError
+from ..errors import InferenceError, StateError
 from .snapshot import (
     join_state_tree,
     jsonable_to_rng_state,
@@ -158,6 +158,36 @@ def _encode_shard_state(state: dict) -> Tuple[dict, Dict[str, np.ndarray]]:
     return split_state_tree(state)
 
 
+def _collect_shard_snapshots(shards) -> List[dict]:
+    """Snapshot every shard, overlapping workers when they support it.
+
+    Process-executor proxies expose a split-phase ``snapshot_async`` /
+    ``collect_snapshot`` pair; requesting all shards before collecting any
+    lets the workers serialize their state trees concurrently instead of one
+    at a time.  Every pending reply is always collected — even after a
+    failure — so the pipes stay in sync; the first error is re-raised once
+    the sweep completes.
+    """
+    if len(shards) > 1 and all(hasattr(s, "snapshot_async") for s in shards):
+        for shard in shards:
+            shard.snapshot_async()
+        states: List[Optional[dict]] = []
+        failure: Optional[BaseException] = None
+        for shard in shards:
+            try:
+                states.append(shard.collect_snapshot())
+            except (StateError, InferenceError) as exc:
+                # Keep draining: a reply left behind on a healthy worker's
+                # pipe would be misread by the next request after the caller
+                # handles this checkpoint failure and keeps streaming.
+                failure = failure if failure is not None else exc
+                states.append(None)
+        if failure is not None:
+            raise failure
+        return states
+    return [shard.snapshot() for shard in shards]
+
+
 def save_checkpoint(runtime, path) -> str:
     """Write a coordinated snapshot of a :class:`ShardedRuntime`.
 
@@ -170,9 +200,8 @@ def save_checkpoint(runtime, path) -> str:
     if os.path.exists(path):
         raise StateError(f"checkpoint target already exists: {path}")
     shard_payloads = []
-    for shard in runtime.shards:
-        skeleton, arrays = _encode_shard_state(shard.snapshot())
-        shard_payloads.append((skeleton, arrays))
+    for state in _collect_shard_snapshots(runtime.shards):
+        shard_payloads.append(_encode_shard_state(state))
 
     tmp = path + ".tmp"
     if os.path.exists(tmp):

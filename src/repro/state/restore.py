@@ -82,7 +82,10 @@ def restore_runtime(
     runtime_config:
         Target shard layout.  ``None`` restores the recorded layout
         exactly; a different ``n_shards`` (or partitioner) triggers the
-        elastic re-shard path.
+        elastic re-shard path.  The *executor* is a free choice either way:
+        a checkpoint taken under the process executor restores into serial
+        shards and vice versa (state trees cross the worker pipe on the
+        process path), and an exact restore stays bitwise regardless.
     verify:
         Check shard-file checksums against the manifest before applying.
 

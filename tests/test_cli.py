@@ -67,6 +67,58 @@ class TestClean:
         assert len(lines) >= 7  # header + one event per object
 
 
+class TestExecutorFlag:
+    def _clean(self, trace_path, csv_path, *extra):
+        return main(
+            [
+                "clean",
+                str(trace_path),
+                "--events",
+                str(csv_path),
+                "--particles",
+                "150",
+                "--delay",
+                "20",
+                "--shards",
+                "2",
+                *extra,
+            ]
+        )
+
+    def test_process_executor_output_matches_serial(self, trace_path, tmp_path, capsys):
+        serial = tmp_path / "serial.csv"
+        process = tmp_path / "process.csv"
+        assert self._clean(trace_path, serial, "--executor", "serial") == 0
+        assert self._clean(trace_path, process, "--executor", "process") == 0
+        assert process.read_text() == serial.read_text()
+
+    def test_invalid_executor_name_exits_2(self, trace_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["clean", str(trace_path), "--executor", "fiber"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_invalid_executor_on_query_exits_2(self, trace_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["query", str(trace_path), "--executor", "green-thread"])
+        assert excinfo.value.code == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_bare_threads_flag_is_deprecated_alias(self, trace_path, tmp_path, capsys):
+        events = tmp_path / "events.csv"
+        assert self._clean(trace_path, events, "--threads") == 0
+        captured = capsys.readouterr()
+        assert "deprecated" in captured.err
+        assert "--executor thread" in captured.err
+
+    def test_executor_flag_silences_threads_deprecation(
+        self, trace_path, tmp_path, capsys
+    ):
+        events = tmp_path / "events.csv"
+        assert self._clean(trace_path, events, "--executor", "thread") == 0
+        assert "deprecated" not in capsys.readouterr().err
+
+
 class TestEvaluate:
     def test_scores_three_systems(self, trace_path, capsys):
         code = main(["evaluate", str(trace_path), "--particles", "150"])

@@ -175,3 +175,82 @@ class TestBatching:
         assert parents[0] == 2 and parents[2] == 0
         assert 0 <= parents[1] < 3  # dropped parent re-pointed at a survivor
         assert (parents >= 0).all() and (parents < 3).all()
+
+
+class TestSharedSlab:
+    """Shared-memory backing: the process executor's zero-serialization
+    read path (``BeliefArena(shared=True)`` + ``attach_shared_slab``)."""
+
+    def test_private_arena_has_no_segment(self):
+        arena = BeliefArena(ArenaConfig(initial_capacity=64))
+        assert arena.shared_segment() is None
+        arena.release()  # no-op for private arenas
+
+    def test_attach_sees_owner_writes(self):
+        from repro.inference.arena import attach_shared_slab
+
+        arena = BeliefArena(ArenaConfig(initial_capacity=64), shared=True)
+        try:
+            fill(arena, 7, 10, 3)
+            name, capacity = arena.shared_segment()
+            assert capacity == 64
+            view = attach_shared_slab(name, capacity)
+            try:
+                start, count = arena.slot_table()[7]
+                block = slice(start, start + count)
+                np.testing.assert_array_equal(
+                    view.positions[block], arena.positions(7)
+                )
+                np.testing.assert_array_equal(view.parents[block], arena.parents(7))
+                np.testing.assert_array_equal(
+                    view.log_weights[block], arena.log_weights(7)
+                )
+            finally:
+                view.close()
+        finally:
+            arena.release()
+
+    def test_grow_moves_to_fresh_segment_and_unlinks_old(self):
+        from repro.inference.arena import attach_shared_slab
+
+        arena = BeliefArena(ArenaConfig(initial_capacity=8), shared=True)
+        try:
+            fill(arena, 1, 6, 2)
+            old_name, old_capacity = arena.shared_segment()
+            fill(arena, 2, 20, 5)  # forces a grow
+            new_name, new_capacity = arena.shared_segment()
+            assert new_name != old_name and new_capacity > old_capacity
+            with pytest.raises(FileNotFoundError):
+                attach_shared_slab(old_name, old_capacity)
+            # Content survived the move.
+            assert (arena.positions(1) == 2.0).all()
+            assert (arena.positions(2) == 5.0).all()
+        finally:
+            arena.release()
+
+    def test_release_frees_segment_and_is_idempotent(self):
+        from repro.inference.arena import attach_shared_slab
+
+        arena = BeliefArena(ArenaConfig(initial_capacity=16), shared=True)
+        name, capacity = arena.shared_segment()
+        arena.release()
+        arena.release()
+        assert arena.shared_segment() is None
+        with pytest.raises(FileNotFoundError):
+            attach_shared_slab(name, capacity)
+
+    def test_snapshot_round_trip_through_shared_arena(self):
+        """Snapshots are backing-agnostic: shared -> private and back."""
+        shared = BeliefArena(ArenaConfig(initial_capacity=32), shared=True)
+        try:
+            fill(shared, 3, 5, 1)
+            fill(shared, 9, 7, 4)
+            state = shared.snapshot()
+            private = BeliefArena(ArenaConfig(initial_capacity=32))
+            private.load_snapshot(state)
+            for oid in (3, 9):
+                np.testing.assert_array_equal(
+                    private.positions(oid), shared.positions(oid)
+                )
+        finally:
+            shared.release()

@@ -54,7 +54,11 @@ class TestRuntimeConfig:
         with pytest.raises(ConfigurationError):
             RuntimeConfig(partitioner="round-robin")
         with pytest.raises(ConfigurationError):
-            RuntimeConfig(executor="process")
+            RuntimeConfig(executor="fiber")
+
+    def test_accepts_every_executor(self):
+        for executor in ("serial", "thread", "process"):
+            assert RuntimeConfig(executor=executor).executor == executor
 
 
 class TestPartitioners:

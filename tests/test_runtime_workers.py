@@ -1,0 +1,351 @@
+"""Tests for the process executor: worker processes, shared-memory arenas,
+and the zero-copy epoch protocol.
+
+The load-bearing guarantees, in order of importance:
+
+* **bitwise parity** — ``executor="process"`` emits exactly the serial
+  executor's event stream at the same shard count (same per-shard seeds,
+  same routed epoch content, same merge);
+* **durability** — checkpoint -> kill -> restore under the process executor
+  resumes bitwise, and a checkpoint taken under one executor restores under
+  another;
+* **containment** — a worker crash surfaces as :class:`InferenceError` and
+  leaves no orphaned processes or leaked shared-memory segments.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    InferenceConfig,
+    OutputPolicyConfig,
+    RuntimeConfig,
+)
+from repro.errors import InferenceError
+from repro.inference.estimates import LocationEstimate
+from repro.inference.factored import FactoredParticleFilter
+from repro.runtime import ShardedRuntime
+from repro.state import restore_runtime
+
+POLICY = OutputPolicyConfig(delay_s=20.0)
+
+
+def assert_same_events(ours, reference):
+    assert len(ours) == len(reference)
+    for a, b in zip(ours, reference):
+        assert a.time == b.time and a.tag == b.tag
+        np.testing.assert_array_equal(a.position, b.position)
+        assert a.statistics == b.statistics
+
+
+def run_events(model, trace, config, runtime_config):
+    runtime = ShardedRuntime(model, config, runtime_config, POLICY)
+    sink = runtime.run(trace.epochs())
+    return runtime, list(sink.events)
+
+
+class _ExitingEngine:
+    """Delegates to a real engine but hard-exits the process mid-stream."""
+
+    def __init__(self, inner, crash_at_step):
+        self._inner = inner
+        self._crash_at = crash_at_step
+        self._steps = 0
+
+    def step(self, epoch):
+        self._steps += 1
+        if self._steps >= self._crash_at:
+            os._exit(3)
+        self._inner.step(epoch)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class ExitingEngineFactory:
+    """Top-level (picklable) factory for the crash tests."""
+
+    def __init__(self, model, crash_at_step=3):
+        self.model = model
+        self.crash_at_step = crash_at_step
+
+    def __call__(self, config):
+        return _ExitingEngine(
+            FactoredParticleFilter(self.model, config, shared_arena=True),
+            self.crash_at_step,
+        )
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    from repro.simulation.layout import LayoutConfig
+    from repro.simulation.warehouse import WarehouseConfig, WarehouseSimulator
+
+    simulator = WarehouseSimulator(
+        WarehouseConfig(layout=LayoutConfig(n_objects=8, n_shelf_tags=3), seed=11)
+    )
+    trace = simulator.generate()
+    config = InferenceConfig(reader_particles=60, object_particles=120, seed=7)
+    return simulator.world_model(), trace, config
+
+
+class TestProcessParity:
+    @pytest.mark.parametrize("n_shards", [2, 4])
+    def test_process_matches_serial_bitwise(self, scenario, n_shards):
+        model, trace, config = scenario
+        _, serial = run_events(model, trace, config, RuntimeConfig(n_shards=n_shards))
+        runtime, process = run_events(
+            model,
+            trace,
+            config,
+            RuntimeConfig(n_shards=n_shards, executor="process"),
+        )
+        assert_same_events(process, serial)
+        # Every worker was reaped by finish().
+        assert all(proxy.process is None for proxy in runtime.shards)
+
+    def test_single_shard_process_matches_unsharded_root_seed(self, scenario):
+        model, trace, config = scenario
+        _, serial = run_events(model, trace, config, RuntimeConfig(n_shards=1))
+        _, process = run_events(
+            model, trace, config, RuntimeConfig(n_shards=1, executor="process")
+        )
+        assert_same_events(process, serial)
+
+    def test_process_runtime_answers_queries(self, scenario):
+        """known_objects / object_estimate / stats route over the pipe."""
+        model, trace, config = scenario
+        runtime = ShardedRuntime(
+            model, config, RuntimeConfig(n_shards=2, executor="process"), POLICY
+        )
+        try:
+            for epoch in trace.epochs()[:40]:
+                runtime.step(epoch)
+            known = runtime.known_objects()
+            assert known == sorted(set(known)) and known
+            for number in known:
+                estimate = runtime.object_estimate(number)
+                assert np.isfinite(estimate.mean).all()
+            stats = runtime.shard_stats()
+            assert sum(s["objects"] for s in stats) == len(known)
+            assert all(s["arena_used_rows"] > 0 for s in stats)
+        finally:
+            runtime.abort()
+
+    def test_arena_view_reads_worker_beliefs_zero_copy(self, scenario):
+        """The parent attaches the worker's slab and reproduces its estimate
+        from the raw particle blocks — no arrays crossed the pipe."""
+        model, trace, config = scenario
+        runtime = ShardedRuntime(
+            model, config, RuntimeConfig(n_shards=2, executor="process"), POLICY
+        )
+        try:
+            for epoch in trace.epochs()[:40]:
+                runtime.step(epoch)
+            view = runtime.shards[0].arena_view()
+            try:
+                assert view.object_ids()
+                for number in view.object_ids():
+                    positions = view.positions(number)
+                    assert positions.shape == (config.object_particles, 3)
+                    from_slab = LocationEstimate.robust_from_particles(
+                        positions, view.log_weights(number)
+                    )
+                    from_worker = runtime.shards[0].object_estimate(number)
+                    np.testing.assert_array_equal(from_slab.mean, from_worker.mean)
+            finally:
+                view.close()
+        finally:
+            runtime.abort()
+
+
+class TestHarnessIntegration:
+    def test_run_sharded_with_process_executor(self, scenario):
+        """The eval harness queries the runtime *after* run(): stats,
+        known objects, and estimates must survive worker retirement."""
+        from repro.eval.harness import run_sharded
+
+        model, trace, config = scenario
+        result = run_sharded(
+            trace,
+            model,
+            config,
+            RuntimeConfig(n_shards=2, executor="process"),
+            POLICY,
+        )
+        assert result.error is not None
+        assert result.extra["worker_processes"] == 2.0
+        assert result.extra["n_shards"] == 2.0
+        assert result.extra["shard0_arena_used_rows"] > 0
+        reference = run_sharded(
+            trace, model, config, RuntimeConfig(n_shards=2), POLICY
+        )
+        assert reference.extra["worker_processes"] == 0.0
+        for number, estimate in result.estimates.items():
+            np.testing.assert_array_equal(estimate, reference.estimates[number])
+
+
+class TestProcessDurability:
+    def test_checkpoint_kill_restore_is_bitwise(self, scenario, tmp_path):
+        model, trace, config = scenario
+        runtime_config = RuntimeConfig(n_shards=2, executor="process")
+        _, reference = run_events(model, trace, config, runtime_config)
+
+        epochs = trace.epochs()
+        cut = len(epochs) // 2
+        runtime = ShardedRuntime(model, config, runtime_config, POLICY)
+        for epoch in epochs[:cut]:
+            runtime.step(epoch)
+        runtime.checkpoint(tmp_path / "ck")
+        prefix = list(runtime.sink.events)
+        runtime.abort()  # the "kill": workers reaped, nothing flushed
+        assert all(proxy.process is None for proxy in runtime.shards)
+
+        resumed, manifest = restore_runtime(tmp_path / "ck", model)
+        assert resumed.runtime_config.executor == "process"
+        assert manifest.epochs_processed == cut
+        resumed.run(trace.epochs(start=cut))
+        assert_same_events(prefix + list(resumed.sink.events), reference)
+
+    def test_cross_executor_restore_is_bitwise(self, scenario, tmp_path):
+        """Executor is a deployment choice: process checkpoints restore into
+        serial shards (and the output stays bitwise-identical)."""
+        model, trace, config = scenario
+        _, reference = run_events(model, trace, config, RuntimeConfig(n_shards=2))
+
+        epochs = trace.epochs()
+        cut = len(epochs) // 2
+        runtime = ShardedRuntime(
+            model, config, RuntimeConfig(n_shards=2, executor="process"), POLICY
+        )
+        for epoch in epochs[:cut]:
+            runtime.step(epoch)
+        runtime.checkpoint(tmp_path / "ck")
+        prefix = list(runtime.sink.events)
+        runtime.abort()
+
+        resumed, manifest = restore_runtime(
+            tmp_path / "ck", model, runtime_config=RuntimeConfig(n_shards=2)
+        )
+        resumed.run(trace.epochs(start=cut))
+        assert_same_events(prefix + list(resumed.sink.events), reference)
+
+    def test_elastic_reshard_into_process_executor(self, scenario, tmp_path):
+        """A 2-shard checkpoint re-shards onto 4 process workers; event
+        times/tags are exact (the policy clock is deterministic)."""
+        model, trace, config = scenario
+        _, reference = run_events(model, trace, config, RuntimeConfig(n_shards=2))
+
+        epochs = trace.epochs()
+        cut = len(epochs) // 2
+        runtime = ShardedRuntime(model, config, RuntimeConfig(n_shards=2), POLICY)
+        for epoch in epochs[:cut]:
+            runtime.step(epoch)
+        runtime.checkpoint(tmp_path / "ck")
+        prefix = list(runtime.sink.events)
+        runtime.abort()
+
+        resumed, _ = restore_runtime(
+            tmp_path / "ck",
+            model,
+            runtime_config=RuntimeConfig(n_shards=4, executor="process"),
+        )
+        resumed.run(trace.epochs(start=cut))
+        combined = prefix + list(resumed.sink.events)
+        assert sorted((e.time, str(e.tag)) for e in combined) == sorted(
+            (e.time, str(e.tag)) for e in reference
+        )
+
+
+class _SnapshotBombEngine:
+    """Real engine whose snapshot_state raises a non-StateError."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def snapshot_state(self):
+        raise RuntimeError("snapshot exploded")
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class SnapshotBombFactory:
+    def __init__(self, model):
+        self.model = model
+
+    def __call__(self, config):
+        return _SnapshotBombEngine(
+            FactoredParticleFilter(self.model, config, shared_arena=True)
+        )
+
+
+class TestWorkerCrash:
+    def test_failed_snapshot_leaves_workers_serving(self, scenario, tmp_path):
+        """A non-StateError snapshot failure must drain every worker's
+        pending reply — the runtime keeps streaming afterwards with the
+        pipes still in sync (the documented checkpoint contract)."""
+        model, trace, config = scenario
+        runtime = ShardedRuntime(
+            model,
+            config,
+            RuntimeConfig(n_shards=2, executor="process"),
+            POLICY,
+            engine_factory=SnapshotBombFactory(model),
+        )
+        try:
+            epochs = trace.epochs()
+            for epoch in epochs[:5]:
+                runtime.step(epoch)
+            with pytest.raises(InferenceError, match="snapshot exploded"):
+                runtime.checkpoint(tmp_path / "ck")
+            # Pipes are in sync: subsequent steps and queries still work.
+            for epoch in epochs[5:10]:
+                runtime.step(epoch)
+            assert runtime.known_objects()
+        finally:
+            runtime.abort()
+
+    def test_crash_raises_and_leaves_nothing_behind(self, scenario):
+        model, trace, config = scenario
+        runtime = ShardedRuntime(
+            model,
+            config,
+            RuntimeConfig(n_shards=2, executor="process"),
+            POLICY,
+            engine_factory=ExitingEngineFactory(model, crash_at_step=3),
+        )
+        processes = [proxy.process for proxy in runtime.shards]
+        segments = [proxy._segment for proxy in runtime.shards]
+        assert all(segment is not None for segment in segments)
+        with pytest.raises(InferenceError, match="died"):
+            runtime.run(trace.epochs())
+        # No orphaned workers, and the bus saw its close (abort ran).
+        assert all(not process.is_alive() for process in processes)
+        assert all(proxy.process is None for proxy in runtime.shards)
+        assert runtime.bus.closed
+        # No leaked shared-memory segments: the crashed workers' slabs were
+        # reclaimed by the parent from the last advertised names.
+        from repro.inference.arena import attach_shared_slab
+
+        for name, capacity in segments:
+            with pytest.raises(FileNotFoundError):
+                attach_shared_slab(name, capacity)
+
+    def test_step_after_crash_reports_dead_worker(self, scenario):
+        model, trace, config = scenario
+        runtime = ShardedRuntime(
+            model,
+            config,
+            RuntimeConfig(n_shards=2, executor="process"),
+            POLICY,
+            engine_factory=ExitingEngineFactory(model, crash_at_step=1),
+        )
+        epochs = trace.epochs()
+        with pytest.raises(InferenceError):
+            runtime.step(epochs[0])
+        runtime.abort()
+        with pytest.raises(InferenceError):
+            runtime.step(epochs[1])
