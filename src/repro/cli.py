@@ -4,6 +4,8 @@
     python -m repro clean trace.jsonl --events events.csv --shards 4
     python -m repro clean trace.jsonl --shards 4 --executor process
     python -m repro clean trace.jsonl --checkpoint-every 30 --checkpoint-dir ck/
+    python -m repro clean trace.jsonl --checkpoint-every 30 --checkpoint-dir ck/ \
+        --checkpoint-mode delta --checkpoint-full-every 8
     python -m repro checkpoint trace.jsonl --epochs 40 --out ck/
     python -m repro restore ck/ trace.jsonl --shards 2
     python -m repro query trace.jsonl --shards 2 --executor process
@@ -90,6 +92,23 @@ def _build_parser() -> argparse.ArgumentParser:
         type=str,
         default=None,
         help="directory for periodic checkpoints (required with --checkpoint-every)",
+    )
+    clean.add_argument(
+        "--checkpoint-mode",
+        type=str,
+        default="full",
+        choices=["full", "delta"],
+        help="periodic-checkpoint persistence: full snapshots, or "
+        "differential ones (dirty object blocks only) chained to the last "
+        "full rebase",
+    )
+    clean.add_argument(
+        "--checkpoint-full-every",
+        type=int,
+        default=8,
+        metavar="N",
+        help="in delta mode, rebase with a full checkpoint every Nth "
+        "periodic checkpoint (default 8)",
     )
     clean.add_argument(
         "--resume",
@@ -241,6 +260,8 @@ def _runtime_config(args: argparse.Namespace) -> RuntimeConfig:
         executor=_resolve_executor(args),
         checkpoint_every_s=getattr(args, "checkpoint_every", None),
         checkpoint_dir=getattr(args, "checkpoint_dir", None),
+        checkpoint_mode=getattr(args, "checkpoint_mode", "full"),
+        checkpoint_full_every=getattr(args, "checkpoint_full_every", 8),
     )
 
 

@@ -251,6 +251,11 @@ PARTITIONER_NAMES: Tuple[str, ...] = ("hash", "mod")
 #: Executor names accepted by :class:`RuntimeConfig`.
 EXECUTOR_NAMES: Tuple[str, ...] = ("serial", "thread", "process")
 
+#: Checkpoint modes accepted by :class:`RuntimeConfig`: every periodic
+#: checkpoint is a full snapshot, or a differential one chained to the last
+#: full rebase (``repro.state``).
+CHECKPOINT_MODES: Tuple[str, ...] = ("full", "delta")
+
 
 @dataclass(frozen=True)
 class RuntimeConfig:
@@ -288,8 +293,19 @@ class RuntimeConfig:
     #: subdirectory per checkpoint, ``epoch_<n>``, plus a ``LATEST``
     #: pointer file).  Required when ``checkpoint_every_s`` is set.
     checkpoint_dir: Optional[str] = None
-    #: Periodic checkpoints retained before the oldest is deleted.
+    #: Periodic checkpoints retained before the oldest is deleted (chain
+    #: dependencies — the full base a retained delta needs — are always
+    #: retained on top of this count).
     checkpoint_keep: int = 2
+    #: Periodic-checkpoint persistence mode: ``"full"`` writes a complete
+    #: snapshot every time; ``"delta"`` writes only the object blocks dirtied
+    #: since the previous checkpoint, chained to the last full rebase —
+    #: much cheaper in bytes and latency when few tags moved.
+    checkpoint_mode: str = "full"
+    #: In delta mode, rebase with a full checkpoint every Nth periodic
+    #: checkpoint (1 = every checkpoint is full).  Bounds restore time
+    #: (base + at most N-1 delta replays) and lets rotation reclaim space.
+    checkpoint_full_every: int = 8
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
@@ -302,6 +318,13 @@ class RuntimeConfig:
             )
         if self.checkpoint_keep < 1:
             raise ConfigurationError("checkpoint_keep must be >= 1")
+        if self.checkpoint_mode not in CHECKPOINT_MODES:
+            raise ConfigurationError(
+                f"unknown checkpoint_mode {self.checkpoint_mode!r}; "
+                f"expected one of {CHECKPOINT_MODES}"
+            )
+        if self.checkpoint_full_every < 1:
+            raise ConfigurationError("checkpoint_full_every must be >= 1")
         if self.partitioner not in PARTITIONER_NAMES:
             raise ConfigurationError(
                 f"unknown partitioner {self.partitioner!r}; "

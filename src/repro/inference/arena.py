@@ -33,6 +33,13 @@ re-fetch them afterwards.  The filter's epoch loop therefore does all
 allocation up front, then runs its batched kernels on gathered copies and
 scatters the results back.
 
+**Dirty tracking**: the arena records which object blocks were mutated
+since the last :meth:`clear_dirty` (``set_object`` and the batched
+gather/scatter kernels mark; ``remap_parents`` raises a parents-wide flag
+instead, since a reader resample rewrites every live row's pointer).  The
+durable-state subsystem's *differential checkpoints* read this via
+:meth:`delta_snapshot` to ship changed blocks only.
+
 **Shared-memory backing**: constructed with ``shared=True`` the three column
 arrays live in one :class:`multiprocessing.shared_memory.SharedMemory`
 segment (:class:`SharedSlab`) instead of private heap pages.  The process
@@ -167,6 +174,13 @@ class BeliefArena:
         self._end = 0  # bump pointer: rows at >= _end are virgin
         self._free_rows = 0  # rows in holes below _end
         self.stats: Dict[str, int] = {"grows": 0, "compactions": 0}
+        #: Differential-checkpoint bookkeeping (``repro.state``): objects
+        #: whose block *content* changed since the last :meth:`clear_dirty`,
+        #: plus a flag raised by :meth:`remap_parents` meaning every live
+        #: block's parent column changed (a reader resample touches all
+        #: rows, not just the active set's).
+        self._dirty: set = set()
+        self._parents_dirty = False
 
     def _alloc(self, capacity: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Allocate column arrays, swapping in a fresh shared slab if shared.
@@ -275,9 +289,11 @@ class BeliefArena:
         self._positions[block] = positions
         self._parents[block] = parents
         self._log_weights[block] = log_weights
+        self._dirty.add(object_id)
 
     def free(self, object_id: int, compact_ok: bool = True) -> None:
         """Release an object's block, leaving a hole for later compaction."""
+        self._dirty.discard(object_id)
         start, count = self._slots.pop(object_id)
         if start + count == self._end:
             self._end -= count  # tail block: reclaim instantly
@@ -464,6 +480,7 @@ class BeliefArena:
         # stays a valid index array (the values are dead either way).
         np.maximum(remapped, 0, out=remapped)
         self._parents[: self._end] = remapped
+        self._parents_dirty = True
 
     def object_ids(self) -> List[int]:
         return list(self._slots)
@@ -471,6 +488,21 @@ class BeliefArena:
     # ------------------------------------------------------------------
     # Snapshot / restore (the durable-state subsystem, ``repro.state``)
     # ------------------------------------------------------------------
+    def _ordered_slots(self) -> Tuple[list, np.ndarray, np.ndarray]:
+        """Slots in slot-start order plus their ids/counts arrays.
+
+        This ordering is the serialization contract shared by
+        :meth:`snapshot` and :meth:`delta_snapshot` — a materialized
+        base+delta state is only byte-identical to a full snapshot because
+        both emit blocks in exactly this order.
+        """
+        ordered = sorted(self._slots.items(), key=lambda item: item[1][0])
+        ids = np.fromiter((oid for oid, _ in ordered), dtype=np.int64, count=len(ordered))
+        counts = np.fromiter(
+            (slot[1] for _, slot in ordered), dtype=np.int64, count=len(ordered)
+        )
+        return ordered, ids, counts
+
     def snapshot(self) -> Dict[str, np.ndarray]:
         """Copy the live slab content, compacted on write.
 
@@ -479,11 +511,7 @@ class BeliefArena:
         holes and slack capacity are not serialized.  The arena itself is
         not mutated.
         """
-        ordered = sorted(self._slots.items(), key=lambda item: item[1][0])
-        ids = np.fromiter((oid for oid, _ in ordered), dtype=np.int64, count=len(ordered))
-        counts = np.fromiter(
-            (slot[1] for _, slot in ordered), dtype=np.int64, count=len(ordered)
-        )
+        ordered, ids, counts = self._ordered_slots()
         starts = np.fromiter(
             (slot[0] for _, slot in ordered), dtype=np.int64, count=len(ordered)
         )
@@ -534,3 +562,79 @@ class BeliefArena:
             self._slots[int(oid)] = (offset, int(count))
             offset += int(count)
         self._end = total
+        # A restored arena starts a fresh delta baseline: the chain it may
+        # have belonged to does not survive a restore (the checkpoint
+        # coordinator writes a full rebase first).
+        self.clear_dirty()
+
+    # ------------------------------------------------------------------
+    # Differential snapshots (``repro.state`` delta checkpoints)
+    # ------------------------------------------------------------------
+    def mark_dirty(self, object_ids: Iterable[int]) -> None:
+        """Record that these objects' blocks were mutated via gather/scatter.
+
+        :meth:`scatter` writes raw row indices and cannot attribute them to
+        objects cheaply, so the batched epoch kernels (``inference.factored``)
+        mark the gathered object set explicitly after scattering back.
+        """
+        self._dirty.update(object_ids)
+
+    @property
+    def parents_dirty(self) -> bool:
+        """True when a :meth:`remap_parents` ran since :meth:`clear_dirty`
+        (every live block's parent column changed)."""
+        return self._parents_dirty
+
+    def dirty_ids(self) -> List[int]:
+        """Objects whose block content changed since :meth:`clear_dirty`."""
+        return [oid for oid in self._slots if oid in self._dirty]
+
+    def clear_dirty(self) -> None:
+        """Reset the dirty baseline (after a snapshot capture)."""
+        self._dirty.clear()
+        self._parents_dirty = False
+
+    def delta_snapshot(self) -> Dict[str, object]:
+        """Changed blocks since :meth:`clear_dirty`, plus the slot order.
+
+        The full ``ids``/``counts`` arrays (slot-start order, exactly what
+        :meth:`snapshot` would emit) always ship — they are tiny and they
+        carry the block *order* and the deletions, so a materialized
+        base+delta state is byte-identical to a full snapshot.  Column data
+        ships only for dirty blocks; when a reader resample remapped every
+        parent pointer (``parents_dirty``), the clean blocks' parent columns
+        ship too (``clean_parents``, concatenated in slot order) — 4 bytes a
+        row instead of the full 36.
+        """
+        ordered, ids, counts = self._ordered_slots()
+        dirty = [(oid, slot) for oid, slot in ordered if oid in self._dirty]
+        d_starts = np.fromiter(
+            (slot[0] for _, slot in dirty), dtype=np.int64, count=len(dirty)
+        )
+        d_counts = np.fromiter(
+            (slot[1] for _, slot in dirty), dtype=np.int64, count=len(dirty)
+        )
+        idx, _ = segment_gather_indices(d_starts, d_counts)
+        state: Dict[str, object] = {
+            "ids": ids,
+            "counts": counts,
+            "dirty_ids": np.fromiter(
+                (oid for oid, _ in dirty), dtype=np.int64, count=len(dirty)
+            ),
+            "positions": self._positions[idx],
+            "parents": self._parents[idx],
+            "log_weights": self._log_weights[idx],
+            "parents_dirty": bool(self._parents_dirty),
+            "clean_parents": None,
+        }
+        if self._parents_dirty:
+            clean = [(oid, slot) for oid, slot in ordered if oid not in self._dirty]
+            c_starts = np.fromiter(
+                (slot[0] for _, slot in clean), dtype=np.int64, count=len(clean)
+            )
+            c_counts = np.fromiter(
+                (slot[1] for _, slot in clean), dtype=np.int64, count=len(clean)
+            )
+            c_idx, _ = segment_gather_indices(c_starts, c_counts)
+            state["clean_parents"] = self._parents[c_idx]
+        return state

@@ -236,6 +236,12 @@ class FactoredParticleFilter:
         self._beliefs: Dict[int, ObjectBelief] = {}
         self._known_cache: Optional[List[int]] = None
         self._active_count = 0
+        #: Differential-checkpoint bookkeeping: objects whose belief
+        #: *metadata* (read/split epochs, anchor, compression state) changed
+        #: since the last snapshot capture, and a serial numbering captures
+        #: so the checkpoint layer can prove a delta chains onto its parent.
+        self._dirty_beliefs: Set[int] = set()
+        self._capture_serial = 0
         self._selector = ActiveSetSelector(config.spatial_index)
         self._initializer = SensorBasedInitializer(config, model.shelves)
         # The Case-2 sensing region (Section IV-C) is sized to where the
@@ -377,6 +383,7 @@ class FactoredParticleFilter:
                         self._selector.forget_object(number)
             belief.last_read_epoch = self._epoch_index
             belief.last_read_anchor = anchor.copy()
+            self._dirty_beliefs.add(number)
 
         # --- propagate + weight active objects (Eq. 5, w_ti), batched -----
         # One gather builds a contiguous cross-object batch; every kernel
@@ -445,6 +452,7 @@ class FactoredParticleFilter:
                 self._selector.record_region(current_box, attached)
 
             self.arena.scatter(rows, pos, par, lw)
+            self.arena.mark_dirty(batch_ids)
         elif self._selector.enabled and current_box is not None:
             self._selector.record_region(current_box, [])
 
@@ -594,6 +602,7 @@ class FactoredParticleFilter:
             last_read_anchor=anchor.copy(),
         )
         self._known_cache = None
+        self._dirty_beliefs.add(number)
 
     def _decompress(self, number: int) -> None:
         belief = self._beliefs[number]
@@ -602,6 +611,7 @@ class FactoredParticleFilter:
         samples = belief.gaussian.sample(self._rng, k)
         self.arena.set_object(number, samples, self._random_parents(k), np.zeros(k))
         belief.gaussian = None
+        self._dirty_beliefs.add(number)
         self.stats["decompressions"] += 1
 
     def _compression_pass(self) -> None:
@@ -646,24 +656,15 @@ class FactoredParticleFilter:
                 mean=estimate.mean, covariance=estimate.covariance
             )
             self.arena.free(number)
+            self._dirty_beliefs.add(number)
             self.stats["compressions"] += 1
 
     # ------------------------------------------------------------------
     # Snapshot / restore (the durable-state subsystem, ``repro.state``)
     # ------------------------------------------------------------------
-    def snapshot_state(self) -> dict:
-        """Capture the complete mutable filter state.
-
-        The returned tree mixes numpy arrays with JSON-able scalars; the
-        ``repro.state`` layer splits it for serialization.  Everything that
-        influences future epochs is here — RNG bit-generator state, reader
-        belief, the arena's particle blocks (compacted on write), per-object
-        belief metadata in *dict insertion order* (the compression pass
-        iterates ``_beliefs``, so order is semantically load-bearing), and
-        the spatial-index state when enabled.  Restoring this snapshot into
-        an engine built from the same config resumes bitwise-identically.
-        """
-        b = len(self._beliefs)
+    def _belief_rows(self, numbers: List[int]) -> dict:
+        """Metadata arrays for an ordered subset of belief ids."""
+        b = len(numbers)
         ids = np.empty(b, dtype=np.int64)
         created = np.empty(b, dtype=np.int64)
         last_read = np.empty(b, dtype=np.int64)
@@ -672,7 +673,8 @@ class FactoredParticleFilter:
         compressed = np.zeros(b, dtype=bool)
         gauss_mean = np.zeros((b, 3), dtype=float)
         gauss_cov = np.zeros((b, 3, 3), dtype=float)
-        for i, (number, belief) in enumerate(self._beliefs.items()):
+        for i, number in enumerate(numbers):
+            belief = self._beliefs[number]
             ids[i] = number
             created[i] = belief.created_epoch
             last_read[i] = belief.last_read_epoch
@@ -682,6 +684,46 @@ class FactoredParticleFilter:
                 compressed[i] = True
                 gauss_mean[i] = belief.gaussian.mean
                 gauss_cov[i] = belief.gaussian.covariance
+        return {
+            "ids": ids,
+            "created": created,
+            "last_read": last_read,
+            "last_split": last_split,
+            "anchors": anchors,
+            "compressed": compressed,
+            "gauss_mean": gauss_mean,
+            "gauss_cov": gauss_cov,
+        }
+
+    def snapshot_state(self, mode: str = "full") -> dict:
+        """Capture the mutable filter state — full, or changes only.
+
+        ``mode="full"`` returns the complete tree: RNG bit-generator state,
+        reader belief, the arena's particle blocks (compacted on write),
+        per-object belief metadata in *dict insertion order* (the
+        compression pass iterates ``_beliefs``, so order is semantically
+        load-bearing), and the spatial-index state when enabled.  Restoring
+        it into an engine built from the same config resumes
+        bitwise-identically.
+
+        ``mode="delta"`` returns only what changed since the previous
+        capture (of either mode): per-epoch scalars, the RNG/reader state
+        (they change every epoch), the full belief/arena *id order* (tiny —
+        it carries ordering and deletions), and column data for dirty
+        objects only.  ``repro.state.delta.apply_engine_delta`` overlays it
+        on the parent capture's tree to reproduce the full tree exactly.
+
+        Every capture drains the dirty sets and stamps a ``capture_serial``;
+        a delta also records its parent's serial, which is how the
+        checkpoint layer proves (at save *and* at load) that a delta chains
+        onto the capture it claims to.
+        """
+        if mode not in ("full", "delta"):
+            raise StateError(f"unknown snapshot mode {mode!r}")
+        if mode == "delta" and self._capture_serial == 0:
+            raise StateError(
+                "cannot capture a delta snapshot: no baseline capture exists"
+            )
         reader = None
         if self._reader_positions is not None:
             assert self._reader_headings is not None and self._reader_log_w is not None
@@ -690,8 +732,11 @@ class FactoredParticleFilter:
                 "headings": self._reader_headings.copy(),
                 "log_w": self._reader_log_w.copy(),
             }
-        return {
+        parent_serial = self._capture_serial
+        self._capture_serial += 1
+        state = {
             "engine": "factored",
+            "capture_serial": int(self._capture_serial),
             "rng_state": self._rng.bit_generator.state,
             "epoch_index": int(self._epoch_index),
             "active_count": int(self._active_count),
@@ -702,19 +747,26 @@ class FactoredParticleFilter:
             ),
             "last_reported_epoch": int(self._last_reported_epoch),
             "reader": reader,
-            "arena": self.arena.snapshot(),
-            "beliefs": {
-                "ids": ids,
-                "created": created,
-                "last_read": last_read,
-                "last_split": last_split,
-                "anchors": anchors,
-                "compressed": compressed,
-                "gauss_mean": gauss_mean,
-                "gauss_cov": gauss_cov,
-            },
             "selector": self._selector.snapshot(),
         }
+        if mode == "full":
+            state["arena"] = self.arena.snapshot()
+            state["beliefs"] = self._belief_rows(list(self._beliefs))
+        else:
+            state["delta"] = True
+            state["parent_capture_serial"] = int(parent_serial)
+            state["arena"] = self.arena.delta_snapshot()
+            beliefs = self._belief_rows(
+                [n for n in self._beliefs if n in self._dirty_beliefs]
+            )
+            beliefs["dirty_ids"] = beliefs.pop("ids")
+            beliefs["ids"] = np.fromiter(
+                self._beliefs, dtype=np.int64, count=len(self._beliefs)
+            )
+            state["beliefs"] = beliefs
+        self._dirty_beliefs.clear()
+        self.arena.clear_dirty()
+        return state
 
     def restore_state(self, state: dict) -> None:
         """Apply a :meth:`snapshot_state` tree to this (same-config) engine.
@@ -727,6 +779,11 @@ class FactoredParticleFilter:
         if state.get("engine") != "factored":
             raise StateError(
                 f"snapshot is for engine {state.get('engine')!r}, not 'factored'"
+            )
+        if state.get("delta"):
+            raise StateError(
+                "cannot restore from a delta capture directly; materialize "
+                "it against its base first (repro.state.delta)"
             )
         from ..state.snapshot import generator_from_state
 
@@ -778,3 +835,9 @@ class FactoredParticleFilter:
         self._known_cache = None
         self._selector = ActiveSetSelector(self.config.spatial_index)
         self._selector.load_snapshot(state["selector"])
+        # Fresh delta baseline: the restored engine continues the capture
+        # numbering of the tree it restored (a materialized delta carries
+        # the leaf's serial), and nothing is dirty relative to that tree.
+        self._capture_serial = int(state.get("capture_serial", 0))
+        self._dirty_beliefs.clear()
+        self.arena.clear_dirty()

@@ -21,6 +21,7 @@ from typing import Dict, Iterable, Optional, Protocol, Set
 import numpy as np
 
 from ..config import OutputPolicyConfig
+from ..errors import StateError
 from ..streams.records import Epoch, LocationEvent, TagId
 from ..streams.sinks import BusSink, CollectingSink, EventSink
 from .estimates import LocationEstimate
@@ -85,6 +86,11 @@ class CleaningPipeline:
         #: pruning removes.
         self._emitted_ever: Set[int] = set()
         self._last_epoch_time: Optional[float] = None
+        #: Differential-checkpoint bookkeeping: visits touched since the
+        #: last snapshot capture, plus a capture serial (see the factored
+        #: filter's ``snapshot_state`` for the chaining contract).
+        self._dirty_visits: Set[int] = set()
+        self._capture_serial = 0
 
     # ------------------------------------------------------------------
     def step(self, epoch: Epoch) -> None:
@@ -99,6 +105,7 @@ class CleaningPipeline:
         self._emission_pass(now)
 
         for tag in epoch.object_tags:
+            self._dirty_visits.add(tag.number)
             state = self._visits.get(tag.number)
             if state is None or now - state.last_read_time > self.VISIT_GAP_S:
                 self._visits[tag.number] = _VisitState(
@@ -186,6 +193,7 @@ class CleaningPipeline:
         event = estimate.to_event(now, TagId.object(number))
         self.sink.emit(event)
         self._emitted_ever.add(number)
+        self._dirty_visits.add(number)
         state = self._visits.get(number)
         if state is not None:
             state.last_emitted_position = estimate.mean.copy()
@@ -193,21 +201,17 @@ class CleaningPipeline:
     # ------------------------------------------------------------------
     # Snapshot / restore (the durable-state subsystem, ``repro.state``)
     # ------------------------------------------------------------------
-    def snapshot_state(self) -> dict:
-        """Capture the output-policy bookkeeping.
-
-        Visits are recorded in dict insertion order: the emission pass
-        iterates ``_visits``, so with a single shard (no cross-shard merge
-        sort) the order of same-epoch events depends on it.
-        """
-        v = len(self._visits)
+    def _visit_rows(self, numbers) -> dict:
+        """Visit-state arrays for an ordered subset of visit ids."""
+        v = len(numbers)
         ids = np.empty(v, dtype=np.int64)
         entered = np.empty(v, dtype=float)
         last_read = np.empty(v, dtype=float)
         emitted = np.zeros(v, dtype=bool)
         has_pos = np.zeros(v, dtype=bool)
         pos = np.zeros((v, 3), dtype=float)
-        for i, (number, state) in enumerate(self._visits.items()):
+        for i, number in enumerate(numbers):
+            state = self._visits[number]
             ids[i] = number
             entered[i] = state.entered_time
             last_read[i] = state.last_read_time
@@ -216,21 +220,62 @@ class CleaningPipeline:
                 has_pos[i] = True
                 pos[i] = state.last_emitted_position
         return {
-            "visits": {
-                "ids": ids,
-                "entered": entered,
-                "last_read": last_read,
-                "emitted": emitted,
-                "has_pos": has_pos,
-                "pos": pos,
-            },
+            "ids": ids,
+            "entered": entered,
+            "last_read": last_read,
+            "emitted": emitted,
+            "has_pos": has_pos,
+            "pos": pos,
+        }
+
+    def snapshot_state(self, mode: str = "full") -> dict:
+        """Capture the output-policy bookkeeping — full, or changes only.
+
+        Visits are recorded in dict insertion order: the emission pass
+        iterates ``_visits``, so with a single shard (no cross-shard merge
+        sort) the order of same-epoch events depends on it.  A ``"delta"``
+        capture ships the full id order (which carries ordering and the
+        prune deletions) but per-visit rows only for visits touched since
+        the previous capture; see the factored filter's ``snapshot_state``
+        for the serial-chaining contract.
+        """
+        if mode not in ("full", "delta"):
+            raise StateError(f"unknown snapshot mode {mode!r}")
+        if mode == "delta" and self._capture_serial == 0:
+            raise StateError(
+                "cannot capture a delta snapshot: no baseline capture exists"
+            )
+        parent_serial = self._capture_serial
+        self._capture_serial += 1
+        state = {
+            "capture_serial": int(self._capture_serial),
             "emitted_ever": np.asarray(sorted(self._emitted_ever), dtype=np.int64),
             "last_epoch_time": (
                 None if self._last_epoch_time is None else float(self._last_epoch_time)
             ),
         }
+        if mode == "full":
+            state["visits"] = self._visit_rows(list(self._visits))
+        else:
+            state["delta"] = True
+            state["parent_capture_serial"] = int(parent_serial)
+            visits = self._visit_rows(
+                [n for n in self._visits if n in self._dirty_visits]
+            )
+            visits["dirty_ids"] = visits.pop("ids")
+            visits["ids"] = np.fromiter(
+                self._visits, dtype=np.int64, count=len(self._visits)
+            )
+            state["visits"] = visits
+        self._dirty_visits.clear()
+        return state
 
     def restore_state(self, state: dict) -> None:
+        if state.get("delta"):
+            raise StateError(
+                "cannot restore from a delta capture directly; materialize "
+                "it against its base first (repro.state.delta)"
+            )
         visits = state["visits"]
         has_pos = np.asarray(visits["has_pos"], dtype=bool)
         pos = np.asarray(visits["pos"], dtype=float)
@@ -245,6 +290,8 @@ class CleaningPipeline:
         self._emitted_ever = {int(n) for n in np.asarray(state["emitted_ever"])}
         last_time = state["last_epoch_time"]
         self._last_epoch_time = None if last_time is None else float(last_time)
+        self._capture_serial = int(state.get("capture_serial", 0))
+        self._dirty_visits.clear()
 
     def _maybe_emit_movement(self, number: int, state: _VisitState, now: float) -> None:
         threshold = self.policy.movement_threshold_ft
@@ -256,3 +303,4 @@ class CleaningPipeline:
         if moved >= threshold:
             self.sink.emit(estimate.to_event(now, TagId.object(number)))
             state.last_emitted_position = estimate.mean.copy()
+            self._dirty_visits.add(number)

@@ -174,6 +174,13 @@ class ShardedRuntime:
         #: Stream timestamp of the last periodic checkpoint (armed at the
         #: first epoch so a checkpoint is not taken immediately at start).
         self._last_checkpoint_time: Optional[float] = None
+        #: Delta-chain bookkeeping for periodic checkpoints: path of the
+        #: last persisted periodic checkpoint (the next delta's parent) and
+        #: how many checkpoints the current chain holds (base included).
+        #: ``None`` forces the next periodic checkpoint to be a full rebase
+        #: — the state at construction or restore has no persisted parent.
+        self._chain_parent: Optional[str] = None
+        self._chain_len = 0
 
     # ------------------------------------------------------------------
     @property
@@ -248,21 +255,25 @@ class ShardedRuntime:
     # ------------------------------------------------------------------
     # Durability (``repro.state``)
     # ------------------------------------------------------------------
-    def checkpoint(self, path) -> None:
+    def checkpoint(self, path, mode: str = "full", parent=None) -> None:
         """Write a coordinated snapshot of every shard to ``path``.
 
         All shards have been advanced through the same epoch and drained
         (``step`` merges before returning), so the snapshot is a consistent
         cut of the whole pipeline: arena slabs, RNG streams, reader beliefs,
-        visit bookkeeping, and the stream offset.  See
-        :func:`repro.state.save_checkpoint` for the on-disk format and
-        :func:`repro.state.restore_runtime` to resume from one.
+        visit bookkeeping, and the stream offset.  ``mode="delta"`` writes a
+        differential checkpoint chained to ``parent`` (see
+        :func:`repro.state.save_checkpoint`); explicit checkpoints default
+        to full — the periodic path manages delta chains itself.  Note that
+        *any* checkpoint advances the shards' capture baseline, so an
+        explicit checkpoint mid-run rebases the periodic delta chain (the
+        next periodic checkpoint detects the break and writes a full one).
         """
         from ..state.checkpoint import save_checkpoint  # deferred: no cycle
 
         if self._finished:
             raise StateError("cannot checkpoint a finished runtime")
-        save_checkpoint(self, path)
+        save_checkpoint(self, path, mode=mode, parent=parent)
 
     def _maybe_checkpoint(self, stream_time: float) -> None:
         every = self.runtime_config.checkpoint_every_s
@@ -281,7 +292,29 @@ class ShardedRuntime:
             # epochs of a newer one; our own deterministic names are safe to
             # replace (explicit `checkpoint()` targets still refuse).
             shutil.rmtree(target)
-        save_checkpoint(self, target)
+            if self._chain_parent == target:
+                self._chain_parent = None  # the chain head just vanished
+        delta = (
+            self.runtime_config.checkpoint_mode == "delta"
+            and self._chain_parent is not None
+            and self._chain_len < self.runtime_config.checkpoint_full_every
+            and os.path.isdir(self._chain_parent)
+        )
+        if delta:
+            try:
+                save_checkpoint(self, target, mode="delta", parent=self._chain_parent)
+                self._chain_len += 1
+            except StateError:
+                # The chain no longer holds (an explicit checkpoint or a
+                # direct snapshot advanced the capture baseline, the parent
+                # was tampered with, …).  The capture that just failed still
+                # moved the baseline, so rebase: a full checkpoint is always
+                # valid.
+                delta = False
+        if not delta:
+            save_checkpoint(self, target)
+            self._chain_len = 1
+        self._chain_parent = target
         with open(os.path.join(directory, "LATEST"), "w") as fp:
             fp.write(os.path.basename(target) + "\n")
         rotate_checkpoints(directory, keep=self.runtime_config.checkpoint_keep)

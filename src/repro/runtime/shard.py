@@ -90,8 +90,12 @@ class FilterShard:
     # ------------------------------------------------------------------
     # Snapshot / restore (the durable-state subsystem, ``repro.state``)
     # ------------------------------------------------------------------
-    def snapshot(self) -> Dict[str, dict]:
-        """Capture the shard's complete mutable state (engine + pipeline).
+    def snapshot(self, mode: str = "full") -> Dict[str, dict]:
+        """Capture the shard's mutable state (engine + pipeline).
+
+        ``mode="delta"`` captures only the changes since the previous
+        capture — the differential-checkpoint path (``repro.state``); it
+        requires an engine whose ``snapshot_state`` accepts a mode.
 
         Checkpoints are taken at epoch boundaries *after* the runtime drained
         the event buffer; a non-empty buffer means events would be lost, so
@@ -108,7 +112,20 @@ class FilterShard:
                 f"shard {self.index} has {len(self._buffer.events)} undrained "
                 "events; checkpoint only at epoch boundaries after a merge"
             )
-        return {"engine": capture(), "pipeline": self.pipeline.snapshot_state()}
+        if mode == "full":
+            engine_state = capture()
+        else:
+            try:
+                engine_state = capture(mode=mode)
+            except TypeError:
+                raise StateError(
+                    f"engine {type(self.engine).__name__} does not support "
+                    f"{mode!r} state capture"
+                ) from None
+        return {
+            "engine": engine_state,
+            "pipeline": self.pipeline.snapshot_state(mode=mode),
+        }
 
     def restore(self, state: Dict[str, dict]) -> None:
         apply = getattr(self.engine, "restore_state", None)

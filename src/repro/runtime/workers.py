@@ -230,7 +230,8 @@ def _worker_main(
                         ("events", encode_events(shard.drain()), _segment_of(shard))
                     )
                 elif op == "snapshot":
-                    conn.send(("ok", shard.snapshot()))
+                    mode = message[1] if len(message) > 1 else "full"
+                    conn.send(("ok", shard.snapshot(mode)))
                 elif op == "restore":
                     shard.restore(message[1])
                     conn.send(("ok", None))
@@ -472,14 +473,20 @@ class ShardWorkerProxy:
             },
         )
 
-    def snapshot_async(self) -> None:
-        self._send(("snapshot",))
+    def snapshot_async(self, mode: str = "full") -> None:
+        self._send(("snapshot", mode))
 
     def collect_snapshot(self) -> dict:
         return self._recv()[1]
 
-    def snapshot(self) -> dict:
-        self.snapshot_async()
+    def snapshot(self, mode: str = "full") -> dict:
+        """Capture the worker shard's state tree over the pipe.
+
+        ``mode="delta"`` makes the worker ship only its dirty blocks —
+        delta-mode checkpoints cut pipe traffic the same way they cut disk
+        bytes.
+        """
+        self.snapshot_async(mode)
         return self.collect_snapshot()
 
     def restore(self, state: dict) -> None:

@@ -10,7 +10,12 @@ directory of ``.npz`` files plus a JSON manifest.
 * :func:`save_checkpoint` / :meth:`ShardedRuntime.checkpoint` write one;
   ``RuntimeConfig(checkpoint_every_s=..., checkpoint_dir=...)`` makes the
   runtime write them periodically at epoch boundaries, with rotation.
-* :func:`load_checkpoint` parses one back into configs + state trees.
+  ``checkpoint_mode="delta"`` turns the periodic checkpoints into
+  *differential* chains — dirty object blocks only, rebased with a full
+  snapshot every ``checkpoint_full_every``-th link (:mod:`.delta`).
+* :func:`load_checkpoint` parses one back into configs + state trees,
+  transparently materializing delta chains bitwise-identically to a full
+  snapshot at the same epoch.
 * :func:`restore_runtime` rebuilds a live runtime from one: exact (bitwise
   resume) at the recorded shard layout, or *elastically re-sharded* to a
   different shard count without replaying from epoch 0.
@@ -20,6 +25,7 @@ See the module docstrings of :mod:`.checkpoint` (on-disk format) and
 """
 
 from .checkpoint import (
+    CHECKPOINT_KINDS,
     FORMAT_VERSION,
     CheckpointManifest,
     checkpoint_size_bytes,
@@ -29,6 +35,7 @@ from .checkpoint import (
     rotate_checkpoints,
     save_checkpoint,
 )
+from .delta import apply_shard_delta, is_delta_state
 from .restore import restore_runtime
 from .snapshot import (
     generator_from_state,
@@ -39,10 +46,13 @@ from .snapshot import (
 )
 
 __all__ = [
+    "CHECKPOINT_KINDS",
     "FORMAT_VERSION",
     "CheckpointManifest",
+    "apply_shard_delta",
     "checkpoint_size_bytes",
     "config_hash",
+    "is_delta_state",
     "generator_from_state",
     "join_state_tree",
     "jsonable_to_rng_state",

@@ -22,6 +22,18 @@ Writes are atomic at the directory level: content lands in a ``*.tmp``
 sibling which is renamed into place, so a crash mid-checkpoint leaves either
 the previous checkpoint or a ``.tmp`` turd, never a half-written manifest
 that a restore would trust.
+
+**Differential checkpoints** reuse the exact same layout with
+``"kind": "delta"`` in the manifest: the shard ``.npz`` files hold *delta
+capture* trees (dirty object blocks plus the full id order — see
+:mod:`.delta`) instead of full ones, and the manifest records the chain —
+``parent`` (the immediately preceding checkpoint, full or delta), ``base``
+(the chain's full rebase), and ``chain_index``.  Loading a delta checkpoint
+walks the chain back to its base and replays every delta, verifying each
+link's SHA-256s and capture-serial continuity, so the caller always receives
+fully materialized state trees.  The write stays atomic per link, and the
+``LATEST`` pointer is only moved after a link's rename — a crash mid-delta
+leaves ``LATEST`` on the previous complete, restorable checkpoint.
 """
 
 from __future__ import annotations
@@ -45,6 +57,7 @@ from ..config import (
     SpatialIndexConfig,
 )
 from ..errors import InferenceError, StateError
+from .delta import apply_shard_delta, is_delta_state
 from .snapshot import (
     join_state_tree,
     jsonable_to_rng_state,
@@ -56,6 +69,10 @@ from .snapshot import (
 FORMAT_VERSION = 1
 
 MANIFEST_NAME = "manifest.json"
+
+#: Manifest ``kind`` values: a self-contained snapshot, or a differential
+#: one that must be materialized against its ``parent``/``base`` chain.
+CHECKPOINT_KINDS = ("full", "delta")
 
 
 # ---------------------------------------------------------------------------
@@ -116,7 +133,14 @@ def config_hash(
 # ---------------------------------------------------------------------------
 @dataclass
 class CheckpointManifest:
-    """Parsed manifest plus fully re-joined per-shard state trees."""
+    """Parsed manifest plus fully re-joined per-shard state trees.
+
+    For a delta checkpoint the ``shard_states`` are already *materialized*
+    (base + every delta replayed in order), so consumers — the restore
+    path, the elastic re-sharder — never see differential trees; ``kind``
+    and ``chain`` record what was on disk (``chain`` lists the directory
+    names replayed, base first, empty for a full checkpoint).
+    """
 
     version: int
     config: InferenceConfig
@@ -128,6 +152,8 @@ class CheckpointManifest:
     bus_published: int
     config_digest: str
     shard_states: List[dict]
+    kind: str = "full"
+    chain: List[str] = dataclasses.field(default_factory=list)
 
     @property
     def n_shards(self) -> int:
@@ -158,7 +184,7 @@ def _encode_shard_state(state: dict) -> Tuple[dict, Dict[str, np.ndarray]]:
     return split_state_tree(state)
 
 
-def _collect_shard_snapshots(shards) -> List[dict]:
+def _collect_shard_snapshots(shards, mode: str = "full") -> List[dict]:
     """Snapshot every shard, overlapping workers when they support it.
 
     Process-executor proxies expose a split-phase ``snapshot_async`` /
@@ -170,7 +196,7 @@ def _collect_shard_snapshots(shards) -> List[dict]:
     """
     if len(shards) > 1 and all(hasattr(s, "snapshot_async") for s in shards):
         for shard in shards:
-            shard.snapshot_async()
+            shard.snapshot_async(mode)
         states: List[Optional[dict]] = []
         failure: Optional[BaseException] = None
         for shard in shards:
@@ -185,23 +211,104 @@ def _collect_shard_snapshots(shards) -> List[dict]:
         if failure is not None:
             raise failure
         return states
-    return [shard.snapshot() for shard in shards]
+    return [shard.snapshot(mode) for shard in shards]
 
 
-def save_checkpoint(runtime, path) -> str:
+def _read_manifest_json(path: str) -> dict:
+    """Load and sanity-check a checkpoint directory's raw manifest JSON."""
+    manifest_path = os.path.join(os.fspath(path), MANIFEST_NAME)
+    try:
+        with open(manifest_path) as fp:
+            manifest = json.load(fp)
+    except FileNotFoundError:
+        raise StateError(f"no checkpoint manifest at {manifest_path}") from None
+    except json.JSONDecodeError as exc:
+        raise StateError(f"corrupt checkpoint manifest {manifest_path}") from exc
+    if manifest.get("format") != "repro-checkpoint":
+        raise StateError(f"{manifest_path} is not a repro checkpoint manifest")
+    version = manifest.get("version")
+    if version != FORMAT_VERSION:
+        raise StateError(
+            f"checkpoint format version {version} is not supported "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    return manifest
+
+
+def _check_delta_chains(parent_manifest: dict, states: List[dict], path) -> None:
+    """Prove each delta capture chains onto the parent checkpoint's capture.
+
+    Compares the per-shard ``parent_capture_serial`` of the fresh delta
+    trees against the ``capture_serial`` recorded in the parent manifest's
+    skeletons.  A mismatch means a capture happened between the parent
+    checkpoint and this one (an explicit ``checkpoint()`` call, a test
+    snapshot, …) — writing the delta anyway would persist a torn chain.
+    """
+    parents = parent_manifest.get("shards", [])
+    if len(parents) != len(states):
+        raise StateError(
+            f"delta checkpoint has {len(states)} shards but its parent "
+            f"{path} has {len(parents)}"
+        )
+    for index, (record, state) in enumerate(zip(parents, states)):
+        for part in ("engine", "pipeline"):
+            have = record["state"].get(part, {}).get("capture_serial")
+            want = state[part].get("parent_capture_serial")
+            if have is None or want != have:
+                raise StateError(
+                    f"shard {index} {part} delta does not chain onto {path}: "
+                    f"delta parent serial {want!r}, checkpoint serial {have!r} "
+                    "(a state capture happened in between; rebase with a "
+                    "full checkpoint)"
+                )
+
+
+def save_checkpoint(runtime, path, mode: str = "full", parent=None) -> str:
     """Write a coordinated snapshot of a :class:`ShardedRuntime`.
 
     ``runtime`` is duck-typed (needs ``shards``, ``config``, ``policy``,
     ``runtime_config``, ``initial_heading``, ``epochs_processed``, ``bus``)
     so this module does not import the runtime layer.  Returns the final
     checkpoint path.
+
+    ``mode="delta"`` writes a *differential* checkpoint: each shard ships
+    only its dirty object blocks since ``parent`` (a sibling checkpoint
+    directory, full or delta — the chain's base plus every intermediate
+    delta must stay on disk until the next full rebase;
+    :func:`rotate_checkpoints` knows not to break chains).  The delta is
+    refused — never silently mis-written — when the shards' capture serials
+    show it would not chain onto ``parent``.
     """
     path = os.fspath(path)
+    if mode not in CHECKPOINT_KINDS:
+        raise StateError(f"unknown checkpoint mode {mode!r}")
     if os.path.exists(path):
         raise StateError(f"checkpoint target already exists: {path}")
-    shard_payloads = []
-    for state in _collect_shard_snapshots(runtime.shards):
-        shard_payloads.append(_encode_shard_state(state))
+    parent_manifest: Optional[dict] = None
+    if mode == "delta":
+        if parent is None:
+            raise StateError("a delta checkpoint needs a parent checkpoint")
+        parent = os.fspath(parent)
+        if os.path.dirname(os.path.abspath(parent)) != os.path.dirname(
+            os.path.abspath(path)
+        ):
+            raise StateError(
+                "a delta checkpoint must live beside its parent "
+                f"({parent} vs {path})"
+            )
+        parent_manifest = _read_manifest_json(parent)
+        digest = config_hash(runtime.config, runtime.policy, runtime.initial_heading)
+        if parent_manifest.get("config_hash") != digest:
+            raise StateError(
+                f"cannot chain a delta onto {parent}: its configuration "
+                "differs from the running one"
+            )
+
+    states = _collect_shard_snapshots(runtime.shards, mode=mode)
+    if mode == "delta":
+        assert parent_manifest is not None
+        _check_delta_chains(parent_manifest, states, parent)
+    shard_payloads = [_encode_shard_state(state) for state in states]
 
     tmp = path + ".tmp"
     if os.path.exists(tmp):
@@ -230,6 +337,7 @@ def save_checkpoint(runtime, path) -> str:
         manifest = {
             "format": "repro-checkpoint",
             "version": FORMAT_VERSION,
+            "kind": mode,
             "config_hash": config_hash(
                 runtime.config, runtime.policy, runtime.initial_heading
             ),
@@ -242,6 +350,15 @@ def save_checkpoint(runtime, path) -> str:
             "bus_published": int(runtime.bus.published),
             "shards": shard_records,
         }
+        if mode == "delta":
+            assert parent_manifest is not None
+            manifest["parent"] = os.path.basename(parent)
+            manifest["base"] = (
+                os.path.basename(parent)
+                if parent_manifest.get("kind", "full") == "full"
+                else parent_manifest["base"]
+            )
+            manifest["chain_index"] = int(parent_manifest.get("chain_index", 0)) + 1
         with open(os.path.join(tmp, MANIFEST_NAME), "w") as fp:
             json.dump(manifest, fp, indent=1)
             fp.write("\n")
@@ -267,29 +384,8 @@ def _decode_shard_state(skeleton: dict, arrays: Dict[str, np.ndarray]) -> dict:
     return state
 
 
-def load_checkpoint(path, verify: bool = True) -> CheckpointManifest:
-    """Parse a checkpoint directory back into configs + shard state trees.
-
-    ``verify`` checks each shard file's SHA-256 against the manifest before
-    deserializing it (skippable for speed when the storage is trusted).
-    """
-    path = os.fspath(path)
-    manifest_path = os.path.join(path, MANIFEST_NAME)
-    try:
-        with open(manifest_path) as fp:
-            manifest = json.load(fp)
-    except FileNotFoundError:
-        raise StateError(f"no checkpoint manifest at {manifest_path}") from None
-    except json.JSONDecodeError as exc:
-        raise StateError(f"corrupt checkpoint manifest {manifest_path}") from exc
-    if manifest.get("format") != "repro-checkpoint":
-        raise StateError(f"{manifest_path} is not a repro checkpoint manifest")
-    version = manifest.get("version")
-    if version != FORMAT_VERSION:
-        raise StateError(
-            f"checkpoint format version {version} is not supported "
-            f"(this build reads version {FORMAT_VERSION})"
-        )
+def _load_shard_states(path: str, manifest: dict, verify: bool) -> List[dict]:
+    """Decode one checkpoint directory's shard trees (full *or* delta)."""
     shard_states = []
     for record in manifest["shards"]:
         file_path = os.path.join(path, record["file"])
@@ -302,8 +398,89 @@ def load_checkpoint(path, verify: bool = True) -> CheckpointManifest:
                 )
         arrays = _load_shard_arrays(file_path)
         shard_states.append(_decode_shard_state(record["state"], arrays))
+    return shard_states
+
+
+def _resolve_chain(path: str, manifest: dict) -> List[Tuple[str, dict]]:
+    """Walk a delta checkpoint's parent links back to its full base.
+
+    Returns ``[(path, manifest), …]`` ordered base first.  Any defect —
+    missing parent, parent in a different directory, a cycle, a chain whose
+    root is not a full checkpoint, a configuration change mid-chain —
+    raises :class:`StateError`: a broken chain must fail at load, never
+    materialize a half-right state.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    chain = [(path, manifest)]
+    seen = {os.path.basename(os.path.abspath(path))}
+    current = manifest
+    while current.get("kind", "full") == "delta":
+        parent_name = current.get("parent")
+        if not parent_name or os.path.basename(parent_name) != parent_name:
+            raise StateError(f"delta checkpoint {chain[-1][0]} has no valid parent")
+        if parent_name in seen:
+            raise StateError(f"delta checkpoint chain at {path} contains a cycle")
+        seen.add(parent_name)
+        parent_path = os.path.join(directory, parent_name)
+        try:
+            parent_manifest = _read_manifest_json(parent_path)
+        except StateError as exc:
+            raise StateError(
+                f"delta checkpoint {chain[-1][0]} needs its parent "
+                f"{parent_path}, which cannot be read: {exc}"
+            ) from exc
+        if parent_manifest.get("config_hash") != manifest.get("config_hash"):
+            raise StateError(
+                f"delta chain at {path} crosses a configuration change "
+                f"(at {parent_path})"
+            )
+        chain.append((parent_path, parent_manifest))
+        current = parent_manifest
+    chain.reverse()
+    return chain
+
+
+def load_checkpoint(path, verify: bool = True) -> CheckpointManifest:
+    """Parse a checkpoint directory back into configs + shard state trees.
+
+    A *delta* checkpoint is transparently materialized: the chain is
+    resolved back to its full base (all within the same directory), every
+    link's shard files are integrity-checked, each delta's capture serials
+    are proven to chain onto its parent's, and the deltas are replayed in
+    order — the returned ``shard_states`` are bit-for-bit the trees a full
+    checkpoint at the same epoch would hold.
+
+    ``verify`` checks each shard file's SHA-256 against its manifest before
+    deserializing it (skippable for speed when the storage is trusted).
+    """
+    path = os.fspath(path)
+    manifest = _read_manifest_json(path)
+    kind = manifest.get("kind", "full")
+    if kind not in CHECKPOINT_KINDS:
+        raise StateError(f"unknown checkpoint kind {kind!r} at {path}")
+    chain = _resolve_chain(path, manifest) if kind == "delta" else [(path, manifest)]
+    base_path, base_manifest = chain[0]
+    if base_manifest.get("kind", "full") != "full":
+        raise StateError(
+            f"delta chain at {path} does not terminate in a full checkpoint"
+        )
+    shard_states = _load_shard_states(base_path, base_manifest, verify)
+    for link_path, link_manifest in chain[1:]:
+        if len(link_manifest["shards"]) != len(shard_states):
+            raise StateError(
+                f"delta checkpoint {link_path} changes the shard count "
+                "mid-chain"
+            )
+        deltas = _load_shard_states(link_path, link_manifest, verify)
+        shard_states = [
+            apply_shard_delta(state, delta)
+            for state, delta in zip(shard_states, deltas)
+        ]
+    for state in shard_states:
+        if is_delta_state(state):  # pragma: no cover - defensive
+            raise StateError(f"materialization of {path} left a delta tree")
     return CheckpointManifest(
-        version=int(version),
+        version=int(manifest["version"]),
         config=inference_config_from_dict(manifest["inference_config"]),
         policy=policy_config_from_dict(manifest["output_policy"]),
         runtime=runtime_config_from_dict(manifest["runtime_config"]),
@@ -313,6 +490,8 @@ def load_checkpoint(path, verify: bool = True) -> CheckpointManifest:
         bus_published=int(manifest["bus_published"]),
         config_digest=str(manifest["config_hash"]),
         shard_states=shard_states,
+        kind=kind,
+        chain=[os.path.basename(p) for p, _ in chain] if kind == "delta" else [],
     )
 
 
@@ -340,11 +519,40 @@ def latest_checkpoint(directory) -> Optional[str]:
     return target if os.path.isdir(target) else None
 
 
+def _chain_dependencies(directory: str, names: List[str]) -> set:
+    """Transitive parent/base closure of the named checkpoints.
+
+    Reads each manifest's ``parent``/``base`` links; an unreadable manifest
+    contributes no dependencies (it cannot be restored anyway).  Only names
+    are followed — a manifest can never pull in a directory outside
+    ``directory``.
+    """
+    required: set = set()
+    stack = list(names)
+    while stack:
+        name = stack.pop()
+        try:
+            manifest = _read_manifest_json(os.path.join(directory, name))
+        except StateError:
+            continue
+        for key in ("parent", "base"):
+            dep = manifest.get(key)
+            if dep and os.path.basename(dep) == dep and dep not in required:
+                required.add(dep)
+                stack.append(dep)
+    return required
+
+
 def rotate_checkpoints(directory, keep: int) -> List[str]:
     """Delete the oldest ``epoch_*`` checkpoints beyond ``keep``.
 
     Ordering is by the zero-padded epoch index in the directory name, so it
-    is stable regardless of filesystem timestamps.  Returns removed paths.
+    is stable regardless of filesystem timestamps.  A checkpoint that a
+    *retained* checkpoint still depends on — the full base of a delta
+    chain, or any intermediate delta — is never deleted, no matter how old:
+    deleting it would leave the newest checkpoints unrestorable.  Such
+    stragglers are reclaimed by a later rotation, once the next full rebase
+    has freed the chain.  Returns removed paths.
     """
     directory = os.fspath(directory)
     entries = sorted(
@@ -352,8 +560,12 @@ def rotate_checkpoints(directory, keep: int) -> List[str]:
         for name in os.listdir(directory)
         if name.startswith("epoch_") and os.path.isdir(os.path.join(directory, name))
     )
+    kept = entries[-keep:] if keep > 0 else []
+    required = _chain_dependencies(directory, kept)
     removed = []
-    for name in entries[:-keep] if keep > 0 else entries:
+    for name in entries[: max(0, len(entries) - keep)] if keep > 0 else entries:
+        if name in required:
+            continue
         target = os.path.join(directory, name)
         shutil.rmtree(target)
         removed.append(target)

@@ -36,6 +36,14 @@ state cannot migrate exactly and are handled explicitly:
 Consequently an exact restore is bitwise; a re-shard is exact on event
 times and tags (the output policy's clock is deterministic) and accurate on
 positions to the same tolerance as running sharded vs. unsharded.
+
+Both modes apply unchanged to *differential* checkpoints:
+:func:`~repro.state.checkpoint.load_checkpoint` materializes a delta chain
+(full base + dirty-block deltas, replayed in order with per-link integrity
+and serial-continuity checks) into state trees bit-for-bit identical to a
+full snapshot's before this module ever sees them, so restoring the leaf of
+a delta chain is exactly as bitwise as restoring a full checkpoint taken at
+the same epoch.
 """
 
 from __future__ import annotations

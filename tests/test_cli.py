@@ -239,6 +239,51 @@ class TestCheckpointRestore:
         assert "resumed from epoch" in capsys.readouterr().out
         assert events.read_text().startswith("time,tag")
 
+    def test_clean_periodic_delta_checkpoints_and_resume(
+        self, trace_path, tmp_path, capsys
+    ):
+        """``--checkpoint-mode delta`` writes a chain (full rebase + delta
+        links) that ``--resume`` transparently materializes."""
+        import json
+        import os
+
+        directory = tmp_path / "periodic"
+        assert main(
+            [
+                "clean",
+                str(trace_path),
+                "--checkpoint-every",
+                "8",
+                "--checkpoint-dir",
+                str(directory),
+                "--checkpoint-mode",
+                "delta",
+                "--checkpoint-full-every",
+                "3",
+            ]
+            + self.CLEAN_OPTS
+        ) == 0
+        kinds = [
+            json.loads((directory / name / "manifest.json").read_text())["kind"]
+            for name in sorted(os.listdir(directory))
+            if name.startswith("epoch_")
+        ]
+        assert "delta" in kinds and "full" in kinds
+        capsys.readouterr()
+        events = tmp_path / "resumed.csv"
+        assert main(
+            [
+                "clean",
+                str(trace_path),
+                "--resume",
+                str(directory),
+                "--events",
+                str(events),
+            ]
+        ) == 0
+        assert "resumed from epoch" in capsys.readouterr().out
+        assert events.read_text().startswith("time,tag")
+
     def test_clean_checkpoint_every_requires_dir(self, trace_path):
         with pytest.raises(SystemExit, match="checkpoint-dir"):
             main(["clean", str(trace_path), "--checkpoint-every", "10"])

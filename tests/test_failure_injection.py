@@ -5,14 +5,31 @@ dropouts, duplicate readings, phantom tags, all-negative epochs, corrupted
 trace files.  These tests pin down that the library degrades gracefully
 (clear exceptions or sensible estimates) instead of silently corrupting
 state.
+
+The second half is the crash harness for the durable-state subsystem: the
+process is "killed" mid-checkpoint (write errors injected at every point of
+the save path), between delta-chain links, and inside worker processes —
+and after every kill the ``LATEST`` pointer must still reference a
+complete, materializable chain from which a restore resumes
+bitwise-identically.
 """
+
+import json
+import os
 
 import numpy as np
 import pytest
 
-from repro.config import InferenceConfig
-from repro.errors import StreamError
+from repro.config import InferenceConfig, OutputPolicyConfig, RuntimeConfig
+from repro.errors import InferenceError, StateError, StreamError
 from repro.inference.factored import FactoredParticleFilter
+from repro.runtime import ShardedRuntime
+from repro.state import (
+    latest_checkpoint,
+    load_checkpoint,
+    restore_runtime,
+    save_checkpoint,
+)
 from repro.streams.records import make_epoch
 from repro.streams.sources import Trace
 
@@ -151,3 +168,247 @@ class TestExtremeConfigs:
         engine = drive(model, fast_config, epochs)
         mean, _ = engine.reader_estimate()
         assert mean[1] == pytest.approx(1.9, abs=0.2)
+
+
+# ---------------------------------------------------------------------------
+# Crash harness: kill the process mid-checkpoint / between delta links
+# ---------------------------------------------------------------------------
+CRASH_POLICY = OutputPolicyConfig(delay_s=20.0)
+
+
+@pytest.fixture(scope="module")
+def ck_scenario():
+    from repro.simulation.layout import LayoutConfig
+    from repro.simulation.warehouse import WarehouseConfig, WarehouseSimulator
+
+    simulator = WarehouseSimulator(
+        WarehouseConfig(layout=LayoutConfig(n_objects=6, n_shelf_tags=3), seed=11)
+    )
+    trace = simulator.generate()
+    config = InferenceConfig(reader_particles=50, object_particles=100, seed=7)
+    model = simulator.world_model()
+    reference = ShardedRuntime(
+        model, config, RuntimeConfig(n_shards=2), CRASH_POLICY
+    ).run(trace.epochs()).events
+    return model, trace, config, reference
+
+
+def _delta_runtime_config(directory, executor="serial"):
+    return RuntimeConfig(
+        n_shards=2,
+        executor=executor,
+        checkpoint_every_s=6.0,
+        checkpoint_dir=str(directory),
+        checkpoint_keep=2,
+        checkpoint_mode="delta",
+        checkpoint_full_every=3,
+    )
+
+
+def assert_latest_is_restorable(directory, model, trace, reference):
+    """The crash invariant: if LATEST exists it references a complete,
+    materializable chain, and the run resumed from it finishes
+    bitwise-identically to the uninterrupted reference."""
+    latest = latest_checkpoint(directory)
+    if latest is None:
+        return 0
+    manifest = load_checkpoint(latest)  # materializes the whole chain
+    runtime, manifest = restore_runtime(latest, model)
+    sink = runtime.run(trace.epochs(start=manifest.epochs_processed))
+    tail = [e for e in reference if e.time > (manifest.bus_last_time or -1)]
+    assert len(sink.events) == len(tail)
+    for ours, ref in zip(sink.events, tail):
+        assert ours.time == ref.time and ours.tag == ref.tag
+        np.testing.assert_array_equal(ours.position, ref.position)
+    return manifest.epochs_processed
+
+
+class TestCrashMidCheckpoint:
+    """Kill the writer at every stage of the save path.
+
+    ``np.savez_compressed`` is the checkpoint writer's only bulk write; a
+    counted injection there simulates the power failing mid-``.npz``.  The
+    directory-level atomicity contract says the crash may lose the
+    checkpoint being written, but never the previous one — and LATEST (only
+    moved after the atomic rename) must keep referencing a complete chain.
+    """
+
+    @pytest.mark.parametrize("fail_on_call", [1, 2, 3, 4, 6, 7])
+    def test_latest_never_references_a_torn_chain(
+        self, ck_scenario, tmp_path, monkeypatch, fail_on_call
+    ):
+        import repro.state.checkpoint as ckpt
+
+        model, trace, config, reference = ck_scenario
+        calls = {"n": 0}
+        real = ckpt.np.savez_compressed
+
+        def flaky(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == fail_on_call:
+                raise OSError("injected crash: power lost mid-write")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(ckpt.np, "savez_compressed", flaky)
+        runtime = ShardedRuntime(
+            model, config, _delta_runtime_config(tmp_path), CRASH_POLICY
+        )
+        crashed = False
+        try:
+            runtime.run(trace.epochs())
+        except OSError:
+            crashed = True
+            runtime.abort()
+        assert crashed == (calls["n"] >= fail_on_call)
+        monkeypatch.setattr(ckpt.np, "savez_compressed", real)
+        # No half-written checkpoint directory survives the crash...
+        for name in os.listdir(tmp_path):
+            assert not name.endswith(".tmp"), f"torn write left {name}"
+        # ...and whatever LATEST points at restores and resumes bitwise.
+        assert_latest_is_restorable(tmp_path, model, trace, reference)
+
+    def test_kill_between_deltas_resumes_from_last_complete_link(
+        self, ck_scenario, tmp_path
+    ):
+        """Hard-kill (abort, no finish) after several delta links landed:
+        LATEST sits on the last complete link and resumes bitwise."""
+        model, trace, config, reference = ck_scenario
+        runtime = ShardedRuntime(
+            model, config, _delta_runtime_config(tmp_path), CRASH_POLICY
+        )
+        epochs = trace.epochs()
+        for epoch in epochs[: int(len(epochs) * 0.8)]:
+            runtime.step(epoch)
+        runtime.abort()  # simulated kill: no finish, no final flush
+        latest = latest_checkpoint(tmp_path)
+        assert latest is not None
+        kinds = {
+            name: json.load(
+                open(os.path.join(tmp_path, name, "manifest.json"))
+            ).get("kind")
+            for name in os.listdir(tmp_path)
+            if name.startswith("epoch_")
+        }
+        assert "delta" in kinds.values(), f"no delta link landed: {kinds}"
+        resumed_from = assert_latest_is_restorable(tmp_path, model, trace, reference)
+        assert resumed_from > 0
+
+    def test_stale_tmp_turd_is_ignored_everywhere(self, ck_scenario, tmp_path):
+        """A SIGKILL mid-write leaves an ``epoch_*.tmp`` directory: the
+        LATEST resolver, the loader, and rotation must all ignore it."""
+        from repro.state import rotate_checkpoints
+
+        model, trace, config, reference = ck_scenario
+        runtime = ShardedRuntime(
+            model, config, _delta_runtime_config(tmp_path), CRASH_POLICY
+        )
+        epochs = trace.epochs()
+        for epoch in epochs[: len(epochs) // 2]:
+            runtime.step(epoch)
+        runtime.abort()
+        turd = tmp_path / "epoch_99999999.tmp"
+        os.makedirs(turd)
+        (turd / "manifest.json").write_text("{not json")
+        assert latest_checkpoint(tmp_path) is not None
+        assert "tmp" not in os.path.basename(latest_checkpoint(tmp_path))
+        rotate_checkpoints(tmp_path, keep=2)
+        assert turd.is_dir()  # rotation only manages epoch_* directories
+        assert_latest_is_restorable(tmp_path, model, trace, reference)
+
+
+class TestWorkerCrashMidCheckpoint:
+    def test_worker_killed_mid_checkpoint_fails_loudly_and_chain_survives(
+        self, ck_scenario, tmp_path
+    ):
+        """SIGKILL one shard worker, then attempt a delta checkpoint: the
+        save fails with a clear error, nothing lands on disk, and the
+        previous checkpoint still restores."""
+        model, trace, config, reference = ck_scenario
+        runtime = ShardedRuntime(
+            model,
+            config,
+            RuntimeConfig(n_shards=2, executor="process"),
+            CRASH_POLICY,
+        )
+        epochs = trace.epochs()
+        split = len(epochs) // 2
+        try:
+            for epoch in epochs[:split]:
+                runtime.step(epoch)
+            base = tmp_path / "epoch_base"
+            save_checkpoint(runtime, base)
+            for epoch in epochs[split : split + 3]:
+                runtime.step(epoch)
+            runtime.shards[1].process.kill()
+            runtime.shards[1].process.join(5.0)
+            with pytest.raises(InferenceError, match="died"):
+                save_checkpoint(
+                    runtime, tmp_path / "epoch_delta", mode="delta", parent=base
+                )
+        finally:
+            runtime.abort()
+        assert not os.path.exists(tmp_path / "epoch_delta")
+        assert not os.path.exists(str(tmp_path / "epoch_delta") + ".tmp")
+        # The pre-crash checkpoint restores (into in-process shards) and
+        # resumes bitwise.
+        restored, manifest = restore_runtime(base, model)
+        sink = restored.run(trace.epochs(start=manifest.epochs_processed))
+        tail = [e for e in reference if e.time > (manifest.bus_last_time or -1)]
+        assert len(sink.events) == len(tail)
+        for ours, ref in zip(sink.events, tail):
+            assert ours.time == ref.time and ours.tag == ref.tag
+            np.testing.assert_array_equal(ours.position, ref.position)
+
+    def test_periodic_delta_chain_under_process_executor_survives_kill(
+        self, ck_scenario, tmp_path
+    ):
+        """The full loop under the process executor: periodic delta chain,
+        hard kill, restore from LATEST, bitwise resume."""
+        model, trace, config, reference = ck_scenario
+        runtime = ShardedRuntime(
+            model,
+            config,
+            _delta_runtime_config(tmp_path, executor="process"),
+            CRASH_POLICY,
+        )
+        epochs = trace.epochs()
+        for epoch in epochs[: int(len(epochs) * 0.8)]:
+            runtime.step(epoch)
+        runtime.abort()
+        resumed_from = assert_latest_is_restorable(tmp_path, model, trace, reference)
+        assert resumed_from > 0
+
+
+class TestChainBreakRecovery:
+    def test_explicit_checkpoint_mid_chain_forces_full_rebase(
+        self, ck_scenario, tmp_path
+    ):
+        """An explicit checkpoint() between periodic deltas advances the
+        capture baseline; the periodic coordinator must detect the broken
+        chain and rebase with a full checkpoint instead of persisting a
+        torn delta."""
+        model, trace, config, reference = ck_scenario
+        directory = tmp_path / "periodic"
+        runtime = ShardedRuntime(
+            model, config, _delta_runtime_config(directory), CRASH_POLICY
+        )
+        epochs = trace.epochs()
+        interloper_done = False
+        for epoch in epochs:
+            runtime.step(epoch)
+            if not interloper_done and latest_checkpoint(directory) is not None:
+                runtime.checkpoint(tmp_path / "explicit")  # breaks the chain
+                interloper_done = True
+        runtime.finish()
+        assert interloper_done
+        kinds = [
+            json.load(open(os.path.join(directory, name, "manifest.json"))).get(
+                "kind"
+            )
+            for name in sorted(os.listdir(directory))
+            if name.startswith("epoch_")
+        ]
+        # Every retained checkpoint still materializes.
+        assert_latest_is_restorable(directory, model, trace, reference)
+        # And the chain was rebased at least once beyond the initial full.
+        assert kinds.count("full") >= 1

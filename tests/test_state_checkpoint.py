@@ -353,6 +353,80 @@ class TestPeriodicCheckpoints:
         ]
         assert sorted(os.listdir(tmp_path)) == ["epoch_00000012"]
 
+    def test_rotate_keeps_everything_when_keep_exceeds_count(self, tmp_path):
+        """keep larger than the number of checkpoints on disk must delete
+        nothing (a negative slice once deleted from the wrong end)."""
+        for n in (1, 2, 3):
+            os.makedirs(tmp_path / f"epoch_{n:08d}")
+        assert rotate_checkpoints(tmp_path, keep=5) == []
+        assert len(list(tmp_path.iterdir())) == 3
+
+    @staticmethod
+    def _fake_checkpoint(directory, n, kind, parent=None, base=None):
+        name = f"epoch_{n:08d}"
+        os.makedirs(directory / name)
+        manifest = {"format": "repro-checkpoint", "version": FORMAT_VERSION, "kind": kind}
+        if parent is not None:
+            manifest["parent"] = f"epoch_{parent:08d}"
+        if base is not None:
+            manifest["base"] = f"epoch_{base:08d}"
+        (directory / name / "manifest.json").write_text(json.dumps(manifest))
+        return name
+
+    def test_rotation_never_deletes_a_base_a_retained_chain_needs(self, tmp_path):
+        """The rotation guard: a full base (and every intermediate delta)
+        that a retained delta still chains through is kept no matter how
+        old; once a later rebase frees the chain, the stragglers go."""
+        self._fake_checkpoint(tmp_path, 1, "full")
+        self._fake_checkpoint(tmp_path, 2, "delta", parent=1, base=1)
+        self._fake_checkpoint(tmp_path, 3, "delta", parent=2, base=1)
+        # keep=1 retains only epoch_3, whose chain needs 2 and 1: nothing
+        # may be deleted.
+        assert rotate_checkpoints(tmp_path, keep=1) == []
+        assert len([n for n in os.listdir(tmp_path) if n.startswith("epoch_")]) == 3
+        # A full rebase plus one delta on top frees the old chain.
+        self._fake_checkpoint(tmp_path, 4, "full")
+        self._fake_checkpoint(tmp_path, 5, "delta", parent=4, base=4)
+        removed = rotate_checkpoints(tmp_path, keep=2)
+        assert sorted(os.path.basename(p) for p in removed) == [
+            "epoch_00000001",
+            "epoch_00000002",
+            "epoch_00000003",
+        ]
+        assert sorted(
+            n for n in os.listdir(tmp_path) if n.startswith("epoch_")
+        ) == ["epoch_00000004", "epoch_00000005"]
+
+    def test_rotation_guard_end_to_end_with_periodic_deltas(
+        self, scenario, tmp_path
+    ):
+        """keep=1 with a live delta chain: the base survives rotation and
+        the LATEST delta still materializes after every rotation pass."""
+        model, trace, config = scenario
+        runtime_config = RuntimeConfig(
+            n_shards=2,
+            checkpoint_every_s=8.0,
+            checkpoint_dir=str(tmp_path),
+            checkpoint_keep=1,
+            checkpoint_mode="delta",
+            checkpoint_full_every=4,
+        )
+        runtime = ShardedRuntime(model, config, runtime_config, POLICY)
+        runtime.run(trace.epochs())
+        names = sorted(
+            n for n in os.listdir(tmp_path) if n.startswith("epoch_")
+        )
+        kinds = {
+            n: json.loads((tmp_path / n / "manifest.json").read_text()).get("kind")
+            for n in names
+        }
+        latest = latest_checkpoint(tmp_path)
+        manifest = load_checkpoint(latest)  # materializes: chain is whole
+        if manifest.kind == "delta":
+            for link in manifest.chain:
+                assert link in kinds  # every ancestor survived rotation
+            assert kinds[manifest.chain[0]] == "full"
+
 
 class TestBusResume:
     def test_resume_seeds_watermark(self):
