@@ -35,7 +35,13 @@ from typing import List, Optional
 
 from . import __version__
 from .baselines import SmurfLocationConfig, UniformConfig
-from .config import EXECUTOR_NAMES, InferenceConfig, OutputPolicyConfig, RuntimeConfig
+from .config import (
+    ARENA_DTYPES,
+    EXECUTOR_NAMES,
+    InferenceConfig,
+    OutputPolicyConfig,
+    RuntimeConfig,
+)
 from .eval import run_factored, run_smurf, run_uniform
 from .eval.report import format_table
 from .learning import fit_sensor_supervised
@@ -80,6 +86,7 @@ def _build_parser() -> argparse.ArgumentParser:
     clean.add_argument("--delay", type=float, default=30.0, help="output delay (s)")
     clean.add_argument("--index", action="store_true", help="enable spatial index")
     clean.add_argument("--compress", action="store_true", help="enable compression")
+    _add_engine_arguments(clean)
     clean.add_argument(
         "--checkpoint-every",
         type=float,
@@ -140,6 +147,7 @@ def _build_parser() -> argparse.ArgumentParser:
     ckpt.add_argument("--delay", type=float, default=30.0, help="output delay (s)")
     ckpt.add_argument("--index", action="store_true", help="enable spatial index")
     ckpt.add_argument("--compress", action="store_true", help="enable compression")
+    _add_engine_arguments(ckpt)
     _add_runtime_arguments(ckpt)
 
     restore = sub.add_parser(
@@ -194,6 +202,7 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--window", type=float, default=5.0, help="fire-code window (s)"
     )
+    _add_engine_arguments(query)
     _add_runtime_arguments(query)
 
     ev = sub.add_parser("evaluate", help="score ours vs SMURF vs uniform on a trace")
@@ -204,6 +213,24 @@ def _build_parser() -> argparse.ArgumentParser:
     lab.add_argument("--timeout", type=float, default=0.25, choices=[0.25, 0.5, 0.75])
     lab.add_argument("--seed", type=int, default=5)
     return parser
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="adaptive particle budgets: settled unread tags decay through "
+        "parked tiers to Gaussians and skip the per-epoch kernels; any "
+        "read revives them to the full budget",
+    )
+    parser.add_argument(
+        "--arena-dtype",
+        type=str,
+        default="float64",
+        choices=list(ARENA_DTYPES),
+        help="belief-arena storage precision (float32 halves kernel "
+        "memory bandwidth at ~1e-3 ft estimate tolerance)",
+    )
 
 
 def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
@@ -349,6 +376,12 @@ def _engine_config(args: argparse.Namespace, sensor) -> InferenceConfig:
         config = config.with_index()
     if args.compress:
         config = config.with_compression()
+    if getattr(args, "adaptive", False):
+        config = config.with_budget()
+    if getattr(args, "arena_dtype", "float64") != "float64":
+        from dataclasses import replace
+
+        config = replace(config, arena=replace(config.arena, dtype=args.arena_dtype))
     return config
 
 

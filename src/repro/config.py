@@ -91,6 +91,80 @@ class CompressionConfig:
 
 
 @dataclass(frozen=True)
+class BudgetConfig:
+    """Adaptive per-object particle budgets (ROADMAP item 4).
+
+    In steady state most warehouse tags sit unread on a shelf; spending the
+    full particle budget on them every epoch buys nothing.  When enabled,
+    the budget controller in :class:`~repro.inference.FactoredParticleFilter`
+    moves each object through a ladder of compute tiers driven by read
+    recency, effective sample size, and compression error:
+
+    ``full -> parked(tier k) -> parked(tier k-1) -> ... -> GaussianBelief``
+
+    An object *parks* once it has gone unread ``decay_after_epochs`` epochs
+    and its belief has settled (compression error at or below
+    ``settle_error_sq_ft``): its particle set is downsampled to an
+    intermediate tier chosen by ESS, and it stops being propagated/weighted
+    (skip-propagation).  Every ``decay_every_epochs`` further unread epochs
+    it steps down one tier; below the lowest tier it is compressed to a
+    moment-matched Gaussian, freeing its arena block.  Any read revives the
+    object to the full particle budget immediately.  Unsettled objects
+    (high compression error) never park by the error criterion — they keep
+    the full budget and keep receiving negative evidence — unless
+    ``force_park_after_epochs`` is set, which reinstates the paper's pure
+    unread-threshold policy (Section V-D) as a backstop: any object unread
+    that long parks regardless of error, so a population with stubbornly
+    diffuse beliefs still converges to a bounded active set.
+
+    With ``enabled=False`` (the default) the engine's behaviour — including
+    its RNG stream — is bitwise identical to the non-adaptive filter.
+    """
+
+    enabled: bool = False
+    #: Intermediate particle tiers, ascending.  Parking picks the smallest
+    #: tier that preserves the belief's ESS (capped at the largest tier);
+    #: decay then steps down through the remaining tiers.
+    tiers: Tuple[int, ...] = (25, 50)
+    #: Unread epochs before a settled object parks (leaves the kernels).
+    decay_after_epochs: int = 8
+    #: Additional unread epochs between further tier steps / compression.
+    decay_every_epochs: int = 4
+    #: A belief is *settled* when its compression error (weighted mean
+    #: squared deviation from the mean, sq ft) is at or below this.
+    settle_error_sq_ft: float = 0.25
+    #: When set, an object unread this many epochs parks even if its error
+    #: never settles (the paper's unread-threshold compression policy).
+    force_park_after_epochs: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tiers", tuple(int(t) for t in self.tiers))
+        if not self.tiers:
+            raise ConfigurationError("tiers must be non-empty")
+        if any(t < 2 for t in self.tiers):
+            raise ConfigurationError("every tier must be >= 2 particles")
+        if list(self.tiers) != sorted(set(self.tiers)):
+            raise ConfigurationError("tiers must be strictly ascending")
+        if self.decay_after_epochs < 1:
+            raise ConfigurationError("decay_after_epochs must be >= 1")
+        if self.decay_every_epochs < 1:
+            raise ConfigurationError("decay_every_epochs must be >= 1")
+        if self.settle_error_sq_ft <= 0:
+            raise ConfigurationError("settle_error_sq_ft must be positive")
+        if (
+            self.force_park_after_epochs is not None
+            and self.force_park_after_epochs < self.decay_after_epochs
+        ):
+            raise ConfigurationError(
+                "force_park_after_epochs must be >= decay_after_epochs"
+            )
+
+
+#: Floating dtypes accepted by :class:`ArenaConfig`.
+ARENA_DTYPES: Tuple[str, ...] = ("float64", "float32")
+
+
+@dataclass(frozen=True)
 class ArenaConfig:
     """Sizing policy of the contiguous belief arena (``inference.arena``).
 
@@ -108,10 +182,19 @@ class ArenaConfig:
     #: Compact (squeeze holes out of) the slab once freed rows exceed this
     #: fraction of the occupied prefix.
     compaction_threshold: float = 0.25
+    #: Storage dtype of particle positions and log-weights.  ``"float32"``
+    #: halves the slab's memory footprint and bandwidth; likelihood and
+    #: normalization arithmetic still runs in float64, so only the stored
+    #: representation is rounded.
+    dtype: str = "float64"
 
     def __post_init__(self) -> None:
         if self.initial_capacity < 1:
             raise ConfigurationError("initial_capacity must be >= 1")
+        if self.dtype not in ARENA_DTYPES:
+            raise ConfigurationError(
+                f"unknown arena dtype {self.dtype!r}; expected one of {ARENA_DTYPES}"
+            )
         if self.growth_factor <= 1.0:
             raise ConfigurationError("growth_factor must be > 1")
         if not (0.0 < self.compaction_threshold <= 1.0):
@@ -198,6 +281,7 @@ class InferenceConfig:
     compression: CompressionConfig = field(default_factory=CompressionConfig)
     spatial_index: SpatialIndexConfig = field(default_factory=SpatialIndexConfig)
     arena: ArenaConfig = field(default_factory=ArenaConfig)
+    budget: BudgetConfig = field(default_factory=BudgetConfig)
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -222,6 +306,11 @@ class InferenceConfig:
             raise ConfigurationError("init_cone_half_angle_rad out of range")
         if self.init_cone_range_ft <= 0:
             raise ConfigurationError("init_cone_range_ft must be positive")
+        if self.budget.enabled and self.budget.tiers[-1] >= self.object_particles:
+            raise ConfigurationError(
+                "budget tiers must stay below object_particles "
+                f"({self.budget.tiers[-1]} >= {self.object_particles})"
+            )
 
     # Convenience builders for the paper's four engine variants -----------
     def with_index(self, **kwargs) -> "InferenceConfig":
@@ -231,6 +320,10 @@ class InferenceConfig:
     def with_compression(self, **kwargs) -> "InferenceConfig":
         """Return a copy with belief compression enabled."""
         return replace(self, compression=CompressionConfig(enabled=True, **kwargs))
+
+    def with_budget(self, **kwargs) -> "InferenceConfig":
+        """Return a copy with adaptive particle budgets enabled."""
+        return replace(self, budget=BudgetConfig(enabled=True, **kwargs))
 
     def with_particles(self, object_particles: int, reader_particles: Optional[int] = None) -> "InferenceConfig":
         """Return a copy with different particle counts."""

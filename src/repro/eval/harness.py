@@ -115,10 +115,20 @@ def run_factored(
             "arena_compactions": float(engine.arena.stats["compactions"]),
             "arena_memory_bytes": float(engine.arena.memory_bytes()),
             "compressions": float(engine.stats["compressions"]),
+            "decompressions": float(engine.stats["decompressions"]),
             "objects_processed": float(engine.stats["objects_processed"]),
             "objects_skipped": float(engine.stats["objects_skipped"]),
-            # Final-epoch snapshot (the other counters are whole-trace sums).
+            "objects_skipped_settled": float(
+                engine.stats["objects_skipped_settled"]
+            ),
+            "budget_decays": float(engine.stats["budget_decays"]),
+            "budget_revives": float(engine.stats["budget_revives"]),
+            # Final-epoch snapshots (the counters above are whole-trace sums).
             "last_epoch_active_count": float(engine.active_count),
+            **{
+                key: float(value)
+                for key, value in engine.tier_summary().items()
+            },
         },
     )
 
@@ -162,17 +172,32 @@ def run_sharded(
     }
     total_memory = 0.0
     # Aggregate arena health across shards (grows/compactions are churn
-    # indicators; memory bytes bound the checkpoint payload size).
+    # indicators; memory bytes bound the checkpoint payload size), plus the
+    # adaptive-budget tier census when shards report one.
     arena_totals = {"arena_grows": 0.0, "arena_compactions": 0.0, "arena_memory_bytes": 0.0}
+    budget_totals: Dict[str, float] = {}
+    budget_keys = (
+        "objects_skipped_settled",
+        "budget_decays",
+        "budget_revives",
+        "objects_full",
+        "objects_parked",
+        "objects_compressed",
+        "particles_full",
+        "particles_parked",
+    )
     for row in runtime.shard_stats():
         index = int(row.pop("shard"))
         total_memory += row.get("belief_memory_bytes", 0.0)
         for key in arena_totals:
             arena_totals[key] += row.get(key, 0.0)
         for key, value in row.items():
+            if key in budget_keys or key.startswith("objects_tier_"):
+                budget_totals[key] = budget_totals.get(key, 0.0) + value
             extra[f"shard{index}_{key}"] = value
     extra["belief_memory_bytes"] = total_memory
     extra.update(arena_totals)
+    extra.update(budget_totals)
     return SystemResult(
         name=name,
         estimates=estimates,

@@ -8,9 +8,13 @@ the cost is dominated by interpreter and dispatch overhead, not math.
 :class:`BeliefArena` replaces the per-object arrays with one contiguous
 structure-of-arrays —
 
-* ``positions``   — ``(capacity, 3)`` float64 location hypotheses,
+* ``positions``   — ``(capacity, 3)`` float location hypotheses,
 * ``parents``     — ``(capacity,)``  int32 pointers into reader particles,
-* ``log_weights`` — ``(capacity,)``  float64 per-particle log factors,
+* ``log_weights`` — ``(capacity,)``  float per-particle log factors,
+
+The float columns are stored at ``ArenaConfig.dtype`` — float64 by default,
+or float32 to halve the slab's footprint and memory bandwidth (arithmetic
+downstream still runs in float64; only the stored representation rounds).
 
 — plus a slot table mapping each object id to a contiguous ``[start, start +
 count)`` block.  Per-object access stays zero-copy (numpy views into the
@@ -44,8 +48,9 @@ durable-state subsystem's *differential checkpoints* read this via
 arrays live in one :class:`multiprocessing.shared_memory.SharedMemory`
 segment (:class:`SharedSlab`) instead of private heap pages.  The process
 executor's workers use this so the parent process can *read* belief state —
-attach with :func:`attach_shared_slab` using the ``(name, capacity)`` pair
-from :meth:`BeliefArena.shared_segment` — without any array crossing a pipe.
+attach with :func:`attach_shared_slab` using the ``(name, capacity, dtype)``
+triple from :meth:`BeliefArena.shared_segment` — without any array crossing
+a pipe.
 Growing allocates a fresh segment and unlinks the old one, so a reader must
 re-attach whenever the advertised segment changes; :meth:`release` frees the
 segment at worker teardown (shared slabs are not reclaimed by the garbage
@@ -61,9 +66,16 @@ import numpy as np
 from ..config import ArenaConfig
 from ..errors import InferenceError
 
-#: Accounting bytes per occupied row: 3 float64 coordinates, one int32
-#: parent pointer, one float64 log weight (the Section V-D memory metric).
+#: Accounting bytes per occupied row at the default float64 storage dtype:
+#: 3 float64 coordinates, one int32 parent pointer, one float64 log weight
+#: (the Section V-D memory metric).  Dtype-aware accounting uses
+#: :func:`row_bytes`.
 ROW_BYTES = 3 * 8 + 4 + 8
+
+
+def row_bytes(itemsize: int = 8) -> int:
+    """Accounting bytes per occupied row: 3 floats + 1 int32 + 1 float."""
+    return 3 * itemsize + 4 + itemsize
 
 
 def segment_gather_indices(
@@ -88,45 +100,53 @@ def segment_gather_indices(
     return idx, batch_starts
 
 
-def _slab_layout(capacity: int) -> Tuple[int, int, int]:
+def _slab_layout(capacity: int, itemsize: int = 8) -> Tuple[int, int, int]:
     """Byte offsets of (positions, log_weights, parents) within one segment.
 
-    float64 columns come first so both stay 8-byte aligned for any capacity;
+    Float columns come first so both stay itemsize-aligned for any capacity;
     the int32 parent column (4-byte alignment) trails them.
     """
-    positions_bytes = capacity * 3 * 8
-    log_weights_bytes = capacity * 8
+    positions_bytes = capacity * 3 * itemsize
+    log_weights_bytes = capacity * itemsize
     return 0, positions_bytes, positions_bytes + log_weights_bytes
 
 
-def slab_nbytes(capacity: int) -> int:
-    """Total segment size for ``capacity`` rows (3 f8 + 1 f8 + 1 i4 each)."""
-    return capacity * (3 * 8 + 8 + 4)
+def slab_nbytes(capacity: int, itemsize: int = 8) -> int:
+    """Total segment size for ``capacity`` rows (3 float + 1 float + 1 i4)."""
+    return capacity * (3 * itemsize + itemsize + 4)
 
 
 class SharedSlab:
     """One shared-memory segment holding the arena's three column arrays.
 
     Created by the arena that owns it (``create=True``) or attached read-only
-    by another process that learned the ``(name, capacity)`` pair out of
-    band.  POSIX shared memory is zero-filled on creation, matching the
-    private allocator's ``np.zeros``.
+    by another process that learned the ``(name, capacity, dtype)`` triple
+    out of band.  POSIX shared memory is zero-filled on creation, matching
+    the private allocator's ``np.zeros``.
     """
 
-    def __init__(self, capacity: int, name: Optional[str] = None, create: bool = True):
+    def __init__(
+        self,
+        capacity: int,
+        name: Optional[str] = None,
+        create: bool = True,
+        dtype: str = "float64",
+    ):
         from multiprocessing import shared_memory
 
         self.capacity = int(capacity)
+        self.dtype = np.dtype(dtype)
+        itemsize = self.dtype.itemsize
         self._shm = shared_memory.SharedMemory(
-            name=name, create=create, size=slab_nbytes(self.capacity)
+            name=name, create=create, size=slab_nbytes(self.capacity, itemsize)
         )
-        pos_off, lw_off, par_off = _slab_layout(self.capacity)
+        pos_off, lw_off, par_off = _slab_layout(self.capacity, itemsize)
         buf = self._shm.buf
         self.positions = np.ndarray(
-            (self.capacity, 3), dtype=np.float64, buffer=buf, offset=pos_off
+            (self.capacity, 3), dtype=self.dtype, buffer=buf, offset=pos_off
         )
         self.log_weights = np.ndarray(
-            self.capacity, dtype=np.float64, buffer=buf, offset=lw_off
+            self.capacity, dtype=self.dtype, buffer=buf, offset=lw_off
         )
         self.parents = np.ndarray(
             self.capacity, dtype=np.int32, buffer=buf, offset=par_off
@@ -151,13 +171,13 @@ class SharedSlab:
         self._shm.unlink()
 
 
-def attach_shared_slab(name: str, capacity: int) -> SharedSlab:
+def attach_shared_slab(name: str, capacity: int, dtype: str = "float64") -> SharedSlab:
     """Attach to another process's arena slab (read-side; do not unlink).
 
     Raises ``FileNotFoundError`` if the segment is gone — the owner grew its
     arena (re-request the current segment) or released it (worker gone).
     """
-    return SharedSlab(capacity, name=name, create=False)
+    return SharedSlab(capacity, name=name, create=False, dtype=dtype)
 
 
 class BeliefArena:
@@ -167,6 +187,7 @@ class BeliefArena:
         self._config = config
         self._shared = bool(shared)
         self._slab: Optional[SharedSlab] = None
+        self._dtype = np.dtype(config.dtype)
         capacity = int(config.initial_capacity)
         self._positions, self._parents, self._log_weights = self._alloc(capacity)
         #: object id -> (start, count); blocks never overlap.
@@ -181,6 +202,10 @@ class BeliefArena:
         #: rows, not just the active set's).
         self._dirty: set = set()
         self._parents_dirty = False
+        #: Layout serial: bumped whenever the slot table or row addressing
+        #: changes, so cached gather plans know when they went stale.
+        self._layout_serial = 0
+        self._plan_cache: Optional[Tuple[int, tuple, tuple]] = None
 
     def _alloc(self, capacity: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Allocate column arrays, swapping in a fresh shared slab if shared.
@@ -190,11 +215,11 @@ class BeliefArena:
         """
         if not self._shared:
             return (
-                np.zeros((capacity, 3), dtype=float),
+                np.zeros((capacity, 3), dtype=self._dtype),
                 np.zeros(capacity, dtype=np.int32),
-                np.zeros(capacity, dtype=float),
+                np.zeros(capacity, dtype=self._dtype),
             )
-        slab = SharedSlab(capacity)
+        slab = SharedSlab(capacity, dtype=self._dtype)
         self._slab = slab
         return slab.positions, slab.parents, slab.log_weights
 
@@ -204,6 +229,11 @@ class BeliefArena:
     @property
     def capacity(self) -> int:
         return self._positions.shape[0]
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Storage dtype of the float columns (positions, log_weights)."""
+        return self._dtype
 
     @property
     def used_rows(self) -> int:
@@ -225,10 +255,10 @@ class BeliefArena:
         return self._slots[object_id][1]
 
     def memory_bytes(self) -> int:
-        """Bytes attributable to live particle rows (8 per float, 4 per
-        parent pointer) — holes and slack capacity are not charged, matching
-        the seed's per-belief accounting."""
-        return self.used_rows * ROW_BYTES
+        """Bytes attributable to live particle rows (itemsize per float, 4
+        per parent pointer) — holes and slack capacity are not charged,
+        matching the seed's per-belief accounting."""
+        return self.used_rows * row_bytes(self._dtype.itemsize)
 
     # ------------------------------------------------------------------
     # Per-object views (zero-copy; invalidated by allocate/free/compact)
@@ -269,6 +299,7 @@ class BeliefArena:
             self._make_room(count)
         self._slots[object_id] = (self._end, count)
         self._end += count
+        self._layout_serial += 1
 
     def set_object(
         self,
@@ -295,6 +326,7 @@ class BeliefArena:
         """Release an object's block, leaving a hole for later compaction."""
         self._dirty.discard(object_id)
         start, count = self._slots.pop(object_id)
+        self._layout_serial += 1
         if start + count == self._end:
             self._end -= count  # tail block: reclaim instantly
         else:
@@ -338,13 +370,13 @@ class BeliefArena:
     # ------------------------------------------------------------------
     # Shared-memory backing (the process executor, ``repro.runtime.workers``)
     # ------------------------------------------------------------------
-    def shared_segment(self) -> Optional[Tuple[str, int]]:
-        """``(segment name, capacity)`` of the backing shared-memory slab,
-        or ``None`` for a private arena.  The pair changes on every grow —
-        readers re-attach when it does."""
+    def shared_segment(self) -> Optional[Tuple[str, int, str]]:
+        """``(segment name, capacity, dtype)`` of the backing shared-memory
+        slab, or ``None`` for a private arena.  The triple changes on every
+        grow — readers re-attach when it does."""
         if self._slab is None:
             return None
-        return self._slab.name, self._slab.capacity
+        return self._slab.name, self._slab.capacity, self._slab.dtype.name
 
     def slot_table(self) -> Dict[int, Tuple[int, int]]:
         """Copy of the object-id -> (start, count) block map, for readers
@@ -390,6 +422,7 @@ class BeliefArena:
             write += count
         self._end = write
         self._free_rows = 0
+        self._layout_serial += 1
         self.stats["compactions"] += 1
 
     # ------------------------------------------------------------------
@@ -405,6 +438,29 @@ class BeliefArena:
             starts[i], lengths[i] = slots[object_id]
         return starts, lengths
 
+    def plan(
+        self, object_ids: Sequence[int]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Active-rows index: ``(row_indices, batch_starts, lengths)`` for an
+        ordered object list, cached across epochs.
+
+        Building a gather plan walks the slot table once per object in
+        Python; with skip-propagation the active set is stable for long
+        stretches, so the plan is memoized and reused until either the
+        requested id list or the arena layout (any allocate / free / compact
+        / snapshot load) changes.  Callers must treat the returned arrays as
+        read-only.
+        """
+        key = tuple(object_ids)
+        cached = self._plan_cache
+        if cached is not None and cached[0] == self._layout_serial and cached[1] == key:
+            return cached[2]
+        starts, lengths = self.segments(key)
+        idx, batch_starts = segment_gather_indices(starts, lengths)
+        plan = (idx, batch_starts, lengths)
+        self._plan_cache = (self._layout_serial, key, plan)
+        return plan
+
     def gather(
         self, object_ids: Sequence[int]
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
@@ -416,8 +472,7 @@ class BeliefArena:
         ``batch_starts`` are the per-segment offsets inside the batch (the
         ``reduceat`` boundaries).
         """
-        starts, lengths = self.segments(object_ids)
-        idx, batch_starts = segment_gather_indices(starts, lengths)
+        idx, batch_starts, lengths = self.plan(object_ids)
         return (
             self._positions[idx],
             self._parents[idx],
@@ -562,6 +617,7 @@ class BeliefArena:
             self._slots[int(oid)] = (offset, int(count))
             offset += int(count)
         self._end = total
+        self._layout_serial += 1
         # A restored arena starts a fresh delta baseline: the chain it may
         # have belonged to does not survive a restore (the checkpoint
         # coordinator writes a full rebase first).

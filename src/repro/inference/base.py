@@ -95,8 +95,15 @@ def segmented_normalize(
     normalized *within* each segment and ``log_normalizers`` has one entry
     per segment.  A segment of all ``-inf`` degrades to uniform, like the
     scalar helper.  Hot-path code: inputs are trusted, not validated.
+
+    A float32 batch (the float32 arena tier) is reduced in float32 — the
+    point of that tier is bandwidth, and segment sums are short enough
+    (particles per object) that single precision holds comfortably; any
+    other dtype is promoted to float64 as before.
     """
-    lw = np.asarray(log_weights, dtype=float)
+    lw = np.asarray(log_weights)
+    if lw.dtype not in (np.float32, np.float64):
+        lw = lw.astype(float)
     m = np.maximum.reduceat(lw, starts)
     bad = ~np.isfinite(m)
     if bad.any():

@@ -21,11 +21,11 @@ that boundary case explicitly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..config import CompressionConfig
+from ..config import BudgetConfig, CompressionConfig
 from ..errors import InferenceError
 from .base import segmented_normalize, weighted_mean_cov
 from .estimates import LocationEstimate
@@ -139,3 +139,41 @@ def select_for_compression(
         return [c.object_id for c in eligible]
     ranked = sorted(eligible, key=lambda c: c.error)
     return [c.object_id for c in ranked if c.error <= config.kl_threshold]
+
+
+# ---------------------------------------------------------------------------
+# Adaptive budget policy (ROADMAP item 4)
+# ---------------------------------------------------------------------------
+# ``select_for_compression`` answers one binary question — compress or keep.
+# The budget controller generalizes it into a *ladder* of particle tiers
+# between "full budget" and "Gaussian": these pure policy functions pick the
+# rungs; the controller in ``inference.factored`` applies them.
+
+
+def park_tier(ess: float, tiers: Sequence[int]) -> int:
+    """Tier for a settled belief leaving the per-epoch kernels.
+
+    The smallest configured tier that still preserves the belief's effective
+    sample size — downsampling below the ESS would discard information the
+    weights say is there — capped at the largest tier.  ``tiers`` ascending.
+    """
+    for tier in tiers:
+        if tier >= ess:
+            return tier
+    return tiers[-1]
+
+
+def step_down_tier(count: int, tiers: Sequence[int]) -> Optional[int]:
+    """Next rung below ``count`` on the decay ladder, or ``None`` when the
+    belief is at (or below) the lowest tier and should compress to a
+    Gaussian.  ``tiers`` ascending."""
+    below = None
+    for tier in tiers:
+        if tier < count:
+            below = tier
+    return below
+
+
+def settles(error: float, config: BudgetConfig) -> bool:
+    """True when a belief's compression error is low enough to park."""
+    return error <= config.settle_error_sq_ft

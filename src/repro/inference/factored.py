@@ -45,6 +45,7 @@ reconstruction implemented here:
 
 from __future__ import annotations
 
+import heapq
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
@@ -60,6 +61,7 @@ from .base import (
     effective_sample_size,
     normalize_log_weights,
     resample_log_weights,
+    segmented_ess,
     segmented_normalize,
     stratified_heading_mean,
     systematic_resample,
@@ -67,8 +69,11 @@ from .base import (
 from .compression import (
     CompressionCandidate,
     GaussianBelief,
+    park_tier,
     segmented_compression_errors,
     select_for_compression,
+    settles,
+    step_down_tier,
 )
 from .estimates import LocationEstimate
 from .spatial import ActiveSetSelector
@@ -96,6 +101,8 @@ class ObjectBelief:
         "last_read_epoch",
         "last_read_anchor",
         "last_split_epoch",
+        "settled",
+        "budget_epoch",
     )
 
     def __init__(
@@ -113,6 +120,13 @@ class ObjectBelief:
         self.last_read_epoch = last_read_epoch
         self.last_read_anchor = last_read_anchor
         self.last_split_epoch = -(10**9)  # last SPLIT/RESET (cooldown bookkeeping)
+        #: Adaptive-budget state (``BudgetConfig``): a settled belief has
+        #: parked — its compression error passed the settle threshold and it
+        #: is excluded from the per-epoch kernels until its next read.
+        self.settled = False
+        #: Epoch of the last budget-ladder transition (park, tier step, or
+        #: revive); the decay scheduler rebuilds its timetable from this.
+        self.budget_epoch = 0
 
     @property
     def compressed(self) -> bool:
@@ -256,8 +270,24 @@ class FactoredParticleFilter:
             ),
         )
         self._epoch_index = -1
+        #: Adaptive-budget bookkeeping (inert unless ``config.budget.enabled``):
+        #: ``_engaged`` are uncompressed, un-parked objects — the set the
+        #: per-epoch kernels run over; ``_parked`` are settled objects whose
+        #: particle blocks are frozen at an intermediate tier awaiting decay
+        #: or revival.  Every belief is in exactly one of engaged / parked /
+        #: compressed.  The decay timetable is a lazy-deletion heap of
+        #: ``(due_epoch, object)`` entries validated against ``_decay_due``.
+        self._engaged: Set[int] = set()
+        self._parked: Set[int] = set()
+        self._engaged_order: Optional[List[int]] = None
+        self._decay_heap: List[Tuple[int, int]] = []
+        self._decay_due: Dict[int, int] = {}
         #: Diagnostics: counters the benchmarks and tests read.
-        self.stats: Dict[str, int] = {
+        self.stats: Dict[str, int] = self._default_stats()
+
+    @staticmethod
+    def _default_stats() -> Dict[str, int]:
+        return {
             "epochs": 0,
             "reader_resamples": 0,
             "object_resamples": 0,
@@ -265,6 +295,9 @@ class FactoredParticleFilter:
             "decompressions": 0,
             "objects_processed": 0,
             "objects_skipped": 0,
+            "objects_skipped_settled": 0,
+            "budget_decays": 0,
+            "budget_revives": 0,
         }
 
     # ------------------------------------------------------------------
@@ -351,13 +384,20 @@ class FactoredParticleFilter:
         current_box = self._selector.sensing_box(sensing_cone) if self._selector.enabled else None
 
         # --- active set (Cases 1 and 2) ----------------------------------
+        # With adaptive budgets on, skip-propagation replaces the full-scan
+        # active set: parked (settled, unread) objects never enter the
+        # kernels, so the per-epoch cost tracks the *engaged* set, not the
+        # known population.  The accounting happens after the read loop,
+        # once reads have revived whoever they touched.
         read_now = {tag.number for tag in epoch.object_tags}
-        active = self._selector.select(read_now, self._beliefs.keys(), current_box)
-        self._active_count = len(active)
-        self.stats["objects_processed"] += len(active)
-        self.stats["objects_skipped"] += max(0, len(self._beliefs) - len(active))
+        budget = self.config.budget
+        if not budget.enabled:
+            active = self._selector.select(read_now, self._beliefs.keys(), current_box)
+            self._active_count = len(active)
+            self.stats["objects_processed"] += len(active)
+            self.stats["objects_skipped"] += max(0, len(self._beliefs) - len(active))
 
-        # --- (re)initialize / decompress read objects --------------------
+        # --- (re)initialize / decompress / revive read objects ------------
         skip_weighting: Set[int] = set()
         for number in read_now:
             belief = self._beliefs.get(number)
@@ -368,6 +408,8 @@ class FactoredParticleFilter:
             if belief.compressed:
                 self._decompress(number)
             else:
+                if budget.enabled and belief.particle_count < self.config.object_particles:
+                    self._revive(number)
                 decision = self._redetection_decision(belief, anchor, heading)
                 if decision is not ReinitDecision.KEEP:
                     particles = self._initializer.reinitialize(
@@ -381,6 +423,8 @@ class FactoredParticleFilter:
                     skip_weighting.add(number)
                     if decision is ReinitDecision.RESET:
                         self._selector.forget_object(number)
+            if budget.enabled:
+                self._engage(number)
             belief.last_read_epoch = self._epoch_index
             belief.last_read_anchor = anchor.copy()
             self._dirty_beliefs.add(number)
@@ -389,11 +433,23 @@ class FactoredParticleFilter:
         # One gather builds a contiguous cross-object batch; every kernel
         # below runs once over all active objects.
         feedback: Optional[np.ndarray] = None
-        batch_ids = [
-            n
-            for n in sorted(active)
-            if n in self._beliefs and not self._beliefs[n].compressed
-        ]
+        if budget.enabled:
+            if self._selector.enabled:
+                active = self._selector.select(read_now, self._engaged, current_box)
+                batch_ids = [n for n in sorted(active) if n in self._engaged]
+            else:
+                batch_ids = self._engaged_ids()
+            self._active_count = len(batch_ids)
+            self.stats["objects_processed"] += len(batch_ids)
+            skipped = max(0, len(self._beliefs) - len(batch_ids))
+            self.stats["objects_skipped"] += skipped
+            self.stats["objects_skipped_settled"] += len(self._parked)
+        else:
+            batch_ids = [
+                n
+                for n in sorted(active)
+                if n in self._beliefs and not self._beliefs[n].compressed
+            ]
         if batch_ids:
             pos, par, lw, rows, seg_starts, lengths = self.arena.gather(batch_ids)
             self.model.objects.propagate_many(pos, self._rng, in_place=True)
@@ -459,8 +515,12 @@ class FactoredParticleFilter:
         # --- reader resampling --------------------------------------------
         self._maybe_resample_reader(feedback)
 
-        # --- compression policy -------------------------------------------
-        if self.config.compression.enabled:
+        # --- adaptive budgets / compression policy ------------------------
+        # The budget controller subsumes the plain compression pass (its
+        # ladder ends at the same Gaussian); only one of the two runs.
+        if budget.enabled:
+            self._budget_pass()
+        elif self.config.compression.enabled:
             self._compression_pass()
 
     def process_trace(self, epochs: Iterable[Epoch]) -> None:
@@ -603,16 +663,204 @@ class FactoredParticleFilter:
         )
         self._known_cache = None
         self._dirty_beliefs.add(number)
+        self._engaged.add(number)
+        self._engaged_order = None
 
     def _decompress(self, number: int) -> None:
         belief = self._beliefs[number]
         assert belief.gaussian is not None
-        k = self.config.compression.decompressed_particles
+        # Under adaptive budgets a read revives straight to the full budget
+        # ("tags with recent reads revive to full particle sets"); the plain
+        # compression mode keeps the paper's 10-particle decompression.
+        if self.config.budget.enabled:
+            k = self.config.object_particles
+        else:
+            k = self.config.compression.decompressed_particles
         samples = belief.gaussian.sample(self._rng, k)
         self.arena.set_object(number, samples, self._random_parents(k), np.zeros(k))
         belief.gaussian = None
         self._dirty_beliefs.add(number)
+        self._engaged.add(number)
+        self._engaged_order = None
         self.stats["decompressions"] += 1
+
+    # ------------------------------------------------------------------
+    # Adaptive particle budgets (ROADMAP item 4)
+    # ------------------------------------------------------------------
+    def _engaged_ids(self) -> List[int]:
+        """Sorted engaged objects — the per-epoch kernel batch.  Cached:
+        with skip-propagation the engaged set is stable for long stretches,
+        so re-sorting it every epoch would be pure overhead."""
+        if self._engaged_order is None:
+            self._engaged_order = sorted(self._engaged)
+        return self._engaged_order
+
+    def _engage(self, number: int) -> None:
+        """A read touched this object: it rejoins the kernels at full budget."""
+        belief = self._beliefs[number]
+        belief.settled = False
+        if number in self._engaged:
+            return
+        self._engaged.add(number)
+        self._engaged_order = None
+        self._parked.discard(number)
+        self._decay_due.pop(number, None)
+        belief.budget_epoch = self._epoch_index
+
+    def _revive(self, number: int) -> None:
+        """Resample a tiered block back up to the full particle budget.
+
+        Systematic resampling from the current (small) weighted cloud: the
+        duplicated particles re-diversify through the next propagation steps
+        exactly as they do after an ordinary ESS-triggered resample.
+        """
+        belief = self._beliefs[number]
+        k = self.config.object_particles
+        p, _ = normalize_log_weights(belief.log_weights)
+        chosen = systematic_resample(p, k, self._rng)
+        positions = belief.particles[chosen]
+        parents = belief.parents[chosen]
+        self.arena.set_object(number, positions, parents, np.zeros(k))
+        self._dirty_beliefs.add(number)
+        self.stats["budget_revives"] += 1
+
+    def _downsample(self, number: int, target: int) -> None:
+        """Shrink an object's block to ``target`` rows (systematic resample)."""
+        belief = self._beliefs[number]
+        p, _ = normalize_log_weights(belief.log_weights)
+        chosen = systematic_resample(p, target, self._rng)
+        positions = belief.particles[chosen]
+        parents = belief.parents[chosen]
+        self.arena.set_object(number, positions, parents, np.zeros(target))
+        belief.budget_epoch = self._epoch_index
+        self._dirty_beliefs.add(number)
+        self.stats["budget_decays"] += 1
+
+    def _schedule_decay(self, number: int, due: int) -> None:
+        self._decay_due[number] = due
+        heapq.heappush(self._decay_heap, (due, number))
+
+    def _budget_pass(self) -> None:
+        """The per-epoch budget controller (runs after the kernels).
+
+        Two phases, both deterministic in iteration order so the RNG stream
+        is reproducible across checkpoint/restore:
+
+        1. *Decay ladder* — parked objects whose timer expired step down one
+           tier; below the lowest tier they compress to a Gaussian, freeing
+           the arena block.  Lazy-deletion heap: entries whose object was
+           revived (or re-parked at a different epoch) are skipped.
+        2. *Parking scan* — engaged objects unread for ``decay_after_epochs``
+           whose compression error has settled park at a tier chosen by ESS
+           and leave the kernels.  Unsettled objects keep the full budget
+           and keep receiving negative evidence; they are re-checked on the
+           ``decay_every_epochs`` cadence (a function of each object's
+           ``last_read_epoch``, so it replays identically after a restore)
+           rather than every epoch, and — when
+           ``force_park_after_epochs`` is configured — park unconditionally
+           once unread that long.
+        """
+        budget = self.config.budget
+        epoch = self._epoch_index
+        while self._decay_heap and self._decay_heap[0][0] <= epoch:
+            due, number = heapq.heappop(self._decay_heap)
+            if self._decay_due.get(number) != due:
+                continue  # stale: revived or rescheduled since this entry
+            del self._decay_due[number]
+            target = step_down_tier(self.arena.count(number), budget.tiers)
+            if target is None:
+                self._compress_belief(number)
+            else:
+                self._downsample(number, target)
+                self._schedule_decay(number, epoch + budget.decay_every_epochs)
+        force = budget.force_park_after_epochs
+        candidates = []
+        forced = []
+        for number in self._engaged_ids():
+            unread = epoch - self._beliefs[number].last_read_epoch
+            if unread < budget.decay_after_epochs:
+                continue
+            is_forced = force is not None and unread >= force
+            if (
+                is_forced
+                or (unread - budget.decay_after_epochs) % budget.decay_every_epochs
+                == 0
+            ):
+                candidates.append(number)
+                forced.append(is_forced)
+        if not candidates:
+            return
+        pos, _, lw, _, seg_starts, lengths = self.arena.gather(candidates)
+        errors = segmented_compression_errors(pos, lw, seg_starts, lengths)
+        ess = segmented_ess(lw, seg_starts, lengths)
+        for i, number in enumerate(candidates):
+            if not forced[i] and not settles(float(errors[i]), budget):
+                continue
+            belief = self._beliefs[number]
+            target = park_tier(float(ess[i]), budget.tiers)
+            if target < belief.particle_count:
+                self._downsample(number, target)
+            else:
+                belief.budget_epoch = epoch
+            belief.settled = True
+            self._dirty_beliefs.add(number)
+            self._engaged.discard(number)
+            self._engaged_order = None
+            self._parked.add(number)
+            self._schedule_decay(number, epoch + budget.decay_every_epochs)
+
+    def tier_summary(self) -> Dict[str, int]:
+        """Where compute and memory went: object / particle counts by tier.
+
+        ``objects_full`` are engaged at (or reviving toward) the full
+        budget, ``objects_parked`` sit frozen at intermediate tiers
+        (``objects_tier_<k>`` buckets them by configured tier), and
+        ``objects_compressed`` are Gaussians.  Particle totals split the
+        live arena rows the same way.
+        """
+        summary: Dict[str, int] = {
+            "objects_full": 0,
+            "objects_parked": 0,
+            "objects_compressed": 0,
+            "particles_full": 0,
+            "particles_parked": 0,
+        }
+        for tier in self.config.budget.tiers:
+            summary[f"objects_tier_{tier}"] = 0
+        for number, belief in self._beliefs.items():
+            if belief.compressed:
+                summary["objects_compressed"] += 1
+            elif number in self._parked:
+                count = belief.particle_count
+                summary["objects_parked"] += 1
+                summary["particles_parked"] += count
+                key = f"objects_tier_{count}"
+                if key in summary:
+                    summary[key] += 1
+            else:
+                summary["objects_full"] += 1
+                summary["particles_full"] += belief.particle_count
+        return summary
+
+    def _compress_belief(self, number: int) -> None:
+        """Replace a particle block by its moment-matched Gaussian."""
+        belief = self._beliefs[number]
+        # Moment-match the robust (dominant-mode) estimate rather than the
+        # raw cloud: by compression time the cloud already carries a thin
+        # teleported-uniform component that would bias the Gaussian.
+        estimate = LocationEstimate.robust_from_particles(
+            belief.particles, belief.log_weights
+        )
+        belief.gaussian = GaussianBelief(
+            mean=estimate.mean, covariance=estimate.covariance
+        )
+        self.arena.free(number)
+        self._dirty_beliefs.add(number)
+        self._engaged.discard(number)
+        self._engaged_order = None
+        self._parked.discard(number)
+        self._decay_due.pop(number, None)
+        self.stats["compressions"] += 1
 
     def _compression_pass(self) -> None:
         config = self.config.compression
@@ -645,19 +893,7 @@ class FactoredParticleFilter:
             for (number, unread, count), error in zip(eligible, errors)
         ]
         for number in select_for_compression(candidates, config):
-            belief = self._beliefs[number]
-            # Moment-match the robust (dominant-mode) estimate rather than
-            # the raw cloud: by compression time the cloud already carries a
-            # thin teleported-uniform component that would bias the Gaussian.
-            estimate = LocationEstimate.robust_from_particles(
-                belief.particles, belief.log_weights
-            )
-            belief.gaussian = GaussianBelief(
-                mean=estimate.mean, covariance=estimate.covariance
-            )
-            self.arena.free(number)
-            self._dirty_beliefs.add(number)
-            self.stats["compressions"] += 1
+            self._compress_belief(number)
 
     # ------------------------------------------------------------------
     # Snapshot / restore (the durable-state subsystem, ``repro.state``)
@@ -673,6 +909,8 @@ class FactoredParticleFilter:
         compressed = np.zeros(b, dtype=bool)
         gauss_mean = np.zeros((b, 3), dtype=float)
         gauss_cov = np.zeros((b, 3, 3), dtype=float)
+        settled = np.zeros(b, dtype=bool)
+        budget_epoch = np.zeros(b, dtype=np.int64)
         for i, number in enumerate(numbers):
             belief = self._beliefs[number]
             ids[i] = number
@@ -680,6 +918,8 @@ class FactoredParticleFilter:
             last_read[i] = belief.last_read_epoch
             last_split[i] = belief.last_split_epoch
             anchors[i] = belief.last_read_anchor
+            settled[i] = belief.settled
+            budget_epoch[i] = belief.budget_epoch
             if belief.gaussian is not None:
                 compressed[i] = True
                 gauss_mean[i] = belief.gaussian.mean
@@ -693,6 +933,8 @@ class FactoredParticleFilter:
             "compressed": compressed,
             "gauss_mean": gauss_mean,
             "gauss_cov": gauss_cov,
+            "settled": settled,
+            "budget_epoch": budget_epoch,
         }
 
     def snapshot_state(self, mode: str = "full") -> dict:
@@ -790,7 +1032,12 @@ class FactoredParticleFilter:
         self._rng = generator_from_state(state["rng_state"])
         self._epoch_index = int(state["epoch_index"])
         self._active_count = int(state["active_count"])
-        self.stats = {k: int(v) for k, v in state["stats"].items()}
+        # Merge over defaults so snapshots from before a counter existed
+        # restore cleanly (the counter restarts at zero).
+        self.stats = {
+            **self._default_stats(),
+            **{k: int(v) for k, v in state["stats"].items()},
+        }
         last_reported = state["last_reported"]
         self._last_reported = (
             None if last_reported is None else np.asarray(last_reported, dtype=float)
@@ -808,12 +1055,28 @@ class FactoredParticleFilter:
         self.arena.load_snapshot(state["arena"])
         self.arena.stats = {k: int(v) for k, v in state["arena_stats"].items()}
         beliefs = state["beliefs"]
+        ids = np.asarray(beliefs["ids"], dtype=np.int64)
         compressed = np.asarray(beliefs["compressed"], dtype=bool)
         anchors = np.asarray(beliefs["anchors"], dtype=float)
         gauss_mean = np.asarray(beliefs["gauss_mean"], dtype=float)
         gauss_cov = np.asarray(beliefs["gauss_cov"], dtype=float)
+        # Budget columns default to "engaged, never parked" for snapshots
+        # taken before adaptive budgets existed.
+        settled = np.asarray(
+            beliefs.get("settled", np.zeros(ids.size, dtype=bool)), dtype=bool
+        )
+        budget_epoch = np.asarray(
+            beliefs.get("budget_epoch", np.zeros(ids.size, dtype=np.int64)),
+            dtype=np.int64,
+        )
         self._beliefs = {}
-        for i, number in enumerate(np.asarray(beliefs["ids"], dtype=np.int64)):
+        self._engaged = set()
+        self._parked = set()
+        self._engaged_order = None
+        self._decay_heap = []
+        self._decay_due = {}
+        decay_every = self.config.budget.decay_every_epochs
+        for i, number in enumerate(ids):
             number = int(number)
             belief = ObjectBelief(
                 arena=self.arena,
@@ -823,6 +1086,8 @@ class FactoredParticleFilter:
                 last_read_anchor=anchors[i].copy(),
             )
             belief.last_split_epoch = int(beliefs["last_split"][i])
+            belief.settled = bool(settled[i])
+            belief.budget_epoch = int(budget_epoch[i])
             if compressed[i]:
                 belief.gaussian = GaussianBelief(
                     mean=gauss_mean[i].copy(), covariance=gauss_cov[i].copy()
@@ -831,6 +1096,15 @@ class FactoredParticleFilter:
                 raise StateError(
                     f"belief {number} is uncompressed but has no arena block"
                 )
+            elif belief.settled:
+                # Parked mid-decay: rebuild the timetable from the epoch of
+                # the last ladder transition.  Entry keys are unique per
+                # object, so heap pop order — hence the RNG stream of every
+                # future downsample — matches the uninterrupted run exactly.
+                self._parked.add(number)
+                self._schedule_decay(number, belief.budget_epoch + decay_every)
+            else:
+                self._engaged.add(number)
             self._beliefs[number] = belief
         self._known_cache = None
         self._selector = ActiveSetSelector(self.config.spatial_index)

@@ -85,6 +85,22 @@ class FilterShard:
         memory = getattr(engine, "belief_memory_bytes", None)
         if callable(memory):
             row["belief_memory_bytes"] = float(memory())
+        engine_stats = getattr(engine, "stats", None)
+        if isinstance(engine_stats, dict):
+            for key in (
+                "objects_skipped",
+                "objects_skipped_settled",
+                "compressions",
+                "decompressions",
+                "budget_decays",
+                "budget_revives",
+            ):
+                if key in engine_stats:
+                    row[key] = float(engine_stats[key])
+        tiers = getattr(engine, "tier_summary", None)
+        if callable(tiers):
+            for key, value in tiers().items():
+                row[key] = float(value)
         return row
 
     # ------------------------------------------------------------------

@@ -152,7 +152,7 @@ def decode_events(rows: Sequence[tuple]) -> List[LocationEvent]:
 # ---------------------------------------------------------------------------
 # Worker side
 # ---------------------------------------------------------------------------
-def _segment_of(shard: FilterShard) -> Optional[Tuple[str, int]]:
+def _segment_of(shard: FilterShard) -> Optional[Tuple[str, int, str]]:
     arena = getattr(shard.engine, "arena", None)
     if arena is None:
         return None
@@ -368,9 +368,10 @@ class ShardWorkerProxy:
         self.process.start()
         child_conn.close()
         self._dead = False
-        #: Last (name, capacity) the worker advertised — the reclamation key
-        #: if the worker dies without releasing its own segment.
-        self._segment: Optional[Tuple[str, int]] = None
+        #: Last (name, capacity, dtype) the worker advertised — the
+        #: reclamation key if the worker dies without releasing its own
+        #: segment.
+        self._segment: Optional[Tuple[str, int, str]] = None
         reply = self._recv()  # ready handshake (or construction error)
         if reply[0] != "ready":
             raise InferenceError(
@@ -503,9 +504,9 @@ class ShardWorkerProxy:
             raise InferenceError(
                 f"shard worker {self.index} has no shared belief arena"
             )
-        (name, capacity), slots = payload
-        self._segment = (name, capacity)
-        return ArenaView(attach_shared_slab(name, capacity), slots)
+        (name, capacity, dtype), slots = payload
+        self._segment = (name, capacity, dtype)
+        return ArenaView(attach_shared_slab(name, capacity, dtype), slots)
 
     # -- teardown -------------------------------------------------------
     def _unlink_segment(self) -> None:
@@ -519,9 +520,9 @@ class ShardWorkerProxy:
         segment, self._segment = self._segment, None
         if segment is None:
             return
-        name, capacity = segment
+        name, capacity, dtype = segment
         try:
-            slab = attach_shared_slab(name, capacity)
+            slab = attach_shared_slab(name, capacity, dtype)
         except FileNotFoundError:
             return
         slab.unlink()

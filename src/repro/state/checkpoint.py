@@ -50,6 +50,7 @@ import numpy as np
 
 from ..config import (
     ArenaConfig,
+    BudgetConfig,
     CompressionConfig,
     InferenceConfig,
     OutputPolicyConfig,
@@ -88,6 +89,8 @@ def inference_config_from_dict(data: dict) -> InferenceConfig:
         data["compression"] = CompressionConfig(**data["compression"])
         data["spatial_index"] = SpatialIndexConfig(**data["spatial_index"])
         data["arena"] = ArenaConfig(**data["arena"])
+        # Pre-adaptive manifests have no budget section: default (disabled).
+        data["budget"] = BudgetConfig(**data.get("budget", {}))
         return InferenceConfig(**data)
     except (KeyError, TypeError) as exc:
         raise StateError(f"manifest inference config is invalid: {exc}") from exc

@@ -58,6 +58,8 @@ _BELIEF_COLUMNS = (
     "compressed",
     "gauss_mean",
     "gauss_cov",
+    "settled",
+    "budget_epoch",
 )
 
 #: Per-visit columns of the pipeline tree.
@@ -189,6 +191,9 @@ def apply_arena_delta(base: dict, delta: dict) -> dict:
                 "delta arena parents",
             ).items()
         }
+    # Empty fallbacks inherit the captured arrays' dtype (float32 arenas
+    # must materialize bitwise-identically, not silently promote).
+    base_positions = np.asarray(base["positions"])
     positions, parents, log_weights = [], [], []
     for number in order_ids:
         number = int(number)
@@ -214,13 +219,17 @@ def apply_arena_delta(base: dict, delta: dict) -> dict:
         "ids": order_ids.copy(),
         "counts": counts.copy(),
         "positions": (
-            np.concatenate(positions) if positions else np.zeros((0, 3))
+            np.concatenate(positions)
+            if positions
+            else np.zeros((0, 3), dtype=base_positions.dtype)
         ),
         "parents": (
             np.concatenate(parents) if parents else np.zeros(0, dtype=np.int32)
         ),
         "log_weights": (
-            np.concatenate(log_weights) if log_weights else np.zeros(0)
+            np.concatenate(log_weights)
+            if log_weights
+            else np.zeros(0, dtype=np.asarray(base["log_weights"]).dtype)
         ),
     }
 

@@ -159,6 +159,14 @@ def _belief_entries(engine_state: dict) -> List[dict]:
     blocks = _arena_blocks(engine_state["arena"])
     ids = np.asarray(beliefs["ids"], dtype=np.int64)
     compressed = np.asarray(beliefs["compressed"], dtype=bool)
+    # Budget columns default to "never parked" for pre-adaptive checkpoints.
+    settled = np.asarray(
+        beliefs.get("settled", np.zeros(ids.size, dtype=bool)), dtype=bool
+    )
+    budget_epoch = np.asarray(
+        beliefs.get("budget_epoch", np.zeros(ids.size, dtype=np.int64)),
+        dtype=np.int64,
+    )
     entries = []
     for i, number in enumerate(ids):
         number = int(number)
@@ -171,6 +179,8 @@ def _belief_entries(engine_state: dict) -> List[dict]:
             "compressed": bool(compressed[i]),
             "gauss_mean": np.asarray(beliefs["gauss_mean"][i], dtype=float),
             "gauss_cov": np.asarray(beliefs["gauss_cov"][i], dtype=float),
+            "settled": bool(settled[i]),
+            "budget_epoch": int(budget_epoch[i]),
             "block": None if compressed[i] else blocks.get(number),
         }
         if not entry["compressed"] and entry["block"] is None:
@@ -221,8 +231,15 @@ def _pack_beliefs(entries: List[dict]) -> Tuple[dict, dict]:
             if entries
             else np.zeros((0, 3, 3))
         ),
+        "settled": np.asarray([e["settled"] for e in entries], dtype=bool),
+        "budget_epoch": np.asarray(
+            [e["budget_epoch"] for e in entries], dtype=np.int64
+        ),
     }
     live = [e for e in entries if not e["compressed"]]
+    # Empty fallbacks take the source blocks' dtype so a float32-arena
+    # checkpoint re-shards without silently promoting to float64.
+    float_dtype = live[0]["block"][0].dtype if live else np.float64
     arena = {
         "ids": np.asarray([e["number"] for e in live], dtype=np.int64),
         "counts": np.asarray(
@@ -231,7 +248,7 @@ def _pack_beliefs(entries: List[dict]) -> Tuple[dict, dict]:
         "positions": (
             np.concatenate([e["block"][0] for e in live])
             if live
-            else np.zeros((0, 3))
+            else np.zeros((0, 3), dtype=float_dtype)
         ),
         "parents": (
             np.concatenate([e["block"][1] for e in live])
@@ -239,7 +256,9 @@ def _pack_beliefs(entries: List[dict]) -> Tuple[dict, dict]:
             else np.zeros(0, dtype=np.int32)
         ),
         "log_weights": (
-            np.concatenate([e["block"][2] for e in live]) if live else np.zeros(0)
+            np.concatenate([e["block"][2] for e in live])
+            if live
+            else np.zeros(0, dtype=float_dtype)
         ),
     }
     return beliefs, arena

@@ -54,6 +54,31 @@ class TestRunFactored:
         assert result.error.xy < 0.8
         assert result.extra["compressions"] >= 1
 
+    def test_adaptive_budget_variant_reports_tier_census(self, scene, fast_cfg):
+        sim, trace = scene
+        result = run_factored(
+            trace,
+            sim.world_model(),
+            fast_cfg.with_budget(
+                tiers=(10, 25),
+                decay_after_epochs=3,
+                decay_every_epochs=2,
+                settle_error_sq_ft=1000.0,
+            ),
+        )
+        assert result.error.xy < 0.8
+        extra = result.extra
+        # Whole-trace budget counters plus the end-of-trace tier census.
+        assert extra["budget_decays"] >= 1
+        assert extra["objects_skipped_settled"] >= 1
+        census = (
+            extra["objects_full"]
+            + extra["objects_parked"]
+            + extra["objects_compressed"]
+        )
+        assert census == 6.0
+        assert extra["particles_full"] + extra["particles_parked"] >= 0
+
 
 class TestRunSharded:
     def test_scores_and_reports_per_shard_stats(self, scene, fast_cfg):
@@ -74,6 +99,30 @@ class TestRunSharded:
         assert (
             result.extra["shard0_objects"] + result.extra["shard1_objects"] == 6
         )
+
+    def test_aggregates_budget_census_across_shards(self, scene, fast_cfg):
+        sim, trace = scene
+        result = run_sharded(
+            trace,
+            sim.world_model(),
+            fast_cfg.with_budget(
+                tiers=(10, 25),
+                decay_after_epochs=3,
+                decay_every_epochs=2,
+                settle_error_sq_ft=1000.0,
+            ),
+            RuntimeConfig(n_shards=2),
+        )
+        extra = result.extra
+        census = (
+            extra["objects_full"]
+            + extra["objects_parked"]
+            + extra["objects_compressed"]
+        )
+        assert census == 6.0  # summed across both shards
+        assert extra["budget_decays"] >= 1
+        # Per-shard rows carry the same keys individually.
+        assert "shard0_objects_compressed" in extra
 
     def test_single_shard_matches_factored_error(self, scene, fast_cfg):
         sim, trace = scene

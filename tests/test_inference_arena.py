@@ -192,9 +192,9 @@ class TestSharedSlab:
         arena = BeliefArena(ArenaConfig(initial_capacity=64), shared=True)
         try:
             fill(arena, 7, 10, 3)
-            name, capacity = arena.shared_segment()
-            assert capacity == 64
-            view = attach_shared_slab(name, capacity)
+            name, capacity, dtype = arena.shared_segment()
+            assert capacity == 64 and dtype == "float64"
+            view = attach_shared_slab(name, capacity, dtype)
             try:
                 start, count = arena.slot_table()[7]
                 block = slice(start, start + count)
@@ -216,9 +216,9 @@ class TestSharedSlab:
         arena = BeliefArena(ArenaConfig(initial_capacity=8), shared=True)
         try:
             fill(arena, 1, 6, 2)
-            old_name, old_capacity = arena.shared_segment()
+            old_name, old_capacity, _ = arena.shared_segment()
             fill(arena, 2, 20, 5)  # forces a grow
-            new_name, new_capacity = arena.shared_segment()
+            new_name, new_capacity, _ = arena.shared_segment()
             assert new_name != old_name and new_capacity > old_capacity
             with pytest.raises(FileNotFoundError):
                 attach_shared_slab(old_name, old_capacity)
@@ -232,7 +232,7 @@ class TestSharedSlab:
         from repro.inference.arena import attach_shared_slab
 
         arena = BeliefArena(ArenaConfig(initial_capacity=16), shared=True)
-        name, capacity = arena.shared_segment()
+        name, capacity, _ = arena.shared_segment()
         arena.release()
         arena.release()
         assert arena.shared_segment() is None
@@ -254,3 +254,99 @@ class TestSharedSlab:
                 )
         finally:
             shared.release()
+
+
+class TestGatherPlanCache:
+    """The memoized active-rows index behind skip-propagation: reused while
+    the layout and id list are stable, rebuilt the moment either changes."""
+
+    def test_plan_reused_for_stable_layout(self):
+        arena = BeliefArena(ArenaConfig(initial_capacity=64))
+        fill(arena, 1, 4, 1)
+        fill(arena, 2, 6, 2)
+        plan = arena.plan((1, 2))
+        assert arena.plan((1, 2)) is plan
+        # In-place content updates (same block size) keep the layout.
+        fill(arena, 1, 4, 9)
+        assert arena.plan((1, 2)) is plan
+
+    def test_plan_invalidated_by_id_list_change(self):
+        arena = BeliefArena(ArenaConfig(initial_capacity=64))
+        fill(arena, 1, 4, 1)
+        fill(arena, 2, 6, 2)
+        plan = arena.plan((1, 2))
+        other = arena.plan((1,))
+        assert other is not plan
+        assert other[2].tolist() == [4]
+
+    def test_plan_invalidated_by_layout_change(self):
+        arena = BeliefArena(ArenaConfig(initial_capacity=64))
+        fill(arena, 1, 4, 1)
+        fill(arena, 2, 6, 2)
+        plan = arena.plan((1, 2))
+        fill(arena, 3, 5, 3)  # allocation bumps the layout serial
+        rebuilt = arena.plan((1, 2))
+        assert rebuilt is not plan
+        np.testing.assert_array_equal(rebuilt[0], plan[0])
+        arena.free(3)
+        assert arena.plan((1, 2)) is not rebuilt
+
+    def test_gather_matches_plan(self):
+        arena = BeliefArena(ArenaConfig(initial_capacity=64))
+        fill(arena, 5, 3, 5)
+        fill(arena, 7, 2, 7)
+        idx, starts, lengths = arena.plan((5, 7))
+        positions, _, _, idx2, starts2, lengths2 = arena.gather((5, 7))
+        np.testing.assert_array_equal(idx, idx2)
+        np.testing.assert_array_equal(starts, starts2)
+        np.testing.assert_array_equal(lengths, lengths2)
+        np.testing.assert_array_equal(positions[:3], np.full((3, 3), 5.0))
+
+
+class TestFloat32Tier:
+    def test_float32_storage_dtypes(self):
+        arena = BeliefArena(ArenaConfig(initial_capacity=64, dtype="float32"))
+        fill(arena, 1, 4, 1)
+        assert arena.dtype == np.float32
+        assert arena.positions(1).dtype == np.float32
+        assert arena.log_weights(1).dtype == np.float32
+        assert arena.parents(1).dtype == np.int32  # parents stay int32
+
+    def test_float32_memory_is_smaller(self):
+        f64 = BeliefArena(ArenaConfig(initial_capacity=64))
+        f32 = BeliefArena(ArenaConfig(initial_capacity=64, dtype="float32"))
+        fill(f64, 1, 10, 1)
+        fill(f32, 1, 10, 1)
+        # 3 floats + 1 float + int32 parent per row: 36 -> 20 bytes.
+        assert f64.memory_bytes() == 10 * 36
+        assert f32.memory_bytes() == 10 * 20
+
+    def test_float32_snapshot_round_trip_preserves_dtype(self):
+        arena = BeliefArena(ArenaConfig(initial_capacity=64, dtype="float32"))
+        fill(arena, 1, 4, 1)
+        state = arena.snapshot()
+        assert state["positions"].dtype == np.float32
+        restored = BeliefArena(ArenaConfig(initial_capacity=64, dtype="float32"))
+        restored.load_snapshot(state)
+        np.testing.assert_array_equal(restored.positions(1), arena.positions(1))
+        assert restored.positions(1).dtype == np.float32
+
+    def test_float32_shared_slab_round_trip(self):
+        from repro.inference.arena import attach_shared_slab
+
+        arena = BeliefArena(
+            ArenaConfig(initial_capacity=32, dtype="float32"), shared=True
+        )
+        try:
+            fill(arena, 3, 5, 3)
+            name, capacity, dtype = arena.shared_segment()
+            assert dtype == "float32"
+            view = attach_shared_slab(name, capacity, dtype)
+            assert view.positions.dtype == np.float32
+            np.testing.assert_array_equal(view.positions[:5], arena.positions(3))
+        finally:
+            arena.release()
+
+    def test_dtype_validation(self):
+        with pytest.raises(ConfigurationError):
+            ArenaConfig(dtype="float16")

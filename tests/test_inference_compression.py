@@ -4,14 +4,18 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.config import CompressionConfig
+from repro.config import BudgetConfig, CompressionConfig
+from repro.errors import ConfigurationError
 from repro.errors import InferenceError
 from repro.inference.compression import (
     CompressionCandidate,
     GaussianBelief,
     compress,
     compression_error,
+    park_tier,
     select_for_compression,
+    settles,
+    step_down_tier,
 )
 
 
@@ -109,3 +113,46 @@ class TestPolicy:
             CompressionConfig(decompressed_particles=1)
         with pytest.raises(Exception):
             CompressionConfig(kl_threshold=-1.0)
+
+
+class TestBudgetPolicy:
+    """The tier-ladder policy helpers behind the adaptive budget controller."""
+
+    def test_park_tier_preserves_ess(self):
+        tiers = (10, 25, 50)
+        assert park_tier(4.0, tiers) == 10
+        assert park_tier(10.0, tiers) == 10
+        assert park_tier(10.5, tiers) == 25
+        assert park_tier(40.0, tiers) == 50
+
+    def test_park_tier_caps_at_largest(self):
+        assert park_tier(500.0, (10, 25, 50)) == 50
+
+    def test_step_down_walks_the_ladder(self):
+        tiers = (10, 25, 50)
+        assert step_down_tier(100, tiers) == 50
+        assert step_down_tier(50, tiers) == 25
+        assert step_down_tier(25, tiers) == 10
+        # At (or below) the lowest rung: compress to a Gaussian.
+        assert step_down_tier(10, tiers) is None
+        assert step_down_tier(3, tiers) is None
+
+    def test_settles_threshold(self):
+        config = BudgetConfig(enabled=True, settle_error_sq_ft=0.25)
+        assert settles(0.25, config)
+        assert not settles(0.26, config)
+
+    def test_budget_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            BudgetConfig(tiers=())
+        with pytest.raises(ConfigurationError):
+            BudgetConfig(tiers=(50, 25))  # must ascend
+        with pytest.raises(ConfigurationError):
+            BudgetConfig(tiers=(1, 25))  # tier floor is 2 particles
+        with pytest.raises(ConfigurationError):
+            BudgetConfig(decay_after_epochs=0)
+        with pytest.raises(ConfigurationError):
+            BudgetConfig(settle_error_sq_ft=0.0)
+        with pytest.raises(ConfigurationError):
+            # The unconditional backstop cannot fire before settling can.
+            BudgetConfig(decay_after_epochs=8, force_park_after_epochs=4)

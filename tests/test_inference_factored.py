@@ -1,5 +1,7 @@
 """Tests for the factored particle filter (the paper's Section IV-B engine)."""
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 
@@ -200,3 +202,193 @@ class TestResamplingMachinery:
         engine = drive(small_model, fast_config, scan_epochs(3.0, n=60))
         assert engine.stats["epochs"] == 60
         assert engine.stats["objects_processed"] > 0
+
+
+class TestAdaptiveBudget:
+    """The adaptive particle-budget controller (ROADMAP item 4): settled
+    unread objects park at intermediate tiers, decay to Gaussians, and skip
+    the per-epoch kernels; any read revives them to the full budget."""
+
+    def budget_config(self, fast_config, **kwargs):
+        kwargs.setdefault("tiers", (10, 25))
+        kwargs.setdefault("decay_after_epochs", 4)
+        kwargs.setdefault("decay_every_epochs", 2)
+        # Lifecycle tests exercise the ladder mechanics, not the error
+        # calibration: let any belief count as settled unless overridden.
+        kwargs.setdefault("settle_error_sq_ft", 1000.0)
+        return fast_config.with_budget(**kwargs)
+
+    def localize_then_idle(self, model, config, reads=6, idle=0):
+        """Read object 0 from nearby for ``reads`` epochs, then leave it
+        unread for ``idle`` epochs (reader stays put, so the object keeps
+        receiving negative evidence while it remains engaged)."""
+        epochs = [
+            make_epoch(float(t), (0.0, 1.0), object_tags=[0], reported_heading=0.0)
+            for t in range(reads)
+        ]
+        epochs += [
+            make_epoch(float(reads + i), (0.0, 1.0), reported_heading=0.0)
+            for i in range(idle)
+        ]
+        return drive(model, config, epochs)
+
+    def test_settled_object_parks_at_a_tier(self, small_model, fast_config):
+        config = self.budget_config(fast_config)
+        engine = self.localize_then_idle(small_model, config, idle=5)
+        belief = engine.belief(0)
+        assert belief.settled and not belief.compressed
+        assert belief.particle_count in (10, 25)
+        assert engine.active_count == 0  # skip-propagation: out of the batch
+        assert engine.stats["objects_skipped_settled"] > 0
+        tiers = engine.tier_summary()
+        assert tiers["objects_parked"] == 1 and tiers["objects_full"] == 0
+
+    def test_parked_object_decays_to_gaussian(self, small_model, fast_config):
+        config = self.budget_config(fast_config)
+        engine = self.localize_then_idle(small_model, config, idle=14)
+        belief = engine.belief(0)
+        assert belief.compressed
+        assert engine.stats["compressions"] == 1
+        assert engine.stats["budget_decays"] >= 1
+        assert 0 not in engine.arena  # block freed
+        assert engine.tier_summary()["objects_compressed"] == 1
+        # The Gaussian still answers estimates, near the read position.
+        assert engine.object_estimate(0).mean[1] == pytest.approx(1.0, abs=0.8)
+
+    def test_read_revives_parked_object_to_full(self, small_model, fast_config):
+        config = self.budget_config(fast_config)
+        engine = self.localize_then_idle(small_model, config, idle=5)
+        assert engine.belief(0).settled  # parked mid-ladder
+        engine.step(
+            make_epoch(50.0, (0.0, 1.0), object_tags=[0], reported_heading=0.0)
+        )
+        belief = engine.belief(0)
+        assert not belief.settled and not belief.compressed
+        assert belief.particle_count == fast_config.object_particles
+        assert engine.stats["budget_revives"] == 1
+        assert engine.active_count == 1
+
+    def test_read_revives_compressed_object_to_full(self, small_model, fast_config):
+        """Revive-on-evidence immediately after compression: under adaptive
+        budgets decompression goes straight back to the full budget, not the
+        paper's 10-particle decompression set."""
+        config = self.budget_config(fast_config)
+        engine = self.localize_then_idle(small_model, config, idle=14)
+        assert engine.belief(0).compressed
+        engine.step(
+            make_epoch(50.0, (0.0, 1.0), object_tags=[0], reported_heading=0.0)
+        )
+        belief = engine.belief(0)
+        assert not belief.compressed and not belief.settled
+        assert belief.particle_count == fast_config.object_particles
+        assert engine.stats["decompressions"] == 1
+        assert 0 in engine.arena
+
+    def test_oscillating_reads_never_decay(self, small_model, fast_config):
+        """A tag read every other epoch never goes unread long enough to
+        park: no decay, no compression, no allocate/free churn."""
+        config = self.budget_config(fast_config)
+        epochs = [
+            make_epoch(
+                float(t),
+                (0.0, 1.0),
+                object_tags=[0] if t % 2 == 0 else [],
+                reported_heading=0.0,
+            )
+            for t in range(40)
+        ]
+        engine = drive(small_model, config, epochs)
+        belief = engine.belief(0)
+        assert not belief.settled and not belief.compressed
+        assert belief.particle_count == fast_config.object_particles
+        assert engine.stats["budget_decays"] == 0
+        assert engine.stats["budget_revives"] == 0
+        assert engine.stats["compressions"] == 0
+
+    def test_unsettled_object_keeps_full_budget(self, small_model, fast_config):
+        """High compression error blocks parking (no force backstop)."""
+        config = self.budget_config(fast_config, settle_error_sq_ft=1e-9)
+        engine = self.localize_then_idle(small_model, config, idle=12)
+        belief = engine.belief(0)
+        assert not belief.settled and not belief.compressed
+        assert belief.particle_count == fast_config.object_particles
+        assert engine.active_count == 1
+
+    def test_force_park_backstop(self, small_model, fast_config):
+        """force_park_after_epochs reinstates the paper's unread-threshold
+        policy: even a never-settling belief leaves the kernels."""
+        config = self.budget_config(
+            fast_config, settle_error_sq_ft=1e-9, force_park_after_epochs=6
+        )
+        engine = self.localize_then_idle(small_model, config, idle=8)
+        belief = engine.belief(0)
+        assert belief.settled or belief.compressed
+        assert engine.active_count == 0
+
+    def test_adaptive_off_is_bitwise_identical_to_default(
+        self, small_model, fast_config
+    ):
+        """budget.enabled=False must leave the engine's RNG stream and
+        output untouched — the adaptive machinery is pay-for-play."""
+        from repro.config import BudgetConfig
+
+        epochs = scan_epochs(1.0, n=30)
+        plain = drive(small_model, fast_config, epochs)
+        explicit = drive(
+            small_model,
+            replace(fast_config, budget=BudgetConfig(enabled=False)),
+            epochs,
+        )
+        np.testing.assert_array_equal(
+            plain.belief(0).particles, explicit.belief(0).particles
+        )
+        np.testing.assert_array_equal(
+            plain.belief(0).log_weights, explicit.belief(0).log_weights
+        )
+
+
+class TestFloat32ArenaParity:
+    def test_estimates_match_float64_within_tolerance(
+        self, small_model, fast_config
+    ):
+        """float32 storage halves bandwidth; estimates must stay within a
+        small fraction of the paper's 0.5 ft accuracy requirement of the
+        float64 run (resampling decisions may diverge, so this is a
+        statistical bound, not bitwise)."""
+        epochs = scan_epochs(3.0, n=60)
+        f64 = drive(small_model, fast_config, epochs)
+        f32 = drive(
+            small_model,
+            replace(fast_config, arena=replace(fast_config.arena, dtype="float32")),
+            epochs,
+        )
+        d = np.linalg.norm(f64.object_estimate(0).mean - f32.object_estimate(0).mean)
+        assert d < 0.25
+        # Both converge to the truth independently as well.
+        assert f32.object_estimate(0).mean[1] == pytest.approx(3.0, abs=0.5)
+
+    def test_adaptive_budget_composes_with_float32(self, small_model, fast_config):
+        config = replace(
+            fast_config.with_budget(
+                tiers=(10, 25),
+                decay_after_epochs=4,
+                decay_every_epochs=2,
+                settle_error_sq_ft=1000.0,
+            ),
+            arena=replace(fast_config.arena, dtype="float32"),
+        )
+        epochs = [
+            make_epoch(float(t), (0.0, 1.0), object_tags=[0], reported_heading=0.0)
+            for t in range(6)
+        ] + [
+            make_epoch(float(6 + i), (0.0, 1.0), reported_heading=0.0)
+            for i in range(14)
+        ]
+        engine = drive(small_model, config, epochs)
+        assert engine.belief(0).compressed
+        engine.step(
+            make_epoch(50.0, (0.0, 1.0), object_tags=[0], reported_heading=0.0)
+        )
+        belief = engine.belief(0)
+        assert belief.particle_count == fast_config.object_particles
+        assert belief.particles.dtype == np.float32

@@ -330,9 +330,9 @@ class TestWorkerCrash:
         # reclaimed by the parent from the last advertised names.
         from repro.inference.arena import attach_shared_slab
 
-        for name, capacity in segments:
+        for name, capacity, dtype in segments:
             with pytest.raises(FileNotFoundError):
-                attach_shared_slab(name, capacity)
+                attach_shared_slab(name, capacity, dtype)
 
     def test_step_after_crash_reports_dead_worker(self, scenario):
         model, trace, config = scenario

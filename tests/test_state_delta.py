@@ -534,3 +534,133 @@ class TestQueryOperatorStateAcrossRestore:
         assert any(resumed_by_time[t] < full_by_time[t] for t in common), (
             "window state unexpectedly survived the restore boundary"
         )
+
+
+class TestAdaptiveBudgetCheckpoints:
+    """Checkpoints taken while the adaptive budget controller is mid-flight
+    — objects parked at intermediate tiers, decay timers pending — must
+    restore bitwise under every executor, in full and delta mode."""
+
+    def budget_config(self, base_config):
+        return base_config.with_budget(
+            tiers=(10, 25),
+            decay_after_epochs=3,
+            decay_every_epochs=2,
+            settle_error_sq_ft=1000.0,
+        )
+
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_mid_decay_chain_restores_bitwise(self, scenario, tmp_path, executor):
+        model, trace, base_config = scenario
+        config = self.budget_config(base_config)
+        runtime_config = RuntimeConfig(n_shards=2, executor=executor)
+        reference_runtime = ShardedRuntime(
+            model, config, RuntimeConfig(n_shards=2), POLICY
+        )
+        reference = reference_runtime.run(trace.epochs()).events
+        # The run must actually exercise the ladder, or this test proves
+        # nothing about mid-decay state.
+        assert (
+            sum(row.get("budget_decays", 0) for row in reference_runtime.shard_stats())
+            > 0
+        )
+        splits = [12, 18, 24]
+        paths, prefixes = write_chain(
+            model, trace, config, runtime_config, splits, str(tmp_path),
+            ["full", "delta", "delta"],
+        )
+        runtime, manifest = restore_runtime(
+            paths[-1], model, runtime_config=RuntimeConfig(n_shards=2)
+        )
+        assert manifest.epochs_processed == splits[-1]
+        sink = runtime.run(trace.epochs(start=splits[-1]))
+        assert_bitwise_equal(prefixes[-1] + sink.events, reference)
+
+    def test_mid_decay_delta_materializes_like_full(self, scenario, tmp_path):
+        """Delta captures of parked / mid-ladder / compressed beliefs must
+        materialize tree-identically (settled flags, budget epochs, shrunken
+        arena blocks and all) to full captures at the same epochs."""
+        model, trace, base_config = scenario
+        config = self.budget_config(base_config)
+        runtime_config = RuntimeConfig(n_shards=2)
+        splits = [12, 18, 24]
+        delta_dir = tmp_path / "delta"
+        full_dir = tmp_path / "full"
+        os.makedirs(delta_dir)
+        os.makedirs(full_dir)
+        paths, _ = write_chain(
+            model, trace, config, runtime_config, splits, str(delta_dir),
+            ["full", "delta", "delta"],
+        )
+        full_paths, _ = write_chain(
+            model, trace, config, runtime_config, splits, str(full_dir),
+            ["full"] * len(splits),
+        )
+        for path, full_path in zip(paths, full_paths):
+            materialized = load_checkpoint(path)
+            full = load_checkpoint(full_path)
+            for ours, ref in zip(materialized.shard_states, full.shard_states):
+                diff = tree_equal(ours, ref)
+                assert diff is None, f"{os.path.basename(path)} {diff}"
+
+
+class TestFloat32ArenaCheckpoints:
+    """The float32 arena tier must round-trip checkpoints bitwise — same
+    dtype, same bits — in full and delta mode, and resume identically."""
+
+    def float32_config(self, base_config):
+        from dataclasses import replace
+
+        return replace(
+            base_config, arena=ArenaConfig(initial_capacity=128, dtype="float32")
+        )
+
+    def test_float32_chain_materializes_like_full(self, scenario, tmp_path):
+        model, trace, base_config = scenario
+        config = self.float32_config(base_config)
+        runtime_config = RuntimeConfig(n_shards=2)
+        splits = [10, 16, 22]
+        delta_dir = tmp_path / "delta"
+        full_dir = tmp_path / "full"
+        os.makedirs(delta_dir)
+        os.makedirs(full_dir)
+        paths, _ = write_chain(
+            model, trace, config, runtime_config, splits, str(delta_dir),
+            ["full", "delta", "delta"],
+        )
+        full_paths, _ = write_chain(
+            model, trace, config, runtime_config, splits, str(full_dir),
+            ["full"] * len(splits),
+        )
+        for path, full_path in zip(paths, full_paths):
+            materialized = load_checkpoint(path)
+            full = load_checkpoint(full_path)
+            for ours, ref in zip(materialized.shard_states, full.shard_states):
+                # tree_equal is dtype-strict: a float32 arena that silently
+                # promoted to float64 anywhere in the capture path fails.
+                diff = tree_equal(ours, ref)
+                assert diff is None, f"{os.path.basename(path)} {diff}"
+            arena = materialized.shard_states[0]["engine"]["arena"]
+            assert np.asarray(arena["positions"]).dtype == np.float32
+            assert np.asarray(arena["log_weights"]).dtype == np.float32
+
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_float32_restore_bitwise_across_executors(
+        self, scenario, tmp_path, executor
+    ):
+        model, trace, base_config = scenario
+        config = self.float32_config(base_config)
+        runtime_config = RuntimeConfig(n_shards=2, executor=executor)
+        reference = ShardedRuntime(
+            model, config, RuntimeConfig(n_shards=2), POLICY
+        ).run(trace.epochs()).events
+        splits = [12, 20]
+        paths, prefixes = write_chain(
+            model, trace, config, runtime_config, splits, str(tmp_path),
+            ["full", "delta"],
+        )
+        runtime, _ = restore_runtime(
+            paths[-1], model, runtime_config=RuntimeConfig(n_shards=2)
+        )
+        sink = runtime.run(trace.epochs(start=splits[-1]))
+        assert_bitwise_equal(prefixes[-1] + sink.events, reference)
