@@ -9,6 +9,10 @@
     python -m repro checkpoint trace.jsonl --epochs 40 --out ck/
     python -m repro restore ck/ trace.jsonl --shards 2
     python -m repro query trace.jsonl --shards 2 --executor process
+    python -m repro query trace.jsonl --standing-queries 100 --emissions out.jsonl
+    python -m repro query trace.jsonl --standing-queries 100 \
+        --checkpoint-at 20 --checkpoint-out ck/
+    python -m repro query trace.jsonl --standing-queries 100 --resume ck/
     python -m repro evaluate trace.jsonl
     python -m repro lab --timeout 0.25
 
@@ -46,7 +50,7 @@ from .eval import run_factored, run_smurf, run_uniform
 from .eval.report import format_table
 from .learning import fit_sensor_supervised
 from .models import SensorModel, config_for_sensor, initialization_geometry
-from .query import QueryEngine, fire_code_query, location_update_query
+from .query import fire_code_query, location_update_query
 from .runtime import QueryBridge, ShardedRuntime
 from .simulation import (
     ConeTruthSensor,
@@ -201,6 +205,64 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument(
         "--window", type=float, default=5.0, help="fire-code window (s)"
+    )
+    query.add_argument(
+        "--standing-queries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="fan out N standing region-watch queries tiling the floor; "
+        "structurally identical windows are deduplicated into shared "
+        "incremental operators (repro.query.multiplexer)",
+    )
+    query.add_argument(
+        "--queries-file",
+        type=str,
+        default=None,
+        metavar="JSON",
+        help="register standing queries from a JSON spec list "
+        "(see repro.query.queries_from_spec)",
+    )
+    query.add_argument(
+        "--emissions",
+        type=str,
+        default=None,
+        metavar="JSONL",
+        help="write every query emission as JSON lines (query, time, row)",
+    )
+    query.add_argument(
+        "--checkpoint-at",
+        type=str,
+        default=None,
+        metavar="EPOCHS",
+        help="comma-separated epoch counts: checkpoint runtime AND "
+        "standing-query operator state at each cut, stop after the last "
+        "(resume with --resume); --emissions then records the emissions "
+        "up to the final cut",
+    )
+    query.add_argument(
+        "--checkpoint-out",
+        type=str,
+        default=None,
+        help="directory for --checkpoint-at snapshots (one epoch_NNNNNNNN "
+        "subdirectory per cut, plus a LATEST pointer)",
+    )
+    query.add_argument(
+        "--checkpoint-mode",
+        type=str,
+        default="full",
+        choices=["full", "delta"],
+        help="persistence for --checkpoint-at: full snapshots, or a delta "
+        "chain (first cut full, later cuts dirty blocks only)",
+    )
+    query.add_argument(
+        "--resume",
+        type=str,
+        default=None,
+        metavar="CHECKPOINT",
+        help="resume a checkpointed query run: shard state and standing-"
+        "query operator state restore exactly (register the same queries "
+        "via the same flags)",
     )
     _add_engine_arguments(query)
     _add_runtime_arguments(query)
@@ -549,8 +611,76 @@ def _cmd_restore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_bounds(epochs, pad: float = 8.0):
+    """Floor bounds for region fan-out, from the trace's reported path."""
+    import numpy as np
+
+    points = [e.position_array for e in epochs if e.position_array is not None]
+    if not points:
+        return ((0.0, 0.0), (50.0, 50.0))
+    stack = np.stack(points)
+    lo = stack.min(axis=0)
+    hi = stack.max(axis=0)
+    return (
+        (float(lo[0]) - pad, float(lo[1]) - pad),
+        (float(hi[0]) + pad, float(hi[1]) + pad),
+    )
+
+
+def _write_emissions(engine, path: str) -> int:
+    """Dump every query output tuple as JSON lines, grouped by query name."""
+    import json
+
+    def scalar(value):
+        try:
+            return json.dumps(value) and value
+        except TypeError:
+            return float(value) if hasattr(value, "__float__") else str(value)
+
+    written = 0
+    with open(path, "w") as fp:
+        for name in sorted(engine.outputs):
+            for tup in engine.outputs[name]:
+                row = {k: scalar(v) for k, v in sorted(tup.items())}
+                fp.write(
+                    json.dumps({"query": name, "time": tup.time, "row": row}) + "\n"
+                )
+                written += 1
+    return written
+
+
+def _print_multiplexer_stats(engine) -> None:
+    stats = engine.stats()
+    print(
+        f"\nmultiplexer: {stats['queries']} queries over "
+        f"{stats['shared_windows']} shared window operator"
+        f"{'s' if stats['shared_windows'] != 1 else ''} "
+        f"({stats['windows_deduped']} deduplicated)"
+    )
+    print(
+        f"cache: {stats['cache_hit_rate'] * 100.0:.1f}% hit rate "
+        f"({stats['cache_hits']} hits / {stats['cache_misses']} misses), "
+        f"{stats['emissions_suppressed']} emissions suppressed, "
+        f"{stats['grid_lookups']} grid lookups"
+    )
+    print(
+        f"serve: {stats['serve_s_per_tick'] * 1e3:.3f} ms/tick over "
+        f"{stats['ticks']} ticks; {stats['belief_reads']} belief reads "
+        f"({stats['read_view_refreshes']} view refreshes)"
+    )
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     """The paper's full stack: epochs -> shards -> event bus -> CQL queries."""
+    import json
+    import os
+
+    from .query import (
+        MultiplexedQueryEngine,
+        queries_from_spec,
+        standing_region_queries,
+    )
+
     trace = _load_trace(args.trace)
     model, _, sensor = _default_model(trace)
     config = config_for_sensor(
@@ -559,7 +689,23 @@ def _cmd_query(args: argparse.Namespace) -> int:
         ),
         sensor,
     )
-    engine = QueryEngine()
+    epochs = trace.epochs()
+    cuts = None
+    if args.checkpoint_at is not None:
+        if args.checkpoint_out is None:
+            raise SystemExit("--checkpoint-at requires --checkpoint-out")
+        if args.resume is not None:
+            raise SystemExit("--checkpoint-at and --resume are exclusive")
+        try:
+            cuts = sorted({int(part) for part in args.checkpoint_at.split(",")})
+        except ValueError:
+            raise SystemExit(f"bad --checkpoint-at: {args.checkpoint_at!r}")
+        if not cuts or cuts[0] < 1 or cuts[-1] > len(epochs):
+            raise SystemExit(
+                f"--checkpoint-at epochs must be in [1, {len(epochs)}]"
+            )
+
+    engine = MultiplexedQueryEngine()
     engine.register(location_update_query())
     engine.register(
         fire_code_query(
@@ -568,19 +714,76 @@ def _cmd_query(args: argparse.Namespace) -> int:
             window_s=args.window,
         )
     )
-    runtime = ShardedRuntime(
-        model,
-        config,
-        _runtime_config(args),
-        OutputPolicyConfig(delay_s=args.delay),
-    )
-    bridge = QueryBridge(engine, runtime.bus)
-    runtime.run(trace.epochs())
-    print(
-        f"cleaned {runtime.bus.published} events through {runtime.n_shards} "
-        f"shard{'s' if runtime.n_shards != 1 else ''} "
-        f"({bridge.tuples_pushed} tuples bridged)"
-    )
+    standing = 0
+    if args.standing_queries:
+        for q in standing_region_queries(args.standing_queries, _trace_bounds(epochs)):
+            engine.register(q)
+            standing += 1
+    if args.queries_file:
+        with open(args.queries_file) as fp:
+            specs = json.load(fp)
+        for q in queries_from_spec(specs):
+            engine.register(q)
+            standing += 1
+
+    if args.resume is not None:
+        from .state import apply_query_states, restore_runtime
+
+        runtime, manifest = restore_runtime(_resolve_checkpoint(args.resume), model)
+        bridge = QueryBridge(engine, runtime.bus, runtime=runtime)
+        apply_query_states(runtime, manifest)
+        runtime.run(trace.epochs(start=manifest.epochs_processed))
+        print(
+            f"resumed from epoch {manifest.epochs_processed}: cleaned "
+            f"{runtime.bus.published} events through {runtime.n_shards} "
+            f"shard{'s' if runtime.n_shards != 1 else ''} "
+            f"({bridge.tuples_pushed} tuples bridged)"
+        )
+    else:
+        runtime = ShardedRuntime(
+            model,
+            config,
+            _runtime_config(args),
+            OutputPolicyConfig(delay_s=args.delay),
+        )
+        bridge = QueryBridge(engine, runtime.bus, runtime=runtime)
+        if cuts is not None:
+            parent = None
+            try:
+                done = 0
+                for i, cut in enumerate(cuts):
+                    for epoch in epochs[done:cut]:
+                        runtime.step(epoch)
+                    done = cut
+                    target = os.path.join(args.checkpoint_out, f"epoch_{cut:08d}")
+                    mode = (
+                        "delta" if args.checkpoint_mode == "delta" and i else "full"
+                    )
+                    runtime.checkpoint(target, mode=mode, parent=parent)
+                    parent = target
+                # Emissions BEFORE the bus closes: the final pending tick
+                # belongs to the checkpoint (and to the resumed run), not to
+                # this prefix.
+                if args.emissions:
+                    n = _write_emissions(engine, args.emissions)
+                    print(f"wrote {args.emissions}: {n} emissions (prefix)")
+                with open(os.path.join(args.checkpoint_out, "LATEST"), "w") as fp:
+                    fp.write(os.path.basename(parent) + "\n")
+            finally:
+                runtime.abort()
+            print(
+                f"checkpointed at epoch{'s' if len(cuts) != 1 else ''} "
+                f"{','.join(str(c) for c in cuts)} "
+                f"({args.checkpoint_mode}) to {args.checkpoint_out}"
+            )
+            _print_multiplexer_stats(engine)
+            return 0
+        runtime.run(epochs)
+        print(
+            f"cleaned {runtime.bus.published} events through {runtime.n_shards} "
+            f"shard{'s' if runtime.n_shards != 1 else ''} "
+            f"({bridge.tuples_pushed} tuples bridged)"
+        )
     updates = engine.outputs["location_updates"]
     print(f"\nlocation_updates: {len(updates)} tuples")
     for tup in updates:
@@ -598,6 +801,16 @@ def _cmd_query(args: argparse.Namespace) -> int:
             f"{tup.time:9.1f}  area={tup['area']}  "
             f"total_weight={tup['total_weight']:g} lbs"
         )
+    if standing:
+        total = sum(
+            len(engine.outputs[q]) for q in engine.outputs
+            if q not in ("location_updates", "fire_code")
+        )
+        print(f"\nstanding queries: {standing} registered, {total} emissions")
+    if args.emissions:
+        n = _write_emissions(engine, args.emissions)
+        print(f"wrote {args.emissions}: {n} emissions")
+    _print_multiplexer_stats(engine)
     return 0
 
 

@@ -25,7 +25,7 @@ from ..inference.naive import NaiveParticleFilter
 from ..inference.pipeline import CleaningPipeline
 from ..models.joint import RFIDWorldModel
 from ..runtime import ShardedRuntime
-from ..streams.sinks import CollectingSink
+from ..streams.sinks import CollectingSink, EventSink, TeeSink
 from ..streams.sources import Trace
 from .metrics import ErrorSummary, inference_error
 
@@ -63,6 +63,42 @@ def final_estimates_from_sink(sink: CollectingSink) -> Dict[int, np.ndarray]:
     }
 
 
+def _query_extras(engine) -> Dict[str, float]:
+    """Flatten a query engine's serving stats into ``extra`` keys.
+
+    Works for the plain :class:`~repro.query.engine.QueryEngine` (queries +
+    ticks only) and the multiplexer (shared-operator, cache, and latency
+    counters on top).
+    """
+    stats = engine.stats() if hasattr(engine, "stats") else {}
+    extras = {
+        f"query_{key}": float(value)
+        for key, value in stats.items()
+        if isinstance(value, (int, float))
+    }
+    extras["query_emissions"] = float(
+        sum(len(outputs) for outputs in engine.outputs.values())
+    )
+    return extras
+
+
+class _BridgeSink(EventSink):
+    """Event sink that feeds a query engine during the timed run, so the
+    measured elapsed time includes serving the standing queries."""
+
+    def __init__(self, engine):
+        from ..query.tuples import tuple_from_event
+
+        self._engine = engine
+        self._adapt = tuple_from_event
+
+    def emit(self, event) -> None:
+        self._engine.push(self._adapt(event))
+
+    def close(self) -> None:
+        self._engine.finish()
+
+
 def _score(
     estimates: Dict[int, np.ndarray], trace: Trace
 ) -> Optional[ErrorSummary]:
@@ -85,11 +121,20 @@ def run_factored(
     policy: OutputPolicyConfig = OutputPolicyConfig(),
     initial_heading: float = 0.0,
     name: str = "factored",
+    query_engine=None,
 ) -> SystemResult:
-    """Run the factored-filter pipeline over a trace."""
+    """Run the factored-filter pipeline over a trace.
+
+    ``query_engine`` (a :class:`~repro.query.engine.QueryEngine`, usually
+    the multiplexer) is fed every emitted event *during* the timed run, and
+    its serving stats land in ``extra`` under ``query_*`` keys.
+    """
     engine = FactoredParticleFilter(model, config, initial_heading=initial_heading)
     sink = CollectingSink()
-    pipeline = CleaningPipeline(engine, policy, sink)
+    run_sink: EventSink = sink
+    if query_engine is not None:
+        run_sink = TeeSink([sink, _BridgeSink(query_engine)])
+    pipeline = CleaningPipeline(engine, policy, run_sink)
     epochs = trace.epochs()
     start = _time.perf_counter()
     pipeline.run(epochs)
@@ -129,6 +174,7 @@ def run_factored(
                 key: float(value)
                 for key, value in engine.tier_summary().items()
             },
+            **({} if query_engine is None else _query_extras(query_engine)),
         },
     )
 
@@ -141,16 +187,23 @@ def run_sharded(
     policy: OutputPolicyConfig = OutputPolicyConfig(),
     initial_heading: float = 0.0,
     name: str = "sharded",
+    query_engine=None,
 ) -> SystemResult:
     """Run the sharded runtime (epochs -> shards -> event bus) over a trace.
 
     ``extra`` reports per-shard arena statistics (``shard<i>_*``) alongside
     the aggregate belief memory, so scalability sweeps can see how evenly
-    the partitioner spread the population.
+    the partitioner spread the population.  ``query_engine`` is bridged to
+    the runtime's event bus (standing queries served inside the timed run,
+    zero-copy read views bound) and reports ``query_*`` extras.
     """
     runtime = ShardedRuntime(
         model, config, runtime_config, policy, initial_heading=initial_heading
     )
+    if query_engine is not None:
+        from ..runtime import QueryBridge
+
+        QueryBridge(query_engine, runtime.bus, runtime=runtime)
     epochs = trace.epochs()
     start = _time.perf_counter()
     sink = runtime.run(epochs)
@@ -198,6 +251,8 @@ def run_sharded(
     extra["belief_memory_bytes"] = total_memory
     extra.update(arena_totals)
     extra.update(budget_totals)
+    if query_engine is not None:
+        extra.update(_query_extras(query_engine))
     return SystemResult(
         name=name,
         estimates=estimates,

@@ -2,6 +2,11 @@
 operators, stream operators, the executor, and the paper's two queries."""
 
 from .engine import ContinuousQuery, QueryEngine
+from .multiplexer import (
+    MultiplexedQueryEngine,
+    queries_from_spec,
+    standing_region_queries,
+)
 from .queries import fire_code_query, location_update_query, square_ft_area
 from .relops import (
     Aggregate,
@@ -10,6 +15,7 @@ from .relops import (
     Having,
     OrderBy,
     Project,
+    RegionSelect,
     RelOp,
     Select,
     avg_,
@@ -36,12 +42,14 @@ __all__ = [
     "GroupBy",
     "Having",
     "Istream",
+    "MultiplexedQueryEngine",
     "NowWindow",
     "OrderBy",
     "PartitionRowsWindow",
     "Project",
     "QueryEngine",
     "RangeWindow",
+    "RegionSelect",
     "RelOp",
     "Rstream",
     "Select",
@@ -55,7 +63,9 @@ __all__ = [
     "location_update_query",
     "max_",
     "min_",
+    "queries_from_spec",
     "square_ft_area",
+    "standing_region_queries",
     "sum_",
     "tuple_from_event",
 ]

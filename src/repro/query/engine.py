@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
-from ..errors import QueryError
+from ..errors import QueryError, StateError
 from .relops import RelOp
 from .stream_ops import Rstream, StreamOp
 from .tuples import StreamTuple
@@ -57,6 +57,38 @@ class ContinuousQuery:
             return self._downstream.push(time, out)
         return out
 
+    def snapshot_state(self) -> dict:
+        """Capture window + streamer (and nested downstream) state.
+
+        Relational operators are pure per-tick functions and carry no state.
+        The returned tree is plain python containing :class:`StreamTuple`
+        values — picklable, suitable for the checkpoint layer.
+        """
+        return {
+            "name": self.name,
+            "window": self.window.snapshot_state(),
+            "streamer": self.streamer.snapshot_state(),
+            "downstream": (
+                self._downstream.snapshot_state()
+                if self._downstream is not None
+                else None
+            ),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("name") != self.name:
+            raise StateError(
+                f"query state is for {state.get('name')!r}, not {self.name!r}"
+            )
+        if (state.get("downstream") is None) != (self._downstream is None):
+            raise StateError(
+                f"query {self.name!r} downstream shape differs from the snapshot"
+            )
+        self.window.restore_state(state["window"])
+        self.streamer.restore_state(state["streamer"])
+        if self._downstream is not None:
+            self._downstream.restore_state(state["downstream"])
+
 
 class QueryEngine:
     """Runs queries over a tuple stream, grouping arrivals into ticks."""
@@ -66,6 +98,7 @@ class QueryEngine:
         self._sinks: Dict[str, List[Callable[[StreamTuple], None]]] = {}
         self._pending: List[StreamTuple] = []
         self._pending_time: Optional[float] = None
+        self._ticks = 0
         self.outputs: Dict[str, List[StreamTuple]] = {}
 
     def register(
@@ -127,9 +160,52 @@ class QueryEngine:
         time = self._pending_time
         self._pending = []
         self._pending_time = None
+        self._ticks += 1
         for name, query in self._queries.items():
             out = query.push(time, batch)
             self.outputs[name].extend(out)
             for callback in self._sinks[name]:
                 for tup in out:
                     callback(tup)
+
+    # State capture -------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        return {"queries": len(self._queries), "ticks": self._ticks}
+
+    def snapshot_state(self) -> dict:
+        """Capture every registered query's operator state plus the
+        un-flushed pending tick (periodic checkpoints fire mid-accumulation).
+
+        ``outputs`` is deliberately not captured: emissions already happened
+        and were delivered; a restored engine starts with empty output logs
+        and produces the exact same emissions from the restore point on.
+        """
+        return {
+            "engine": "query",
+            "ticks": self._ticks,
+            "pending_time": self._pending_time,
+            "pending": list(self._pending),
+            "queries": {
+                name: q.snapshot_state() for name, q in self._queries.items()
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("engine") != "query":
+            raise StateError(
+                f"expected a query-engine state, got {state.get('engine')!r}"
+            )
+        saved = state["queries"]
+        if set(saved) != set(self._queries):
+            missing = sorted(set(saved) - set(self._queries))
+            extra = sorted(set(self._queries) - set(saved))
+            raise StateError(
+                "registered queries differ from the snapshot "
+                f"(missing: {missing}, unexpected: {extra}); register the "
+                "same standing queries before restoring"
+            )
+        for name, query in self._queries.items():
+            query.restore_state(saved[name])
+        self._ticks = state.get("ticks", 0)
+        self._pending_time = state["pending_time"]
+        self._pending = list(state["pending"])

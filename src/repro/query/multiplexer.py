@@ -1,0 +1,711 @@
+"""Multiplexed standing-query serving.
+
+The stock :class:`~repro.query.engine.QueryEngine` is single-consumer: every
+registered query owns its own window and re-scans its whole windowed relation
+each tick, so N standing queries cost O(N x window) per tick.  This module
+serves thousands of concurrent standing queries at near-flat marginal cost:
+
+* **Shared incremental windows** — structurally-identical windows (same
+  type + parameters, registered against the same input stream epoch) are
+  deduplicated into one shared operator that is maintained *incrementally*:
+  each tick produces a change-list (added/removed) instead of a full
+  relation re-scan, and per-query predicates/projections run over the
+  change-list only.
+* **Grid-indexed region pass** — queries whose first operator is a
+  :class:`~repro.query.relops.RegionSelect` over a ``[Partition By k Rows 1]``
+  window subscribe to the cells of a shared grid index; one index update per
+  tick serves every region watcher, and watchers whose cells did not change
+  are skipped without being touched.
+* **Per-query result caching** — the post-operator relation is memoized per
+  plan signature and shared-window version, so duplicate queries are
+  answered from cache and unchanged windows emit nothing
+  (``emissions_suppressed``).
+* **Checkpointed operator state** — ``snapshot_state``/``restore_state``
+  capture shared-window + per-query streamer state so a restored server
+  resumes answers exactly (see :mod:`repro.state.checkpoint`).
+* **Zero-copy belief reads** — ``bind_read_views`` attaches an epoch-stamped
+  :class:`~repro.runtime.readview.RuntimeReadView` provider; ``belief_mean``
+  reads particle positions/weights straight out of the (shared-memory)
+  arenas without per-query copies, refreshing the view only when the
+  runtime's epoch advances.
+
+Single-query semantics are byte-identical to the stock engine; this is pinned
+by the parity tests in ``tests/test_query_multiplexer.py`` and the
+``benchmarks/bench_query_serving.py`` parity check.
+"""
+
+from __future__ import annotations
+
+import math
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import QueryError, StateError
+from .engine import ContinuousQuery, QueryEngine
+from .relops import (
+    Extend,
+    GroupBy,
+    Having,
+    OrderBy,
+    Project,
+    RegionSelect,
+    Select,
+)
+from .stream_ops import Dstream, Istream, Rstream
+from .tuples import StreamTuple
+from .windows import PartitionRowsWindow, Window
+
+#: Operators known to be pure per-tick functions of the relation (exact
+#: types only — subclasses may override ``process`` arbitrarily, so they
+#: disqualify a plan from caching/skipping, never from correctness).
+_PURE_OPS = (Select, RegionSelect, Project, Extend, GroupBy, Having, OrderBy)
+#: Pure *and* tuple-local (map/filter): safe to evaluate over change-lists.
+_TUPLE_LOCAL_OPS = (Select, RegionSelect, Project, Extend)
+
+
+def _op_key(op) -> Tuple:
+    """Structural identity of one operator for plan dedup.
+
+    Structurally-declared operators (RegionSelect, Project, GroupBy, ...)
+    dedup by value; closure-carrying ones (Select, Extend, Having) dedup by
+    callable identity — duplicate queries built from shared callables still
+    share a plan.
+    """
+    t = type(op)
+    if t is RegionSelect:
+        return op.region_key()
+    if t is Project:
+        return ("project", op.names)
+    if t is Extend:
+        return ("extend", tuple((n, id(fn)) for n, fn in op.computed.items()))
+    if t is GroupBy:
+        return (
+            "groupby",
+            op.keys,
+            tuple((a.name, a.attribute, a.kind) for a in op.aggregates),
+        )
+    if t is Having:
+        return ("having", id(op.predicate))
+    if t is Select:
+        return ("select", id(op.predicate))
+    if t is OrderBy:
+        return ("orderby", op.names, op.descending)
+    return ("op", t.__name__, id(op))
+
+
+class _GridIndex:
+    """Spatial grid over a ``[Partition By k Rows 1]`` shared window.
+
+    Maps cell -> {partition key -> current tuple}.  Candidate lookups return
+    tuples sorted by the partition's first-seen rank, which for rows=1
+    windows *is* the relation scan order restricted to the region — so the
+    incremental Istream path reproduces stock emission order exactly.
+    """
+
+    def __init__(self, window: PartitionRowsWindow, attrs: Tuple[str, str], cell: float):
+        self.window = window
+        self.attrs = attrs
+        self.cell = float(cell)
+        self._cells: Dict[Tuple[int, int], Dict[Tuple, StreamTuple]] = {}
+        self._where: Dict[Tuple, Tuple[int, int]] = {}
+        self.changed_cells: Set[Tuple[int, int]] = set()
+
+    def cell_of(self, tup: StreamTuple) -> Tuple[int, int]:
+        return tuple(
+            int(math.floor(float(tup[a]) / self.cell)) for a in self.attrs
+        )
+
+    def update(self, added: Sequence[StreamTuple]) -> None:
+        for tup in added:
+            key = self.window.partition_key(tup)
+            new_cell = self.cell_of(tup)
+            old_cell = self._where.get(key)
+            if old_cell is not None:
+                if old_cell != new_cell:
+                    self._cells[old_cell].pop(key, None)
+                self.changed_cells.add(old_cell)
+            self._where[key] = new_cell
+            self._cells.setdefault(new_cell, {})[key] = tup
+            self.changed_cells.add(new_cell)
+
+    def rebuild(self) -> None:
+        """Re-derive the index from the window's current partitions
+        (used after a checkpoint restore)."""
+        self._cells.clear()
+        self._where.clear()
+        self.changed_cells.clear()
+        for key, rows in self.window._partitions.items():
+            for tup in rows:
+                cell = self.cell_of(tup)
+                self._where[key] = cell
+                self._cells.setdefault(cell, {})[key] = tup
+
+    def cells_for(self, region: RegionSelect) -> List[Tuple[int, int]]:
+        ranges = []
+        for lo, hi in zip(region.lo, region.hi):
+            ranges.append(
+                range(int(math.floor(lo / self.cell)), int(math.ceil(hi / self.cell)) + 1)
+            )
+        return [(ix, iy) for ix in ranges[0] for iy in ranges[1]]
+
+    def candidates(self, region: RegionSelect, cells: Sequence[Tuple[int, int]]) -> List[StreamTuple]:
+        """In-region tuples in relation scan order."""
+        seq = self.window.partition_seq
+        found: List[Tuple[int, StreamTuple]] = []
+        for cell in cells:
+            bucket = self._cells.get(cell)
+            if bucket:
+                for key, tup in bucket.items():
+                    if region.contains(tup):
+                        found.append((seq(key), tup))
+        found.sort(key=lambda pair: pair[0])
+        return [tup for _, tup in found]
+
+
+class _SharedWindow:
+    """One shared window instance plus its incremental bookkeeping."""
+
+    def __init__(self, window: Window, key: Tuple):
+        self.window = window
+        self.key = key
+        self.incremental = hasattr(window, "ingest")
+        self.version = 0
+        self.ticks = 0
+        self.added: List[StreamTuple] = []
+        self.removed: List[StreamTuple] = []
+        self.grids: Dict[Tuple[str, str], _GridIndex] = {}
+        self._relation: Optional[List[StreamTuple]] = None
+        self._relation_version = -1
+
+    def begin_tick(self, time: float, batch: Sequence[StreamTuple]) -> None:
+        self.ticks += 1
+        if self.incremental:
+            self.added, self.removed = self.window.ingest(time, batch)
+            if self.added or self.removed:
+                self.version += 1
+                self._relation = None
+                for grid in self.grids.values():
+                    grid.update(self.added)
+        else:
+            # Opaque custom window: no change-list, conservatively treat
+            # every tick as a new version (correct, just uncached).
+            self._relation = list(self.window.push(time, batch))
+            self.version += 1
+            self._relation_version = self.version
+
+    def end_tick(self) -> None:
+        for grid in self.grids.values():
+            grid.changed_cells.clear()
+
+    def relation(self) -> List[StreamTuple]:
+        if self._relation is None or self._relation_version != self.version:
+            self._relation = self.window.relation()
+            self._relation_version = self.version
+        return self._relation
+
+    def grid_for(self, attrs: Tuple[str, str], cell: float) -> _GridIndex:
+        grid = self.grids.get(attrs)
+        if grid is None:
+            grid = _GridIndex(self.window, attrs, cell)
+            grid.rebuild()
+            self.grids[attrs] = grid
+        return grid
+
+    def invalidate_caches(self) -> None:
+        self._relation = None
+        self._relation_version = -1
+        for grid in self.grids.values():
+            grid.rebuild()
+
+
+class _Plan:
+    """Per-query serving plan over a shared window."""
+
+    __slots__ = (
+        "query",
+        "shared",
+        "ops",
+        "streamer",
+        "kind",
+        "plan_key",
+        "cacheable",
+        "region",
+        "rest_ops",
+        "cells",
+        "cell_set",
+        "grid",
+        "subset_version",
+        "last_version",
+    )
+
+    def __init__(self, query: ContinuousQuery, shared: _SharedWindow):
+        self.query = query
+        self.shared = shared
+        self.ops = list(query.operators)
+        self.streamer = query.streamer
+        self.kind = "general"
+        self.cacheable = all(type(op) in _PURE_OPS for op in self.ops)
+        self.plan_key = (
+            shared.key,
+            tuple(_op_key(op) for op in self.ops),
+            type(self.streamer).__name__,
+        )
+        self.region: Optional[RegionSelect] = None
+        self.rest_ops: List = []
+        self.cells: List[Tuple[int, int]] = []
+        self.cell_set: Set[Tuple[int, int]] = set()
+        self.grid: Optional[_GridIndex] = None
+        self.subset_version = 0
+        self.last_version = -1
+
+
+class MultiplexedQueryEngine(QueryEngine):
+    """Drop-in :class:`QueryEngine` that multiplexes standing queries over
+    shared incremental window operators.
+
+    Parameters
+    ----------
+    grid_cell:
+        Cell size (same units as tuple coordinates) of the region index.
+    max_region_cells:
+        Regions covering more cells than this fall back to the linear
+        change-list path instead of subscribing to the grid.
+    """
+
+    def __init__(self, grid_cell: float = 1.0, max_region_cells: int = 4096):
+        super().__init__()
+        if grid_cell <= 0:
+            raise QueryError(f"grid cell must be positive, got {grid_cell}")
+        self.grid_cell = float(grid_cell)
+        self.max_region_cells = int(max_region_cells)
+        self._windows: Dict[Tuple, _SharedWindow] = {}
+        self._plans: Dict[str, _Plan] = {}
+        self._postop_cache: Dict[Tuple, Tuple[int, List[StreamTuple]]] = {}
+        self._candidates_memo: Dict[Tuple, List[StreamTuple]] = {}
+        self.windows_deduped = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.emissions_suppressed = 0
+        self.grid_lookups = 0
+        self.serve_seconds = 0.0
+        self.belief_reads = 0
+        self.read_view_refreshes = 0
+        self._read_view_provider: Optional[Callable[[], object]] = None
+        self._read_view = None
+
+    # Registration --------------------------------------------------------
+    def register(
+        self,
+        query: ContinuousQuery,
+        callback: Optional[Callable[[StreamTuple], None]] = None,
+    ) -> None:
+        super().register(query, callback)
+        self._plans[query.name] = self._build_plan(query)
+
+    def _build_plan(self, query: ContinuousQuery) -> _Plan:
+        sig = query.window.signature()
+        if sig is None:
+            # Custom window subclass: never shared, served via full pushes.
+            key: Tuple = ("opaque", query.name)
+            shared = _SharedWindow(query.window, key)
+            self._windows[key] = shared
+        else:
+            # Queries registered at different stream positions must not
+            # adopt a window that already holds history (stock semantics:
+            # a fresh window starts empty) — key by registration tick.
+            key = (sig, self._ticks)
+            shared = self._windows.get(key)
+            if shared is None:
+                shared = _SharedWindow(query.window, key)
+                self._windows[key] = shared
+            else:
+                self.windows_deduped += 1
+        plan = _Plan(query, shared)
+        self._classify(plan)
+        return plan
+
+    def _classify(self, plan: _Plan) -> None:
+        ops = plan.ops
+        streamer_t = type(plan.streamer)
+        window = plan.shared.window
+        if not plan.cacheable or not plan.shared.incremental:
+            return
+        tuple_local = all(type(op) in _TUPLE_LOCAL_OPS for op in ops)
+        if (
+            ops
+            and type(ops[0]) is RegionSelect
+            and len(ops[0].attrs) == 2
+            and tuple_local
+            and isinstance(window, PartitionRowsWindow)
+            and type(window) is PartitionRowsWindow
+            and window.rows == 1
+            and streamer_t in (Istream, Rstream)
+        ):
+            region = ops[0]
+            grid = plan.shared.grid_for(region.attrs, self.grid_cell)
+            cells = grid.cells_for(region)
+            if len(cells) <= self.max_region_cells:
+                plan.region = region
+                plan.rest_ops = ops[1:]
+                plan.grid = grid
+                plan.cells = cells
+                plan.cell_set = set(cells)
+                plan.kind = (
+                    "region_istream" if streamer_t is Istream else "region_rstream"
+                )
+                return
+        if tuple_local and streamer_t is Istream:
+            plan.kind = "linear_istream"
+
+    # Serving -------------------------------------------------------------
+    def _flush_tick(self) -> None:
+        if self._pending_time is None:
+            return
+        start = perf_counter()
+        batch = self._pending
+        time = self._pending_time
+        self._pending = []
+        self._pending_time = None
+        self._ticks += 1
+        for shared in self._windows.values():
+            shared.begin_tick(time, batch)
+        self._candidates_memo.clear()
+        for name in self._queries:
+            plan = self._plans[name]
+            out = self._serve(plan, time)
+            if plan.query._downstream is not None:
+                out = plan.query._downstream.push(time, out)
+            self.outputs[name].extend(out)
+            for callback in self._sinks[name]:
+                for tup in out:
+                    callback(tup)
+        for shared in self._windows.values():
+            shared.end_tick()
+        self.serve_seconds += perf_counter() - start
+
+    def _serve(self, plan: _Plan, time: float) -> List[StreamTuple]:
+        kind = plan.kind
+        if kind == "region_istream":
+            return self._serve_region_istream(plan, time)
+        if kind == "region_rstream":
+            return self._serve_region_rstream(plan, time)
+        if kind == "linear_istream":
+            return self._serve_linear_istream(plan, time)
+        return self._serve_general(plan, time)
+
+    def _region_changed(self, plan: _Plan) -> bool:
+        return not plan.cell_set.isdisjoint(plan.grid.changed_cells)
+
+    def _region_candidates(self, plan: _Plan) -> List[StreamTuple]:
+        memo_key = (plan.shared.key, plan.region.region_key())
+        found = self._candidates_memo.get(memo_key)
+        if found is None:
+            self.grid_lookups += 1
+            found = plan.grid.candidates(plan.region, plan.cells)
+            self._candidates_memo[memo_key] = found
+        return found
+
+    def _apply_rest_ops(self, plan: _Plan, time: float, rel: List[StreamTuple]) -> List[StreamTuple]:
+        for op in plan.rest_ops:
+            rel = op.process(time, rel)
+        return rel
+
+    def _serve_region_istream(self, plan: _Plan, time: float) -> List[StreamTuple]:
+        if not self._region_changed(plan):
+            self.emissions_suppressed += 1
+            return []
+        plan.subset_version += 1
+        shared = plan.shared
+        region = plan.region
+        added = [t for t in shared.added if region.contains(t)]
+        removed = [t for t in shared.removed if region.contains(t)]
+        added = self._apply_rest_ops(plan, time, added)
+        removed = self._apply_rest_ops(plan, time, removed)
+
+        def relation_fn() -> List[StreamTuple]:
+            return self._apply_rest_ops(plan, time, self._region_candidates(plan))
+
+        return plan.streamer.process_delta(time, relation_fn, added, removed)
+
+    def _serve_region_rstream(self, plan: _Plan, time: float) -> List[StreamTuple]:
+        if self._region_changed(plan):
+            plan.subset_version += 1
+        entry = self._postop_cache.get(plan.plan_key)
+        if entry is not None and entry[0] == plan.subset_version:
+            self.cache_hits += 1
+            post = entry[1]
+        else:
+            self.cache_misses += 1
+            post = self._apply_rest_ops(plan, time, self._region_candidates(plan))
+            self._postop_cache[plan.plan_key] = (plan.subset_version, post)
+        return [t.extended(time=time) for t in post]
+
+    def _serve_linear_istream(self, plan: _Plan, time: float) -> List[StreamTuple]:
+        shared = plan.shared
+        if not shared.added and not shared.removed:
+            self.emissions_suppressed += 1
+            return []
+        added: List[StreamTuple] = list(shared.added)
+        removed: List[StreamTuple] = list(shared.removed)
+        for op in plan.ops:
+            added = op.process(time, added)
+            removed = op.process(time, removed)
+
+        def relation_fn() -> List[StreamTuple]:
+            entry = self._postop_cache.get(plan.plan_key)
+            if entry is not None and entry[0] == shared.version:
+                self.cache_hits += 1
+                return entry[1]
+            self.cache_misses += 1
+            rel = shared.relation()
+            for op in plan.ops:
+                rel = op.process(time, rel)
+            self._postop_cache[plan.plan_key] = (shared.version, rel)
+            return rel
+
+        return plan.streamer.process_delta(time, relation_fn, added, removed)
+
+    def _serve_general(self, plan: _Plan, time: float) -> List[StreamTuple]:
+        shared = plan.shared
+        unchanged = (
+            plan.cacheable
+            and shared.incremental
+            and plan.last_version == shared.version
+        )
+        plan.last_version = shared.version
+        streamer_t = type(plan.streamer)
+        if unchanged and streamer_t in (Istream, Dstream):
+            # Relation provably unchanged: I/Dstream emit nothing and their
+            # previous-tick state is already equal to the current relation.
+            self.emissions_suppressed += 1
+            return []
+        entry = self._postop_cache.get(plan.plan_key) if plan.cacheable else None
+        if entry is not None and entry[0] == shared.version:
+            self.cache_hits += 1
+            post = entry[1]
+        else:
+            if plan.cacheable:
+                self.cache_misses += 1
+            post = shared.relation()
+            for op in plan.ops:
+                post = op.process(time, post)
+            if plan.cacheable:
+                self._postop_cache[plan.plan_key] = (shared.version, post)
+        return plan.streamer.process(time, post)
+
+    # Zero-copy belief reads ----------------------------------------------
+    def bind_read_views(self, provider: Callable[[], object]) -> None:
+        """Attach a read-view factory (``ShardedRuntime.read_view``).
+
+        ``belief_mean`` then serves location reads zero-copy from the
+        runtime's belief arenas, refreshing the epoch-stamped view only when
+        the runtime has advanced.
+        """
+        self._close_read_view()
+        self._read_view_provider = provider
+
+    def belief_mean(self, tag_number: int):
+        if self._read_view_provider is None:
+            raise QueryError(
+                "no read views bound; call bind_read_views(runtime.read_view)"
+            )
+        view = self._read_view
+        if view is None or not view.valid:
+            self._close_read_view()
+            view = self._read_view_provider()
+            self._read_view = view
+            self.read_view_refreshes += 1
+        self.belief_reads += 1
+        return view.mean(tag_number)
+
+    def _close_read_view(self) -> None:
+        if self._read_view is not None:
+            self._read_view.close()
+            self._read_view = None
+
+    def finish(self) -> None:
+        super().finish()
+        self._close_read_view()
+
+    # Stats ---------------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        cache_total = self.cache_hits + self.cache_misses
+        return {
+            "queries": len(self._queries),
+            "ticks": self._ticks,
+            "shared_windows": len(self._windows),
+            "windows_deduped": self.windows_deduped,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": (self.cache_hits / cache_total) if cache_total else 0.0,
+            "emissions_suppressed": self.emissions_suppressed,
+            "grid_lookups": self.grid_lookups,
+            "serve_seconds": self.serve_seconds,
+            "serve_s_per_tick": (self.serve_seconds / self._ticks) if self._ticks else 0.0,
+            "belief_reads": self.belief_reads,
+            "read_view_refreshes": self.read_view_refreshes,
+        }
+
+    # State capture -------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        windows = []
+        for shared in self._windows.values():
+            served = sorted(
+                name for name, plan in self._plans.items() if plan.shared is shared
+            )
+            windows.append(
+                {
+                    "queries": served,
+                    "state": shared.window.snapshot_state(),
+                    "version": shared.version,
+                    "ticks": shared.ticks,
+                }
+            )
+        queries = {}
+        for name, plan in self._plans.items():
+            downstream = plan.query._downstream
+            queries[name] = {
+                "streamer": plan.streamer.snapshot_state(),
+                "downstream": (
+                    downstream.snapshot_state() if downstream is not None else None
+                ),
+                "subset_version": plan.subset_version,
+                "last_version": plan.last_version,
+            }
+        return {
+            "engine": "query-multiplexed",
+            "ticks": self._ticks,
+            "pending_time": self._pending_time,
+            "pending": list(self._pending),
+            "windows": windows,
+            "queries": queries,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("engine") != "query-multiplexed":
+            raise StateError(
+                "expected a multiplexed query-engine state, got "
+                f"{state.get('engine')!r}"
+            )
+        saved = state["queries"]
+        if set(saved) != set(self._plans):
+            missing = sorted(set(saved) - set(self._plans))
+            extra = sorted(set(self._plans) - set(saved))
+            raise StateError(
+                "registered queries differ from the snapshot "
+                f"(missing: {missing}, unexpected: {extra}); register the "
+                "same standing queries before restoring"
+            )
+        for record in state["windows"]:
+            group = record["queries"]
+            shares = {id(self._plans[name].shared) for name in group}
+            if len(shares) != 1:
+                raise StateError(
+                    f"queries {group} no longer share one window; register "
+                    "queries in the same grouping as the checkpointed run"
+                )
+            shared = self._plans[group[0]].shared
+            full_group = sorted(
+                name for name, plan in self._plans.items() if plan.shared is shared
+            )
+            if full_group != group:
+                raise StateError(
+                    f"window group mismatch: snapshot {group}, engine {full_group}"
+                )
+            shared.window.restore_state(record["state"])
+            shared.version = record["version"]
+            shared.ticks = record["ticks"]
+            shared.added = []
+            shared.removed = []
+            shared.invalidate_caches()
+        for name, record in saved.items():
+            plan = self._plans[name]
+            plan.streamer.restore_state(record["streamer"])
+            downstream = plan.query._downstream
+            if (record["downstream"] is None) != (downstream is None):
+                raise StateError(
+                    f"query {name!r} downstream shape differs from the snapshot"
+                )
+            if downstream is not None:
+                downstream.restore_state(record["downstream"])
+            plan.subset_version = record["subset_version"]
+            plan.last_version = record["last_version"]
+        self._postop_cache.clear()
+        self._candidates_memo.clear()
+        self._ticks = state.get("ticks", 0)
+        self._pending_time = state["pending_time"]
+        self._pending = list(state["pending"])
+
+
+# ---------------------------------------------------------------------------
+# Standing-query builders (CLI / bench / CI fan-out)
+# ---------------------------------------------------------------------------
+
+
+def standing_region_queries(
+    n: int,
+    bounds: Tuple[Tuple[float, float], Tuple[float, float]],
+    name_prefix: str = "region",
+) -> List[ContinuousQuery]:
+    """Build ``n`` region-watch standing queries tiling ``bounds``.
+
+    Each query is the location-update shape restricted to a region: newest
+    row per tag, in-region filter, project id+position, Istream (emit only
+    on change).  Deterministic: same n/bounds -> same queries.
+    """
+    if n < 1:
+        raise QueryError(f"need at least one standing query, got {n}")
+    (x0, y0), (x1, y1) = bounds
+    if not (x1 > x0 and y1 > y0):
+        raise QueryError(f"degenerate bounds {bounds!r}")
+    cols = int(math.ceil(math.sqrt(n)))
+    rows = int(math.ceil(n / cols))
+    queries = []
+    for i in range(n):
+        r, c = divmod(i, cols)
+        lo = (x0 + (x1 - x0) * c / cols, y0 + (y1 - y0) * r / rows)
+        hi = (x0 + (x1 - x0) * (c + 1) / cols, y0 + (y1 - y0) * (r + 1) / rows)
+        queries.append(
+            ContinuousQuery(
+                PartitionRowsWindow(("tag_id",), rows=1),
+                [RegionSelect(lo, hi), Project("tag_id", "x", "y", "z")],
+                Istream(),
+                name=f"{name_prefix}_{i:04d}",
+            )
+        )
+    return queries
+
+
+def queries_from_spec(specs: Sequence[dict]) -> List[ContinuousQuery]:
+    """Build standing queries from a JSON-friendly spec list.
+
+    Supported kinds::
+
+        {"kind": "region", "name": "dock", "lo": [0, 0], "hi": [10, 5]}
+        {"kind": "location_updates", "name": "all_moves"}
+    """
+    from .queries import location_update_query
+
+    queries: List[ContinuousQuery] = []
+    for i, spec in enumerate(specs):
+        kind = spec.get("kind")
+        name = spec.get("name", f"q_{i:04d}")
+        if kind == "region":
+            queries.append(
+                ContinuousQuery(
+                    PartitionRowsWindow(("tag_id",), rows=1),
+                    [
+                        RegionSelect(spec["lo"], spec["hi"], tuple(spec.get("attrs", ("x", "y")))),
+                        Project("tag_id", "x", "y", "z"),
+                    ],
+                    Istream(),
+                    name=name,
+                )
+            )
+        elif kind == "location_updates":
+            query = location_update_query()
+            query.name = name
+            queries.append(query)
+        else:
+            raise QueryError(f"unknown standing-query kind {kind!r} in spec {i}")
+    return queries

@@ -64,6 +64,46 @@ class Extend(RelOp):
         return out
 
 
+class RegionSelect(Select):
+    """Axis-aligned region predicate with *declared* bounds.
+
+    Semantically identical to ``Select(lambda t: all(lo <= t[a] < hi))``,
+    but because the bounds are declared rather than buried in a closure the
+    multiplexer can (a) serve all region queries from one grid-index pass
+    and (b) share result caches between structurally-identical regions.
+    Works standalone in the stock engine too.
+    """
+
+    def __init__(
+        self,
+        lo: Sequence[float],
+        hi: Sequence[float],
+        attrs: Sequence[str] = ("x", "y"),
+    ):
+        if len(lo) != len(hi) or len(lo) != len(attrs):
+            raise QueryError(
+                f"region bounds/attrs length mismatch: {lo!r}, {hi!r}, {attrs!r}"
+            )
+        if not attrs:
+            raise QueryError("region needs at least one attribute")
+        self.lo = tuple(float(v) for v in lo)
+        self.hi = tuple(float(v) for v in hi)
+        self.attrs = tuple(attrs)
+        for low, high in zip(self.lo, self.hi):
+            if not low < high:
+                raise QueryError(f"empty region: lo={self.lo}, hi={self.hi}")
+        super().__init__(self.contains)
+
+    def contains(self, t: StreamTuple) -> bool:
+        return all(
+            self.lo[i] <= t[a] < self.hi[i] for i, a in enumerate(self.attrs)
+        )
+
+    def region_key(self) -> Tuple:
+        """Structural identity (used for plan/cache dedup)."""
+        return ("region", self.attrs, self.lo, self.hi)
+
+
 # ---------------------------------------------------------------------------
 # Aggregation
 # ---------------------------------------------------------------------------

@@ -13,8 +13,9 @@ newer timestamp" as unchanged.
 from __future__ import annotations
 
 from collections import Counter
-from typing import List, Sequence, Tuple
+from typing import Callable, Iterable, List, Sequence, Tuple
 
+from ..errors import StateError
 from .tuples import StreamTuple
 
 
@@ -29,12 +30,29 @@ class StreamOp:
     def process(self, time: float, relation: Sequence[StreamTuple]) -> List[StreamTuple]:
         raise NotImplementedError
 
+    def snapshot_state(self) -> dict:
+        raise StateError(
+            f"stream operator {type(self).__name__} does not support state capture"
+        )
+
+    def restore_state(self, state: dict) -> None:
+        raise StateError(
+            f"stream operator {type(self).__name__} does not support state restore"
+        )
+
 
 class Rstream(StreamOp):
     """Emit the full relation at every tick."""
 
     def process(self, time: float, relation: Sequence[StreamTuple]) -> List[StreamTuple]:
         return [t.extended(time=time) for t in relation]
+
+    def snapshot_state(self) -> dict:
+        return {"streamer": "rstream"}
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("streamer") != "rstream":
+            raise StateError(f"expected Rstream state, got {state.get('streamer')!r}")
 
 
 class Istream(StreamOp):
@@ -55,6 +73,56 @@ class Istream(StreamOp):
                 remaining[key] -= 1
                 out.append(t.extended(time=time))
         return out
+
+    def process_delta(
+        self,
+        time: float,
+        relation_fn: Callable[[], Iterable[StreamTuple]],
+        added: Sequence[StreamTuple],
+        removed: Sequence[StreamTuple],
+    ) -> List[StreamTuple]:
+        """Incremental equivalent of :meth:`process`.
+
+        ``added``/``removed`` are the relation's change-list for this tick
+        (post any per-tuple operators).  The previous-tick counter is
+        maintained from the deltas alone; ``relation_fn`` is only invoked —
+        to reproduce :meth:`process`'s relation-scan emission order — on the
+        rare ticks where something actually entered the relation.
+        """
+        added_keys = Counter(_value_key(t) for t in added)
+        removed_keys = Counter(_value_key(t) for t in removed)
+        emitted: Counter = Counter()
+        for key, count in added_keys.items():
+            gain = count - removed_keys.get(key, 0)
+            if gain > 0:
+                emitted[key] = gain
+        previous = self._previous
+        for key, count in added_keys.items():
+            previous[key] += count
+        for key, count in removed_keys.items():
+            left = previous[key] - count
+            if left > 0:
+                previous[key] = left
+            else:
+                del previous[key]
+        if not emitted:
+            return []
+        out: List[StreamTuple] = []
+        remaining = dict(emitted)
+        for t in relation_fn():
+            key = _value_key(t)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                out.append(t.extended(time=time))
+        return out
+
+    def snapshot_state(self) -> dict:
+        return {"streamer": "istream", "previous": dict(self._previous)}
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("streamer") != "istream":
+            raise StateError(f"expected Istream state, got {state.get('streamer')!r}")
+        self._previous = Counter(state["previous"])
 
 
 class Dstream(StreamOp):
@@ -77,3 +145,16 @@ class Dstream(StreamOp):
         self._previous = current
         self._previous_tuples = list(relation)
         return out
+
+    def snapshot_state(self) -> dict:
+        return {
+            "streamer": "dstream",
+            "previous": dict(self._previous),
+            "previous_tuples": list(self._previous_tuples),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("streamer") != "dstream":
+            raise StateError(f"expected Dstream state, got {state.get('streamer')!r}")
+        self._previous = Counter(state["previous"])
+        self._previous_tuples = list(state["previous_tuples"])

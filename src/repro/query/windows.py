@@ -9,15 +9,29 @@ CQL's bracketed window specifications, as used by the paper's queries:
 
 A window is a stateful object: ``push(time, batch)`` ingests the tick's new
 tuples and returns the relation contents at that tick (a list of tuples).
+
+Windows also expose an incremental surface used by the multiplexer
+(:mod:`repro.query.multiplexer`):
+
+* ``ingest(time, batch) -> (added, removed)`` applies the tick and returns
+  the change-list instead of the full relation;
+* ``relation()`` materializes the current relation (same content and order
+  ``push`` would have returned);
+* ``signature()`` is a structural identity (type + parameters) for window
+  dedup — ``None`` means "not shareable" (custom subclasses);
+* ``snapshot_state()`` / ``restore_state(state)`` capture the window for
+  checkpointing (plain-python trees of :class:`StreamTuple`, picklable).
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict, deque
-from typing import Deque, List, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
-from ..errors import QueryError
+from ..errors import QueryError, StateError
 from .tuples import StreamTuple
+
+ChangeList = Tuple[List[StreamTuple], List[StreamTuple]]
 
 
 class Window:
@@ -26,12 +40,51 @@ class Window:
     def push(self, time: float, batch: Sequence[StreamTuple]) -> List[StreamTuple]:
         raise NotImplementedError
 
+    def signature(self) -> Optional[Tuple]:
+        """Structural identity for dedup; ``None`` = never share."""
+        return None
+
+    def snapshot_state(self) -> dict:
+        raise StateError(
+            f"window {type(self).__name__} does not support state capture"
+        )
+
+    def restore_state(self, state: dict) -> None:
+        raise StateError(
+            f"window {type(self).__name__} does not support state restore"
+        )
+
 
 class NowWindow(Window):
     """``[Now]``: the relation is exactly this tick's arrivals."""
 
+    def __init__(self) -> None:
+        self._current: List[StreamTuple] = []
+
     def push(self, time: float, batch: Sequence[StreamTuple]) -> List[StreamTuple]:
-        return list(batch)
+        self.ingest(time, batch)
+        return self.relation()
+
+    def ingest(self, time: float, batch: Sequence[StreamTuple]) -> ChangeList:
+        removed = self._current
+        self._current = list(batch)
+        return list(self._current), removed
+
+    def relation(self) -> List[StreamTuple]:
+        return list(self._current)
+
+    def signature(self) -> Optional[Tuple]:
+        if type(self) is not NowWindow:
+            return None
+        return ("now",)
+
+    def snapshot_state(self) -> dict:
+        return {"window": "now", "current": list(self._current)}
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("window") != "now":
+            raise StateError(f"expected a [Now] window state, got {state.get('window')!r}")
+        self._current = list(state["current"])
 
 
 class RangeWindow(Window):
@@ -48,6 +101,10 @@ class RangeWindow(Window):
         self._last_time = -float("inf")
 
     def push(self, time: float, batch: Sequence[StreamTuple]) -> List[StreamTuple]:
+        self.ingest(time, batch)
+        return self.relation()
+
+    def ingest(self, time: float, batch: Sequence[StreamTuple]) -> ChangeList:
         if time < self._last_time:
             raise QueryError(
                 f"ticks must be time-ordered: {time} < {self._last_time}"
@@ -55,9 +112,35 @@ class RangeWindow(Window):
         self._last_time = time
         self._buffer.extend(batch)
         cutoff = time - self.range_s
+        removed: List[StreamTuple] = []
         while self._buffer and self._buffer[0].time <= cutoff:
-            self._buffer.popleft()
+            removed.append(self._buffer.popleft())
+        return list(batch), removed
+
+    def relation(self) -> List[StreamTuple]:
         return list(self._buffer)
+
+    def signature(self) -> Optional[Tuple]:
+        if type(self) is not RangeWindow:
+            return None
+        return ("range", self.range_s)
+
+    def snapshot_state(self) -> dict:
+        return {
+            "window": "range",
+            "range_s": self.range_s,
+            "buffer": list(self._buffer),
+            "last_time": self._last_time,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("window") != "range" or state.get("range_s") != self.range_s:
+            raise StateError(
+                f"window state mismatch: expected [Range {self.range_s}], "
+                f"got {state.get('window')!r}/{state.get('range_s')!r}"
+            )
+        self._buffer = deque(state["buffer"])
+        self._last_time = state["last_time"]
 
 
 class UnboundedWindow(Window):
@@ -67,15 +150,40 @@ class UnboundedWindow(Window):
         self._buffer: List[StreamTuple] = []
 
     def push(self, time: float, batch: Sequence[StreamTuple]) -> List[StreamTuple]:
+        self.ingest(time, batch)
+        return self.relation()
+
+    def ingest(self, time: float, batch: Sequence[StreamTuple]) -> ChangeList:
         self._buffer.extend(batch)
+        return list(batch), []
+
+    def relation(self) -> List[StreamTuple]:
         return list(self._buffer)
+
+    def signature(self) -> Optional[Tuple]:
+        if type(self) is not UnboundedWindow:
+            return None
+        return ("unbounded",)
+
+    def snapshot_state(self) -> dict:
+        return {"window": "unbounded", "buffer": list(self._buffer)}
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("window") != "unbounded":
+            raise StateError(
+                f"expected an [Unbounded] window state, got {state.get('window')!r}"
+            )
+        self._buffer = list(state["buffer"])
 
 
 class PartitionRowsWindow(Window):
     """``[Partition By keys Rows N]``: most recent N rows per partition.
 
     Relation order is deterministic: partitions in first-seen order, rows
-    oldest-to-newest within a partition.
+    oldest-to-newest within a partition.  ``partition_seq`` exposes the
+    first-seen rank of a partition key (stable: partitions never vanish),
+    which the multiplexer's spatial index uses to reproduce relation order
+    from an index lookup.
     """
 
     def __init__(self, keys: Sequence[str], rows: int = 1):
@@ -86,14 +194,63 @@ class PartitionRowsWindow(Window):
         self.keys = tuple(keys)
         self.rows = int(rows)
         self._partitions: "OrderedDict[Tuple, Deque[StreamTuple]]" = OrderedDict()
+        self._seq: Dict[Tuple, int] = {}
+
+    def partition_key(self, tup: StreamTuple) -> Tuple:
+        return tuple(tup[k] for k in self.keys)
+
+    def partition_seq(self, key: Tuple) -> int:
+        return self._seq[key]
 
     def push(self, time: float, batch: Sequence[StreamTuple]) -> List[StreamTuple]:
+        self.ingest(time, batch)
+        return self.relation()
+
+    def ingest(self, time: float, batch: Sequence[StreamTuple]) -> ChangeList:
+        removed: List[StreamTuple] = []
         for tup in batch:
-            key = tuple(tup[k] for k in self.keys)
-            if key not in self._partitions:
-                self._partitions[key] = deque(maxlen=self.rows)
-            self._partitions[key].append(tup)
+            key = self.partition_key(tup)
+            rows = self._partitions.get(key)
+            if rows is None:
+                self._seq[key] = len(self._seq)
+                rows = deque(maxlen=self.rows)
+                self._partitions[key] = rows
+            elif len(rows) == self.rows:
+                removed.append(rows[0])
+            rows.append(tup)
+        return list(batch), removed
+
+    def relation(self) -> List[StreamTuple]:
         out: List[StreamTuple] = []
         for rows in self._partitions.values():
             out.extend(rows)
         return out
+
+    def signature(self) -> Optional[Tuple]:
+        if type(self) is not PartitionRowsWindow:
+            return None
+        return ("partition", self.keys, self.rows)
+
+    def snapshot_state(self) -> dict:
+        return {
+            "window": "partition",
+            "keys": self.keys,
+            "rows": self.rows,
+            "partitions": [(key, list(dq)) for key, dq in self._partitions.items()],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if (
+            state.get("window") != "partition"
+            or tuple(state.get("keys", ())) != self.keys
+            or state.get("rows") != self.rows
+        ):
+            raise StateError(
+                "window state mismatch: expected "
+                f"[Partition By {self.keys} Rows {self.rows}]"
+            )
+        self._partitions = OrderedDict(
+            (tuple(key), deque(rows, maxlen=self.rows))
+            for key, rows in state["partitions"]
+        )
+        self._seq = {key: i for i, key in enumerate(self._partitions)}

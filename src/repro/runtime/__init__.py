@@ -9,6 +9,7 @@ See :class:`ShardedRuntime` for the end-to-end driver.
 from .bridge import QueryBridge
 from .bus import EventBus
 from .partition import hash_partition, make_partitioner, mod_partition, shard_seed
+from .readview import RuntimeReadView
 from .router import EpochRouter
 from .runtime import ShardedRuntime
 from .shard import FilterShard
@@ -20,6 +21,7 @@ __all__ = [
     "FactoredEngineFactory",
     "FilterShard",
     "QueryBridge",
+    "RuntimeReadView",
     "ShardWorkerProxy",
     "ShardedRuntime",
     "hash_partition",

@@ -23,14 +23,31 @@ from .bus import EventBus
 
 
 class QueryBridge:
-    """Subscribes a :class:`QueryEngine` to an :class:`EventBus`."""
+    """Subscribes a :class:`QueryEngine` to an :class:`EventBus`.
 
-    def __init__(self, engine: QueryEngine, bus: Optional[EventBus] = None):
+    Passing ``runtime`` additionally (a) attaches the engine to the
+    runtime's coordinated checkpoints under ``name`` and (b) binds the
+    runtime's zero-copy belief read views to multiplexed engines (so query
+    callbacks can call ``engine.belief_mean``).
+    """
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        bus: Optional[EventBus] = None,
+        runtime=None,
+        name: str = "query",
+    ):
         self.engine = engine
+        self.name = name
         #: Tuples pushed into the query engine so far (diagnostics).
         self.tuples_pushed = 0
         if bus is not None:
             self.attach(bus)
+        if runtime is not None:
+            runtime.attach_query_engine(name, engine)
+            if hasattr(engine, "bind_read_views"):
+                engine.bind_read_views(runtime.read_view)
 
     def attach(self, bus: EventBus) -> None:
         """Start feeding the engine from ``bus`` (close flushes the engine)."""

@@ -181,6 +181,38 @@ class ShardedRuntime:
         #: — the state at construction or restore has no persisted parent.
         self._chain_parent: Optional[str] = None
         self._chain_len = 0
+        #: Query engines serving this runtime's output stream, by name.
+        #: Attached engines join every checkpoint (full and delta) so a
+        #: restored server resumes standing-query answers exactly.
+        self.query_engines: Dict[str, object] = {}
+
+    def attach_query_engine(self, name: str, engine) -> None:
+        """Register a query engine for coordinated checkpointing.
+
+        The engine must expose ``snapshot_state``/``restore_state`` (both
+        :class:`~repro.query.engine.QueryEngine` and
+        :class:`~repro.query.multiplexer.MultiplexedQueryEngine` do).
+        Checkpoints taken by this runtime then include the engine's operator
+        state under ``name``; on restore, rebuild the same queries and apply
+        ``manifest.query_states[name]``.
+        """
+        if name in self.query_engines:
+            raise StateError(f"query engine {name!r} already attached")
+        if not hasattr(engine, "snapshot_state"):
+            raise StateError(
+                f"query engine {name!r} does not support state capture"
+            )
+        self.query_engines[name] = engine
+
+    def read_view(self):
+        """Epoch-stamped zero-copy view of every shard's beliefs.
+
+        See :class:`~repro.runtime.readview.RuntimeReadView`; the caller
+        must ``close()`` it (process executors attach shared memory).
+        """
+        from .readview import RuntimeReadView  # deferred: no cycle
+
+        return RuntimeReadView(self)
 
     # ------------------------------------------------------------------
     @property

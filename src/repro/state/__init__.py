@@ -36,7 +36,7 @@ from .checkpoint import (
     save_checkpoint,
 )
 from .delta import apply_shard_delta, is_delta_state
-from .restore import restore_runtime
+from .restore import apply_query_states, restore_runtime
 from .snapshot import (
     generator_from_state,
     join_state_tree,
@@ -49,6 +49,7 @@ __all__ = [
     "CHECKPOINT_KINDS",
     "FORMAT_VERSION",
     "CheckpointManifest",
+    "apply_query_states",
     "apply_shard_delta",
     "checkpoint_size_bytes",
     "config_hash",

@@ -42,6 +42,7 @@ import dataclasses
 import hashlib
 import json
 import os
+import pickle
 import shutil
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
@@ -157,6 +158,11 @@ class CheckpointManifest:
     shard_states: List[dict]
     kind: str = "full"
     chain: List[str] = dataclasses.field(default_factory=list)
+    #: Operator state of each query engine attached to the runtime at
+    #: capture time, by attachment name (empty for pre-PR-7 checkpoints).
+    #: Apply via ``engine.restore_state(manifest.query_states[name])`` after
+    #: registering the same standing queries.
+    query_states: Dict[str, Any] = dataclasses.field(default_factory=dict)
 
     @property
     def n_shards(self) -> int:
@@ -312,6 +318,14 @@ def save_checkpoint(runtime, path, mode: str = "full", parent=None) -> str:
         assert parent_manifest is not None
         _check_delta_chains(parent_manifest, states, parent)
     shard_payloads = [_encode_shard_state(state) for state in states]
+    # Query-engine operator state (shared windows, streamer counters,
+    # pending tick).  Captured whole in every link — it is small next to
+    # the shard slabs and holds arbitrary hashable tuple values (frozensets,
+    # nested tuples), so it ships as a pickle blob, not npz.
+    query_payloads = [
+        (name, pickle.dumps(engine.snapshot_state(), protocol=pickle.HIGHEST_PROTOCOL))
+        for name, engine in sorted(getattr(runtime, "query_engines", {}).items())
+    ]
 
     tmp = path + ".tmp"
     if os.path.exists(tmp):
@@ -337,6 +351,18 @@ def save_checkpoint(runtime, path, mode: str = "full", parent=None) -> str:
                     "state": skeleton,
                 }
             )
+        query_records = []
+        for index, (name, blob) in enumerate(query_payloads):
+            file_name = f"query_{index:04d}.pkl"
+            with open(os.path.join(tmp, file_name), "wb") as fp:
+                fp.write(blob)
+            query_records.append(
+                {
+                    "name": name,
+                    "file": file_name,
+                    "sha256": hashlib.sha256(blob).hexdigest(),
+                }
+            )
         manifest = {
             "format": "repro-checkpoint",
             "version": FORMAT_VERSION,
@@ -353,6 +379,8 @@ def save_checkpoint(runtime, path, mode: str = "full", parent=None) -> str:
             "bus_published": int(runtime.bus.published),
             "shards": shard_records,
         }
+        if query_records:
+            manifest["query_engines"] = query_records
         if mode == "delta":
             assert parent_manifest is not None
             manifest["parent"] = os.path.basename(parent)
@@ -385,6 +413,29 @@ def _decode_shard_state(skeleton: dict, arrays: Dict[str, np.ndarray]) -> dict:
     state = join_state_tree(skeleton, arrays)
     state["engine"]["rng_state"] = jsonable_to_rng_state(state["engine"]["rng_state"])
     return state
+
+
+def _load_query_states(path: str, manifest: dict, verify: bool) -> Dict[str, Any]:
+    """Decode a checkpoint's query-engine operator states.
+
+    The newest link of a delta chain carries the complete (whole, not
+    differential) query state, so only the leaf manifest is consulted.
+    Pre-PR-7 checkpoints have no ``query_engines`` section: empty dict.
+    """
+    states: Dict[str, Any] = {}
+    for record in manifest.get("query_engines", []):
+        file_path = os.path.join(path, record["file"])
+        with open(file_path, "rb") as fp:
+            blob = fp.read()
+        if verify:
+            actual = hashlib.sha256(blob).hexdigest()
+            if actual != record["sha256"]:
+                raise StateError(
+                    f"checksum mismatch for {file_path}: manifest says "
+                    f"{record['sha256'][:12]}…, file is {actual[:12]}…"
+                )
+        states[record["name"]] = pickle.loads(blob)
+    return states
 
 
 def _load_shard_states(path: str, manifest: dict, verify: bool) -> List[dict]:
@@ -495,6 +546,7 @@ def load_checkpoint(path, verify: bool = True) -> CheckpointManifest:
         shard_states=shard_states,
         kind=kind,
         chain=[os.path.basename(p) for p, _ in chain] if kind == "delta" else [],
+        query_states=_load_query_states(path, manifest, verify),
     )
 
 

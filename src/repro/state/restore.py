@@ -75,6 +75,7 @@ def restore_runtime(
     sink: Optional[EventSink] = None,
     bus: Optional[EventBus] = None,
     verify: bool = True,
+    engine_factory=None,
 ) -> Tuple[ShardedRuntime, CheckpointManifest]:
     """Rebuild a runtime from a checkpoint directory and prime it to resume.
 
@@ -96,9 +97,17 @@ def restore_runtime(
         process path), and an exact restore stays bitwise regardless.
     verify:
         Check shard-file checksums against the manifest before applying.
+    engine_factory:
+        Per-shard engine builder, forwarded to :class:`ShardedRuntime`.
+        Required when the checkpoint was taken under a non-default engine:
+        shard state trees carry an engine-kind marker, and naive-engine
+        state only restores into naive shards.
 
     Returns the primed runtime and the parsed manifest; resume by feeding
     ``trace.epochs(start=manifest.epochs_processed)`` to ``runtime.run``.
+    Checkpointed query-operator state is *not* applied here (the standing
+    queries live outside the runtime): re-attach the engines, then call
+    :func:`apply_query_states`.
     """
     manifest = load_checkpoint(path, verify=verify)
     digest = config_hash(manifest.config, manifest.policy, manifest.initial_heading)
@@ -106,6 +115,15 @@ def restore_runtime(
         raise StateError(
             "checkpoint config hash does not match its own configuration "
             "payload — the manifest was modified after it was written"
+        )
+    kinds = {
+        state["engine"].get("engine", "factored")
+        for state in manifest.shard_states
+    }
+    if "naive" in kinds and engine_factory is None:
+        raise StateError(
+            "checkpoint holds naive-engine shard state; pass an "
+            "engine_factory that builds NaiveParticleFilter shards"
         )
     target = runtime_config if runtime_config is not None else manifest.runtime
     runtime = ShardedRuntime(
@@ -116,6 +134,7 @@ def restore_runtime(
         sink=sink,
         bus=bus,
         initial_heading=manifest.initial_heading,
+        engine_factory=engine_factory,
     )
     exact = (
         target.n_shards == manifest.n_shards
@@ -129,6 +148,31 @@ def restore_runtime(
     runtime.epochs_processed = manifest.epochs_processed
     runtime.bus.resume_from(manifest.bus_last_time)
     return runtime, manifest
+
+
+def apply_query_states(runtime: ShardedRuntime, manifest: CheckpointManifest) -> List[str]:
+    """Restore checkpointed query-operator state into the engines attached
+    to ``runtime`` (via :meth:`ShardedRuntime.attach_query_engine`, usually
+    through ``QueryBridge(..., runtime=..., name=...)``).
+
+    Every state recorded in the checkpoint must find its engine: a missing
+    attachment would silently serve fresh-window answers that diverge from
+    the pre-crash server, so it is an error, not a skip.  Engines attached
+    under names the checkpoint does not know keep their fresh state (they
+    are *new* standing queries).  Returns the names restored.
+    """
+    restored: List[str] = []
+    for name, state in sorted(manifest.query_states.items()):
+        engine = runtime.query_engines.get(name)
+        if engine is None:
+            raise StateError(
+                f"checkpoint carries query-engine state {name!r} but no "
+                "engine with that name is attached to the runtime; attach "
+                "it before applying query states"
+            )
+        engine.restore_state(state)
+        restored.append(name)
+    return restored
 
 
 # ---------------------------------------------------------------------------

@@ -171,3 +171,61 @@ class TestThroughputAccounting:
         assert result.readings_per_second == pytest.approx(
             1000.0 / result.time_per_reading_ms, rel=1e-6
         )
+
+
+class TestQueryExtras:
+    """Both runners serve an attached query engine inside the timed run and
+    surface its multiplexer stats as ``query_*`` extras."""
+
+    @staticmethod
+    def _engine():
+        from repro.query import (
+            MultiplexedQueryEngine,
+            location_update_query,
+            standing_region_queries,
+        )
+
+        engine = MultiplexedQueryEngine()
+        engine.register(location_update_query())
+        for query in standing_region_queries(9, ((0.0, 0.0), (60.0, 40.0))):
+            engine.register(query)
+        return engine
+
+    def test_run_factored_reports_query_extras(self, scene, fast_cfg):
+        sim, trace = scene
+        engine = self._engine()
+        result = run_factored(trace, sim.world_model(), fast_cfg, query_engine=engine)
+        assert result.extra["query_queries"] == 10.0
+        assert result.extra["query_shared_windows"] >= 1.0
+        assert result.extra["query_windows_deduped"] >= 8.0
+        assert result.extra["query_emissions"] > 0
+        assert result.extra["query_emissions"] == float(
+            sum(len(outputs) for outputs in engine.outputs.values())
+        )
+
+    def test_run_sharded_reports_query_extras_and_matches(self, scene, fast_cfg):
+        sim, trace = scene
+        factored_engine = self._engine()
+        run_factored(
+            trace, sim.world_model(), fast_cfg, query_engine=factored_engine
+        )
+        sharded_engine = self._engine()
+        result = run_sharded(
+            trace, sim.world_model(), fast_cfg, query_engine=sharded_engine
+        )
+        assert result.extra["query_queries"] == 10.0
+        assert result.extra["query_belief_reads"] >= 0.0
+        # n_shards=1 preserves the root seed: the runtime's bus bridge and
+        # the factored pipeline's tee sink serve identical emission streams.
+        def rows(engine):
+            return {
+                name: [(t.time, tuple(sorted(t.items()))) for t in outputs]
+                for name, outputs in engine.outputs.items()
+            }
+
+        assert rows(sharded_engine) == rows(factored_engine)
+
+    def test_no_engine_no_query_extras(self, scene, fast_cfg):
+        sim, trace = scene
+        result = run_factored(trace, sim.world_model(), fast_cfg)
+        assert not any(key.startswith("query_") for key in result.extra)

@@ -79,6 +79,37 @@ def assert_bitwise_equal(events, reference):
         np.testing.assert_array_equal(ours.position, ref.position)
 
 
+def tree_equal(a, b, path=""):
+    """First differing path between two state trees (None if identical):
+    dict key order, array dtype and contents, scalars."""
+    if isinstance(a, dict) and isinstance(b, dict):
+        if list(a) != list(b):
+            return f"{path}: keys {list(a)} != {list(b)}"
+        for key in a:
+            diff = tree_equal(a[key], b[key], f"{path}/{key}")
+            if diff:
+                return diff
+        return None
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        if len(a) != len(b):
+            return f"{path}: length {len(a)} != {len(b)}"
+        for i, (x, y) in enumerate(zip(a, b)):
+            diff = tree_equal(x, y, f"{path}/{i}")
+            if diff:
+                return diff
+        return None
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        a, b = np.asarray(a), np.asarray(b)
+        if a.dtype != b.dtype:
+            return f"{path}: dtype {a.dtype} != {b.dtype}"
+        if not np.array_equal(a, b):
+            return f"{path}: arrays differ"
+        return None
+    if a != b:
+        return f"{path}: {a!r} != {b!r}"
+    return None
+
+
 class TestCheckpointFormat:
     def test_manifest_round_trip(self, scenario, tmp_path):
         model, trace, config = scenario
@@ -150,19 +181,37 @@ class TestCheckpointFormat:
         with pytest.raises(StateError, match="finished"):
             runtime.checkpoint(tmp_path / "ck")
 
-    def test_naive_engine_cannot_snapshot(self, scenario, tmp_path):
+    def test_naive_engine_checkpoint_round_trip(self, scenario, tmp_path):
+        """Naive-engine shards checkpoint and restore bitwise — but only in
+        full mode, and only back into a runtime built with a matching
+        engine_factory (the default factored restore must refuse)."""
         model, trace, config = scenario
+        factory = lambda cfg: NaiveParticleFilter(model, cfg, n_particles=50)
         runtime = ShardedRuntime(
-            model,
-            config,
-            RuntimeConfig(),
-            POLICY,
-            engine_factory=lambda cfg: NaiveParticleFilter(model, cfg, n_particles=50),
+            model, config, RuntimeConfig(), POLICY, engine_factory=factory
         )
-        runtime.step(trace.epochs()[0])
-        with pytest.raises(StateError, match="snapshot_state"):
-            runtime.checkpoint(tmp_path / "ck")
+        for epoch in trace.epochs()[:5]:
+            runtime.step(epoch)
+        path = tmp_path / "ck"
+        save_checkpoint(runtime, path)
+        saved = [shard.snapshot() for shard in runtime.shards]
+
+        # Differential capture stays factored-only.
+        with pytest.raises(StateError, match="mode='full'"):
+            runtime.checkpoint(tmp_path / "ck_delta", mode="delta", parent=path)
         runtime.abort()
+
+        # Restoring without the factory would silently build factored
+        # shards around naive state — refused loudly instead.
+        with pytest.raises(StateError, match="engine_factory"):
+            restore_runtime(path, model)
+
+        restored, manifest = restore_runtime(path, model, engine_factory=factory)
+        assert manifest.epochs_processed == 5
+        for before, after in zip(saved, (s.snapshot() for s in restored.shards)):
+            assert before["engine"]["engine"] == "naive"
+            assert tree_equal(before, after) is None
+        restored.abort()
 
     def test_undrained_shard_refuses_snapshot(self, scenario):
         model, trace, config = scenario

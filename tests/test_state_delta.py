@@ -12,9 +12,10 @@ The acceptance guarantees of the delta-checkpoint subsystem:
 * torn chains — an interloper capture between deltas, a deleted base or
   intermediate link, a cycle — fail loudly with :class:`StateError` at save
   or load, never materialize a half-right state;
-* ``QueryEngine`` window/aggregate state is *not* checkpointed: a restored
-  ``query`` run rebuilds windows from the resumed stream only (the ROADMAP
-  "Query-operator state" semantics, pinned here).
+* query-operator state (shared windows, pending tick, result cache) rides
+  in the manifest's ``query_states``: a restored ``query`` run resumes
+  standing-query answers *exactly*, including ticks whose sliding window
+  spans the restore boundary (ROADMAP "Query-operator state", pinned here).
 """
 
 import json
@@ -457,83 +458,117 @@ class TestTornChains:
 
 
 class TestQueryOperatorStateAcrossRestore:
-    """Pin the ROADMAP "Query-operator state" semantics: QueryEngine windows
-    and aggregates are NOT part of a checkpoint.  A restored ``query`` run
-    rebuilds them from the resumed stream only — sliding windows start
-    empty at the resume point, so aggregates whose window spans the restore
-    boundary see only post-restore events.  This is the documented
-    behaviour, not a bug; this test fails if either side of that contract
-    moves (windows silently gaining durability, or the rebuild changing).
-    """
+    """Pin the ROADMAP "Query-operator state" semantics: window operators,
+    the pending tick, the result cache, and per-query emission counters are
+    checkpointed in the manifest's ``query_states`` and applied back with
+    :func:`apply_query_states`.  A restored ``query`` run resumes standing-
+    query answers *exactly* — prefix emissions plus resumed emissions equal
+    the uninterrupted run's, and the final operator state is
+    tree-identical, even for ticks whose sliding window spans the restore
+    boundary."""
 
     @staticmethod
-    def _window_count_query():
-        from repro.query import ContinuousQuery
+    def _make_engine():
+        from repro.query import (
+            ContinuousQuery,
+            MultiplexedQueryEngine,
+            standing_region_queries,
+        )
         from repro.query.relops import GroupBy, count_
         from repro.query.windows import RangeWindow
 
-        return ContinuousQuery(
-            RangeWindow(30.0), [GroupBy((), [count_()])], name="rolling_count"
+        engine = MultiplexedQueryEngine()
+        engine.register(
+            ContinuousQuery(
+                RangeWindow(30.0), [GroupBy((), [count_()])], name="rolling_count"
+            )
         )
+        for query in standing_region_queries(4, ((0.0, 0.0), (60.0, 40.0))):
+            engine.register(query)
+        return engine
 
-    @classmethod
-    def _run_query(cls, bus_events_runtime, epochs):
-        from repro.query import QueryEngine
+    @staticmethod
+    def _emissions(engine):
+        return [
+            (name, t.time, tuple(sorted(t.items())))
+            for name in sorted(engine.outputs)
+            for t in engine.outputs[name]
+        ]
 
-        engine = QueryEngine()
-        engine.register(cls._window_count_query())
-        QueryBridge(engine, bus_events_runtime.bus)
-        bus_events_runtime.run(epochs)
-        return engine.outputs["rolling_count"]
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_windows_resume_exactly_across_restore(
+        self, scenario, tmp_path, executor
+    ):
+        from repro.state import apply_query_states
 
-    def test_windows_rebuild_from_resumed_stream_only(self, scenario, tmp_path):
         model, trace, config = scenario
-        # Uninterrupted reference: window counts over the whole stream.
-        full_outputs = self._run_query(
-            ShardedRuntime(model, config, RuntimeConfig(n_shards=2), POLICY),
-            trace.epochs(),
-        )
-        # Checkpoint mid-run (a delta chain, exercising the new path), then
-        # restore with a fresh QueryEngine bridged to the restored bus.
-        splits = [14, 22]
-        paths, _ = write_chain(
-            model, trace, config, RuntimeConfig(n_shards=2), splits,
-            str(tmp_path), ["full", "delta"],
-        )
-        runtime, manifest = restore_runtime(paths[-1], model)
-        resumed_outputs = self._run_query(
-            runtime, trace.epochs(start=manifest.epochs_processed)
+        runtime_config = RuntimeConfig(n_shards=2, executor=executor)
+        epochs = trace.epochs()
+        splits, modes = [14, 22], ["full", "delta"]
+
+        # Uninterrupted reference with the engine attached end to end.
+        reference = self._make_engine()
+        runtime = ShardedRuntime(model, config, runtime_config, POLICY)
+        QueryBridge(reference, runtime.bus, runtime=runtime)
+        runtime.run(epochs)
+        full = self._emissions(reference)
+        assert full, "scenario produced no query emissions; trace too short"
+
+        # Interrupted run: checkpoint a full + delta chain mid-stream, then
+        # stop.  Prefix emissions are captured before abort() flushes the
+        # pending tick — that tick belongs to the resumed run.
+        interrupted = self._make_engine()
+        runtime = ShardedRuntime(model, config, runtime_config, POLICY)
+        QueryBridge(interrupted, runtime.bus, runtime=runtime)
+        done, parent, paths = 0, None, []
+        for split, mode in zip(splits, modes):
+            for epoch in epochs[done:split]:
+                runtime.step(epoch)
+            done = split
+            path = os.path.join(str(tmp_path), f"epoch_{split:08d}")
+            save_checkpoint(runtime, path, mode=mode, parent=parent)
+            parent = path
+            paths.append(path)
+        prefix = self._emissions(interrupted)
+        runtime.abort()
+
+        # Restore the delta leaf into a fresh engine and resume.
+        restored_runtime, manifest = restore_runtime(paths[-1], model)
+        resumed = self._make_engine()
+        QueryBridge(resumed, restored_runtime.bus, runtime=restored_runtime)
+        assert apply_query_states(restored_runtime, manifest) == ["query"]
+        restored_runtime.run(epochs[manifest.epochs_processed :])
+
+        # Exact resume: the interrupted prefix plus the resumed tail is the
+        # uninterrupted emission stream, and the final operator state
+        # (window contents, result cache, tick counters) is tree-identical.
+        assert prefix == full[: len(prefix)]
+        assert prefix + self._emissions(resumed) == full
+        assert (
+            tree_equal(resumed.snapshot_state(), reference.snapshot_state())
+            is None
         )
 
-        # The pinned semantics: resumed outputs are exactly what an engine
-        # fed only the post-restore events computes...
-        tail_runtime, manifest2 = restore_runtime(paths[-1], model)
-        from repro.query import QueryEngine
+    def test_query_state_requires_matching_engine(self, scenario, tmp_path):
+        """A checkpoint carrying query state refuses to apply it to a
+        runtime that has no engine registered under that name."""
+        from repro.state import apply_query_states
 
-        tail_engine = QueryEngine()
-        tail_engine.register(self._window_count_query())
-        bridge = QueryBridge(tail_engine)
-        for event in tail_runtime.run(
-            trace.epochs(start=manifest2.epochs_processed)
-        ).events:
-            bridge.push_event(event)
-        tail_engine.finish()
-        assert [
-            (t.time, t["count"]) for t in resumed_outputs
-        ] == [(t.time, t["count"]) for t in tail_engine.outputs["rolling_count"]]
+        model, trace, config = scenario
+        engine = self._make_engine()
+        runtime = ShardedRuntime(model, config, RuntimeConfig(n_shards=2), POLICY)
+        QueryBridge(engine, runtime.bus, runtime=runtime)
+        for epoch in trace.epochs()[:10]:
+            runtime.step(epoch)
+        path = os.path.join(str(tmp_path), "epoch_00000010")
+        save_checkpoint(runtime, path)
+        runtime.abort()
 
-        # ... and NOT the uninterrupted run's: ticks whose 30 s window spans
-        # the restore boundary count fewer events (pre-restore events are
-        # gone from the rebuilt window).  If window state ever becomes
-        # durable, this assertion is the one to update.
-        full_by_time = {t.time: t["count"] for t in full_outputs}
-        resumed_by_time = {t.time: t["count"] for t in resumed_outputs}
-        common = sorted(set(full_by_time) & set(resumed_by_time))
-        assert common, "no overlapping query ticks; scenario too short"
-        assert all(resumed_by_time[t] <= full_by_time[t] for t in common)
-        assert any(resumed_by_time[t] < full_by_time[t] for t in common), (
-            "window state unexpectedly survived the restore boundary"
-        )
+        restored_runtime, manifest = restore_runtime(path, model)
+        assert "query" in manifest.query_states
+        with pytest.raises(StateError, match="no engine with that name"):
+            apply_query_states(restored_runtime, manifest)
+        restored_runtime.abort()
 
 
 class TestAdaptiveBudgetCheckpoints:
