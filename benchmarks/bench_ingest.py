@@ -1,0 +1,338 @@
+"""Ingest-service throughput and latency: the cost of serving vs batch.
+
+The online front-end (``repro serve``) accepts framed records over a unix
+socket, aligns K sources behind a low watermark, and drives the same
+``ShardedRuntime`` the batch pipeline uses.  This benchmark measures what
+the serving layer adds, in two parts:
+
+* **client-scaling rows** — the full trace replayed through the service at
+  1, 8, and 64 concurrent socket sources: ``reads_per_s`` (records through
+  the socket), ``epochs_per_s`` (inference throughput), and the
+  frame-to-emission latency percentiles (p50/p99 from frame arrival to the
+  epoch's emissions hitting the sink);
+* **a sustained-backpressure row** — the same trace flooded through a
+  deliberately small server (16-frame queues, pause high-water 12) so the
+  credit windows and the global PAUSE engage continuously; reported with
+  the pause/resume counts and the peak buffered frames against the hard
+  memory bound.
+
+Every row records a digest of the emission log: the service must produce
+*byte-identical* output no matter the client count or how hard the brakes
+drag — serving is flow control, never data control.
+
+Standalone (no pytest-benchmark dependency) so CI can smoke-run it::
+
+    PYTHONPATH=src python benchmarks/bench_ingest.py [--quick]
+    PYTHONPATH=src python benchmarks/bench_ingest.py --quick \
+        --no-write --check BENCH_ingest.json
+
+``--check`` turns the run into a regression guard.  Enforced invariants
+are machine-independent (measured within the same run, so shared CI
+runners cannot flake them): all rows must emit byte-identical logs, the
+backpressure row must actually pause and stay within its memory bound,
+and p99 latency must dominate p50.  Absolute throughput vs the recorded
+baseline is enforced only for rows at the baseline's scale (skipped in
+``--quick``) within ``--check-tolerance``.  Results are written to
+``BENCH_ingest.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import hashlib
+import json
+import platform
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.cli import _default_model
+from repro.config import (
+    InferenceConfig,
+    OutputPolicyConfig,
+    RuntimeConfig,
+    ServeConfig,
+)
+from repro.models import config_for_sensor
+from repro.serve import ReplaySource, ReproService
+from repro.simulation.layout import LayoutConfig
+from repro.simulation.truth_sensor import ConeTruthSensor
+from repro.simulation.warehouse import WarehouseConfig, WarehouseSimulator
+
+POLICY = OutputPolicyConfig(delay_s=5.0)
+CLIENT_COUNTS = (1, 8, 64)
+QUICK_CLIENT_COUNTS = (1, 8)
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_ingest.json"
+
+
+def build_scenario(n_objects: int, n_rounds: int, seed: int = 7):
+    simulator = WarehouseSimulator(
+        WarehouseConfig(
+            layout=LayoutConfig(n_objects=n_objects, n_shelf_tags=2),
+            sensor=ConeTruthSensor(rr_major=0.9),
+            n_rounds=n_rounds,
+            seed=seed,
+        )
+    )
+    trace = simulator.generate()
+    model, _, sensor = _default_model(trace)
+    config = config_for_sensor(
+        InferenceConfig(reader_particles=60, object_particles=120), sensor
+    )
+    return trace, model, config
+
+
+def _percentile(values, q: float) -> float:
+    if not values:
+        return 0.0
+    index = min(len(values) - 1, int(q * len(values)))
+    return values[index]
+
+
+def run_service(trace, model, config, n_sources: int, serve: ServeConfig, workdir: str):
+    """One replay through a fresh in-process service; returns (row parts)."""
+    emissions = f"{workdir}/emissions_{n_sources}.jsonl"
+    service = ReproService(
+        model,
+        inference=config,
+        runtime=RuntimeConfig(n_shards=2),
+        policy=POLICY,
+        serve=serve,
+        socket_path=f"{workdir}/bench_{n_sources}.sock",
+        emissions_path=emissions,
+    )
+    replay = ReplaySource(service.socket_path, trace, n_sources=n_sources)
+
+    async def main():
+        ready = asyncio.Event()
+        task = asyncio.create_task(service.run_async(ready))
+        await ready.wait()
+        start = time.perf_counter()
+        report = await replay.run_async()
+        await asyncio.wait_for(task, timeout=600)
+        return time.perf_counter() - start, report
+
+    wall_s, report = asyncio.run(main())
+    latencies = sorted(service._latencies)
+    log = Path(emissions).read_bytes()
+    return {
+        "wall_s": wall_s,
+        "records": sum(r["sent"] for r in report.values()),
+        "epochs": service.runtime.epochs_processed,
+        "p50_s": _percentile(latencies, 0.50),
+        "p99_s": _percentile(latencies, 0.99),
+        "emissions": log.count(b"\n"),
+        "digest": hashlib.sha256(log).hexdigest(),
+        "counters": service.ingest.counters,
+        "pauses_seen": sum(r["pauses_seen"] for r in report.values()),
+    }
+
+
+def measure_clients(trace, model, config, n_sources: int, workdir: str) -> dict:
+    serve = ServeConfig(epoch_length=1.0, queue_capacity=64, credit_batch=8)
+    run = run_service(trace, model, config, n_sources, serve, workdir)
+    return {
+        "kind": "clients",
+        "n_clients": n_sources,
+        "records": run["records"],
+        "reads_per_s": round(run["records"] / run["wall_s"], 1),
+        "epochs": run["epochs"],
+        "epochs_per_s": round(run["epochs"] / run["wall_s"], 2),
+        "frame_to_emission_p50_s": round(run["p50_s"], 4),
+        "frame_to_emission_p99_s": round(run["p99_s"], 4),
+        "emissions": run["emissions"],
+        "emissions_sha256": run["digest"],
+        "wall_s": round(run["wall_s"], 3),
+    }
+
+
+def measure_backpressure(trace, model, config, n_sources: int, workdir: str) -> dict:
+    serve = ServeConfig(
+        epoch_length=1.0,
+        queue_capacity=16,
+        credit_batch=4,
+        pause_high_water=12,
+        pause_low_water=4,
+    )
+    run = run_service(trace, model, config, n_sources, serve, workdir)
+    counters = run["counters"]
+    return {
+        "kind": "backpressure",
+        "n_clients": n_sources,
+        "records": run["records"],
+        "reads_per_s": round(run["records"] / run["wall_s"], 1),
+        "epochs_per_s": round(run["epochs"] / run["wall_s"], 2),
+        "frame_to_emission_p50_s": round(run["p50_s"], 4),
+        "frame_to_emission_p99_s": round(run["p99_s"], 4),
+        "pauses": counters.pauses,
+        "resumes": counters.resumes,
+        "client_pauses_seen": run["pauses_seen"],
+        "peak_buffered": counters.peak_buffered,
+        "buffered_bound": n_sources * serve.queue_capacity,
+        "emissions_sha256": run["digest"],
+        "wall_s": round(run["wall_s"], 3),
+    }
+
+
+def _check_regression(results: list, baseline_path: str, tolerance: float) -> bool:
+    """Byte-parity/backpressure invariants plus a baseline throughput floor.
+
+    Machine-independent invariants are *enforced*: every row in this run
+    must share one emission digest (client count and flow control change
+    nothing), the backpressure row must have paused at least once, stayed
+    within ``buffered_bound``, and resumed every pause; and p99 latency
+    must be at least p50 wherever latencies were observed.  Absolute
+    ``reads_per_s`` vs the recorded baseline is enforced only for rows at
+    the baseline's scale (a quick run never matches, so CI skips it).
+    """
+    with open(baseline_path) as fp:
+        baseline = json.load(fp)
+    recorded = {
+        (row["kind"], row["n_clients"]): row for row in baseline["results"]
+    }
+    ok = True
+    print(f"\nregression check vs {baseline_path} (tolerance {tolerance:.0%}):")
+
+    digests = {row["emissions_sha256"] for row in results}
+    parity = len(digests) == 1
+    print(
+        f"  emission parity across {len(results)} rows: "
+        f"{'ok' if parity else 'REGRESSION — logs differ across client counts'}"
+    )
+    ok = ok and parity
+
+    for row in results:
+        key = (row["kind"], row["n_clients"])
+        label = f"{key[0]} n_clients={key[1]}"
+        if row["kind"] == "backpressure":
+            paused = row["pauses"] > 0
+            balanced = row["resumes"] == row["pauses"]
+            bounded = row["peak_buffered"] <= row["buffered_bound"]
+            print(
+                f"  {label}: pauses {row['pauses']} (resumes {row['resumes']}), "
+                f"peak buffered {row['peak_buffered']} <= bound "
+                f"{row['buffered_bound']} "
+                f"{'ok' if paused and balanced and bounded else 'REGRESSION'}"
+            )
+            ok = ok and paused and balanced and bounded
+        p_ok = row["frame_to_emission_p99_s"] >= row["frame_to_emission_p50_s"]
+        if not p_ok:
+            print(f"  {label}: p99 < p50 REGRESSION")
+        ok = ok and p_ok
+
+        base_row = recorded.get(key)
+        if base_row is None or base_row.get("records") != row["records"]:
+            print(f"  {label}: no baseline at this scale, throughput skipped")
+            continue
+        floor = base_row["reads_per_s"] / (1.0 + tolerance)
+        slow = row["reads_per_s"] < floor
+        print(
+            f"  {label}: {row['reads_per_s']:.0f} reads/s vs baseline "
+            f"{base_row['reads_per_s']:.0f} (floor {floor:.0f}) "
+            f"{'REGRESSION' if slow else 'ok'}"
+        )
+        ok = ok and not slow
+    return ok
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller trace, 1/8 clients (CI smoke)"
+    )
+    parser.add_argument(
+        "--no-write", action="store_true", help="print only, skip BENCH_ingest.json"
+    )
+    parser.add_argument(
+        "--check",
+        type=str,
+        default=None,
+        metavar="BASELINE_JSON",
+        help="compare against a recorded BENCH_ingest.json and exit "
+        "non-zero on regression",
+    )
+    parser.add_argument(
+        "--check-tolerance",
+        type=float,
+        default=1.0,
+        help="allowed fractional reads/s drop vs the baseline "
+        "(default 1.0 — CI machines vary)",
+    )
+    args = parser.parse_args()
+
+    n_objects, n_rounds = (6, 1) if args.quick else (10, 2)
+    client_counts = QUICK_CLIENT_COUNTS if args.quick else CLIENT_COUNTS
+    trace, model, config = build_scenario(n_objects, n_rounds)
+    total = len(trace.readings) + len(trace.reports)
+    print(
+        f"trace: {n_objects} objects x {n_rounds} rounds = {total} records, "
+        f"{len(list(trace.epochs()))} epochs"
+    )
+
+    results = []
+    print(
+        f"\n{'clients':>8} {'reads/s':>9} {'epochs/s':>9} {'p50_ms':>8} "
+        f"{'p99_ms':>8} {'wall_s':>7}"
+    )
+    with tempfile.TemporaryDirectory() as workdir:
+        for count in client_counts:
+            row = measure_clients(trace, model, config, count, workdir)
+            results.append(row)
+            print(
+                f"{count:>8} {row['reads_per_s']:>9.0f} {row['epochs_per_s']:>9.2f} "
+                f"{row['frame_to_emission_p50_s'] * 1e3:>8.1f} "
+                f"{row['frame_to_emission_p99_s'] * 1e3:>8.1f} "
+                f"{row['wall_s']:>7.2f}"
+            )
+
+        bp = measure_backpressure(trace, model, config, 8, workdir)
+        results.append(bp)
+        print(
+            f"\nbackpressure (8 clients, 16-frame queues): "
+            f"{bp['reads_per_s']:.0f} reads/s, {bp['pauses']} pauses / "
+            f"{bp['resumes']} resumes, peak buffered {bp['peak_buffered']} "
+            f"(bound {bp['buffered_bound']})"
+        )
+
+    digests = {row["emissions_sha256"] for row in results}
+    print(
+        f"emission parity: {len(digests)} distinct digest(s) across "
+        f"{len(results)} rows"
+    )
+
+    payload = {
+        "benchmark": "ingest",
+        "description": (
+            "Online ingest service (repro serve) vs the batch pipeline: "
+            "the full trace replayed through a unix-socket service at "
+            "1/8/64 concurrent sources (reads_per_s = records through the "
+            "socket, epochs_per_s = inference throughput, p50/p99 = frame "
+            "arrival to sink emission), plus a sustained-backpressure row "
+            "(16-frame queues, pause high-water 12) where the credit "
+            "windows and global PAUSE drag continuously.  All rows must "
+            "emit byte-identical logs — emissions_sha256 proves flow "
+            "control never becomes data control."
+        ),
+        "quick": bool(args.quick),
+        "scenario": {"n_objects": n_objects, "n_rounds": n_rounds, "records": total},
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "results": results,
+    }
+    # Check against the recorded baseline BEFORE overwriting it, so a CI
+    # run may point --check at the committed BENCH_ingest.json.
+    failed = args.check is not None and not _check_regression(
+        results, args.check, args.check_tolerance
+    )
+    if not args.no_write:
+        RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {RESULT_PATH}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,6 +35,7 @@ from .config import (
     InferenceConfig,
     OutputPolicyConfig,
     RuntimeConfig,
+    ServeConfig,
     SpatialIndexConfig,
 )
 from .errors import (
@@ -44,6 +45,7 @@ from .errors import (
     LearningError,
     QueryError,
     ReproError,
+    ServeError,
     SimulationError,
     StateError,
     StreamError,
@@ -173,6 +175,8 @@ __all__ = [
     "SensingRegionIndex",
     "SensorModel",
     "SensorParams",
+    "ServeConfig",
+    "ServeError",
     "ShelfRegion",
     "ShelfSet",
     "SimulationError",

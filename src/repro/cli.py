@@ -15,6 +15,11 @@
     python -m repro query trace.jsonl --standing-queries 100 --resume ck/
     python -m repro evaluate trace.jsonl
     python -m repro lab --timeout 0.25
+    python -m repro serve trace.jsonl --socket /tmp/repro.sock \
+        --emissions out.jsonl --checkpoint-every 30 --checkpoint-dir ck/
+    python -m repro replay trace.jsonl --socket /tmp/repro.sock --sources 8
+    python -m repro tail --socket /tmp/repro.sock --out live.jsonl
+    python -m repro serve-stats --socket /tmp/repro.sock
 
 ``simulate`` writes a warehouse trace (raw streams + ground truth) in the
 line-JSON trace format; ``clean`` runs the sharded cleaning runtime over a
@@ -26,7 +31,10 @@ different shard count; ``query`` runs the full paper stack — epochs ->
 filter shards -> event bus -> continuous queries — printing the query
 outputs; ``evaluate`` scores the three systems (ours / SMURF / uniform)
 against the trace's ground truth; ``lab`` runs the Fig 6(b)-style lab
-comparison at one timeout setting.
+comparison at one timeout setting; ``serve`` runs the long-lived online
+ingest service over a unix socket (``replay`` feeds it a recorded trace as
+K concurrent sources, ``tail`` follows its emission log exactly-once, and
+``serve-stats`` fetches one JSON metrics snapshot).
 
 Unknown subcommands exit with status 2 and a usage message on stderr.
 """
@@ -266,6 +274,161 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_arguments(query)
     _add_runtime_arguments(query)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the online ingest service (sockets in, emission log out)",
+    )
+    serve.add_argument(
+        "model_trace",
+        type=str,
+        help="trace whose ground truth derives the inference model; a "
+        "resumed service must be given the same trace (the model must "
+        "rebuild bit-identically for exactly-once replay)",
+    )
+    serve.add_argument(
+        "--socket", type=str, required=True, help="unix socket path to listen on"
+    )
+    serve.add_argument(
+        "--emissions",
+        type=str,
+        required=True,
+        metavar="JSONL",
+        help="durable emission log (recovered, never truncated, on restart)",
+    )
+    serve.add_argument("--particles", type=int, default=400)
+    serve.add_argument("--reader-particles", type=int, default=120)
+    serve.add_argument("--delay", type=float, default=30.0, help="output delay (s)")
+    serve.add_argument("--index", action="store_true", help="enable spatial index")
+    serve.add_argument("--compress", action="store_true", help="enable compression")
+    serve.add_argument(
+        "--standing-queries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="fan out N standing region-watch queries over a fixed floor "
+        "tiling in addition to location_updates",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=float,
+        default=None,
+        metavar="S",
+        help="periodic mid-stream checkpoints every S seconds of stream time",
+    )
+    serve.add_argument(
+        "--checkpoint-dir",
+        type=str,
+        default=None,
+        help="checkpoint directory (required with --checkpoint-every or "
+        "--resume; the SIGTERM drain also writes its final cut here)",
+    )
+    serve.add_argument(
+        "--checkpoint-mode",
+        type=str,
+        default="full",
+        choices=["full", "delta"],
+        help="periodic-checkpoint persistence (full snapshots or delta chains)",
+    )
+    serve.add_argument(
+        "--checkpoint-full-every",
+        type=int,
+        default=8,
+        metavar="N",
+        help="in delta mode, rebase with a full checkpoint every Nth cut",
+    )
+    serve.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from --checkpoint-dir's LATEST checkpoint when present",
+    )
+    serve.add_argument(
+        "--epoch-length", type=float, default=1.0, help="epoch width (s)"
+    )
+    serve.add_argument(
+        "--max-sources", type=int, default=64, help="admission-control limit"
+    )
+    serve.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=1024,
+        help="per-source credit window (frames in flight)",
+    )
+    serve.add_argument(
+        "--credit-batch", type=int, default=64, help="minimum CREDIT grant"
+    )
+    serve.add_argument(
+        "--pause-high-water",
+        type=int,
+        default=8192,
+        help="total buffered frames that PAUSE every source",
+    )
+    serve.add_argument(
+        "--pause-low-water",
+        type=int,
+        default=2048,
+        help="backlog at which paused sources RESUME",
+    )
+    serve.add_argument(
+        "--fsync",
+        action="store_true",
+        help="fsync the emission log per epoch (power-loss durability; "
+        "kill -9 safety does not need it)",
+    )
+    serve.add_argument(
+        "--stay-up",
+        action="store_true",
+        help="keep serving stats after every source ended (default: exit 0)",
+    )
+    _add_runtime_arguments(serve)
+    serve.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="adaptive particle budgets (see `clean --adaptive`)",
+    )
+    serve.add_argument(
+        "--arena-dtype",
+        type=str,
+        default="float64",
+        choices=list(ARENA_DTYPES),
+        help="belief-arena storage precision",
+    )
+
+    replay = sub.add_parser(
+        "replay", help="stream a stored trace into a running ingest service"
+    )
+    replay.add_argument("trace", type=str)
+    replay.add_argument("--socket", type=str, required=True)
+    replay.add_argument(
+        "--sources",
+        type=int,
+        default=1,
+        metavar="K",
+        help="split the trace across K concurrent socket sources "
+        "(readings round-robin; reader poses ride on source 0)",
+    )
+    replay.add_argument(
+        "--rate",
+        type=float,
+        default=0.0,
+        help="per-source records/second pacing (0 = as fast as credit allows)",
+    )
+
+    tail = sub.add_parser(
+        "tail", help="subscribe to a service's emission stream into a file"
+    )
+    tail.add_argument("--socket", type=str, required=True)
+    tail.add_argument(
+        "--out",
+        type=str,
+        required=True,
+        help="output JSONL file; restarting resumes from its line count",
+    )
+
+    sstats = sub.add_parser(
+        "serve-stats", help="print a running service's metrics snapshot"
+    )
+    sstats.add_argument("--socket", type=str, required=True)
 
     ev = sub.add_parser("evaluate", help="score ours vs SMURF vs uniform on a trace")
     ev.add_argument("trace", type=str)
@@ -814,6 +977,94 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .config import ServeConfig
+    from .serve import ReproService
+
+    if args.checkpoint_every is not None and args.checkpoint_dir is None:
+        raise SystemExit("--checkpoint-every requires --checkpoint-dir")
+    if args.resume and args.checkpoint_dir is None:
+        raise SystemExit("--resume requires --checkpoint-dir")
+    trace = _load_trace(args.model_trace)
+    model, _, sensor = _default_model(trace)
+    service = ReproService(
+        model,
+        inference=_engine_config(args, sensor),
+        runtime=_runtime_config(args),
+        policy=OutputPolicyConfig(delay_s=args.delay),
+        serve=ServeConfig(
+            epoch_length=args.epoch_length,
+            max_sources=args.max_sources,
+            queue_capacity=args.queue_capacity,
+            credit_batch=args.credit_batch,
+            pause_high_water=args.pause_high_water,
+            pause_low_water=args.pause_low_water,
+            fsync=args.fsync,
+        ),
+        socket_path=args.socket,
+        emissions_path=args.emissions,
+        standing_queries=args.standing_queries,
+        resume=args.resume,
+        exit_on_end=not args.stay_up,
+    )
+    service.build()
+    resumed = (
+        f"resumed from {service.resumed_from}"
+        if service.resumed_from
+        else "fresh start"
+    )
+    print(
+        f"serving on {args.socket}: {service.runtime.n_shards} shard"
+        f"{'s' if service.runtime.n_shards != 1 else ''}, emissions -> "
+        f"{args.emissions} ({resumed}, "
+        f"{service.sink.logged} lines recovered)",
+        flush=True,
+    )
+    code = service.run()
+    print(
+        f"served {service.runtime.epochs_processed} epochs: "
+        f"{service.sink.stats()['appended']} emissions appended, "
+        f"{service.sink.stats()['replay_suppressed']} replayed"
+    )
+    return code
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from .serve import ReplaySource
+
+    trace = _load_trace(args.trace)
+    replay = ReplaySource(
+        args.socket, trace, n_sources=args.sources, rate=args.rate
+    )
+    report = replay.run()
+    for name in sorted(report):
+        row = report[name]
+        print(
+            f"{name}: sent {row['sent']}/{row['records']} "
+            f"(skipped {row['skipped_as_acked']} already-acked, "
+            f"{row['pauses_seen']} pauses)"
+        )
+    return 0
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    from .serve import EmissionTail
+
+    tail = EmissionTail(args.socket, args.out)
+    received = tail.run()
+    print(f"wrote {args.out}: {received} new emissions")
+    return 0
+
+
+def _cmd_serve_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from .serve import fetch_stats
+
+    print(json.dumps(fetch_stats(args.socket), indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     trace = _load_trace(args.trace)
     model, shelves, sensor = _default_model(trace)
@@ -890,6 +1141,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "checkpoint": _cmd_checkpoint,
         "restore": _cmd_restore,
         "query": _cmd_query,
+        "serve": _cmd_serve,
+        "replay": _cmd_replay,
+        "tail": _cmd_tail,
+        "serve-stats": _cmd_serve_stats,
         "evaluate": _cmd_evaluate,
         "lab": _cmd_lab,
     }

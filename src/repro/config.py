@@ -431,6 +431,58 @@ class RuntimeConfig:
 
 
 @dataclass(frozen=True)
+class ServeConfig:
+    """The online ingest service (``repro.serve``).
+
+    A :class:`~repro.serve.ReproService` accepts live reading/report streams
+    from many concurrent socket clients, aligns them into epochs behind a
+    low watermark, and drives a :class:`~repro.runtime.ShardedRuntime` while
+    delivering query emissions exactly once.  These knobs bound its memory
+    (credit-based flow control over per-source queues) and tune delivery.
+    """
+
+    #: Epoch width fed to the service's :class:`EpochSynchronizer`.
+    epoch_length: float = EPOCH_LENGTH_S
+    #: Concurrent sources admitted; further HELLOs are rejected with an
+    #: ERROR frame (admission control).
+    max_sources: int = 64
+    #: Frames one source may have buffered server-side (its credit window).
+    #: A client that sends beyond its granted credit is disconnected.
+    queue_capacity: int = 1024
+    #: Replenish a source's credit only once at least this many of its
+    #: frames were consumed into epochs (batches CREDIT frames).
+    credit_batch: int = 64
+    #: Total buffered frames (all sources) beyond which every source is
+    #: PAUSEd even with per-source credit left...
+    pause_high_water: int = 8192
+    #: ...and below which RESUME frames go out again.
+    pause_low_water: int = 2048
+    #: Largest frame accepted on the wire.
+    max_frame_bytes: int = 1 << 20
+    #: Also fsync the emission log on every flush (kill -9 safety needs
+    #: only flush-to-OS; fsync extends it to power loss at a latency cost).
+    fsync: bool = False
+
+    def __post_init__(self) -> None:
+        if self.epoch_length <= 0:
+            raise ConfigurationError("epoch_length must be positive")
+        if self.max_sources < 1:
+            raise ConfigurationError("max_sources must be >= 1")
+        if self.queue_capacity < 1:
+            raise ConfigurationError("queue_capacity must be >= 1")
+        if not (1 <= self.credit_batch <= self.queue_capacity):
+            raise ConfigurationError(
+                "credit_batch must be in [1, queue_capacity]"
+            )
+        if self.pause_low_water < 1 or self.pause_high_water <= self.pause_low_water:
+            raise ConfigurationError(
+                "need 1 <= pause_low_water < pause_high_water"
+            )
+        if self.max_frame_bytes < 64:
+            raise ConfigurationError("max_frame_bytes must be >= 64")
+
+
+@dataclass(frozen=True)
 class OutputPolicyConfig:
     """When the pipeline emits location events (Section II-A / V-A).
 

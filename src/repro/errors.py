@@ -44,6 +44,16 @@ class SimulationError(ReproError):
     """The simulator was asked to produce an impossible scenario."""
 
 
+class ServeError(ReproError):
+    """The ingest service hit a protocol violation or session fault.
+
+    Raised for malformed/oversized frames, out-of-sequence or over-credit
+    sends, admission-control rejections, and handshakes that do not match
+    the service's configuration.  Client-facing: the service reports the
+    message in an ERROR frame before closing the offending connection.
+    """
+
+
 class StateError(ReproError):
     """A checkpoint could not be written, read, or applied.
 

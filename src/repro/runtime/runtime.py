@@ -185,6 +185,20 @@ class ShardedRuntime:
         #: Attached engines join every checkpoint (full and delta) so a
         #: restored server resumes standing-query answers exactly.
         self.query_engines: Dict[str, object] = {}
+        #: Optional zero-argument callable returning a JSON-serializable
+        #: dict; when set, :func:`repro.state.save_checkpoint` records its
+        #: return value under ``manifest["extras"]`` in the same coordinated
+        #: cut as the shard state.  The ingest service uses this to persist
+        #: its exactly-once offsets (consumed source sequence numbers, sink
+        #: delivery offsets) alongside every checkpoint.
+        self.manifest_extras: Optional[Callable[[], dict]] = None
+        #: ``epochs_processed`` at the last periodic checkpoint (None before
+        #: the first) — lets a serving layer report checkpoint lag.
+        self.last_checkpoint_epoch: Optional[int] = None
+        #: Re-entrancy latch for abort(): a second abort arriving while the
+        #: first is mid-teardown (e.g. a repeated signal) becomes a no-op
+        #: instead of double-closing executors or the bus.
+        self._aborting = False
 
     def attach_query_engine(self, name: str, engine) -> None:
         """Register a query engine for coordinated checkpointing.
@@ -314,9 +328,28 @@ class ShardedRuntime:
             return
         if stream_time - self._last_checkpoint_time < every:
             return
+        self.write_periodic_checkpoint(stream_time)
+
+    def write_periodic_checkpoint(self, stream_time: Optional[float] = None) -> str:
+        """Write the next ``epoch_<n>`` checkpoint into ``checkpoint_dir`` now.
+
+        The forced flavour of the periodic path — same delta-chain
+        bookkeeping, ``LATEST`` pointer, and rotation — exposed so the
+        ingest service's SIGTERM drain can persist a final coordinated cut
+        regardless of cadence.  Must not be called from a raw (asynchronous)
+        signal handler: the service defers signals to the event loop so the
+        write never interrupts a ``step()`` mid-epoch.  Returns the
+        checkpoint path.
+        """
         from ..state.checkpoint import rotate_checkpoints, save_checkpoint
 
+        if self._finished:
+            raise StateError("cannot checkpoint a finished runtime")
         directory = self.runtime_config.checkpoint_dir
+        if directory is None:
+            raise StateError(
+                "periodic checkpointing needs runtime_config.checkpoint_dir"
+            )
         os.makedirs(directory, exist_ok=True)
         target = os.path.join(directory, f"epoch_{self.epochs_processed:08d}")
         if os.path.exists(target):
@@ -347,10 +380,19 @@ class ShardedRuntime:
             save_checkpoint(self, target)
             self._chain_len = 1
         self._chain_parent = target
-        with open(os.path.join(directory, "LATEST"), "w") as fp:
+        # Atomic pointer move: a kill -9 between truncate and write would
+        # otherwise leave an empty LATEST and strand the resume path.
+        pointer_tmp = os.path.join(directory, "LATEST.tmp")
+        with open(pointer_tmp, "w") as fp:
             fp.write(os.path.basename(target) + "\n")
+            fp.flush()
+            os.fsync(fp.fileno())
+        os.replace(pointer_tmp, os.path.join(directory, "LATEST"))
         rotate_checkpoints(directory, keep=self.runtime_config.checkpoint_keep)
-        self._last_checkpoint_time = stream_time
+        if stream_time is not None:
+            self._last_checkpoint_time = stream_time
+        self.last_checkpoint_epoch = self.epochs_processed
+        return target
 
     def finish(self) -> None:
         """Flush every shard's pending events and close the bus."""
@@ -390,14 +432,20 @@ class ShardedRuntime:
         bridged query engines and bus-owned sinks still see end-of-stream)
         but does NOT emit the shards' pending events — the stream failed,
         and publishing a scan-complete flush after an error would present a
-        partial epoch as a finished scan.  Idempotent; ``finish()`` after
+        partial epoch as a finished scan.  Idempotent and re-entrant: a
+        second call — even one arriving while the first is mid-teardown,
+        as a repeated SIGTERM can produce — is a no-op; ``finish()`` after
         ``abort()`` is a no-op.
         """
-        if self._finished:
+        if self._finished or self._aborting:
             return
-        self._finished = True
-        self._release_executors()
-        self.bus.close()
+        self._aborting = True
+        try:
+            self._finished = True
+            self._release_executors()
+            self.bus.close()
+        finally:
+            self._aborting = False
 
     def _release_executors(self) -> None:
         if self._pool is not None:

@@ -1,0 +1,38 @@
+"""Online ingest serving: live sources in, exactly-once emissions out.
+
+The serve layer turns the batch pipeline into a long-lived service:
+
+* :mod:`~repro.serve.protocol` — length-prefixed binary framing shared by
+  the server and clients (sans-IO decoder);
+* :mod:`~repro.serve.watermark` — per-source sequencing and low-watermark
+  alignment of K live streams into the batch pipeline's epochs;
+* :mod:`~repro.serve.ingest` — admission control and credit/pause
+  backpressure with bounded buffering;
+* :mod:`~repro.serve.sink` — the durable offset-stamped emission log with
+  verify-don't-reappend crash recovery (exactly-once delivery);
+* :mod:`~repro.serve.service` — the asyncio front-end wiring it all around
+  a :class:`~repro.runtime.runtime.ShardedRuntime` with mid-stream
+  checkpoints;
+* :mod:`~repro.serve.client` — reference replay/tail/stats clients.
+"""
+
+from .client import EmissionTail, ReplaySource, fetch_stats, split_trace
+from .ingest import IngestController
+from .protocol import Frame, FrameDecoder
+from .service import ReproService
+from .sink import DeliverySink
+from .watermark import AlignedEpoch, WatermarkAligner
+
+__all__ = [
+    "AlignedEpoch",
+    "DeliverySink",
+    "EmissionTail",
+    "Frame",
+    "FrameDecoder",
+    "IngestController",
+    "ReplaySource",
+    "ReproService",
+    "WatermarkAligner",
+    "fetch_stats",
+    "split_trace",
+]

@@ -1,0 +1,213 @@
+"""Admission control and credit-based backpressure policy.
+
+Pure bookkeeping — no sockets.  The service calls into this controller on
+every lifecycle event and sends whatever frames it decides:
+
+* **Admission** — at most ``max_sources`` concurrent sources; one HELLO too
+  many is rejected with an ERROR frame instead of silently degrading every
+  admitted stream.
+* **Credit** — each source holds a window of at most ``queue_capacity``
+  in-flight frames.  The initial grant is the full window; as the watermark
+  consumes a source's frames into epochs the controller re-grants in batches
+  of at least ``credit_batch`` (one CREDIT frame per ~batch, not per frame).
+  A frame arriving with no credit left is a protocol violation: the client
+  ignored the window, and the server's memory bound is the contract.
+* **Pause** — a global brake for slow-consumer scenarios: when the total
+  buffered frames across all sources cross ``pause_high_water`` the service
+  PAUSEs every source (even those with credit), and RESUMEs once the
+  backlog drains below ``pause_low_water`` — or, since the backlog can only
+  drain as far as the watermark allows, as soon as the pump has consumed
+  everything releasable (:meth:`IngestController.force_resume`; staying
+  paused with nothing left to drain would deadlock).  Credits and pause
+  compose:
+  memory stays bounded by ``min(sources * queue_capacity, high_water +
+  sources * one batch)`` regardless of how fast clients push.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..config import ServeConfig
+from ..errors import ServeError
+
+
+@dataclass
+class SourceGate:
+    """Credit window of one admitted source."""
+
+    #: Frames the client may still send before waiting for CREDIT.
+    credit: int
+    #: Frames granted but not yet consumed into epochs (window usage).
+    outstanding: int = 0
+    paused: bool = False
+
+
+@dataclass
+class IngestCounters:
+    frames_received: int = 0
+    frames_deduped: int = 0
+    credits_granted: int = 0
+    credit_frames: int = 0
+    pauses: int = 0
+    resumes: int = 0
+    admission_rejects: int = 0
+    violations: int = 0
+    peak_buffered: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(vars(self))
+
+
+class IngestController:
+    """Tracks per-source credit windows and the global pause state."""
+
+    def __init__(self, config: Optional[ServeConfig] = None):
+        self.config = config if config is not None else ServeConfig()
+        self._gates: Dict[str, SourceGate] = {}
+        self._paused = False
+        self.counters = IngestCounters()
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def admit(self, name: str) -> int:
+        """Admit a source and return its initial credit grant.
+
+        Reconnects re-use the source's existing gate (whatever credit was
+        left is re-granted so client and server agree on the window).
+        """
+        gate = self._gates.get(name)
+        if gate is None:
+            if len(self._gates) >= self.config.max_sources:
+                self.counters.admission_rejects += 1
+                raise ServeError(
+                    f"service is at its {self.config.max_sources}-source "
+                    "admission limit"
+                )
+            gate = SourceGate(credit=self.config.queue_capacity)
+            self._gates[name] = gate
+        return gate.credit
+
+    def retire(self, name: str) -> None:
+        """Drop a source's gate (its stream ended and drained)."""
+        self._gates.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # Frame accounting
+    # ------------------------------------------------------------------
+    def on_frame(self, name: str, buffered: bool) -> None:
+        """Account one received data frame.
+
+        ``gate.credit`` mirrors the client's view of its window (grants
+        sent minus frames received), so a deduplicated resend
+        (``buffered=False``) still spends a credit here — it just never
+        raises ``outstanding``, which makes the next ``on_consumed`` refill
+        return the spent credit as an explicit CREDIT frame (the service
+        calls ``on_consumed(name, 0)`` after dedupe batches for exactly
+        this; silent refunds would drift the two window views apart).
+        """
+        gate = self._require(name)
+        self.counters.frames_received += 1
+        if gate.credit <= 0:
+            self.counters.violations += 1
+            raise ServeError(
+                f"source {name!r} sent beyond its credit window "
+                f"({self.config.queue_capacity} frames)"
+            )
+        gate.credit -= 1
+        if buffered:
+            gate.outstanding += 1
+        else:
+            self.counters.frames_deduped += 1
+
+    def on_consumed(self, name: str, n: int) -> int:
+        """Return frames consumed into epochs to the source's window.
+
+        Returns the CREDIT grant to send now — 0 while the refill is below
+        ``credit_batch`` (grants are batched) or the source is paused, the
+        accumulated refill otherwise.
+        """
+        gate = self._gates.get(name)
+        if gate is None:  # source retired while its last epochs drained
+            return 0
+        gate.outstanding = max(0, gate.outstanding - n)
+        refill = self.config.queue_capacity - gate.outstanding - gate.credit
+        if refill <= 0 or gate.paused or self._paused:
+            return 0
+        if refill < self.config.credit_batch and gate.credit > 0:
+            return 0
+        gate.credit += refill
+        self.counters.credits_granted += refill
+        self.counters.credit_frames += 1
+        return refill
+
+    def _require(self, name: str) -> SourceGate:
+        gate = self._gates.get(name)
+        if gate is None:
+            raise ServeError(f"source {name!r} was never admitted")
+        return gate
+
+    # ------------------------------------------------------------------
+    # Global pause
+    # ------------------------------------------------------------------
+    def note_buffered(self, total_buffered: int) -> Optional[bool]:
+        """Update the global brake given the aligner's total backlog.
+
+        Returns True when sources must be PAUSEd now, False when they must
+        be RESUMEd, None when the state is unchanged.
+        """
+        self.counters.peak_buffered = max(
+            self.counters.peak_buffered, total_buffered
+        )
+        if not self._paused and total_buffered >= self.config.pause_high_water:
+            self._paused = True
+            self.counters.pauses += 1
+            for gate in self._gates.values():
+                gate.paused = True
+            return True
+        if self._paused and total_buffered <= self.config.pause_low_water:
+            self._paused = False
+            self.counters.resumes += 1
+            for gate in self._gates.values():
+                gate.paused = False
+            return False
+        return None
+
+    def force_resume(self) -> bool:
+        """Clear a global pause regardless of the low-water mark.
+
+        The watermark only advances on *new* frames, so once the pump has
+        drained every releasable epoch the remaining backlog (records above
+        the watermark plus the open boundary epoch) cannot shrink further
+        without client input — staying paused there would deadlock the
+        stream.  The service calls this at the end of each pump pass; the
+        high-water brake re-engages on the next burst.  Returns True when a
+        pause was actually cleared.
+        """
+        if not self._paused:
+            return False
+        self._paused = False
+        self.counters.resumes += 1
+        for gate in self._gates.values():
+            gate.paused = False
+        return True
+
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
+    def sources(self) -> Dict[str, SourceGate]:
+        return dict(self._gates)
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "paused": self._paused,
+            "admitted": len(self._gates),
+            "credit": {
+                name: {"credit": g.credit, "outstanding": g.outstanding}
+                for name, g in self._gates.items()
+            },
+            **self.counters.as_dict(),
+        }

@@ -163,6 +163,13 @@ class CheckpointManifest:
     #: Apply via ``engine.restore_state(manifest.query_states[name])`` after
     #: registering the same standing queries.
     query_states: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    #: Free-form JSON payload captured from ``runtime.manifest_extras()``
+    #: at save time (empty when the runtime declares none).  The ingest
+    #: service records its exactly-once offsets here: per-source consumed
+    #: sequence numbers, the epoch grid origin, and the delivery sink's
+    #: next/acked emission offsets.  Like ``query_states``, the newest link
+    #: of a delta chain carries the complete payload.
+    extras: Dict[str, Any] = dataclasses.field(default_factory=dict)
 
     @property
     def n_shards(self) -> int:
@@ -326,6 +333,16 @@ def save_checkpoint(runtime, path, mode: str = "full", parent=None) -> str:
         (name, pickle.dumps(engine.snapshot_state(), protocol=pickle.HIGHEST_PROTOCOL))
         for name, engine in sorted(getattr(runtime, "query_engines", {}).items())
     ]
+    # Runtime-attached extras (duck-typed like the rest of the runtime
+    # surface): a serving layer hangs a callable off the runtime to record
+    # its own offsets — ingest sequence numbers, sink delivery offsets —
+    # inside the same coordinated cut as the shard state.  Must be JSON.
+    extras_fn = getattr(runtime, "manifest_extras", None)
+    extras = extras_fn() if callable(extras_fn) else None
+    if extras is not None and not isinstance(extras, dict):
+        raise StateError(
+            f"runtime.manifest_extras() must return a dict, got {type(extras).__name__}"
+        )
 
     tmp = path + ".tmp"
     if os.path.exists(tmp):
@@ -381,6 +398,13 @@ def save_checkpoint(runtime, path, mode: str = "full", parent=None) -> str:
         }
         if query_records:
             manifest["query_engines"] = query_records
+        if extras:
+            try:
+                manifest["extras"] = json.loads(json.dumps(extras))
+            except (TypeError, ValueError) as exc:
+                raise StateError(
+                    f"runtime.manifest_extras() is not JSON-serializable: {exc}"
+                ) from exc
         if mode == "delta":
             assert parent_manifest is not None
             manifest["parent"] = os.path.basename(parent)
@@ -547,6 +571,7 @@ def load_checkpoint(path, verify: bool = True) -> CheckpointManifest:
         kind=kind,
         chain=[os.path.basename(p) for p, _ in chain] if kind == "delta" else [],
         query_states=_load_query_states(path, manifest, verify),
+        extras=dict(manifest.get("extras", {})),
     )
 
 
@@ -562,16 +587,34 @@ def checkpoint_size_bytes(path) -> int:
 
 
 def latest_checkpoint(directory) -> Optional[str]:
-    """Resolve the ``LATEST`` pointer the runtime maintains, if present."""
+    """Resolve the ``LATEST`` pointer the runtime maintains, if present.
+
+    A crash can tear the pointer (empty or pointing at a checkpoint that
+    never finished its rename); completed checkpoints are themselves
+    crash-consistent, so a bad pointer falls back to the newest
+    ``epoch_*`` directory with a manifest rather than stranding recovery.
+    """
     directory = os.fspath(directory)
-    pointer = os.path.join(directory, "LATEST")
     try:
-        with open(pointer) as fp:
+        with open(os.path.join(directory, "LATEST")) as fp:
             name = fp.read().strip()
-    except FileNotFoundError:
+    except OSError:
+        name = ""
+    if name:
+        target = os.path.join(directory, name)
+        if os.path.isfile(os.path.join(target, "manifest.json")):
+            return target
+    try:
+        entries = sorted(os.listdir(directory), reverse=True)
+    except OSError:
         return None
-    target = os.path.join(directory, name)
-    return target if os.path.isdir(target) else None
+    for name in entries:
+        if not name.startswith("epoch_") or name.endswith(".tmp"):
+            continue
+        target = os.path.join(directory, name)
+        if os.path.isfile(os.path.join(target, "manifest.json")):
+            return target
+    return None
 
 
 def _chain_dependencies(directory: str, names: List[str]) -> set:
@@ -622,6 +665,12 @@ def rotate_checkpoints(directory, keep: int) -> List[str]:
         if name in required:
             continue
         target = os.path.join(directory, name)
-        shutil.rmtree(target)
+        try:
+            shutil.rmtree(target)
+        except FileNotFoundError:
+            # Already gone — e.g. a drain-time rotation racing the periodic
+            # one after a signal.  Rotation is housekeeping; a missing
+            # victim is success, not failure.
+            continue
         removed.append(target)
     return removed

@@ -55,11 +55,45 @@ class EpochSynchronizer:
         self._last_reading_time = -float("inf")
         self._last_report_time = -float("inf")
         self._next_epoch_index = 0
+        self._flushed = False
+
+    @property
+    def origin(self) -> Optional[float]:
+        """Left edge of epoch 0 (``None`` until the first record arrives)."""
+        return self._start
+
+    @property
+    def next_epoch_index(self) -> int:
+        """Index of the next epoch this synchronizer will emit."""
+        return self._next_epoch_index
+
+    def seek(self, epoch_index: int) -> None:
+        """Prime a fresh synchronizer to resume emission at ``epoch_index``.
+
+        The resume path for online serving: a restored run knows its epoch
+        origin and how many epochs it already consumed, so a new
+        synchronizer built with the recorded ``start_time`` seeks forward
+        and the next emitted epoch lands on the original grid.  Only a
+        pristine synchronizer (explicit ``start_time``, nothing pushed or
+        emitted) may seek — anything else would silently renumber epochs.
+        """
+        if epoch_index < 0:
+            raise StreamError(f"epoch seek index must be >= 0, got {epoch_index}")
+        if self._start is None:
+            raise StreamError("seek requires an explicit start_time")
+        if self._readings or self._reports or self._next_epoch_index:
+            raise StreamError("cannot seek a synchronizer already in use")
+        self._next_epoch_index = int(epoch_index)
 
     # ------------------------------------------------------------------
     # Pushing raw records
     # ------------------------------------------------------------------
     def push_reading(self, reading: TagReading) -> None:
+        if self._flushed:
+            raise StreamError(
+                "synchronizer already flushed; push_reading after flush() "
+                "would corrupt epoch indexing"
+            )
         if reading.time < self._last_reading_time:
             raise StreamError(
                 f"reading stream went backwards: {reading.time} < "
@@ -70,6 +104,11 @@ class EpochSynchronizer:
         self._readings.append(reading)
 
     def push_report(self, report: ReaderLocationReport) -> None:
+        if self._flushed:
+            raise StreamError(
+                "synchronizer already flushed; push_report after flush() "
+                "would corrupt epoch indexing"
+            )
         if report.time < self._last_report_time:
             raise StreamError(
                 f"location stream went backwards: {report.time} < "
@@ -92,11 +131,26 @@ class EpochSynchronizer:
     # ------------------------------------------------------------------
     # Pulling epochs
     # ------------------------------------------------------------------
-    def ready_epochs(self) -> List[Epoch]:
-        """Epochs that can no longer receive records from either stream."""
+    def ready_epochs(self, upto: Optional[float] = None) -> List[Epoch]:
+        """Epochs that can no longer receive records from either stream.
+
+        ``upto`` substitutes an *external* (finite) watermark for the
+        internal per-kind one: a caller multiplexing several live sources
+        (:class:`repro.serve.watermark.WatermarkAligner`) can guarantee no
+        record at or below ``upto`` will ever be pushed again even while
+        one record *kind* lags, releasing epochs the conservative
+        ``min(last reading, last report)`` rule would keep buffered.
+        Records exactly at ``upto`` stay safe either way — a time-``t``
+        record belongs to the epoch *starting* at ``t``, which ends after
+        ``upto`` and is not released.
+        """
         if self._start is None:
             return []
-        watermark = min(self._last_reading_time, self._last_report_time)
+        watermark = (
+            float(upto)
+            if upto is not None
+            else min(self._last_reading_time, self._last_report_time)
+        )
         out: List[Epoch] = []
         while True:
             boundary = self._epoch_end(self._next_epoch_index)
@@ -107,7 +161,15 @@ class EpochSynchronizer:
         return out
 
     def flush(self) -> List[Epoch]:
-        """Emit every remaining buffered epoch (end of stream)."""
+        """Emit every remaining buffered epoch (end of stream).
+
+        Idempotent: a second ``flush()`` returns ``[]``.  After a flush the
+        synchronizer is closed — further pushes raise :class:`StreamError`
+        (they could only land inside or before already-emitted epochs).
+        """
+        if self._flushed:
+            return []
+        self._flushed = True
         if self._start is None:
             return []
         last = max(self._last_reading_time, self._last_report_time)

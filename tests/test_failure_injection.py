@@ -412,3 +412,191 @@ class TestChainBreakRecovery:
         assert_latest_is_restorable(directory, model, trace, reference)
         # And the chain was rebased at least once beyond the initial full.
         assert kinds.count("full") >= 1
+
+
+# ---------------------------------------------------------------------------
+# Serve mode: kill -9 the live service at adversarial points
+# ---------------------------------------------------------------------------
+
+
+def _src_dir() -> str:
+    import repro
+
+    return os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+_SERVE_FLAGS = [
+    "--particles", "120",
+    "--reader-particles", "60",
+    "--delay", "5.0",
+    "--shards", "2",
+]
+
+
+def _spawn_serve(trace_path, sock, log, out, *extra):
+    import subprocess
+    import sys
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _src_dir()
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", str(trace_path),
+         "--socket", str(sock), "--emissions", str(log),
+         *_SERVE_FLAGS, *extra],
+        stdout=open(out, "ab"),
+        stderr=open(out, "ab"),
+        env=env,
+    )
+
+
+def _wait_for_socket(sock, timeout=60.0):
+    import time
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if os.path.exists(sock):
+            return
+        time.sleep(0.01)
+    raise AssertionError(f"service never bound {sock}")
+
+
+class TestServeKillNine:
+    """The exactly-once contract of the ingest service, enforced the hard
+    way: SIGKILL the serving process at adversarial points (before the
+    first checkpoint, deep mid-stream, while a checkpoint directory is
+    half-written), restart with ``--resume``, rerun the *same* replay, and
+    require the final emission log to be byte-identical to an
+    uninterrupted run's."""
+
+    @pytest.fixture(scope="class")
+    def serve_env(self, tmp_path_factory):
+        from repro.simulation.layout import LayoutConfig
+        from repro.simulation.truth_sensor import ConeTruthSensor
+        from repro.simulation.warehouse import WarehouseConfig, WarehouseSimulator
+
+        base = tmp_path_factory.mktemp("serve_kill")
+        simulator = WarehouseSimulator(
+            WarehouseConfig(
+                layout=LayoutConfig(n_objects=6, n_shelf_tags=2),
+                sensor=ConeTruthSensor(rr_major=0.9),
+                n_rounds=2,
+                seed=7,
+            )
+        )
+        trace = simulator.generate()
+        trace_path = base / "trace.jsonl"
+        with open(trace_path, "w") as fp:
+            trace.dump(fp)
+
+        # The uninterrupted reference run, through the same socket pipeline.
+        sock = base / "baseline.sock"
+        log = base / "baseline.jsonl"
+        server = _spawn_serve(trace_path, sock, log, base / "baseline.out")
+        _wait_for_socket(sock)
+        self._replay(trace, sock)
+        assert server.wait(timeout=120) == 0, open(base / "baseline.out").read()
+        baseline = open(log, "rb").read()
+        assert baseline.count(b"\n") >= 4  # enough emissions to tear between
+        return trace, trace_path, baseline
+
+    @staticmethod
+    def _replay(trace, sock, rate=0.0):
+        from repro.serve import ReplaySource
+
+        return ReplaySource(str(sock), trace, n_sources=3, rate=rate).run()
+
+    @staticmethod
+    def _kill_when(server, condition, timeout=90.0):
+        import signal
+        import time
+
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if server.poll() is not None:
+                return "exited"
+            if condition():
+                os.kill(server.pid, signal.SIGKILL)
+                server.wait(timeout=30)
+                return "killed"
+            time.sleep(0.001)
+        return "timeout"
+
+    @pytest.mark.parametrize("trigger", ["before_checkpoint", "mid_stream", "mid_checkpoint"])
+    def test_kill_nine_resume_replay_is_byte_identical(
+        self, serve_env, tmp_path, trigger
+    ):
+        import threading
+
+        from repro.errors import ServeError
+
+        trace, trace_path, baseline = serve_env
+        sock = tmp_path / "serve.sock"
+        log = tmp_path / "emissions.jsonl"
+        ck = tmp_path / "ck"
+        out = tmp_path / "serve.out"
+        flags = ["--checkpoint-every", "3.0", "--checkpoint-dir", str(ck)]
+
+        def log_size():
+            try:
+                return os.path.getsize(log)
+            except OSError:
+                return 0
+
+        def checkpoint_tmp_visible():
+            try:
+                return any(n.endswith(".tmp") for n in os.listdir(ck))
+            except OSError:
+                return False
+
+        conditions = {
+            # Before the first checkpoint lands: resume must fall back to a
+            # fresh start that *verifies* the existing log, not re-append.
+            "before_checkpoint": lambda: log_size() > 0,
+            # Deep mid-stream, checkpoints behind and emissions ahead.
+            "mid_stream": lambda: log_size() >= 0.5 * len(baseline),
+            # Inside a checkpoint write (a half-written *.tmp directory) —
+            # rare to catch, so fall back to a late mid-stream kill.
+            "mid_checkpoint": lambda: (
+                checkpoint_tmp_visible() or log_size() >= 0.6 * len(baseline)
+            ),
+        }
+
+        server = _spawn_serve(trace_path, sock, log, out, *flags)
+        _wait_for_socket(sock)
+        status = {}
+        killer = threading.Thread(
+            target=lambda: status.update(
+                result=self._kill_when(server, conditions[trigger])
+            )
+        )
+        killer.start()
+        try:
+            # Paced so the kill window is generous; the killer interrupts
+            # this replay mid-flight.
+            self._replay(trace, sock, rate=80.0)
+        except ServeError:
+            pass
+        killer.join(timeout=120)
+        assert status.get("result") == "killed", status
+
+        partial = open(log, "rb").read() if os.path.exists(log) else b""
+        assert baseline.startswith(partial)  # durable prefix, never garbage
+
+        # Restart with --resume and rerun the identical replay.  The killed
+        # process left its socket file behind; drop it so the bind wait
+        # below observes the *new* server's socket, not the corpse's.
+        try:
+            os.unlink(sock)
+        except OSError:
+            pass
+        server = _spawn_serve(
+            trace_path, sock, log, out, *flags, "--resume"
+        )
+        _wait_for_socket(sock)
+        report = self._replay(trace, sock)
+        assert server.wait(timeout=120) == 0, open(out).read()
+
+        assert open(log, "rb").read() == baseline
+        # The rerun was a replay, not a fresh stream: every record either
+        # skipped client-side (acked sequence) or deduped server-side.
+        assert all(r["sent"] <= r["records"] for r in report.values())

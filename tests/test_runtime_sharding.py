@@ -314,6 +314,21 @@ class TestShardedParity:
         assert runtime.bus.closed
         runtime.finish()  # no-op after abort
 
+    def test_abort_is_reentrant(self, scenario):
+        """A second abort — even from a repeated SIGTERM while the first
+        is mid-teardown — must be a silent no-op, as must finish()."""
+        model, trace, config = scenario
+        runtime = ShardedRuntime(model, config, RuntimeConfig(n_shards=2), POLICY)
+        for epoch in list(trace.epochs())[:3]:
+            runtime.step(epoch)
+        closes = []
+        runtime.bus.subscribe(lambda event: None, on_close=lambda: closes.append(1))
+        runtime.abort()
+        runtime.abort()
+        runtime.finish()
+        assert runtime.bus.closed
+        assert closes == [1]  # close hooks fired exactly once
+
     def test_naive_engine_factory(self, scenario):
         """The runtime is engine-agnostic: shard the naive filter too."""
         model, trace, config = scenario

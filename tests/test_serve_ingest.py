@@ -1,0 +1,168 @@
+"""Admission-control and credit-window backpressure tests."""
+
+import pytest
+
+from repro.config import ServeConfig
+from repro.errors import ConfigurationError, ServeError
+from repro.serve.ingest import IngestController
+
+
+def controller(**overrides):
+    defaults = dict(
+        queue_capacity=8, credit_batch=2, pause_high_water=16, pause_low_water=4
+    )
+    defaults.update(overrides)
+    return IngestController(ServeConfig(**defaults))
+
+
+class TestAdmission:
+    def test_initial_credit_is_full_window(self):
+        ctl = controller()
+        assert ctl.admit("a") == 8
+
+    def test_reconnect_reuses_the_gate(self):
+        ctl = controller()
+        ctl.admit("a")
+        ctl.on_frame("a", buffered=True)
+        assert ctl.admit("a") == 7  # the in-flight frame stays charged
+
+    def test_admission_limit(self):
+        ctl = controller(max_sources=2)
+        ctl.admit("a")
+        ctl.admit("b")
+        with pytest.raises(ServeError, match="admission limit"):
+            ctl.admit("c")
+        assert ctl.counters.admission_rejects == 1
+        ctl.retire("a")
+        ctl.admit("c")  # a slot freed up
+
+    def test_unadmitted_source_raises(self):
+        with pytest.raises(ServeError, match="never admitted"):
+            controller().on_frame("ghost", buffered=True)
+
+
+class TestCreditWindow:
+    def test_over_credit_send_is_a_violation(self):
+        ctl = controller(queue_capacity=2, credit_batch=1)
+        ctl.admit("a")
+        ctl.on_frame("a", buffered=True)
+        ctl.on_frame("a", buffered=True)
+        with pytest.raises(ServeError, match="credit window"):
+            ctl.on_frame("a", buffered=True)
+        assert ctl.counters.violations == 1
+
+    def test_consume_refills_in_batches(self):
+        """Refills below ``credit_batch`` are withheld while the client
+        still holds credit (grant batching), then granted accumulated."""
+        ctl = controller(queue_capacity=8, credit_batch=4)
+        ctl.admit("a")
+        for _ in range(6):  # client keeps 2 credits in hand
+            ctl.on_frame("a", buffered=True)
+        assert ctl.on_consumed("a", 2) == 0  # refill 2 < batch, credit left
+        assert ctl.on_consumed("a", 2) == 4  # accumulated refill granted
+        assert ctl.counters.credits_granted == 4
+        assert ctl.counters.credit_frames == 1
+
+    def test_starved_source_always_gets_credit(self):
+        """The batch threshold must not deadlock a source at zero credit."""
+        ctl = controller(queue_capacity=8, credit_batch=4)
+        ctl.admit("a")
+        for _ in range(8):
+            ctl.on_frame("a", buffered=True)
+        assert ctl.on_consumed("a", 1) == 1  # below batch, but credit == 0
+
+    def test_dedupe_spends_credit_and_gets_it_back_explicitly(self):
+        """A deduplicated resend must not silently refund: the client
+        decremented its window on send, so the refund must arrive as a
+        CREDIT frame (via ``on_consumed(name, 0)``) to keep the views
+        aligned."""
+        ctl = controller(queue_capacity=4, credit_batch=4)
+        ctl.admit("a")
+        for _ in range(3):
+            ctl.on_frame("a", buffered=False)
+        assert ctl.counters.frames_deduped == 3
+        assert ctl.sources()["a"].credit == 1
+        assert ctl.sources()["a"].outstanding == 0
+        assert ctl.on_consumed("a", 0) == 0  # 3 < credit_batch, credit left
+        ctl.on_frame("a", buffered=False)
+        assert ctl.on_consumed("a", 0) == 4  # starved: full refund now
+        assert ctl.sources()["a"].credit == 4
+
+    def test_retired_source_consumption_is_noop(self):
+        ctl = controller()
+        ctl.admit("a")
+        ctl.retire("a")
+        assert ctl.on_consumed("a", 5) == 0
+
+
+class TestGlobalPause:
+    def test_pause_resume_thresholds(self):
+        ctl = controller(pause_high_water=10, pause_low_water=3)
+        ctl.admit("a")
+        assert ctl.note_buffered(9) is None
+        assert ctl.note_buffered(10) is True
+        assert ctl.paused
+        assert ctl.note_buffered(11) is None  # already paused
+        assert ctl.note_buffered(4) is None  # not yet below low water
+        assert ctl.note_buffered(3) is False
+        assert not ctl.paused
+        assert ctl.counters.pauses == 1
+        assert ctl.counters.resumes == 1
+
+    def test_paused_source_gets_no_credit(self):
+        ctl = controller(queue_capacity=4, credit_batch=1, pause_high_water=2,
+                         pause_low_water=1)
+        ctl.admit("a")
+        for _ in range(4):
+            ctl.on_frame("a", buffered=True)
+        ctl.note_buffered(4)  # past high water: paused
+        assert ctl.on_consumed("a", 4) == 0
+        ctl.note_buffered(0)  # resumed
+        assert ctl.on_consumed("a", 0) == 4
+
+    def test_force_resume_clears_pause_without_low_water(self):
+        """The end-of-pump-pass release: a pause with nothing left to
+        drain must clear immediately, not wait for a low-water mark the
+        backlog can never reach."""
+        ctl = controller(queue_capacity=4, credit_batch=1, pause_high_water=4,
+                         pause_low_water=1)
+        ctl.admit("a")
+        for _ in range(4):
+            ctl.on_frame("a", buffered=True)
+        assert ctl.note_buffered(4) is True
+        assert ctl.on_consumed("a", 4) == 0  # paused: grant withheld
+        assert ctl.force_resume() is True
+        assert not ctl.paused
+        assert ctl.on_consumed("a", 0) == 4  # the withheld grant flows now
+        assert ctl.force_resume() is False  # idempotent
+        assert ctl.counters.pauses == 1
+        assert ctl.counters.resumes == 1
+
+    def test_peak_buffered_tracked(self):
+        ctl = controller()
+        ctl.note_buffered(7)
+        ctl.note_buffered(3)
+        assert ctl.counters.peak_buffered == 7
+
+    def test_stats_shape(self):
+        ctl = controller()
+        ctl.admit("a")
+        stats = ctl.stats()
+        assert stats["admitted"] == 1
+        assert stats["credit"]["a"]["credit"] == 8
+        assert stats["paused"] is False
+        assert "frames_received" in stats
+
+
+class TestServeConfigValidation:
+    def test_rejects_bad_watermarks(self):
+        with pytest.raises(ConfigurationError):
+            ServeConfig(pause_low_water=100, pause_high_water=10)
+
+    def test_rejects_credit_batch_above_capacity(self):
+        with pytest.raises(ConfigurationError):
+            ServeConfig(queue_capacity=4, credit_batch=8)
+
+    def test_rejects_nonpositive_epoch(self):
+        with pytest.raises(ConfigurationError):
+            ServeConfig(epoch_length=0.0)

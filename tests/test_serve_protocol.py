@@ -1,0 +1,144 @@
+"""Wire-protocol tests: framing, round trips, and malformed input."""
+
+import struct
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import protocol
+from repro.serve.protocol import Frame, FrameDecoder, decode_frames
+from repro.streams.records import ReaderLocationReport, TagId, TagReading
+
+
+class TestRoundTrips:
+    def test_reading(self):
+        reading = TagReading(12.5, TagId.object(17))
+        (frame,) = decode_frames(protocol.encode_reading(9, reading))
+        assert frame.kind == protocol.READING
+        assert frame.seq == 9
+        assert frame.data == reading
+
+    def test_shelf_reading(self):
+        reading = TagReading(3.0, TagId.shelf(4))
+        (frame,) = decode_frames(protocol.encode_reading(1, reading))
+        assert frame.data.tag.is_shelf
+
+    def test_report_with_heading(self):
+        report = ReaderLocationReport(7.0, (1.0, 2.0, 3.0), heading=0.75)
+        (frame,) = decode_frames(protocol.encode_report(4, report))
+        assert frame.seq == 4
+        assert frame.data.position == (1.0, 2.0, 3.0)
+        assert frame.data.heading == pytest.approx(0.75)
+
+    def test_report_without_heading(self):
+        report = ReaderLocationReport(7.0, (1.0, 2.0, 0.0))
+        (frame,) = decode_frames(protocol.encode_report(4, report))
+        assert frame.data.heading is None
+
+    def test_hello_and_ack(self):
+        (hello,) = decode_frames(
+            protocol.encode_hello("source", source="s0", last_seq=12)
+        )
+        assert hello.data == {"role": "source", "source": "s0", "last_seq": 12}
+        (ack,) = decode_frames(protocol.encode_hello_ack(resume_seq=12, credit=64))
+        assert ack.data == {"resume_seq": 12, "credit": 64}
+
+    def test_flow_control(self):
+        (credit,) = decode_frames(protocol.encode_credit(128))
+        assert (credit.kind, credit.data) == (protocol.CREDIT, 128)
+        (pause,) = decode_frames(protocol.encode_pause())
+        assert pause.kind == protocol.PAUSE
+        (resume,) = decode_frames(protocol.encode_resume())
+        assert resume.kind == protocol.RESUME
+
+    def test_emit_and_ack(self):
+        line = b'{"offset":3,"query":"q"}'
+        (emit,) = decode_frames(protocol.encode_emit(3, line))
+        assert (emit.kind, emit.data, emit.line) == (protocol.EMIT, 3, line)
+        (ack,) = decode_frames(protocol.encode_ack(3))
+        assert (ack.kind, ack.data) == (protocol.ACK, 3)
+
+    def test_stats_and_error(self):
+        (req,) = decode_frames(protocol.encode_stats_request())
+        assert req.kind == protocol.STATS
+        (reply,) = decode_frames(protocol.encode_stats_reply({"epochs": 5}))
+        assert reply.data == {"epochs": 5}
+        (err,) = decode_frames(protocol.encode_error("boom"))
+        assert err.data == {"error": "boom"}
+
+    def test_source_end(self):
+        (end,) = decode_frames(protocol.encode_source_end())
+        assert end.kind == protocol.SOURCE_END
+
+    def test_frame_name(self):
+        assert Frame(protocol.READING).name == "READING"
+        assert "99" in Frame(99).name
+
+
+class TestIncrementalDecoding:
+    def test_byte_at_a_time(self):
+        payload = protocol.encode_reading(1, TagReading(1.0, TagId.object(2)))
+        payload += protocol.encode_credit(5)
+        decoder = FrameDecoder()
+        frames = []
+        for i in range(len(payload)):
+            frames.extend(decoder.feed_frames(payload[i : i + 1]))
+        assert [f.kind for f in frames] == [protocol.READING, protocol.CREDIT]
+        assert decoder.buffered == 0
+
+    def test_partial_tail_stays_buffered(self):
+        data = protocol.encode_credit(1) + protocol.encode_credit(2)[:3]
+        decoder = FrameDecoder()
+        frames = decoder.feed_frames(data)
+        assert [f.data for f in frames] == [1]
+        assert decoder.buffered == 3
+
+    def test_many_frames_one_chunk(self):
+        chunk = b"".join(protocol.encode_credit(i) for i in range(50))
+        assert [f.data for f in decode_frames(chunk)] == list(range(50))
+
+
+class TestMalformedInput:
+    def test_zero_length_frame(self):
+        with pytest.raises(ServeError, match="zero-length"):
+            decode_frames(struct.pack("!I", 0))
+
+    def test_oversized_frame(self):
+        data = struct.pack("!I", 1 << 21) + b"\x03"
+        with pytest.raises(ServeError, match="exceeds"):
+            FrameDecoder(max_frame_bytes=1 << 20).feed_frames(data)
+
+    def test_unknown_frame_type(self):
+        with pytest.raises(ServeError, match="unknown frame type"):
+            decode_frames(struct.pack("!I", 1) + bytes([200]))
+
+    def test_truncated_struct_payload(self):
+        with pytest.raises(ServeError, match="malformed"):
+            decode_frames(struct.pack("!I", 4) + bytes([protocol.READING]) + b"abc")
+
+    def test_bad_json_payload(self):
+        bad = b"not json"
+        data = struct.pack("!I", len(bad) + 1) + bytes([protocol.HELLO]) + bad
+        with pytest.raises(ServeError, match="malformed"):
+            decode_frames(data)
+
+    def test_non_object_json_payload(self):
+        bad = b"[1, 2]"
+        data = struct.pack("!I", len(bad) + 1) + bytes([protocol.HELLO]) + bad
+        with pytest.raises(ServeError, match="not an object"):
+            decode_frames(data)
+
+    def test_payload_on_empty_frame(self):
+        data = struct.pack("!I", 2) + bytes([protocol.PAUSE]) + b"x"
+        with pytest.raises(ServeError, match="carries a payload"):
+            decode_frames(data)
+
+    def test_unknown_tag_kind_code(self):
+        payload = struct.pack("!QdBI", 1, 0.0, 9, 1)
+        data = struct.pack("!I", len(payload) + 1) + bytes([protocol.READING])
+        with pytest.raises(ServeError, match="tag kind"):
+            decode_frames(data + payload)
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(ServeError, match="trailing"):
+            decode_frames(protocol.encode_credit(1) + b"\x00")

@@ -1,0 +1,221 @@
+"""Watermark alignment tests: batch parity, sequencing, resume snapshots."""
+
+import pytest
+
+from repro.errors import ServeError, StreamError
+from repro.serve.watermark import WatermarkAligner
+from repro.streams.records import ReaderLocationReport, TagId, TagReading
+from repro.streams.synchronize import synchronize
+
+
+def reading(t, number):
+    return TagReading(t, TagId.object(number))
+
+
+def report(t, x=0.0, y=0.0):
+    return ReaderLocationReport(t, (x, y, 0.0))
+
+
+def feed(aligner, name, records, start_seq=0):
+    for i, record in enumerate(records):
+        aligner.push(name, start_seq + i + 1, record)
+
+
+class TestBatchParity:
+    def test_single_source_matches_batch_synchronize(self):
+        readings = [reading(0.2, 1), reading(1.4, 2), reading(2.6, 3)]
+        reports = [report(0.1, 1.0), report(1.1, 2.0), report(2.8, 3.0)]
+        expected = synchronize(readings, reports)
+
+        aligner = WatermarkAligner(epoch_length=1.0)
+        aligner.register("s0")
+        merged = sorted(readings + reports, key=lambda r: r.time)
+        feed(aligner, "s0", merged)
+        aligner.end_source("s0")
+        got = [a.epoch for a in aligner.poll()]
+        assert got == expected
+
+    def test_two_interleaved_sources_match_union(self):
+        a = [reading(0.1, 1), reading(1.3, 1), reading(3.2, 1)]
+        b = [report(0.2, 1.0), report(2.1, 2.0), report(3.4, 3.0)]
+        expected = synchronize(a, b)
+
+        aligner = WatermarkAligner(epoch_length=1.0)
+        aligner.register("a")
+        aligner.register("b")
+        # Interleave pushes adversarially: all of a first, then b.
+        feed(aligner, "a", a)
+        assert aligner.poll() == []  # b has sent nothing: watermark at -inf
+        feed(aligner, "b", b)
+        aligner.end_source("a")
+        aligner.end_source("b")
+        got = [al.epoch for al in aligner.poll()]
+        assert got == expected
+
+    def test_incremental_release_behind_watermark(self):
+        aligner = WatermarkAligner(epoch_length=1.0)
+        aligner.register("a")
+        aligner.register("b")
+        aligner.push("a", 1, reading(0.5, 1))
+        aligner.push("a", 2, reading(5.5, 1))
+        aligner.push("b", 1, report(0.4))
+        # b's frontier is 0.4: nothing past epoch 0 may be released, and
+        # epoch 0 itself is not closed until the watermark passes its end.
+        assert aligner.poll() == []
+        aligner.push("b", 2, report(3.9))
+        released = aligner.poll()
+        assert [a.epoch.time for a in released] == [0.0, 1.0, 2.0]
+        assert aligner.watermark() == pytest.approx(3.9)
+
+
+class TestSequencing:
+    def test_gap_raises(self):
+        aligner = WatermarkAligner()
+        aligner.register("s")
+        aligner.push("s", 1, reading(0.0, 1))
+        with pytest.raises(ServeError, match="skipped"):
+            aligner.push("s", 3, reading(1.0, 1))
+
+    def test_replay_is_deduplicated(self):
+        aligner = WatermarkAligner()
+        aligner.register("s")
+        assert aligner.push("s", 1, reading(0.0, 1)) is True
+        assert aligner.push("s", 1, reading(0.0, 1)) is False
+        assert aligner.push("s", 2, reading(0.5, 1)) is True
+        assert aligner.stats()["sources"]["s"]["deduped"] == 1
+
+    def test_time_regression_raises(self):
+        aligner = WatermarkAligner()
+        aligner.register("s")
+        aligner.push("s", 1, reading(5.0, 1))
+        with pytest.raises(StreamError, match="backwards"):
+            aligner.push("s", 2, reading(4.0, 1))
+
+    def test_resume_seqs_set_the_dedupe_floor(self):
+        aligner = WatermarkAligner(resume_seqs={"s": 10})
+        assert aligner.register("s") == 10
+        assert aligner.push("s", 10, reading(0.0, 1)) is False
+        assert aligner.push("s", 11, reading(0.0, 1)) is True
+
+    def test_reregister_returns_high_seq(self):
+        aligner = WatermarkAligner()
+        aligner.register("s")
+        feed(aligner, "s", [reading(0.0, 1), reading(1.0, 1)])
+        assert aligner.register("s") == 2  # reconnect resumes after seq 2
+
+    def test_push_after_end_raises(self):
+        aligner = WatermarkAligner()
+        aligner.register("s")
+        aligner.end_source("s")
+        with pytest.raises(ServeError, match="after SOURCE_END"):
+            aligner.push("s", 1, reading(0.0, 1))
+
+    def test_unknown_source_raises(self):
+        with pytest.raises(ServeError, match="unknown source"):
+            WatermarkAligner().push("ghost", 1, reading(0.0, 1))
+
+    def test_late_joiner_behind_the_fed_watermark_raises(self):
+        """A source whose HELLO lands after the watermark already released
+        its data cannot be merged: its epochs may be emitted.  The push is
+        that source's protocol error, not a service crash."""
+        aligner = WatermarkAligner(epoch_length=1.0)
+        aligner.register("a")
+        aligner.push("a", 1, reading(0.5, 1))
+        aligner.push("a", 2, reading(5.5, 1))
+        released = aligner.poll()  # watermark 5.5: epochs 0..4 fed & released
+        assert [al.epoch.time for al in released] == [0.0, 1.0, 2.0, 3.0, 4.0]
+        aligner.register("b")
+        with pytest.raises(ServeError, match="joined behind"):
+            aligner.push("b", 1, reading(2.0, 2))
+
+    def test_joiner_at_the_fed_boundary_is_accepted(self):
+        """A record exactly at the fed watermark is safe: its epoch is not
+        yet released and the synchronizer allows equal per-kind times."""
+        aligner = WatermarkAligner(epoch_length=1.0)
+        aligner.register("a")
+        aligner.push("a", 1, reading(0.5, 1))
+        aligner.push("a", 2, reading(5.5, 1))
+        aligner.poll()
+        aligner.register("b")
+        assert aligner.push("b", 1, reading(5.5, 2)) is True
+        aligner.end_source("a")
+        aligner.end_source("b")
+        released = aligner.poll()
+        assert released[-1].epoch.time == pytest.approx(5.0)
+        assert len(released[-1].epoch.object_tags) == 2
+
+    def test_register_after_finish_raises(self):
+        aligner = WatermarkAligner()
+        aligner.register("s")
+        aligner.push("s", 1, reading(0.0, 1))
+        aligner.end_source("s")
+        aligner.poll()
+        assert aligner.finished
+        with pytest.raises(ServeError, match="flushed"):
+            aligner.register("t")
+
+
+class TestConsumedSnapshots:
+    def test_source_seqs_attribute_per_epoch(self):
+        aligner = WatermarkAligner(epoch_length=1.0)
+        aligner.register("a")
+        aligner.register("b")
+        aligner.push("a", 1, reading(0.2, 1))
+        aligner.push("a", 2, reading(1.2, 1))
+        aligner.push("a", 3, reading(2.2, 1))
+        aligner.push("b", 1, report(0.1))
+        aligner.push("b", 2, report(2.4))
+        released = aligner.poll()
+        assert [a.epoch.time for a in released] == [0.0, 1.0]
+        # After epoch 0: a consumed seq 1, b consumed seq 1.
+        assert released[0].source_seqs == {"a": 1, "b": 1}
+        # After epoch 1: a consumed seq 2; b's seq-2 report (t=2.4) belongs
+        # to epoch 2, still unconsumed.
+        assert released[1].source_seqs == {"a": 2, "b": 1}
+        assert released[0].index == 0 and released[1].index == 1
+
+    def test_take_consumed_feeds_credit_refills(self):
+        aligner = WatermarkAligner(epoch_length=1.0)
+        aligner.register("a")
+        feed(aligner, "a", [reading(0.1, 1), reading(0.2, 2), reading(3.0, 3)])
+        aligner.poll()
+        assert aligner.take_consumed() == {"a": 2}
+        assert aligner.take_consumed() == {}  # drained
+
+    def test_final_flush_folds_in_stragglers(self):
+        aligner = WatermarkAligner(epoch_length=1.0)
+        aligner.register("a")
+        feed(aligner, "a", [reading(0.1, 1), reading(0.9, 2)])
+        aligner.end_source("a")
+        released = aligner.poll()
+        assert released[-1].source_seqs == {"a": 2}
+        assert aligner.total_buffered() == 0
+
+    def test_resume_epoch_grid_continues(self):
+        aligner = WatermarkAligner(
+            epoch_length=1.0, origin=0.0, start_epoch_index=3, resume_seqs={"a": 5}
+        )
+        aligner.register("a")
+        aligner.push("a", 6, reading(3.2, 1))
+        aligner.push("a", 7, reading(4.6, 1))
+        released = aligner.poll()
+        assert [a.index for a in released] == [3]
+        assert released[0].epoch.time == pytest.approx(3.0)
+
+
+class TestIntrospection:
+    def test_stats_shape(self):
+        aligner = WatermarkAligner()
+        aligner.register("a")
+        aligner.push("a", 1, reading(0.5, 1))
+        stats = aligner.stats()
+        assert stats["sources"]["a"]["queue_depth"] == 1
+        assert stats["sources"]["a"]["last_seq"] == 1
+        assert stats["buffered_frames"] == 1
+        assert stats["watermark"] == pytest.approx(0.5)
+        assert stats["finished"] is False
+
+    def test_watermark_infinities_become_none(self):
+        aligner = WatermarkAligner()
+        aligner.register("a")
+        assert aligner.stats()["watermark"] is None  # nothing sent: -inf

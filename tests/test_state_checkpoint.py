@@ -446,6 +446,56 @@ class TestPeriodicCheckpoints:
             n for n in os.listdir(tmp_path) if n.startswith("epoch_")
         ) == ["epoch_00000004", "epoch_00000005"]
 
+    def test_rotation_tolerates_concurrently_deleted_victim(
+        self, tmp_path, monkeypatch
+    ):
+        """A rotation victim vanishing mid-delete (a drain-time rotation
+        racing the periodic one) is success, not failure."""
+        import repro.state.checkpoint as checkpoint_module
+
+        for n in (1, 2, 3):
+            os.makedirs(tmp_path / f"epoch_{n:08d}")
+        real_rmtree = checkpoint_module.shutil.rmtree
+
+        def racing_rmtree(path, *args, **kwargs):
+            if os.path.basename(str(path)) == "epoch_00000001":
+                real_rmtree(path)  # the other rotation got there first
+                raise FileNotFoundError(path)
+            return real_rmtree(path, *args, **kwargs)
+
+        monkeypatch.setattr(checkpoint_module.shutil, "rmtree", racing_rmtree)
+        removed = rotate_checkpoints(tmp_path, keep=1)
+        assert [os.path.basename(p) for p in removed] == ["epoch_00000002"]
+        assert sorted(os.listdir(tmp_path)) == ["epoch_00000003"]
+
+    def test_latest_checkpoint_survives_a_torn_pointer(self, tmp_path):
+        """A kill -9 can leave LATEST empty (torn mid-write) or pointing at
+        a checkpoint that never finished its rename; completed checkpoints
+        are crash-consistent, so resolution falls back to the newest one."""
+        self._fake_checkpoint(tmp_path, 3, "full")
+        self._fake_checkpoint(tmp_path, 5, "full")
+        os.makedirs(tmp_path / "epoch_00000007.tmp")  # torn mid-save
+
+        (tmp_path / "LATEST").write_text("")  # torn mid-write
+        latest = latest_checkpoint(tmp_path)
+        assert latest is not None
+        assert os.path.basename(latest) == "epoch_00000005"
+
+        (tmp_path / "LATEST").write_text("epoch_00000099\n")  # dangling
+        assert os.path.basename(latest_checkpoint(tmp_path)) == "epoch_00000005"
+
+        (tmp_path / "LATEST").write_text("epoch_00000003\n")  # intact wins
+        assert os.path.basename(latest_checkpoint(tmp_path)) == "epoch_00000003"
+
+    def test_latest_checkpoint_missing_pointer_finds_completed_save(self, tmp_path):
+        """The crash window between a checkpoint's rename and the pointer
+        move: no LATEST at all, but a complete checkpoint on disk."""
+        self._fake_checkpoint(tmp_path, 2, "full")
+        assert os.path.basename(latest_checkpoint(tmp_path)) == "epoch_00000002"
+        assert latest_checkpoint(tmp_path / "missing") is None
+        (tmp_path / "epoch_00000002" / "manifest.json").unlink()
+        assert latest_checkpoint(tmp_path) is None
+
     def test_rotation_guard_end_to_end_with_periodic_deltas(
         self, scenario, tmp_path
     ):

@@ -118,3 +118,83 @@ class TestOnlineSynchronizer:
             [reading(2.3, 1)], [report(2.9)], epoch_length=1.0
         )
         assert epochs[0].time == pytest.approx(2.0)
+
+
+class TestFlushLifecycle:
+    def test_flush_is_idempotent(self):
+        sync = EpochSynchronizer()
+        sync.push_reading(reading(0.5, 1))
+        assert len(sync.flush()) == 1
+        assert sync.flush() == []
+        assert sync.flush() == []
+
+    def test_flush_on_empty_synchronizer_is_idempotent(self):
+        sync = EpochSynchronizer()
+        assert sync.flush() == []
+        assert sync.flush() == []
+
+    def test_push_reading_after_flush_raises(self):
+        sync = EpochSynchronizer()
+        sync.push_reading(reading(0.5, 1))
+        sync.flush()
+        with pytest.raises(StreamError, match="flush"):
+            sync.push_reading(reading(5.0, 2))
+
+    def test_push_report_after_flush_raises(self):
+        sync = EpochSynchronizer()
+        sync.push_report(report(0.5))
+        sync.flush()
+        with pytest.raises(StreamError, match="flush"):
+            sync.push_report(report(5.0))
+
+
+class TestResumeSeek:
+    def test_seek_continues_the_epoch_grid(self):
+        sync = EpochSynchronizer(epoch_length=1.0, start_time=0.0)
+        sync.seek(3)
+        assert sync.next_epoch_index == 3
+        sync.push_reading(reading(3.4, 1))
+        epochs = sync.flush()
+        assert len(epochs) == 1
+        assert epochs[0].time == pytest.approx(3.0)
+
+    def test_seek_requires_explicit_origin(self):
+        with pytest.raises(StreamError, match="start_time"):
+            EpochSynchronizer().seek(2)
+
+    def test_seek_after_use_raises(self):
+        sync = EpochSynchronizer(start_time=0.0)
+        sync.push_reading(reading(0.5, 1))
+        with pytest.raises(StreamError, match="already in use"):
+            sync.seek(1)
+
+    def test_negative_seek_raises(self):
+        with pytest.raises(StreamError, match=">= 0"):
+            EpochSynchronizer(start_time=0.0).seek(-1)
+
+    def test_origin_tracks_first_record_floor(self):
+        sync = EpochSynchronizer(epoch_length=1.0)
+        assert sync.origin is None
+        sync.push_reading(reading(7.3, 1))
+        assert sync.origin == pytest.approx(7.0)
+
+
+class TestExternalWatermark:
+    def test_upto_releases_epochs_a_lagging_kind_would_hold(self):
+        # Only readings arrive; the internal per-kind watermark stays at
+        # -inf for reports, but an external watermark releases anyway.
+        sync = EpochSynchronizer(epoch_length=1.0)
+        sync.push_reading(reading(0.5, 1))
+        sync.push_reading(reading(2.5, 2))
+        assert sync.ready_epochs() == []
+        released = sync.ready_epochs(upto=2.5)
+        assert [e.time for e in released] == [0.0, 1.0]
+
+    def test_record_exactly_at_upto_is_not_released_early(self):
+        # A time-t record belongs to the epoch starting at t, which ends
+        # after the watermark — it must stay buffered.
+        sync = EpochSynchronizer(epoch_length=1.0)
+        sync.push_reading(reading(2.0, 1))
+        assert sync.ready_epochs(upto=2.0) == []
+        epochs = sync.flush()
+        assert {t.number for t in epochs[-1].object_tags} == {1}
