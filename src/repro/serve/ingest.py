@@ -16,12 +16,14 @@ every lifecycle event and sends whatever frames it decides:
   buffered frames across all sources cross ``pause_high_water`` the service
   PAUSEs every source (even those with credit), and RESUMEs once the
   backlog drains below ``pause_low_water`` — or, since the backlog can only
-  drain as far as the watermark allows, as soon as the pump has consumed
-  everything releasable (:meth:`IngestController.force_resume`; staying
-  paused with nothing left to drain would deadlock).  Credits and pause
-  compose:
-  memory stays bounded by ``min(sources * queue_capacity, high_water +
-  sources * one batch)`` regardless of how fast clients push.
+  drain as far as the watermark allows, once nothing releasable remains
+  (:meth:`IngestController.force_resume`, gated by the service on the
+  aligner's ``has_releasable``; staying paused with only the unreleasable
+  residue above the watermark left would deadlock the stream).  The hard
+  memory bound is the credit windows — ``sources * queue_capacity``
+  buffered frames regardless of how fast clients push; the pause is a
+  drain accelerator beneath that bound, not a tighter guarantee, because
+  the forced release re-opens the windows whenever the watermark starves.
 """
 
 from __future__ import annotations
@@ -182,9 +184,10 @@ class IngestController:
         drained every releasable epoch the remaining backlog (records above
         the watermark plus the open boundary epoch) cannot shrink further
         without client input — staying paused there would deadlock the
-        stream.  The service calls this at the end of each pump pass; the
-        high-water brake re-engages on the next burst.  Returns True when a
-        pause was actually cleared.
+        stream.  The service calls this at the end of a pump pass *only*
+        when the aligner reports nothing releasable left; the high-water
+        brake re-engages on the next burst.  Returns True when a pause was
+        actually cleared.
         """
         if not self._paused:
             return False

@@ -51,7 +51,7 @@ from ..config import (
     RuntimeConfig,
     ServeConfig,
 )
-from ..errors import ServeError, StateError
+from ..errors import ReproError, ServeError, StateError
 from ..query import (
     MultiplexedQueryEngine,
     location_update_query,
@@ -351,11 +351,15 @@ class ReproService:
             self._grant_withheld()
 
     def _release_pause_if_drained(self) -> None:
-        """End of a pump pass: everything releasable has been consumed, so
-        a still-standing pause can never clear on its own — the watermark
-        needs new frames to advance.  Resume the sources and hand out any
-        credit the pause withheld; the high-water brake re-arms on the next
-        burst."""
+        """End of a pump pass: if nothing releasable remains, a standing
+        pause can never clear on its own — the watermark needs new frames
+        to advance, which the pause forbids.  Resume the sources and hand
+        out any credit the pause withheld; the high-water brake re-arms on
+        the next burst.  While releasable work *does* remain (frames can
+        arrive during the pass's awaits), the pause stands so the backlog
+        keeps draining toward ``pause_low_water``."""
+        if self.aligner.has_releasable():
+            return
         if not self.ingest.force_resume():
             return
         frame = protocol.encode_resume()
@@ -446,7 +450,11 @@ class ReproService:
                     break
                 for frame in decoder.feed_frames(chunk):
                     await self._dispatch(frame, state, writer)
-        except ServeError as exc:
+        except ReproError as exc:
+            # Not just ServeError: client input also reaches StreamError
+            # (backwards-in-time record) and StateError (ack beyond the
+            # log); every library fault earns an ERROR frame, not an
+            # unhandled task exception.
             try:
                 writer.write(protocol.encode_error(str(exc)))
                 await writer.drain()
@@ -538,7 +546,14 @@ class ReproService:
             if not name or not isinstance(name, str):
                 raise ServeError("source HELLO needs a source name")
             resume_seq = self.aligner.register(name)
-            credit = self.ingest.admit(name)
+            try:
+                credit = self.ingest.admit(name)
+            except ServeError:
+                # Roll the registration back: a rejected source must not
+                # stay in the aligner, where its -inf frontier would pin
+                # the low watermark and stall every admitted stream.
+                self.aligner.unregister(name)
+                raise
             state["role"] = "source"
             state["name"] = name
             self._source_writers[name] = writer
@@ -615,10 +630,24 @@ class ReproService:
         """Serve until end-of-stream (``exit_on_end``) or a drain signal."""
         if self.runtime is None:
             self.build()
-        try:  # a previous instance's stale socket would fail the bind
-            os.unlink(self.socket_path)
-        except OSError:
-            pass
+        if os.path.exists(self.socket_path):
+            # A dead instance's stale socket would fail the bind — but an
+            # unconditional unlink would silently steal a *live* instance's
+            # clients.  Probe first: only a refused connect proves the
+            # listener is gone and the path safe to reclaim.
+            try:
+                _, probe = await asyncio.open_unix_connection(self.socket_path)
+            except (ConnectionRefusedError, FileNotFoundError):
+                try:
+                    os.unlink(self.socket_path)
+                except OSError:
+                    pass
+            else:
+                probe.close()
+                raise ServeError(
+                    f"another service is already listening on "
+                    f"{self.socket_path}"
+                )
         loop = asyncio.get_running_loop()
         installed: List[int] = []
         for sig in (signal.SIGTERM, signal.SIGINT):

@@ -148,6 +148,24 @@ class WatermarkAligner:
             raise ServeError(f"source {name!r} already ended its stream")
         return source.last_seq
 
+    def unregister(self, name: str) -> None:
+        """Forget a source that holds no data — the admission-failure path.
+
+        ``register`` precedes admission control in the service's HELLO
+        handling; when admission then rejects the source the registration
+        must be rolled back, or its ``-inf`` frontier would pin the low
+        watermark forever (nothing ever unregisters a rejected connection).
+        Only pristine sources are removed: one with buffered or in-flight
+        records, an accepted frontier, or an ended stream holds real state
+        a reconnect must resume, and is kept.
+        """
+        source = self._sources.get(name)
+        if source is None or source.ended:
+            return
+        if source.pending or source.infly or source.frontier > -float("inf"):
+            return
+        del self._sources[name]
+
     def end_source(self, name: str) -> None:
         """The source's stream is complete; it stops holding the watermark."""
         source = self._require(name)
@@ -269,6 +287,30 @@ class WatermarkAligner:
                     source.unclaimed += 1
                 out[-1].source_seqs[source.name] = source.consumed_seq
         return out
+
+    def has_releasable(self) -> bool:
+        """True when another :meth:`poll` would release work right now.
+
+        That is the case when some pending record sits at or below the
+        current watermark, when the watermark advanced past what was last
+        fed (already-fed records may complete an epoch the synchronizer was
+        holding), or when every source has ended and the terminal flush is
+        still owed.  The service's pause release is gated on this: a global
+        pause persists while the backlog can still drain, and is only
+        force-cleared once the residue above the watermark is all that
+        remains (which no amount of waiting shrinks).
+        """
+        if self._finished or not self._sources:
+            return False
+        watermark = self.watermark()
+        if watermark == float("inf"):
+            return True  # terminal flush pending
+        if watermark > self._fed_upto:
+            return True
+        return any(
+            s.pending and s.pending[0][1] <= watermark
+            for s in self._sources.values()
+        )
 
     def take_consumed(self) -> Dict[str, int]:
         """Frames consumed into epochs since the last call, per source —

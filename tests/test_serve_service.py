@@ -33,10 +33,12 @@ from repro.query import (
     standing_region_queries,
 )
 from repro.runtime import QueryBridge, ShardedRuntime
-from repro.serve import EmissionTail, ReplaySource, ReproService
+from repro.serve import EmissionTail, ReplaySource, ReproService, protocol
 from repro.serve.client import fetch_stats_async
+from repro.serve.protocol import FrameDecoder
 from repro.serve.service import STANDING_BOUNDS, _json_scalar
 from repro.serve.sink import encode_emission
+from repro.streams.records import TagId, TagReading
 from repro.simulation.layout import LayoutConfig
 from repro.simulation.truth_sensor import ConeTruthSensor
 from repro.simulation.warehouse import WarehouseConfig, WarehouseSimulator
@@ -233,6 +235,130 @@ class TestEndToEnd:
         assert stats["shards"]["count"] == 2
         assert stats["resumed_from"] is None
         assert stats["uptime_s"] > 0
+
+
+async def open_session(path, hello):
+    reader, writer = await asyncio.open_unix_connection(path)
+    writer.write(hello)
+    await writer.drain()
+    return reader, writer, FrameDecoder()
+
+
+async def next_frame_of(reader, decoder, kind, timeout=20):
+    """Read frames until one of ``kind`` arrives (EOF before it fails)."""
+    while True:
+        chunk = await asyncio.wait_for(reader.read(1 << 16), timeout)
+        assert chunk, f"connection closed before a {protocol.FRAME_NAMES[kind]}"
+        for frame in decoder.feed_frames(chunk):
+            if frame.kind == kind:
+                return frame
+
+
+class TestConnectionFaults:
+    def test_admission_reject_does_not_pin_the_watermark(
+        self, scenario, expected_log, tmp_path
+    ):
+        """A source rejected at the admission limit must be rolled out of
+        the aligner — before the fix its -inf frontier pinned the low
+        watermark forever and this test hung instead of completing."""
+        trace, _, _ = scenario
+        serve = ServeConfig(
+            epoch_length=1.0, queue_capacity=64, credit_batch=8, max_sources=2
+        )
+        service = make_service(scenario, tmp_path, serve=serve)
+
+        async def main():
+            ready = asyncio.Event()
+            task = asyncio.create_task(service.run_async(ready))
+            await ready.wait()
+            # Fill the admission table with the two names the replay uses.
+            held = []
+            for name in ("src0", "src1"):
+                r, w, d = await open_session(
+                    service.socket_path, protocol.encode_hello("source", source=name)
+                )
+                await next_frame_of(r, d, protocol.HELLO_ACK)
+                held.append(w)
+            # One HELLO too many: rejected with an ERROR, not admitted.
+            r, w, d = await open_session(
+                service.socket_path, protocol.encode_hello("source", source="late")
+            )
+            error = await next_frame_of(r, d, protocol.ERROR)
+            assert "admission limit" in error.data["error"]
+            w.close()
+            for writer in held:  # disconnect; the replay resumes the names
+                writer.close()
+            report = await ReplaySource(
+                service.socket_path, trace, n_sources=2
+            ).run_async()
+            await asyncio.wait_for(task, timeout=60)
+            return report
+
+        report = asyncio.run(main())
+        assert len(report) == 2
+        # The rejected source left no trace in the aligner, and the stream
+        # ran to completion byte-identically despite the rejection.
+        assert "late" not in service.aligner.source_names()
+        assert service.ingest.counters.admission_rejects == 1
+        assert (tmp_path / "emissions.jsonl").read_bytes() == expected_log
+
+    def test_library_errors_reach_the_client_as_error_frames(
+        self, scenario, tmp_path
+    ):
+        """StreamError (backwards-in-time record) and StateError (ack
+        beyond the log) must earn ERROR frames like ServeError does, not
+        die as unhandled exceptions in the connection task."""
+        service = make_service(scenario, tmp_path, exit_on_end=False)
+
+        async def main():
+            ready = asyncio.Event()
+            task = asyncio.create_task(service.run_async(ready))
+            await ready.wait()
+
+            r, w, d = await open_session(
+                service.socket_path, protocol.encode_hello("source", source="bad")
+            )
+            await next_frame_of(r, d, protocol.HELLO_ACK)
+            w.write(protocol.encode_reading(1, TagReading(5.0, TagId.object(1))))
+            w.write(protocol.encode_reading(2, TagReading(4.0, TagId.object(1))))
+            await w.drain()
+            stream_error = await next_frame_of(r, d, protocol.ERROR)
+
+            r, w, d = await open_session(
+                service.socket_path, protocol.encode_hello("subscribe")
+            )
+            await next_frame_of(r, d, protocol.HELLO_ACK)
+            w.write(protocol.encode_ack(999))
+            await w.drain()
+            state_error = await next_frame_of(r, d, protocol.ERROR)
+
+            service.request_drain()
+            await asyncio.wait_for(task, timeout=60)
+            return stream_error, state_error
+
+        stream_error, state_error = asyncio.run(main())
+        assert "backwards in time" in stream_error.data["error"]
+        assert "beyond the log" in state_error.data["error"]
+
+    def test_live_socket_is_not_stolen(self, scenario, tmp_path):
+        """Binding over a live instance's socket must fail fast instead of
+        silently unlinking it and stealing its clients."""
+        service = make_service(scenario, tmp_path, exit_on_end=False)
+        rival = make_service(scenario, tmp_path, exit_on_end=False)
+
+        async def main():
+            ready = asyncio.Event()
+            task = asyncio.create_task(service.run_async(ready))
+            await ready.wait()
+            with pytest.raises(ServeError, match="already listening"):
+                await rival.run_async()
+            # The incumbent is unharmed and still answering.
+            stats = await fetch_stats_async(service.socket_path)
+            assert stats["uptime_s"] > 0
+            service.request_drain()
+            await asyncio.wait_for(task, timeout=60)
+
+        asyncio.run(main())
 
 
 class TestDrainResume:

@@ -68,6 +68,81 @@ class TestBatchParity:
         assert aligner.watermark() == pytest.approx(3.9)
 
 
+class TestUnregister:
+    def test_rejected_pristine_source_stops_pinning_the_watermark(self):
+        aligner = WatermarkAligner(epoch_length=1.0)
+        aligner.register("a")
+        aligner.register("reject")
+        feed(aligner, "a", [reading(0.5, 1), reading(3.5, 1)])
+        assert aligner.poll() == []  # reject's -inf frontier pins release
+        aligner.unregister("reject")
+        assert "reject" not in aligner.source_names()
+        assert [al.epoch.time for al in aligner.poll()] == [0.0, 1.0, 2.0]
+
+    def test_source_with_buffered_data_is_kept(self):
+        aligner = WatermarkAligner()
+        aligner.register("s")
+        aligner.push("s", 1, reading(0.5, 1))
+        aligner.unregister("s")
+        assert "s" in aligner.source_names()
+
+    def test_source_with_an_accepted_frontier_is_kept(self):
+        aligner = WatermarkAligner(epoch_length=1.0)
+        aligner.register("a")
+        aligner.register("b")
+        feed(aligner, "a", [reading(0.5, 1)])
+        feed(aligner, "b", [report(2.5)])
+        aligner.poll()  # a's only record is consumed; its queues are empty
+        aligner.unregister("a")
+        assert "a" in aligner.source_names()
+
+    def test_ended_source_is_kept(self):
+        aligner = WatermarkAligner()
+        aligner.register("s")
+        aligner.end_source("s")
+        aligner.unregister("s")
+        assert "s" in aligner.source_names()
+
+    def test_unknown_source_is_a_no_op(self):
+        WatermarkAligner().unregister("ghost")
+
+
+class TestHasReleasable:
+    def test_empty_and_silent_sources_have_nothing(self):
+        aligner = WatermarkAligner()
+        assert aligner.has_releasable() is False
+        aligner.register("s")
+        assert aligner.has_releasable() is False  # watermark still at -inf
+
+    def test_pending_at_or_below_the_watermark(self):
+        aligner = WatermarkAligner(epoch_length=1.0)
+        aligner.register("s")
+        aligner.push("s", 1, reading(0.5, 1))
+        assert aligner.has_releasable() is True
+        aligner.poll()
+        # Only the open boundary epoch remains; no poll can release it.
+        assert aligner.has_releasable() is False
+
+    def test_one_silent_source_starves_the_release(self):
+        aligner = WatermarkAligner(epoch_length=1.0)
+        aligner.register("a")
+        aligner.register("b")
+        feed(aligner, "a", [reading(0.5, 1), reading(3.5, 1)])
+        # b pins the watermark at -inf: a's backlog is unreleasable, so a
+        # standing pause must be force-cleared (deadlock otherwise).
+        assert aligner.has_releasable() is False
+
+    def test_terminal_flush_counts_until_it_runs(self):
+        aligner = WatermarkAligner(epoch_length=1.0)
+        aligner.register("s")
+        aligner.push("s", 1, reading(0.5, 1))
+        aligner.end_source("s")
+        assert aligner.has_releasable() is True  # flush still owed
+        aligner.poll()
+        assert aligner.finished
+        assert aligner.has_releasable() is False
+
+
 class TestSequencing:
     def test_gap_raises(self):
         aligner = WatermarkAligner()
