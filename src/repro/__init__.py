@@ -37,8 +37,10 @@ from .config import (
     RuntimeConfig,
     ServeConfig,
     SpatialIndexConfig,
+    SupervisorConfig,
 )
 from .errors import (
+    ClientConnectError,
     ConfigurationError,
     GeometryError,
     InferenceError,
@@ -49,6 +51,8 @@ from .errors import (
     SimulationError,
     StateError,
     StreamError,
+    WorkerError,
+    WorkerTimeout,
 )
 from .eval import (
     ErrorSummary,
@@ -61,6 +65,7 @@ from .eval import (
     run_smurf,
     run_uniform,
 )
+from .faults import FaultPlan, FaultRule
 from .geometry import Box, Cone, ShelfRegion, ShelfSet
 from .inference import (
     CleaningPipeline,
@@ -136,6 +141,7 @@ __all__ = [
     "CompressionConfig",
     "Cone",
     "ConeTruthSensor",
+    "ClientConnectError",
     "ConfigurationError",
     "ContinuousQuery",
     "DEFAULT_SENSOR_PARAMS",
@@ -143,6 +149,8 @@ __all__ = [
     "Epoch",
     "EventBus",
     "ErrorSummary",
+    "FaultPlan",
+    "FaultRule",
     "FactoredParticleFilter",
     "GaussianBelief",
     "GeometryError",
@@ -188,6 +196,7 @@ __all__ = [
     "SphericalTruthSensor",
     "StateError",
     "StreamError",
+    "SupervisorConfig",
     "SystemResult",
     "TagId",
     "TagReading",
@@ -196,6 +205,8 @@ __all__ = [
     "UniformSampler",
     "WarehouseConfig",
     "WarehouseSimulator",
+    "WorkerError",
+    "WorkerTimeout",
     "calibrate",
     "error_reduction",
     "fire_code_query",

@@ -53,7 +53,9 @@ from .config import (
     InferenceConfig,
     OutputPolicyConfig,
     RuntimeConfig,
+    SupervisorConfig,
 )
+from .faults import install_from_env
 from .eval import run_factored, run_smurf, run_uniform
 from .eval.report import format_table
 from .learning import fit_sensor_supervised
@@ -413,6 +415,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="per-source records/second pacing (0 = as fast as credit allows)",
     )
+    replay.add_argument(
+        "--connect-retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry a refused/missing socket N times with backoff",
+    )
 
     tail = sub.add_parser(
         "tail", help="subscribe to a service's emission stream into a file"
@@ -424,11 +433,34 @@ def _build_parser() -> argparse.ArgumentParser:
         required=True,
         help="output JSONL file; restarting resumes from its line count",
     )
+    tail.add_argument(
+        "--reconnect",
+        type=int,
+        default=0,
+        metavar="N",
+        help="survive a service bounce: after the server closes, retry up "
+        "to N consecutive times with backoff, resuming from the output "
+        "file's line count (any delivered line refills the budget)",
+    )
+    tail.add_argument(
+        "--connect-retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry a refused/missing socket N times with backoff",
+    )
 
     sstats = sub.add_parser(
         "serve-stats", help="print a running service's metrics snapshot"
     )
     sstats.add_argument("--socket", type=str, required=True)
+    sstats.add_argument(
+        "--connect-retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry a refused/missing socket N times with backoff",
+    )
 
     ev = sub.add_parser("evaluate", help="score ours vs SMURF vs uniform on a trace")
     ev.add_argument("trace", type=str)
@@ -472,6 +504,28 @@ def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
         choices=["hash", "mod"],
         help="tag-to-shard assignment scheme",
     )
+    parser.add_argument(
+        "--supervise",
+        action="store_true",
+        help="self-heal dead or hung shard workers (--executor process): "
+        "respawn, restore from the last checkpoint, replay the event "
+        "suffix, and continue — output stays byte-identical",
+    )
+    parser.add_argument(
+        "--max-restarts",
+        type=int,
+        default=3,
+        metavar="N",
+        help="per-shard restart budget before the supervisor aborts the run",
+    )
+    parser.add_argument(
+        "--op-timeout",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="deadline for one worker protocol op under supervision; a "
+        "hung-but-alive worker past it is killed and respawned",
+    )
     _add_executor_arguments(parser)
 
 
@@ -506,6 +560,12 @@ def _resolve_executor(args: argparse.Namespace, default: str = "serial") -> str:
 
 
 def _runtime_config(args: argparse.Namespace) -> RuntimeConfig:
+    supervisor = None
+    if getattr(args, "supervise", False):
+        supervisor = SupervisorConfig(
+            max_restarts=args.max_restarts,
+            op_timeout_s=args.op_timeout,
+        )
     return RuntimeConfig(
         n_shards=args.shards,
         partitioner=args.partitioner,
@@ -514,6 +574,7 @@ def _runtime_config(args: argparse.Namespace) -> RuntimeConfig:
         checkpoint_dir=getattr(args, "checkpoint_dir", None),
         checkpoint_mode=getattr(args, "checkpoint_mode", "full"),
         checkpoint_full_every=getattr(args, "checkpoint_full_every", 8),
+        supervisor=supervisor,
     )
 
 
@@ -1034,7 +1095,11 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 
     trace = _load_trace(args.trace)
     replay = ReplaySource(
-        args.socket, trace, n_sources=args.sources, rate=args.rate
+        args.socket,
+        trace,
+        n_sources=args.sources,
+        rate=args.rate,
+        connect_retries=args.connect_retries,
     )
     report = replay.run()
     for name in sorted(report):
@@ -1050,9 +1115,19 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 def _cmd_tail(args: argparse.Namespace) -> int:
     from .serve import EmissionTail
 
-    tail = EmissionTail(args.socket, args.out)
+    tail = EmissionTail(
+        args.socket,
+        args.out,
+        reconnect=args.reconnect,
+        connect_retries=args.connect_retries,
+    )
     received = tail.run()
-    print(f"wrote {args.out}: {received} new emissions")
+    note = (
+        f", {tail.reconnects_used} reconnects" if tail.reconnects_used else ""
+    )
+    if tail.degraded_seen:
+        note += f", {tail.degraded_seen} degraded-flagged"
+    print(f"wrote {args.out}: {received} new emissions{note}")
     return 0
 
 
@@ -1061,7 +1136,13 @@ def _cmd_serve_stats(args: argparse.Namespace) -> int:
 
     from .serve import fetch_stats
 
-    print(json.dumps(fetch_stats(args.socket), indent=2, sort_keys=True))
+    print(
+        json.dumps(
+            fetch_stats(args.socket, connect_retries=args.connect_retries),
+            indent=2,
+            sort_keys=True,
+        )
+    )
     return 0
 
 
@@ -1134,6 +1215,7 @@ def _cmd_lab(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    install_from_env()  # REPRO_FAULTS: deterministic fault injection (CI)
     args = _build_parser().parse_args(argv)
     handlers = {
         "simulate": _cmd_simulate,

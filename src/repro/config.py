@@ -351,6 +351,49 @@ CHECKPOINT_MODES: Tuple[str, ...] = ("full", "delta")
 
 
 @dataclass(frozen=True)
+class SupervisorConfig:
+    """Self-healing policy for process-executor shard workers.
+
+    Attached to :class:`RuntimeConfig.supervisor`, this enables the shard
+    supervisor (``repro.runtime.supervisor``): a worker that dies or hangs
+    mid-protocol is killed, respawned, restored from the last checkpoint
+    (or re-seeded from scratch when none exists yet), and caught up by
+    replaying the epoch journal — instead of aborting the whole run.
+    ``None`` (the default) keeps the PR 4 crash-*containment* semantics:
+    a dead worker fails the run loudly with :class:`~repro.errors.WorkerError`.
+    """
+
+    #: Restarts allowed *per shard* before the supervisor gives up and
+    #: aborts the run (escalation raises the original WorkerError).
+    max_restarts: int = 3
+    #: First backoff sleep before a respawn; doubles per consecutive
+    #: restart of the same shard, capped at ``backoff_cap_s``.
+    backoff_base_s: float = 0.05
+    #: Ceiling for the exponential backoff between restarts.
+    backoff_cap_s: float = 2.0
+    #: Deadline for a single worker pipe op (send→reply).  A worker whose
+    #: heartbeats still flow but whose reply misses this deadline is
+    #: declared hung (:class:`~repro.errors.WorkerTimeout`) and recycled.
+    op_timeout_s: float = 30.0
+    #: Epochs the supervisor will journal between checkpoints before
+    #: declaring recovery impossible (unbounded journals would hide a
+    #: misconfigured checkpoint cadence).
+    max_journal_epochs: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.max_restarts < 0:
+            raise ConfigurationError("max_restarts must be >= 0")
+        if self.backoff_base_s < 0:
+            raise ConfigurationError("backoff_base_s must be >= 0")
+        if self.backoff_cap_s < self.backoff_base_s:
+            raise ConfigurationError("backoff_cap_s must be >= backoff_base_s")
+        if self.op_timeout_s <= 0:
+            raise ConfigurationError("op_timeout_s must be positive")
+        if self.max_journal_epochs < 1:
+            raise ConfigurationError("max_journal_epochs must be >= 1")
+
+
+@dataclass(frozen=True)
 class RuntimeConfig:
     """The sharded streaming runtime (``repro.runtime``).
 
@@ -399,6 +442,12 @@ class RuntimeConfig:
     #: checkpoint (1 = every checkpoint is full).  Bounds restore time
     #: (base + at most N-1 delta replays) and lets rotation reclaim space.
     checkpoint_full_every: int = 8
+    #: Self-healing policy for the process executor: when set, a dead or
+    #: hung shard worker is respawned, restored from the last checkpoint,
+    #: and caught up by replaying the journaled epoch suffix — the run
+    #: continues with byte-identical output.  ``None`` keeps loud
+    #: crash-containment (the run aborts with a typed error).
+    supervisor: Optional[SupervisorConfig] = None
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
@@ -427,6 +476,12 @@ class RuntimeConfig:
             raise ConfigurationError(
                 f"unknown executor {self.executor!r}; "
                 f"expected one of {EXECUTOR_NAMES}"
+            )
+        if self.supervisor is not None and not isinstance(
+            self.supervisor, SupervisorConfig
+        ):
+            raise ConfigurationError(
+                "supervisor must be a SupervisorConfig (or None to disable)"
             )
 
 

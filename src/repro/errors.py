@@ -32,6 +32,25 @@ class InferenceError(ReproError):
     """The inference engine reached an invalid internal state."""
 
 
+class WorkerError(InferenceError):
+    """A shard worker process died or became unreachable mid-protocol.
+
+    Subclasses :class:`InferenceError` so existing crash-containment
+    handlers keep working; the supervisor catches this (and its
+    :class:`WorkerTimeout` subclass) to trigger respawn + replay instead
+    of aborting the run.
+    """
+
+
+class WorkerTimeout(WorkerError):
+    """A shard worker is alive (heartbeats flow) but an op missed its deadline.
+
+    Distinguished from :class:`WorkerError` (dead pipe / missing
+    heartbeats) so supervisors can treat a hung-but-alive worker as a
+    kill-and-respawn case rather than a crashed one.
+    """
+
+
 class LearningError(ReproError):
     """Parameter estimation failed (e.g. singular IRLS system, empty data)."""
 
@@ -51,6 +70,16 @@ class ServeError(ReproError):
     sends, admission-control rejections, and handshakes that do not match
     the service's configuration.  Client-facing: the service reports the
     message in an ERROR frame before closing the offending connection.
+    """
+
+
+class ClientConnectError(ServeError):
+    """A serve client could not reach the service (after its retry budget).
+
+    Raised by the client helpers when the socket connect (or the subscribe
+    handshake) keeps failing; retryable by design — the tail's
+    resume-with-backoff loop catches exactly this type, never protocol
+    violations, which stay plain :class:`ServeError` and are fatal.
     """
 
 

@@ -290,8 +290,18 @@ class MultiplexedQueryEngine(QueryEngine):
         self.serve_seconds = 0.0
         self.belief_reads = 0
         self.read_view_refreshes = 0
+        #: Ticks served while the runtime was degraded (a shard mid-recovery
+        #: or just replayed) — flagged by the serving layer via
+        #: :meth:`note_degraded`.  The answers themselves are exact (recovery
+        #: replay is deterministic); the counter announces that they arrived
+        #: through a recovery, for staleness-aware consumers.
+        self.degraded_ticks = 0
         self._read_view_provider: Optional[Callable[[], object]] = None
         self._read_view = None
+
+    def note_degraded(self) -> None:
+        """Count one tick that was produced through a shard recovery."""
+        self.degraded_ticks += 1
 
     # Registration --------------------------------------------------------
     def register(
@@ -544,6 +554,7 @@ class MultiplexedQueryEngine(QueryEngine):
             "serve_s_per_tick": (self.serve_seconds / self._ticks) if self._ticks else 0.0,
             "belief_reads": self.belief_reads,
             "read_view_refreshes": self.read_view_refreshes,
+            "degraded_ticks": self.degraded_ticks,
         }
 
     # State capture -------------------------------------------------------

@@ -32,12 +32,13 @@ from __future__ import annotations
 import heapq
 import os
 import shutil
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
 from typing import Callable, Dict, Iterable, List, Optional
 
 from ..config import InferenceConfig, OutputPolicyConfig, RuntimeConfig
-from ..errors import InferenceError, StateError
+from ..errors import InferenceError, StateError, WorkerError
 from ..inference.estimates import LocationEstimate
 from ..inference.factored import FactoredParticleFilter
 from ..inference.pipeline import InferenceEngine
@@ -101,11 +102,18 @@ class ShardedRuntime:
         self.runtime_config = runtime
         self.policy = policy
         self.initial_heading = float(initial_heading)
+        #: Kept for worker respawns (the supervisor re-forks a shard with
+        #: exactly the construction-time factory and re-seeded config).
+        self._engine_factory = engine_factory
         self.router = EpochRouter(runtime.n_shards, runtime.partitioner)
         self.bus = bus if bus is not None else EventBus()
         self.sink: EventSink = sink if sink is not None else CollectingSink()
         self.bus.subscribe_sink(self.sink)
         self._process = runtime.executor == "process"
+        #: Self-healing layer (``repro.runtime.supervisor``): present only
+        #: when RuntimeConfig.supervisor is set AND the executor is
+        #: "process" — in-process shards cannot crash independently.
+        self._supervisor = None
         if self._process:
             # Persistent worker processes, one per shard, each owning a
             # FilterShard built from the same re-seeded config the local
@@ -115,23 +123,15 @@ class ShardedRuntime:
             self.shards: List = []
             try:
                 for index in range(runtime.n_shards):
-                    self.shards.append(
-                        ShardWorkerProxy(
-                            index,
-                            model,
-                            replace(
-                                config,
-                                seed=shard_seed(config.seed, index, runtime.n_shards),
-                            ),
-                            policy,
-                            initial_heading=self.initial_heading,
-                            engine_factory=engine_factory,
-                        )
-                    )
+                    self.shards.append(self.spawn_worker(index))
             except BaseException:
                 for proxy in self.shards:
                     proxy.close(force=True)
                 raise
+            if runtime.supervisor is not None:
+                from .supervisor import ShardSupervisor  # deferred: no cycle
+
+                self._supervisor = ShardSupervisor(self, runtime.supervisor)
         else:
             factory: EngineFactory = (
                 engine_factory
@@ -195,10 +195,50 @@ class ShardedRuntime:
         #: ``epochs_processed`` at the last periodic checkpoint (None before
         #: the first) — lets a serving layer report checkpoint lag.
         self.last_checkpoint_epoch: Optional[int] = None
+        #: ``time.monotonic()`` at the last periodic checkpoint (None before
+        #: the first) — the serve STATS ``checkpoint_lag_s`` gauge.
+        self.last_checkpoint_walltime: Optional[float] = None
         #: Re-entrancy latch for abort(): a second abort arriving while the
         #: first is mid-teardown (e.g. a repeated signal) becomes a no-op
         #: instead of double-closing executors or the bus.
         self._aborting = False
+
+    def spawn_worker(self, index: int) -> ShardWorkerProxy:
+        """Fork one shard worker from the construction-time recipe.
+
+        Used at construction and by the supervisor to respawn a dead or
+        hung worker — determinism lives in the re-seeded config, so a
+        respawned worker restored from a checkpoint is byte-identical to
+        the one it replaces.
+        """
+        supervisor_config = self.runtime_config.supervisor
+        return ShardWorkerProxy(
+            index,
+            self.model,
+            replace(
+                self.config,
+                seed=shard_seed(
+                    self.config.seed, index, self.runtime_config.n_shards
+                ),
+            ),
+            self.policy,
+            initial_heading=self.initial_heading,
+            engine_factory=self._engine_factory,
+            op_timeout_s=(
+                supervisor_config.op_timeout_s
+                if supervisor_config is not None
+                else None
+            ),
+        )
+
+    @property
+    def supervisor(self):
+        """The shard supervisor, or None (unsupervised / non-process)."""
+        return self._supervisor
+
+    def supervisor_stats(self) -> Optional[Dict[str, object]]:
+        """Recovery counters for serving layers (None when unsupervised)."""
+        return None if self._supervisor is None else self._supervisor.stats()
 
     def attach_query_engine(self, name: str, engine) -> None:
         """Register a query engine for coordinated checkpointing.
@@ -268,15 +308,20 @@ class ShardedRuntime:
             # shards compute concurrently across processes.
             buckets = self.router.split_numbers(epoch)
             shelf_numbers = [tag.number for tag in epoch.shelf_tags]
-            for shard, numbers in zip(self.shards, buckets):
-                shard.step_async(
-                    epoch.time,
-                    epoch.reported_position,
-                    epoch.reported_heading,
-                    numbers,
-                    shelf_numbers,
+            if self._supervisor is not None:
+                per_shard = self._supervisor.step_shards(
+                    epoch, buckets, shelf_numbers
                 )
-            per_shard = [shard.collect_events() for shard in self.shards]
+            else:
+                for shard, numbers in zip(self.shards, buckets):
+                    shard.step_async(
+                        epoch.time,
+                        epoch.reported_position,
+                        epoch.reported_heading,
+                        numbers,
+                        shelf_numbers,
+                    )
+                per_shard = [shard.collect_events() for shard in self.shards]
         else:
             sub_epochs = self.router.split(epoch)
             if self._pool is not None:
@@ -320,6 +365,8 @@ class ShardedRuntime:
         if self._finished:
             raise StateError("cannot checkpoint a finished runtime")
         save_checkpoint(self, path, mode=mode, parent=parent)
+        if self._supervisor is not None:
+            self._supervisor.note_checkpoint(path)
 
     def _maybe_checkpoint(self, stream_time: float) -> None:
         every = self.runtime_config.checkpoint_every_s
@@ -359,26 +406,40 @@ class ShardedRuntime:
             shutil.rmtree(target)
             if self._chain_parent == target:
                 self._chain_parent = None  # the chain head just vanished
-        delta = (
-            self.runtime_config.checkpoint_mode == "delta"
-            and self._chain_parent is not None
-            and self._chain_len < self.runtime_config.checkpoint_full_every
-            and os.path.isdir(self._chain_parent)
-        )
-        if delta:
+        for attempt in (0, 1):
+            delta = (
+                self.runtime_config.checkpoint_mode == "delta"
+                and self._chain_parent is not None
+                and self._chain_len < self.runtime_config.checkpoint_full_every
+                and os.path.isdir(self._chain_parent)
+            )
             try:
-                save_checkpoint(self, target, mode="delta", parent=self._chain_parent)
-                self._chain_len += 1
-            except StateError:
-                # The chain no longer holds (an explicit checkpoint or a
-                # direct snapshot advanced the capture baseline, the parent
-                # was tampered with, …).  The capture that just failed still
-                # moved the baseline, so rebase: a full checkpoint is always
-                # valid.
-                delta = False
-        if not delta:
-            save_checkpoint(self, target)
-            self._chain_len = 1
+                if delta:
+                    try:
+                        save_checkpoint(
+                            self, target, mode="delta", parent=self._chain_parent
+                        )
+                        self._chain_len += 1
+                    except StateError:
+                        # The chain no longer holds (an explicit checkpoint
+                        # or a direct snapshot advanced the capture baseline,
+                        # the parent was tampered with, …).  The capture that
+                        # just failed still moved the baseline, so rebase: a
+                        # full checkpoint is always valid.
+                        delta = False
+                if not delta:
+                    save_checkpoint(self, target)
+                    self._chain_len = 1
+                break
+            except WorkerError as exc:
+                # A worker died while shipping its snapshot.  Supervised
+                # runtimes recover the shard (respawn + restore + journal
+                # replay) and retry the save once — the retry's delta
+                # capture fails the chain-serial check and rebases full,
+                # so the written checkpoint is always complete.
+                if self._supervisor is None or attempt:
+                    raise
+                self._supervisor.recover_dead_shards(exc)
         self._chain_parent = target
         # Atomic pointer move: a kill -9 between truncate and write would
         # otherwise leave an empty LATEST and strand the resume path.
@@ -392,6 +453,9 @@ class ShardedRuntime:
         if stream_time is not None:
             self._last_checkpoint_time = stream_time
         self.last_checkpoint_epoch = self.epochs_processed
+        self.last_checkpoint_walltime = time.monotonic()
+        if self._supervisor is not None:
+            self._supervisor.note_checkpoint(target)
         return target
 
     def finish(self) -> None:

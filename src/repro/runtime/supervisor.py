@@ -1,0 +1,276 @@
+"""Shard supervision: respawn, restore, and replay failed workers.
+
+The process executor's crash story through PR 4 was *containment*: a dead
+worker raised :class:`~repro.errors.WorkerError`, the runtime aborted, and
+a human restarted from the last checkpoint.  The supervisor closes that
+loop in-process.  When a worker dies (pipe EOF / silent heartbeat gap) or
+hangs (heartbeats flow, reply misses the op deadline), the supervisor:
+
+1. **kills + respawns** the worker process (fresh fork, same re-seeded
+   shard config — determinism comes from the seed, not the process);
+2. **restores** just that shard from the last checkpoint's per-shard state
+   (``manifest.shard_states[index]`` over the pipe, exactly the restore
+   path explicit resume uses) — or starts it fresh from the seed when no
+   checkpoint exists yet;
+3. **replays** the journaled epoch suffix — every epoch routed since that
+   checkpoint — through the router to the one recovered shard, discarding
+   the replayed events (they were already published; the replay is
+   deterministic, so they are byte-identical duplicates);
+4. **re-issues** the in-flight epoch and returns its events, so the
+   merged output stream is byte-identical to a run that never crashed.
+
+Respawns happen under capped exponential backoff with a per-shard restart
+budget (:class:`~repro.config.SupervisorConfig`); an exhausted budget or
+an overflowed journal escalates: the runtime aborts and the original
+:class:`WorkerError` propagates — never a hang, never silent divergence.
+
+The epoch journal is cleared on every checkpoint (the runtime notifies via
+:meth:`ShardSupervisor.note_checkpoint`), so its length is bounded by the
+checkpoint cadence.  Recovery restores one shard mid-delta-chain, which
+desynchronizes that shard's capture serial — the next periodic delta
+checkpoint detects the broken chain and rebases with a full snapshot, the
+same fallback explicit checkpoints already trigger.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from ..config import SupervisorConfig
+from ..errors import WorkerError
+from ..streams.records import Epoch
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .runtime import ShardedRuntime
+
+
+class ShardSupervisor:
+    """Per-runtime supervisor for process-executor shard workers."""
+
+    def __init__(self, runtime: "ShardedRuntime", config: SupervisorConfig):
+        self.runtime = runtime
+        self.config = config
+        #: Epochs routed since the last checkpoint — the replay suffix.
+        self._journal: List[Epoch] = []
+        #: Set when the journal overflowed ``max_journal_epochs``: replay
+        #: is no longer possible, so the next recovery escalates.
+        self._journal_broken = False
+        #: Path of the last checkpoint (periodic, explicit, or the one the
+        #: runtime was restored from) — the recovery baseline.
+        self._checkpoint_path: Optional[str] = None
+        self._restarts: Dict[int, int] = {}
+        self.restarts_total = 0
+        self.last_recovery_ms: Optional[float] = None
+        #: True while a recovery is in progress.  Read (cross-thread) by
+        #: the serving layer to mark emissions/ticks as degraded.
+        self.recovering = False
+        #: Epochs whose events were produced through a recovery replay.
+        self.degraded_epochs = 0
+
+    # ------------------------------------------------------------------
+    # Runtime hooks
+    # ------------------------------------------------------------------
+    def note_checkpoint(self, path) -> None:
+        """A coordinated checkpoint just landed: new baseline, empty journal."""
+        self._checkpoint_path = os.fspath(path)
+        self._journal.clear()
+        self._journal_broken = False
+
+    def record(self, epoch: Epoch) -> None:
+        """Journal one successfully processed epoch for future replay."""
+        if self._journal_broken:
+            return
+        if len(self._journal) >= self.config.max_journal_epochs:
+            # Checkpoints are not landing: drop the journal rather than
+            # grow without bound.  Recovery escalates loudly from here on.
+            self._journal.clear()
+            self._journal_broken = True
+            return
+        self._journal.append(epoch)
+
+    def step_shards(
+        self, epoch: Epoch, buckets: Sequence[Sequence[int]], shelf_numbers: List[int]
+    ) -> List[list]:
+        """The supervised flavour of the runtime's process-executor step.
+
+        Sends the routed sub-epochs to every worker, collects replies, and
+        recovers any shard that died or hung — the returned per-shard event
+        lists are byte-identical to a crash-free step.
+        """
+        shards = self.runtime.shards
+        failures: Dict[int, WorkerError] = {}
+        for index, (shard, numbers) in enumerate(zip(shards, buckets)):
+            try:
+                shard.step_async(
+                    epoch.time,
+                    epoch.reported_position,
+                    epoch.reported_heading,
+                    numbers,
+                    shelf_numbers,
+                )
+            except WorkerError as exc:
+                failures[index] = exc
+        per_shard: List[list] = [[] for _ in shards]
+        for index, shard in enumerate(shards):
+            if index in failures:
+                continue
+            try:
+                per_shard[index] = shard.collect_events()
+            except WorkerError as exc:
+                failures[index] = exc
+        for index in sorted(failures):
+            per_shard[index] = self._recover(
+                index,
+                failures[index],
+                epoch=epoch,
+                numbers=buckets[index],
+                shelf_numbers=shelf_numbers,
+            )
+        self.record(epoch)
+        return per_shard
+
+    def recover_dead_shards(self, cause: WorkerError) -> List[int]:
+        """Respawn + catch up every dead worker (no in-flight epoch).
+
+        Used by the periodic-checkpoint path: a snapshot collection that
+        lost a worker recovers it here, then retries the save.
+        """
+        recovered = []
+        for index, proxy in enumerate(self.runtime.shards):
+            process = getattr(proxy, "process", None)
+            dead = (
+                getattr(proxy, "_dead", False)
+                or process is None
+                or not process.is_alive()
+            )
+            if dead:
+                self._recover(index, cause)
+                recovered.append(index)
+        if not recovered:
+            raise cause  # the failure was not a dead worker after all
+        return recovered
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "restarts": self.restarts_total,
+            "restarts_by_shard": {
+                str(index): count for index, count in sorted(self._restarts.items())
+            },
+            "last_recovery_ms": self.last_recovery_ms,
+            "degraded_epochs": self.degraded_epochs,
+            "recovering": self.recovering,
+            "journal_epochs": len(self._journal),
+        }
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def _recover(
+        self,
+        index: int,
+        cause: WorkerError,
+        epoch: Optional[Epoch] = None,
+        numbers: Optional[Sequence[int]] = None,
+        shelf_numbers: Optional[List[int]] = None,
+    ) -> list:
+        """Respawn shard ``index``, catch it up, re-issue the failed epoch.
+
+        Returns the in-flight epoch's events (empty list when recovering
+        without one).  Loops under backoff until success or escalation.
+        """
+        if self._journal_broken:
+            self._escalate(
+                index,
+                cause,
+                "its epoch journal overflowed before a checkpoint landed",
+            )
+        started = time.monotonic()
+        self.recovering = True
+        try:
+            while True:
+                count = self._restarts.get(index, 0) + 1
+                self._restarts[index] = count
+                self.restarts_total += 1
+                if count > self.config.max_restarts:
+                    self._escalate(
+                        index,
+                        cause,
+                        f"exhausted its restart budget "
+                        f"(max_restarts={self.config.max_restarts})",
+                    )
+                self._backoff(count)
+                try:
+                    self._respawn(index)
+                    self._catch_up(index)
+                    if epoch is None:
+                        events: list = []
+                    else:
+                        proxy = self.runtime.shards[index]
+                        proxy.step_async(
+                            epoch.time,
+                            epoch.reported_position,
+                            epoch.reported_heading,
+                            numbers,
+                            shelf_numbers,
+                        )
+                        events = proxy.collect_events()
+                except WorkerError as exc:
+                    cause = exc  # died again: next lap, fatter backoff
+                    continue
+                self.degraded_epochs += 1
+                self.last_recovery_ms = (time.monotonic() - started) * 1000.0
+                return events
+        finally:
+            self.recovering = False
+
+    def _backoff(self, attempt: int) -> None:
+        delay = min(
+            self.config.backoff_cap_s,
+            self.config.backoff_base_s * (2 ** (attempt - 1)),
+        )
+        if delay > 0:
+            time.sleep(delay)
+
+    def _respawn(self, index: int) -> None:
+        old = self.runtime.shards[index]
+        try:
+            old.close(force=True)
+        except Exception:
+            pass  # reclamation is best-effort; the segment unlink retries
+        self.runtime.shards[index] = self.runtime.spawn_worker(index)
+
+    def _catch_up(self, index: int) -> None:
+        """Restore the respawned shard from the baseline, replay the journal."""
+        proxy = self.runtime.shards[index]
+        if self._checkpoint_path is not None:
+            from ..state.checkpoint import load_checkpoint  # deferred: no cycle
+
+            manifest = load_checkpoint(self._checkpoint_path)
+            if manifest.n_shards != self.runtime.n_shards:
+                raise WorkerError(
+                    f"cannot recover shard {index}: checkpoint "
+                    f"{self._checkpoint_path!r} holds {manifest.n_shards} "
+                    f"shards, runtime has {self.runtime.n_shards}"
+                )
+            proxy.restore(manifest.shard_states[index])
+        # else: no checkpoint yet — the fresh worker already sits at the
+        # stream start (same seed), so the journal replays from epoch 0.
+        router = self.runtime.router
+        for past in self._journal:
+            past_shelf = [tag.number for tag in past.shelf_tags]
+            proxy.step_async(
+                past.time,
+                past.reported_position,
+                past.reported_heading,
+                router.split_numbers(past)[index],
+                past_shelf,
+            )
+            proxy.collect_events()  # deterministic duplicates: discard
+
+    def _escalate(self, index: int, cause: WorkerError, reason: str) -> None:
+        self.runtime.abort()
+        raise WorkerError(
+            f"shard worker {index} is beyond recovery: {reason}; aborting run"
+        ) from cause

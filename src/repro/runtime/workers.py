@@ -29,8 +29,17 @@ Lifecycle: ``ready`` handshake at spawn (carrying the initial arena segment
 so the parent can reclaim it even if the worker later dies uncleanly),
 graceful ``stop`` at teardown (the worker releases its own segment), and a
 parent-side unlink fallback keyed on the last segment each reply advertised.
-A dead pipe surfaces as :class:`~repro.errors.InferenceError` on the next
-request; the runtime's abort path then reaps every worker.
+
+Liveness: every worker runs a heartbeat thread that sends ``("hb",)``
+frames between replies, and every parent-side receive is deadline-bounded
+— there are no unbounded waits in this protocol.  A dead pipe or a silent
+worker (no frames within the heartbeat grace) surfaces promptly as
+:class:`~repro.errors.WorkerError`; a worker whose heartbeats still flow
+but whose reply misses the op deadline surfaces as
+:class:`~repro.errors.WorkerTimeout` (hung, not dead).  Both subclass
+:class:`~repro.errors.InferenceError`, so without a supervisor the
+runtime's abort path reaps every worker exactly as before; with one
+(``RuntimeConfig.supervisor``) the shard is respawned and replayed.
 
 The ``fork`` start method is preferred (no pickling of the model or engine
 factory); on platforms without it the module falls back to ``spawn``, which
@@ -41,17 +50,29 @@ additionally requires the engine factory to be picklable (the default
 from __future__ import annotations
 
 import multiprocessing as mp
+import threading
+import time as _time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..config import InferenceConfig, OutputPolicyConfig
-from ..errors import InferenceError, StateError
+from ..errors import InferenceError, StateError, WorkerError, WorkerTimeout
+from ..faults import fault_point
 from ..inference.arena import SharedSlab, attach_shared_slab
 from ..inference.estimates import LocationEstimate
 from ..models.joint import RFIDWorldModel
 from ..streams.records import LocationEvent, LocationStatistics, TagId, make_epoch
 from .shard import FilterShard
+
+#: Cadence of worker heartbeat frames (and the parent's poll slice).
+HEARTBEAT_INTERVAL_S = 0.25
+#: No frame of any kind (reply or heartbeat) for this long ⇒ the worker is
+#: unreachable — declared dead even without an EOF on the pipe.
+HEARTBEAT_GRACE_S = 10.0
+#: Per-op deadline when no supervisor sets a tighter one.  Generous — it
+#: exists to turn "hangs forever" into a typed error, not to race real ops.
+DEFAULT_OP_TIMEOUT_S = 300.0
 
 
 def worker_context() -> mp.context.BaseContext:
@@ -185,6 +206,12 @@ def _worker_main(
     process) surfaces to the parent as a dead pipe.
     """
     shard: Optional[FilterShard] = None
+    send_lock = threading.Lock()
+
+    def send(reply: tuple) -> None:
+        with send_lock:
+            conn.send(reply)
+
     try:
         factory = (
             engine_factory
@@ -192,13 +219,28 @@ def _worker_main(
             else FactoredEngineFactory(model, initial_heading)
         )
         shard = FilterShard(shard_index, factory(config), policy)
-        conn.send(("ready", _segment_of(shard)))
+        send(("ready", _segment_of(shard)))
     except BaseException as exc:  # construction failed: report and bail
         try:
             conn.send(("error", type(exc).__name__, str(exc)))
         finally:
             conn.close()
         return
+    # Heartbeats prove liveness between replies: the parent treats a silent
+    # pipe as a dead worker, and a heartbeating-but-late reply as a hang.
+    hb_stop = threading.Event()
+
+    def _heartbeat() -> None:
+        while not hb_stop.wait(HEARTBEAT_INTERVAL_S):
+            try:
+                send(("hb",))
+            except OSError:
+                return
+
+    hb_thread = threading.Thread(
+        target=_heartbeat, name=f"repro-shard-{shard_index}-hb", daemon=True
+    )
+    hb_thread.start()
     try:
         while True:
             try:
@@ -207,10 +249,11 @@ def _worker_main(
                 break
             op = message[0]
             if op == "stop":
-                conn.send(("bye",))
+                send(("bye",))
                 break
             try:
                 if op == "step":
+                    fault_point("worker.step")
                     _, time, position, heading, object_numbers, shelf_numbers = message
                     shard.step(
                         make_epoch(
@@ -221,24 +264,24 @@ def _worker_main(
                             reported_heading=heading,
                         )
                     )
-                    conn.send(
+                    send(
                         ("events", encode_events(shard.drain()), _segment_of(shard))
                     )
                 elif op == "finish":
                     shard.finish()
-                    conn.send(
+                    send(
                         ("events", encode_events(shard.drain()), _segment_of(shard))
                     )
                 elif op == "snapshot":
                     mode = message[1] if len(message) > 1 else "full"
-                    conn.send(("ok", shard.snapshot(mode)))
+                    send(("ok", shard.snapshot(mode)))
                 elif op == "restore":
                     shard.restore(message[1])
-                    conn.send(("ok", None))
+                    send(("ok", None))
                 elif op == "stats":
-                    conn.send(("ok", shard.stats()))
+                    send(("ok", shard.stats()))
                 elif op == "known":
-                    conn.send(("ok", shard.known_objects()))
+                    send(("ok", shard.known_objects()))
                 elif op == "final":
                     # Bulk post-run summary: one reply instead of one
                     # round-trip per object, so the parent can retire the
@@ -252,10 +295,10 @@ def _worker_main(
                             est.covariance,
                             est.sample_size,
                         )
-                    conn.send(("ok", (shard.stats(), known, estimates)))
+                    send(("ok", (shard.stats(), known, estimates)))
                 elif op == "estimate":
                     estimate = shard.object_estimate(message[1])
-                    conn.send(
+                    send(
                         (
                             "ok",
                             (
@@ -268,18 +311,19 @@ def _worker_main(
                 elif op == "slots":
                     arena = getattr(shard.engine, "arena", None)
                     if arena is None:
-                        conn.send(("ok", None))
+                        send(("ok", None))
                     else:
-                        conn.send(
+                        send(
                             ("ok", (arena.shared_segment(), arena.slot_table()))
                         )
                 else:
-                    conn.send(
+                    send(
                         ("error", "InferenceError", f"unknown worker op {op!r}")
                     )
             except BaseException as exc:
-                conn.send(("error", type(exc).__name__, str(exc)))
+                send(("error", type(exc).__name__, str(exc)))
     finally:
+        hb_stop.set()
         _release_arena(shard)
         conn.close()
 
@@ -346,8 +390,14 @@ class ShardWorkerProxy:
         initial_heading: float = 0.0,
         engine_factory=None,
         context: Optional[mp.context.BaseContext] = None,
+        op_timeout_s: Optional[float] = None,
     ):
         self.index = index
+        #: Deadline for one pipe op (send → final reply).  Supervised
+        #: runtimes tighten this from SupervisorConfig.op_timeout_s.
+        self.op_timeout_s = (
+            float(op_timeout_s) if op_timeout_s is not None else DEFAULT_OP_TIMEOUT_S
+        )
         ctx = context if context is not None else worker_context()
         _ensure_resource_tracker()
         self._conn, child_conn = ctx.Pipe()
@@ -382,30 +432,65 @@ class ShardWorkerProxy:
     # -- plumbing ------------------------------------------------------
     def _send(self, message: tuple) -> None:
         if self.process is None or self._dead:
-            raise InferenceError(f"shard worker {self.index} is not running")
+            raise WorkerError(f"shard worker {self.index} is not running")
+        fault_point("worker.send")
         try:
             self._conn.send(message)
         except (BrokenPipeError, OSError) as exc:
             self._dead = True
-            raise InferenceError(
+            raise WorkerError(
                 f"shard worker {self.index} died (pipe closed on send)"
             ) from exc
 
-    def _recv(self) -> tuple:
-        try:
-            reply = self._conn.recv()
-        except (EOFError, OSError) as exc:
-            self._dead = True
-            raise InferenceError(
-                f"shard worker {self.index} died mid-request "
-                f"(exit code {self.process.exitcode})"
-            ) from exc
-        if reply[0] == "error":
-            _, kind, text = reply
-            if kind == "StateError":
-                raise StateError(f"shard worker {self.index}: {text}")
-            raise InferenceError(f"shard worker {self.index}: {kind}: {text}")
-        return reply
+    def _recv(self, timeout: Optional[float] = None) -> tuple:
+        """Deadline-bounded receive; heartbeat frames are consumed silently.
+
+        Never blocks forever: a dead pipe raises :class:`WorkerError`
+        immediately, a silent worker (no frame within
+        ``HEARTBEAT_GRACE_S``) raises :class:`WorkerError`, and a worker
+        whose heartbeats flow but whose reply misses the op deadline
+        raises :class:`WorkerTimeout`.
+        """
+        fault_point("worker.recv")
+        limit = self.op_timeout_s if timeout is None else float(timeout)
+        start = _time.monotonic()
+        last_frame = start
+        while True:
+            now = _time.monotonic()
+            if now - start >= limit:
+                self._dead = True
+                raise WorkerTimeout(
+                    f"shard worker {self.index} hung: no reply within "
+                    f"{limit:.1f}s (heartbeats still arriving)"
+                )
+            try:
+                if not self._conn.poll(
+                    min(HEARTBEAT_INTERVAL_S, limit - (now - start))
+                ):
+                    if _time.monotonic() - last_frame >= HEARTBEAT_GRACE_S:
+                        self._dead = True
+                        raise WorkerError(
+                            f"shard worker {self.index} died silently: no "
+                            f"frames for {HEARTBEAT_GRACE_S:.1f}s "
+                            f"(exit code {self.process.exitcode})"
+                        )
+                    continue
+                reply = self._conn.recv()
+            except (EOFError, OSError) as exc:
+                self._dead = True
+                raise WorkerError(
+                    f"shard worker {self.index} died mid-request "
+                    f"(exit code {self.process.exitcode})"
+                ) from exc
+            last_frame = _time.monotonic()
+            if reply[0] == "hb":
+                continue
+            if reply[0] == "error":
+                _, kind, text = reply
+                if kind == "StateError":
+                    raise StateError(f"shard worker {self.index}: {text}")
+                raise InferenceError(f"shard worker {self.index}: {kind}: {text}")
+            return reply
 
     def _request(self, message: tuple) -> tuple:
         self._send(message)
@@ -541,16 +626,22 @@ class ShardWorkerProxy:
         if not force and not self._dead and self.process.is_alive():
             try:
                 self._conn.send(("stop",))
-                # Drain queued replies (e.g. an uncollected step) until the
-                # goodbye; a deadline bounds a wedged worker.
-                import time as _time
-
+                # Drain queued replies (e.g. an uncollected step) and
+                # heartbeat frames until the goodbye; a deadline bounds a
+                # wedged worker even while its heartbeats keep arriving.
                 deadline = _time.monotonic() + timeout
-                while self._conn.poll(max(0.0, deadline - _time.monotonic())):
+                while _time.monotonic() < deadline and self._conn.poll(
+                    max(0.0, deadline - _time.monotonic())
+                ):
                     if self._conn.recv()[0] == "bye":
                         break
             except (BrokenPipeError, EOFError, OSError):
                 pass
+        elif self.process.is_alive():
+            # Forced (or already-dead-pipe) close: don't wait out a hung
+            # worker's join timeout before killing it — the caller already
+            # decided this process is beyond talking to.
+            self.process.terminate()
         self.process.join(timeout)
         if self.process.is_alive():
             self.process.terminate()

@@ -15,6 +15,13 @@ and benchmark drivers:
 
 Every client is a small asyncio object with a sync ``run()`` wrapper, so
 CLI verbs and threads can drive them without owning an event loop.
+
+Liveness: no client blocks forever on a dead service.  Connects take a
+bounded retry budget with capped exponential backoff and raise the typed
+:class:`~repro.errors.ClientConnectError` when it runs out; the tail's
+``reconnect`` budget layers a resume loop on top, so ``repro tail``
+survives a service bounce — it recomputes its resume offset from the
+output file and picks up exactly where the last full line left off.
 """
 
 from __future__ import annotations
@@ -23,7 +30,8 @@ import asyncio
 import os
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
-from ..errors import ServeError
+from ..errors import ClientConnectError, ServeError
+from ..faults import fault_point
 from ..streams.records import ReaderLocationReport, TagReading
 from ..streams.sources import Trace
 from . import protocol
@@ -32,6 +40,13 @@ from .protocol import Frame, FrameDecoder
 Record = Union[TagReading, ReaderLocationReport]
 
 _READ_CHUNK = 1 << 16
+#: Connect retry backoff: base * 2**attempt, capped.
+_BACKOFF_BASE_S = 0.05
+_BACKOFF_CAP_S = 2.0
+
+
+def _backoff_delay(attempt: int) -> float:
+    return min(_BACKOFF_CAP_S, _BACKOFF_BASE_S * (2.0 ** attempt))
 
 
 def split_trace(trace: Trace, n_sources: int) -> List[List[Record]]:
@@ -83,18 +98,42 @@ class _Connection:
             pass
 
 
-async def _connect(socket_path: str) -> _Connection:
-    reader, writer = await asyncio.open_unix_connection(socket_path)
-    return _Connection(reader, writer)
+async def _connect(socket_path: str, retries: int = 0) -> _Connection:
+    """Open a framed connection, retrying refused/missing sockets.
+
+    ``retries`` extra attempts with capped exponential backoff; exhausting
+    them raises :class:`ClientConnectError` (never an indefinite wait).
+    """
+    attempt = 0
+    while True:
+        try:
+            fault_point("client.connect")
+            reader, writer = await asyncio.open_unix_connection(socket_path)
+            return _Connection(reader, writer)
+        except OSError as exc:  # ConnectionRefused, FileNotFound, EIO, ...
+            if attempt >= retries:
+                raise ClientConnectError(
+                    f"cannot reach the service at {socket_path} after "
+                    f"{attempt + 1} attempt(s): {exc}"
+                ) from exc
+            await asyncio.sleep(_backoff_delay(attempt))
+            attempt += 1
 
 
 class _SourceSession:
     """One source's credit-gated sender."""
 
-    def __init__(self, socket_path: str, name: str, records: Sequence[Record]):
+    def __init__(
+        self,
+        socket_path: str,
+        name: str,
+        records: Sequence[Record],
+        connect_retries: int = 0,
+    ):
         self.socket_path = socket_path
         self.name = name
         self.records = list(records)
+        self.connect_retries = int(connect_retries)
         self.sent = 0
         self.deduped_by_server = 0
         self.pauses_seen = 0
@@ -120,7 +159,7 @@ class _SourceSession:
             raise
 
     async def _run(self, rate: float, started: Optional[asyncio.Barrier]) -> None:
-        conn = await _connect(self.socket_path)
+        conn = await _connect(self.socket_path, retries=self.connect_retries)
         try:
             conn.writer.write(protocol.encode_hello("source", source=self.name))
             await conn.writer.drain()
@@ -219,11 +258,17 @@ class ReplaySource:
         n_sources: int = 1,
         rate: float = 0.0,
         source_prefix: str = "src",
+        connect_retries: int = 0,
     ):
         self.socket_path = socket_path
         self.rate = float(rate)
         self.sessions = [
-            _SourceSession(socket_path, f"{source_prefix}{i}", records)
+            _SourceSession(
+                socket_path,
+                f"{source_prefix}{i}",
+                records,
+                connect_retries=connect_retries,
+            )
             for i, records in enumerate(split_trace(trace, n_sources))
         ]
 
@@ -259,14 +304,36 @@ class EmissionTail:
 
     Resumes from the line count of the existing output file, so restarting
     the tail (or the server) never duplicates a line; offsets are checked
-    to be gapless.  Stops at server close; ``ack_every`` batches ACKs.
+    to be gapless.  ``ack_every`` batches ACKs.
+
+    ``reconnect`` arms a resume-with-backoff loop: after the server closes
+    (or refuses) the connection, the tail retries up to ``reconnect``
+    consecutive times, recomputing its resume offset from the output file
+    each round — a service bounce mid-stream costs nothing but latency.
+    Any delivered line refills the budget; with the budget spent the tail
+    returns what it has (or raises :class:`ClientConnectError` if it never
+    received anything).  ``reconnect=0`` keeps the one-shot behaviour.
     """
 
-    def __init__(self, socket_path: str, out_path: str, ack_every: int = 16):
+    def __init__(
+        self,
+        socket_path: str,
+        out_path: str,
+        ack_every: int = 16,
+        reconnect: int = 0,
+        connect_retries: int = 0,
+    ):
         self.socket_path = socket_path
         self.out_path = out_path
         self.ack_every = max(1, int(ack_every))
+        self.reconnect = max(0, int(reconnect))
+        self.connect_retries = int(connect_retries)
         self.received = 0
+        self.reconnects_used = 0
+        #: True while any received EMIT frame carried the degraded flag
+        #: without a fresh one clearing it — surfaced by the CLI verb.
+        self.last_degraded = False
+        self.degraded_seen = 0
 
     def _existing_lines(self) -> int:
         if not os.path.exists(self.out_path):
@@ -283,8 +350,31 @@ class EmissionTail:
         return data.count(b"\n")
 
     async def run_async(self) -> int:
+        attempt = 0
+        while True:
+            received_before = self.received
+            try:
+                await self._session()
+            except (ClientConnectError, ConnectionError):
+                # Refused connect, handshake EOF, or a mid-stream reset:
+                # all the same bounce — resume from the file, with backoff.
+                if attempt >= self.reconnect:
+                    if self.received:
+                        return self.received  # stream over, file is complete
+                    raise
+            else:
+                if self.received > received_before:
+                    attempt = 0  # progress refills the bounce budget
+                if attempt >= self.reconnect:
+                    return self.received
+            await asyncio.sleep(_backoff_delay(attempt))
+            attempt += 1
+            self.reconnects_used += 1
+
+    async def _session(self) -> None:
+        """One subscribe session: connect, resume from the file, drain."""
         from_offset = self._existing_lines()
-        conn = await _connect(self.socket_path)
+        conn = await _connect(self.socket_path, retries=self.connect_retries)
         next_expected = from_offset
         try:
             conn.writer.write(
@@ -293,7 +383,11 @@ class EmissionTail:
             await conn.writer.drain()
             frame = await conn.next_frame()
             if frame is None:
-                raise ServeError("server closed during subscribe handshake")
+                # A bouncing server looks like connect-then-EOF; let the
+                # resume loop treat it exactly like a refused connect.
+                raise ClientConnectError(
+                    "server closed during subscribe handshake"
+                )
             if frame.kind == protocol.ERROR:
                 raise ServeError(f"subscribe rejected: {frame.data.get('error')}")
             if frame.kind != protocol.HELLO_ACK:
@@ -317,6 +411,9 @@ class EmissionTail:
                             f"emission gap: expected offset {next_expected}, "
                             f"got {offset}"
                         )
+                    self.last_degraded = frame.degraded
+                    if frame.degraded:
+                        self.degraded_seen += 1
                     out.write(frame.line + b"\n")
                     next_expected = offset + 1
                     self.received += 1
@@ -333,15 +430,16 @@ class EmissionTail:
                         pass  # server already gone; the file has the lines
         finally:
             await conn.close()
-        return self.received
 
     def run(self) -> int:
         return asyncio.run(self.run_async())
 
 
-async def fetch_stats_async(socket_path: str) -> Dict[str, Any]:
+async def fetch_stats_async(
+    socket_path: str, connect_retries: int = 0
+) -> Dict[str, Any]:
     """One STATS round trip; returns the service's metrics document."""
-    conn = await _connect(socket_path)
+    conn = await _connect(socket_path, retries=connect_retries)
     try:
         conn.writer.write(protocol.encode_hello("stats"))
         conn.writer.write(protocol.encode_stats_request())
@@ -361,5 +459,5 @@ async def fetch_stats_async(socket_path: str) -> Dict[str, Any]:
         await conn.close()
 
 
-def fetch_stats(socket_path: str) -> Dict[str, Any]:
-    return asyncio.run(fetch_stats_async(socket_path))
+def fetch_stats(socket_path: str, connect_retries: int = 0) -> Dict[str, Any]:
+    return asyncio.run(fetch_stats_async(socket_path, connect_retries))

@@ -54,7 +54,7 @@ SOURCE_END = 5  # empty: the source's stream is complete (scan finished)
 CREDIT = 6  # packed: u32 additional frames the source may send
 PAUSE = 7  # empty
 RESUME = 8  # empty
-EMIT = 9  # packed u64 offset + raw emission-log line (utf-8, no newline)
+EMIT = 9  # packed u64 offset + u8 flags (bit 0: degraded) + raw log line
 ACK = 10  # packed: u64 highest delivered offset (inclusive)
 STATS = 11  # empty: request a stats snapshot
 STATS_REPLY = 12  # json: the service's metrics document
@@ -83,6 +83,12 @@ _READING = struct.Struct("!QdBI")
 _REPORT = struct.Struct("!QddddBd")
 _CREDIT = struct.Struct("!I")
 _OFFSET = struct.Struct("!Q")
+_EMIT_HEAD = struct.Struct("!QB")
+
+#: EMIT flags (u8 on the wire).  Bit 0 marks an emission computed while the
+#: runtime was recovering a shard — the line bytes are still authoritative
+#: (and identical to a fault-free run), the flag only describes freshness.
+EMIT_FLAG_DEGRADED = 0x01
 
 #: Tag kinds on the wire (u8) — stable codes, not enum ordinals.
 _TAG_KIND_CODE = {TagKind.OBJECT: 0, TagKind.SHELF: 1}
@@ -99,13 +105,14 @@ class Frame:
     ``data`` is a dict for JSON frames, a :class:`TagReading` /
     :class:`ReaderLocationReport` (with ``seq``) for data frames, an int for
     CREDIT/ACK/EMIT offsets, ``None`` for empty frames; EMIT also carries
-    the raw log line in ``line``.
+    the raw log line in ``line`` and its freshness flag in ``degraded``.
     """
 
     kind: int
     data: Any = None
     seq: int = 0
     line: Optional[bytes] = None
+    degraded: bool = False
 
     @property
     def name(self) -> str:
@@ -193,8 +200,9 @@ def encode_resume() -> bytes:
     return _wrap(RESUME)
 
 
-def encode_emit(offset: int, line: bytes) -> bytes:
-    return _wrap(EMIT, _OFFSET.pack(offset) + line)
+def encode_emit(offset: int, line: bytes, degraded: bool = False) -> bytes:
+    flags = EMIT_FLAG_DEGRADED if degraded else 0
+    return _wrap(EMIT, _EMIT_HEAD.pack(offset, flags) + line)
 
 
 def encode_ack(offset: int) -> bytes:
@@ -235,8 +243,13 @@ def _decode_payload(kind: int, payload: bytes) -> Frame:
         if kind in (ACK,):
             return Frame(kind, _OFFSET.unpack(payload)[0])
         if kind == EMIT:
-            (offset,) = _OFFSET.unpack(payload[: _OFFSET.size])
-            return Frame(EMIT, offset, line=payload[_OFFSET.size :])
+            offset, flags = _EMIT_HEAD.unpack(payload[: _EMIT_HEAD.size])
+            return Frame(
+                EMIT,
+                offset,
+                line=payload[_EMIT_HEAD.size :],
+                degraded=bool(flags & EMIT_FLAG_DEGRADED),
+            )
         if kind in (SOURCE_END, END_ACK, PAUSE, RESUME, STATS):
             if payload:
                 raise ServeError(f"{FRAME_NAMES[kind]} frame carries a payload")

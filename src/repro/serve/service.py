@@ -52,6 +52,7 @@ from ..config import (
     ServeConfig,
 )
 from ..errors import ReproError, ServeError, StateError
+from ..faults import fault_point
 from ..query import (
     MultiplexedQueryEngine,
     location_update_query,
@@ -173,6 +174,13 @@ class ReproService:
         self._extras_snapshot: Dict[str, Any] = {}
         self._latencies: Deque[float] = deque(maxlen=4096)
         self._epochs_this_run = 0
+        #: True while a supervised step runs off-loop in a worker thread;
+        #: guards the pipe protocol from concurrent stats() traffic.
+        self._step_running = False
+        #: Offsets emitted during an epoch whose step recovered a shard —
+        #: their EMIT frames carry the degraded flag until acked.
+        self._degraded_offsets: Set[int] = set()
+        self._shard_stats_cache: List[Dict[str, float]] = []
         self._t0 = _time.perf_counter()
         self._server: Optional[asyncio.AbstractServer] = None
 
@@ -284,15 +292,52 @@ class ReproService:
                     for offset, line in list(self._tail):
                         if offset < start:
                             continue
-                        sub.writer.write(protocol.encode_emit(offset, line))
+                        sub.writer.write(
+                            protocol.encode_emit(
+                                offset, line, degraded=offset in self._degraded_offsets
+                            )
+                        )
                         sub.sent = offset
                 else:  # subscriber is behind the in-memory tail
                     for offset, line in self.sink.replay(sub.sent):
-                        sub.writer.write(protocol.encode_emit(offset, line))
+                        sub.writer.write(
+                            protocol.encode_emit(
+                                offset, line, degraded=offset in self._degraded_offsets
+                            )
+                        )
                         sub.sent = offset
                 await sub.writer.drain()
             except (ConnectionError, RuntimeError):
                 self._subscribers.discard(sub)
+
+    async def _step(self, epoch) -> None:
+        """Drive one runtime step; under supervision, off the loop thread.
+
+        A supervised step can stall for whole seconds while a dead shard is
+        respawned, restored, and replayed — and the service must keep
+        accepting frames and answering STATS meanwhile.  Only the step
+        itself moves off-loop: the pump still awaits it before delivering
+        emissions or granting credit, so epochs never interleave; the loop
+        merely stays responsive.  Unsupervised runtimes keep the
+        synchronous path (a worker death there is fatal anyway).
+        """
+        supervisor = self.runtime.supervisor
+        if supervisor is None:
+            self.runtime.step(epoch)
+            return
+        logged_before = self.sink.logged
+        degraded_before = supervisor.degraded_epochs
+        self._step_running = True
+        try:
+            await asyncio.to_thread(self.runtime.step, epoch)
+        finally:
+            self._step_running = False
+        if supervisor.degraded_epochs > degraded_before:
+            # The epoch's emissions were computed through a restored shard:
+            # the line bytes are still exact (replay is deterministic), but
+            # subscribers see the freshness flag until they ack past it.
+            self.engine.note_degraded()
+            self._degraded_offsets.update(range(logged_before, self.sink.logged))
 
     # ------------------------------------------------------------------
     # The pump: watermark-released epochs -> runtime -> sink -> credits
@@ -310,7 +355,7 @@ class ReproService:
                     "next_epoch_index": aligned.index + 1,
                     "source_seqs": dict(aligned.source_seqs),
                 }
-                self.runtime.step(aligned.epoch)
+                await self._step(aligned.epoch)
                 self._latencies.append(_time.perf_counter() - aligned.stamp)
                 self._epochs_this_run += 1
                 self.sink.flush()
@@ -480,6 +525,7 @@ class ReproService:
     async def _dispatch(
         self, frame: Frame, state: Dict[str, Any], writer: asyncio.StreamWriter
     ) -> None:
+        fault_point("serve.frame")
         kind = frame.kind
         if kind == protocol.HELLO:
             await self._handle_hello(frame.data, state, writer)
@@ -526,6 +572,11 @@ class ReproService:
             if role != "subscribe":
                 raise ServeError("ACK outside a subscriber session")
             self.sink.ack(frame.data)
+            if self._degraded_offsets:
+                acked = int(frame.data)
+                self._degraded_offsets = {
+                    o for o in self._degraded_offsets if o > acked
+                }
             return
         if kind == protocol.STATS:
             writer.write(protocol.encode_stats_reply(self.stats()))
@@ -593,7 +644,14 @@ class ReproService:
         """The ``/metrics``-style snapshot served over STATS frames."""
         uptime = max(_time.perf_counter() - self._t0, 1e-9)
         latencies = sorted(self._latencies)
-        shard_rows = self.runtime.shard_stats()
+        if not self._step_running:
+            # Never interleave stats traffic with a step's pipe protocol;
+            # mid-step (or mid-recovery) requests serve the stale rows.
+            try:
+                self._shard_stats_cache = self.runtime.shard_stats()
+            except ReproError:
+                pass
+        shard_rows = self._shard_stats_cache
         shard_totals: Dict[str, float] = {}
         for row in shard_rows:
             for key, value in row.items():
@@ -601,6 +659,7 @@ class ReproService:
                     continue
                 shard_totals[key] = shard_totals.get(key, 0.0) + float(value)
         last_ck = self.runtime.last_checkpoint_epoch
+        ck_wall = self.runtime.last_checkpoint_walltime
         return {
             "uptime_s": uptime,
             "epochs_processed": self.runtime.epochs_processed,
@@ -618,8 +677,14 @@ class ReproService:
                     if last_ck is not None
                     else self.runtime.epochs_processed
                 ),
+                "lag_s": (
+                    _time.monotonic() - ck_wall if ck_wall is not None else None
+                ),
             },
             "shards": {"count": len(shard_rows), **shard_totals},
+            "arena_bytes": shard_totals.get("arena_memory_bytes", 0.0),
+            "supervisor": self.runtime.supervisor_stats(),
+            "degraded_offsets_pending": len(self._degraded_offsets),
             "resumed_from": self.resumed_from,
         }
 

@@ -35,6 +35,7 @@ import os
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..errors import StateError
+from ..faults import fault_point
 
 #: Canonical JSON encoding of one emission record — a stable byte
 #: representation is what makes replay verification exact.
@@ -152,6 +153,7 @@ class DeliverySink:
                 )
             self._suppressed += 1
         else:
+            fault_point("sink.append", path=self.path)
             self._fp.write(line + b"\n")
             self._hashes.append(_line_hash(line))
             self._appended += 1

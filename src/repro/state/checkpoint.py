@@ -57,8 +57,10 @@ from ..config import (
     OutputPolicyConfig,
     RuntimeConfig,
     SpatialIndexConfig,
+    SupervisorConfig,
 )
 from ..errors import InferenceError, StateError
+from ..faults import fault_point
 from .delta import apply_shard_delta, is_delta_state
 from .snapshot import (
     join_state_tree,
@@ -105,7 +107,14 @@ def policy_config_from_dict(data: dict) -> OutputPolicyConfig:
 
 
 def runtime_config_from_dict(data: dict) -> RuntimeConfig:
+    data = dict(data)
     try:
+        # Pre-supervision manifests have no supervisor section: None
+        # (disabled) — and asdict() serialized it as a nested dict.
+        supervisor = data.get("supervisor")
+        data["supervisor"] = (
+            SupervisorConfig(**supervisor) if supervisor is not None else None
+        )
         return RuntimeConfig(**data)
     except TypeError as exc:
         raise StateError(f"manifest runtime config is invalid: {exc}") from exc
@@ -361,6 +370,9 @@ def save_checkpoint(runtime, path, mode: str = "full", parent=None) -> str:
                 __keys__=np.asarray(keys, dtype=str),
                 **{f"a{i}": arrays[k] for i, k in enumerate(keys)},
             )
+            # Chaos harness: simulated EIO / power loss / torn write per
+            # shard file — the whole tmp dir is discarded on the raise.
+            fault_point("checkpoint.write", path=file_path)
             shard_records.append(
                 {
                     "file": file_name,

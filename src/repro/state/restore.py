@@ -147,6 +147,11 @@ def restore_runtime(
         _reshard(runtime, manifest)
     runtime.epochs_processed = manifest.epochs_processed
     runtime.bus.resume_from(manifest.bus_last_time)
+    if exact and runtime.supervisor is not None:
+        # The restored-from checkpoint is the supervisor's recovery
+        # baseline until the runtime writes its own (elastic restores
+        # cannot reuse per-shard states across a different layout).
+        runtime.supervisor.note_checkpoint(path)
     return runtime, manifest
 
 

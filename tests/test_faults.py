@@ -1,0 +1,193 @@
+"""Unit tests for the deterministic fault-injection framework.
+
+The framework replaces ad-hoc monkeypatching in the chaos suites, so its
+own semantics must be pinned tightly: 1-based nth-hit windows, counters
+shared across forked workers (a respawned worker must not re-trigger a
+one-shot fault during replay), action behaviours, and the JSON form the
+CLI reads from ``REPRO_FAULTS``.
+"""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro import faults
+from repro.errors import ConfigurationError
+from repro.faults import FaultPlan, FaultRule
+
+
+@pytest.fixture(autouse=True)
+def clean_plan():
+    yield
+    faults.clear()
+
+
+class TestRuleValidation:
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault action"):
+            FaultRule("worker.step", action="explode")
+
+    def test_nth_must_be_one_based(self):
+        with pytest.raises(ConfigurationError, match="nth"):
+            FaultRule("worker.step", nth=0)
+
+    def test_count_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="count"):
+            FaultRule("worker.step", count=0)
+
+    def test_delay_needs_a_positive_delay(self):
+        with pytest.raises(ConfigurationError, match="delay"):
+            FaultRule("worker.step", action="delay")
+
+    def test_fires_on_window(self):
+        rule = FaultRule("worker.step", nth=3, count=2)
+        assert [rule.fires_on(h) for h in range(1, 7)] == [
+            False, False, True, True, False, False,
+        ]
+
+
+class TestPlanSerialization:
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            rules=(
+                FaultRule("checkpoint.write", nth=2, action="torn"),
+                FaultRule("worker.step", action="delay", delay_s=0.5),
+            ),
+            seed=9,
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ConfigurationError, match="malformed fault plan"):
+            FaultPlan.from_json("{not json")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ConfigurationError, match="rules"):
+            FaultPlan.from_json('["worker.step"]')
+
+    def test_bad_rule_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="malformed fault rule"):
+            FaultPlan.from_json('{"rules": [{"point": "x", "bogus": 1}]}')
+
+    def test_random_plans_are_reproducible(self):
+        assert FaultPlan.random(7, n_rules=3) == FaultPlan.random(7, n_rules=3)
+        assert FaultPlan.random(7, n_rules=3) != FaultPlan.random(8, n_rules=3)
+
+    def test_random_respects_the_catalogue(self):
+        plan = FaultPlan.random(
+            3, catalogue=[("sink.append", ("raise",))], n_rules=4
+        )
+        assert all(r.point == "sink.append" for r in plan.rules)
+        assert all(r.action == "raise" for r in plan.rules)
+
+
+class TestFiring:
+    def test_no_plan_is_a_noop(self):
+        faults.fault_point("worker.step")  # must not raise
+        assert faults.hits("worker.step") == 0
+
+    def test_unlisted_point_is_a_noop(self):
+        faults.install(FaultPlan(rules=(FaultRule("sink.append"),)))
+        faults.fault_point("worker.step")
+        assert faults.hits("worker.step") == 0
+
+    def test_nth_hit_fires_exactly_once(self):
+        faults.install(
+            FaultPlan(rules=(FaultRule("worker.step", nth=3, message="boom"),))
+        )
+        faults.fault_point("worker.step")
+        faults.fault_point("worker.step")
+        with pytest.raises(OSError, match="boom"):
+            faults.fault_point("worker.step")
+        faults.fault_point("worker.step")  # past the window: silent
+        assert faults.hits("worker.step") == 4
+
+    def test_count_widens_the_window(self):
+        faults.install(
+            FaultPlan(rules=(FaultRule("worker.step", nth=2, count=2),))
+        )
+        faults.fault_point("worker.step")
+        for _ in range(2):
+            with pytest.raises(OSError):
+                faults.fault_point("worker.step")
+        faults.fault_point("worker.step")
+
+    def test_clear_disarms(self):
+        faults.install(FaultPlan(rules=(FaultRule("worker.step"),)))
+        faults.clear()
+        faults.fault_point("worker.step")
+        assert faults.active_plan() is None
+
+    def test_torn_action_truncates_then_raises(self, tmp_path):
+        victim = tmp_path / "log.bin"
+        victim.write_bytes(b"0123456789")
+        faults.install(
+            FaultPlan(rules=(FaultRule("sink.append", action="torn"),))
+        )
+        with pytest.raises(OSError, match="torn write"):
+            faults.fault_point("sink.append", path=str(victim))
+        assert victim.read_bytes() == b"01234"
+
+    def test_torn_without_a_path_still_raises(self):
+        faults.install(
+            FaultPlan(rules=(FaultRule("sink.append", action="torn"),))
+        )
+        with pytest.raises(OSError):
+            faults.fault_point("sink.append")
+
+    def test_delay_action_sleeps_and_continues(self):
+        faults.install(
+            FaultPlan(
+                rules=(FaultRule("worker.step", action="delay", delay_s=0.05),)
+            )
+        )
+        start = time.monotonic()
+        faults.fault_point("worker.step")  # no raise
+        assert time.monotonic() - start >= 0.04
+
+    def test_exit_action_vanishes_the_process(self):
+        faults.install(
+            FaultPlan(rules=(FaultRule("worker.step", action="exit"),))
+        )
+        ctx = multiprocessing.get_context("fork")
+        child = ctx.Process(target=faults.fault_point, args=("worker.step",))
+        child.start()
+        child.join(10.0)
+        assert child.exitcode == 43  # the rule's default exit_code
+
+    def test_counters_are_shared_across_fork(self):
+        """A forked worker's hits are visible to the parent — the property
+        that stops a one-shot fault from re-firing during replay."""
+        faults.install(
+            FaultPlan(rules=(FaultRule("worker.step", nth=1000),))
+        )
+
+        def hit_twice():
+            faults.fault_point("worker.step")
+            faults.fault_point("worker.step")
+
+        ctx = multiprocessing.get_context("fork")
+        child = ctx.Process(target=hit_twice)
+        child.start()
+        child.join(10.0)
+        assert child.exitcode == 0
+        assert faults.hits("worker.step") == 2
+        faults.fault_point("worker.step")
+        assert faults.hits("worker.step") == 3
+
+
+class TestEnv:
+    def test_install_from_env(self):
+        plan = FaultPlan(rules=(FaultRule("serve.frame", nth=5),), seed=1)
+        installed = faults.install_from_env({faults.ENV_VAR: plan.to_json()})
+        assert installed == plan
+        assert faults.active_plan() == plan
+
+    def test_missing_env_is_a_noop(self):
+        assert faults.install_from_env({}) is None
+        assert faults.active_plan() is None
+
+    def test_malformed_env_fails_loudly(self):
+        with pytest.raises(ConfigurationError):
+            faults.install_from_env({faults.ENV_VAR: "{broken"})

@@ -55,8 +55,16 @@ class TestRoundTrips:
         line = b'{"offset":3,"query":"q"}'
         (emit,) = decode_frames(protocol.encode_emit(3, line))
         assert (emit.kind, emit.data, emit.line) == (protocol.EMIT, 3, line)
+        assert emit.degraded is False
         (ack,) = decode_frames(protocol.encode_ack(3))
         assert (ack.kind, ack.data) == (protocol.ACK, 3)
+
+    def test_emit_degraded_flag_rides_the_wire_not_the_line(self):
+        line = b'{"offset":7,"query":"q"}'
+        (emit,) = decode_frames(protocol.encode_emit(7, line, degraded=True))
+        assert emit.degraded is True
+        # The flag never contaminates the durable log bytes.
+        assert emit.line == line
 
     def test_stats_and_error(self):
         (req,) = decode_frames(protocol.encode_stats_request())

@@ -1,0 +1,244 @@
+"""Shard-supervisor self-healing tests.
+
+The contract under test: with supervision enabled on the process executor,
+a shard worker that dies (SIGKILL, injected crash) or hangs (injected
+delay past the op deadline) is respawned, restored from the last
+checkpoint (or fresh from its seed), and replayed through the router —
+and the run's final emissions are **byte-identical** to an undisturbed
+serial run.  Failure past the restart budget escalates to a typed
+:class:`WorkerError` and aborts; nothing ever hangs.
+"""
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.config import (
+    InferenceConfig,
+    OutputPolicyConfig,
+    RuntimeConfig,
+    SupervisorConfig,
+)
+from repro.errors import ConfigurationError, WorkerError, WorkerTimeout
+from repro.faults import FaultPlan, FaultRule
+from repro.runtime import ShardedRuntime
+from repro.state import latest_checkpoint
+
+POLICY = OutputPolicyConfig(delay_s=20.0)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    from repro.simulation.layout import LayoutConfig
+    from repro.simulation.warehouse import WarehouseConfig, WarehouseSimulator
+
+    simulator = WarehouseSimulator(
+        WarehouseConfig(layout=LayoutConfig(n_objects=6, n_shelf_tags=3), seed=11)
+    )
+    trace = simulator.generate()
+    config = InferenceConfig(reader_particles=50, object_particles=100, seed=7)
+    model = simulator.world_model()
+    reference = (
+        ShardedRuntime(model, config, RuntimeConfig(n_shards=2), POLICY)
+        .run(trace.epochs())
+        .events
+    )
+    return model, trace, config, reference
+
+
+@pytest.fixture(autouse=True)
+def clean_plan():
+    yield
+    faults.clear()
+
+
+def supervised_config(op_timeout_s=30.0, checkpoint_dir=None, **kwargs):
+    extra = {}
+    if checkpoint_dir is not None:
+        extra = dict(
+            checkpoint_every_s=6.0,
+            checkpoint_dir=str(checkpoint_dir),
+            checkpoint_keep=2,
+            checkpoint_mode="delta",
+            checkpoint_full_every=3,
+        )
+    return RuntimeConfig(
+        n_shards=2,
+        executor="process",
+        supervisor=SupervisorConfig(
+            backoff_base_s=0.01, op_timeout_s=op_timeout_s, **kwargs
+        ),
+        **extra,
+    )
+
+
+def assert_events_equal(events, reference):
+    assert len(events) == len(reference)
+    for ours, ref in zip(events, reference):
+        assert ours.time == ref.time and ours.tag == ref.tag
+        np.testing.assert_array_equal(ours.position, ref.position)
+
+
+class TestRecovery:
+    def test_sigkill_mid_run_recovers_byte_identical(self, scenario):
+        """SIGKILL a worker with no checkpoint on disk: the supervisor
+        rebuilds the shard fresh from its seed and replays the entire
+        journal — output unchanged."""
+        model, trace, config, reference = scenario
+        runtime = ShardedRuntime(model, config, supervised_config(), POLICY)
+        try:
+            epochs = trace.epochs()
+            for i, epoch in enumerate(epochs):
+                if i == 8:
+                    runtime.shards[1].process.kill()
+                    runtime.shards[1].process.join(5.0)
+                runtime.step(epoch)
+            runtime.finish()
+        finally:
+            runtime.abort()
+        assert_events_equal(runtime.sink.events, reference)
+        stats = runtime.supervisor_stats()
+        assert stats["restarts"] == 1
+        assert stats["restarts_by_shard"] == {"1": 1}
+        assert stats["last_recovery_ms"] is not None
+
+    def test_injected_crash_recovers_from_checkpoint(self, scenario, tmp_path):
+        """A worker that vanishes mid-step (os._exit via the fault plan)
+        with periodic checkpoints armed: restore comes from the last
+        checkpoint plus a short journal replay, not a full rerun."""
+        model, trace, config, reference = scenario
+        faults.install(
+            FaultPlan(rules=(FaultRule("worker.step", nth=30, action="exit"),))
+        )
+        runtime = ShardedRuntime(
+            model, config, supervised_config(checkpoint_dir=tmp_path), POLICY
+        )
+        try:
+            sink = runtime.run(trace.epochs())
+        finally:
+            runtime.abort()
+        assert_events_equal(sink.events, reference)
+        stats = runtime.supervisor_stats()
+        assert stats["restarts"] == 1
+        assert latest_checkpoint(tmp_path) is not None
+
+    def test_hung_worker_recovers_via_op_deadline(self, scenario):
+        """A worker that sleeps past the op deadline while its heartbeats
+        keep flowing is treated as hung: killed, respawned, replayed."""
+        model, trace, config, reference = scenario
+        faults.install(
+            FaultPlan(
+                rules=(
+                    FaultRule(
+                        "worker.step", nth=10, action="delay", delay_s=3.0
+                    ),
+                )
+            )
+        )
+        runtime = ShardedRuntime(
+            model, config, supervised_config(op_timeout_s=1.0), POLICY
+        )
+        try:
+            sink = runtime.run(trace.epochs())
+        finally:
+            runtime.abort()
+        assert_events_equal(sink.events, reference)
+        assert runtime.supervisor_stats()["restarts"] >= 1
+
+    def test_budget_exhaustion_escalates_with_a_typed_error(self, scenario):
+        """A fault that kills every respawn exhausts the per-shard restart
+        budget; the supervisor aborts the run with a clear error instead
+        of looping forever."""
+        model, trace, config, _ = scenario
+        faults.install(
+            FaultPlan(
+                rules=(FaultRule("worker.step", nth=1, count=10_000, action="exit"),)
+            )
+        )
+        runtime = ShardedRuntime(
+            model, config, supervised_config(max_restarts=2), POLICY
+        )
+        try:
+            with pytest.raises(WorkerError, match="beyond recovery"):
+                for epoch in trace.epochs():
+                    runtime.step(epoch)
+        finally:
+            runtime.abort()
+
+
+class TestUnsupervisedTypedErrors:
+    def test_dead_worker_mid_request_raises_not_hangs(self, scenario):
+        """Satellite contract: a worker killed between request and reply
+        surfaces a typed WorkerError promptly (the old code blocked in
+        ``recv`` forever)."""
+        model, trace, config, _ = scenario
+        runtime = ShardedRuntime(
+            model, config, RuntimeConfig(n_shards=2, executor="process"), POLICY
+        )
+        try:
+            epochs = trace.epochs()
+            runtime.step(epochs[0])
+            runtime.shards[0].process.kill()
+            runtime.shards[0].process.join(5.0)
+            with pytest.raises(WorkerError, match="died"):
+                for epoch in epochs[1:]:
+                    runtime.step(epoch)
+        finally:
+            runtime.abort()
+
+    def test_hung_worker_raises_worker_timeout(self, scenario):
+        """Heartbeats distinguish hung-but-alive from dead: a sleeping
+        worker whose heartbeats still flow earns WorkerTimeout, not the
+        dead-pipe WorkerError."""
+        model, trace, config, _ = scenario
+        faults.install(
+            FaultPlan(
+                rules=(
+                    FaultRule("worker.step", nth=1, action="delay", delay_s=3.0),
+                )
+            )
+        )
+        runtime = ShardedRuntime(
+            model, config, RuntimeConfig(n_shards=2, executor="process"), POLICY
+        )
+        for proxy in runtime.shards:
+            proxy.op_timeout_s = 0.5
+        try:
+            with pytest.raises(WorkerTimeout, match="hung"):
+                for epoch in trace.epochs():
+                    runtime.step(epoch)
+        finally:
+            runtime.abort()
+
+
+class TestConfigAndStats:
+    def test_supervisor_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            SupervisorConfig(max_restarts=-1)
+        with pytest.raises(ConfigurationError):
+            SupervisorConfig(op_timeout_s=0.0)
+        with pytest.raises(ConfigurationError):
+            SupervisorConfig(backoff_base_s=-0.5)
+
+    def test_runtime_config_rejects_non_supervisor(self):
+        with pytest.raises(ConfigurationError):
+            RuntimeConfig(supervisor="yes please")
+
+    def test_unsupervised_stats_are_none(self, scenario):
+        model, trace, config, _ = scenario
+        runtime = ShardedRuntime(model, config, RuntimeConfig(n_shards=2), POLICY)
+        assert runtime.supervisor_stats() is None
+        assert runtime.supervisor is None
+
+    def test_supervised_stats_surface(self, scenario):
+        model, trace, config, _ = scenario
+        runtime = ShardedRuntime(model, config, supervised_config(), POLICY)
+        try:
+            runtime.step(trace.epochs()[0])
+            stats = runtime.supervisor_stats()
+        finally:
+            runtime.abort()
+        assert stats["restarts"] == 0
+        assert stats["degraded_epochs"] == 0
+        assert stats["recovering"] is False
+        assert stats["journal_epochs"] == 1
