@@ -450,11 +450,47 @@ def _build_parser() -> argparse.ArgumentParser:
         help="retry a refused/missing socket N times with backoff",
     )
 
+    shost = sub.add_parser(
+        "shard-host",
+        help="run a shard-worker host: remote executors boot filter shards "
+        "here over TCP",
+    )
+    shost.add_argument(
+        "--host",
+        type=str,
+        default="127.0.0.1",
+        help="interface to bind (default loopback; the transport trusts "
+        "its peers, so keep it on a private network)",
+    )
+    shost.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port to listen on (default: an ephemeral port, printed)",
+    )
+
     sstats = sub.add_parser(
         "serve-stats", help="print a running service's metrics snapshot"
     )
     sstats.add_argument("--socket", type=str, required=True)
     sstats.add_argument(
+        "--connect-retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry a refused/missing socket N times with backoff",
+    )
+
+    sresh = sub.add_parser(
+        "serve-reshard",
+        help="re-shard a running service live (applied at the next epoch boundary)",
+    )
+    sresh.add_argument("--socket", type=str, required=True)
+    sresh.add_argument(
+        "--shards", type=int, required=True, metavar="N",
+        help="target shard count to migrate the running runtime to",
+    )
+    sresh.add_argument(
         "--connect-retries",
         type=int,
         default=0,
@@ -536,13 +572,23 @@ def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         choices=list(EXECUTOR_NAMES),
         help="how shards advance each epoch: serial (default), thread "
-        "(GIL-sharing pool), or process (persistent workers with "
-        "shared-memory arenas; output is identical across executors)",
+        "(GIL-sharing pool), process (persistent workers with "
+        "shared-memory arenas), or remote (workers on `repro shard-host` "
+        "endpoints over TCP; output is identical across executors)",
     )
     parser.add_argument(
         "--threads",
         action="store_true",
         help="deprecated alias for --executor thread",
+    )
+    parser.add_argument(
+        "--shard-host",
+        action="append",
+        default=None,
+        metavar="HOST:PORT",
+        help="with --executor remote: a `repro shard-host` endpoint to run "
+        "shard workers on (repeat for multiple hosts; shards round-robin "
+        "across them)",
     )
 
 
@@ -566,10 +612,12 @@ def _runtime_config(args: argparse.Namespace) -> RuntimeConfig:
             max_restarts=args.max_restarts,
             op_timeout_s=args.op_timeout,
         )
+    shard_hosts = getattr(args, "shard_host", None)
     return RuntimeConfig(
         n_shards=args.shards,
         partitioner=args.partitioner,
         executor=_resolve_executor(args),
+        shard_hosts=tuple(shard_hosts) if shard_hosts else None,
         checkpoint_every_s=getattr(args, "checkpoint_every", None),
         checkpoint_dir=getattr(args, "checkpoint_dir", None),
         checkpoint_mode=getattr(args, "checkpoint_mode", "full"),
@@ -808,13 +856,22 @@ def _cmd_restore(args: argparse.Namespace) -> int:
     model, _, _ = _default_model(trace)
     with open(os.path.join(path, MANIFEST_NAME)) as fp:
         recorded = runtime_config_from_dict(json.load(fp)["runtime_config"])
+    executor = _resolve_executor(args, default=recorded.executor)
+    shard_hosts = (
+        tuple(args.shard_host)
+        if getattr(args, "shard_host", None)
+        else recorded.shard_hosts
+    )
     target = dc_replace(
         recorded,
         n_shards=args.shards if args.shards is not None else recorded.n_shards,
         partitioner=(
             args.partitioner if args.partitioner is not None else recorded.partitioner
         ),
-        executor=_resolve_executor(args, default=recorded.executor),
+        executor=executor,
+        # A remote checkpoint restored onto a local executor (or vice
+        # versa) must not drag stale endpoints along.
+        shard_hosts=shard_hosts if executor == "remote" else None,
     )
     runtime, manifest = restore_runtime(
         path, model, runtime_config=target, verify=not args.no_verify
@@ -1131,6 +1188,31 @@ def _cmd_tail(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_shard_host(args: argparse.Namespace) -> int:
+    import signal
+
+    from .runtime.transport import ShardHostServer
+
+    server = ShardHostServer(host=args.host, port=args.port)
+    # Print the bound endpoint on its own line so wrappers (tests, CI,
+    # launch scripts) can scrape the ephemeral port.
+    print(f"shard-host listening on {args.host}:{server.port}", flush=True)
+
+    def _stop(signum, frame):  # noqa: ARG001 - signal handler signature
+        server.shutdown()
+
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(sig, _stop)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.shutdown()
+    return 0
+
+
 def _cmd_serve_stats(args: argparse.Namespace) -> int:
     import json
 
@@ -1143,6 +1225,16 @@ def _cmd_serve_stats(args: argparse.Namespace) -> int:
             sort_keys=True,
         )
     )
+    return 0
+
+
+def _cmd_serve_reshard(args: argparse.Namespace) -> int:
+    from .serve import request_reshard
+
+    ack = request_reshard(
+        args.socket, args.shards, connect_retries=args.connect_retries
+    )
+    print(f"re-shard to {ack['n_shards']} shards queued")
     return 0
 
 
@@ -1226,7 +1318,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _cmd_serve,
         "replay": _cmd_replay,
         "tail": _cmd_tail,
+        "shard-host": _cmd_shard_host,
         "serve-stats": _cmd_serve_stats,
+        "serve-reshard": _cmd_serve_reshard,
         "evaluate": _cmd_evaluate,
         "lab": _cmd_lab,
     }

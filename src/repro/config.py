@@ -341,8 +341,10 @@ class InferenceConfig:
 #: are declared here so configuration validates without importing the runtime.
 PARTITIONER_NAMES: Tuple[str, ...] = ("hash", "mod")
 
-#: Executor names accepted by :class:`RuntimeConfig`.
-EXECUTOR_NAMES: Tuple[str, ...] = ("serial", "thread", "process")
+#: Executor names accepted by :class:`RuntimeConfig`.  ``"remote"`` runs
+#: each shard on a ``repro shard-host`` worker pool over TCP
+#: (``repro.runtime.transport``); it needs :attr:`RuntimeConfig.shard_hosts`.
+EXECUTOR_NAMES: Tuple[str, ...] = ("serial", "thread", "process", "remote")
 
 #: Checkpoint modes accepted by :class:`RuntimeConfig`: every periodic
 #: checkpoint is a full snapshot, or a differential one chained to the last
@@ -379,6 +381,12 @@ class SupervisorConfig:
     #: declaring recovery impossible (unbounded journals would hide a
     #: misconfigured checkpoint cadence).
     max_journal_epochs: int = 100_000
+    #: Cadence of worker heartbeat frames (and the parent's poll slice).
+    heartbeat_interval_s: float = 0.25
+    #: No frame of any kind (reply or heartbeat) for this long ⇒ the worker
+    #: is unreachable and declared dead.  Raise on slow hosts or WAN links
+    #: so a live-but-laggy remote shard is not false-positived as dead.
+    heartbeat_grace_s: float = 10.0
 
     def __post_init__(self) -> None:
         if self.max_restarts < 0:
@@ -391,6 +399,14 @@ class SupervisorConfig:
             raise ConfigurationError("op_timeout_s must be positive")
         if self.max_journal_epochs < 1:
             raise ConfigurationError("max_journal_epochs must be >= 1")
+        if self.heartbeat_interval_s <= 0:
+            raise ConfigurationError("heartbeat_interval_s must be positive")
+        if self.heartbeat_grace_s <= self.heartbeat_interval_s:
+            raise ConfigurationError(
+                "heartbeat_grace_s must exceed heartbeat_interval_s "
+                "(a grace shorter than one heartbeat declares every "
+                "worker dead)"
+            )
 
 
 @dataclass(frozen=True)
@@ -448,6 +464,11 @@ class RuntimeConfig:
     #: continues with byte-identical output.  ``None`` keeps loud
     #: crash-containment (the run aborts with a typed error).
     supervisor: Optional[SupervisorConfig] = None
+    #: ``"host:port"`` endpoints of running ``repro shard-host`` pools for
+    #: the ``"remote"`` executor; shard ``i`` connects to
+    #: ``shard_hosts[i % len(shard_hosts)]``.  Required for (and only
+    #: meaningful with) ``executor="remote"``.
+    shard_hosts: Optional[Tuple[str, ...]] = None
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
@@ -482,6 +503,30 @@ class RuntimeConfig:
         ):
             raise ConfigurationError(
                 "supervisor must be a SupervisorConfig (or None to disable)"
+            )
+        if self.executor == "remote":
+            if not self.shard_hosts:
+                raise ConfigurationError(
+                    "executor='remote' requires shard_hosts "
+                    "(host:port of running `repro shard-host` pools)"
+                )
+            for endpoint in self.shard_hosts:
+                host, sep, port = str(endpoint).rpartition(":")
+                if not sep or not host:
+                    raise ConfigurationError(
+                        f"shard host {endpoint!r} is not host:port"
+                    )
+                try:
+                    port_num = int(port)
+                except ValueError:
+                    port_num = -1
+                if not (1 <= port_num <= 65535):
+                    raise ConfigurationError(
+                        f"shard host {endpoint!r} has an invalid port"
+                    )
+        elif self.shard_hosts:
+            raise ConfigurationError(
+                "shard_hosts is only meaningful with executor='remote'"
             )
 
 

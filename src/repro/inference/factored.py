@@ -256,6 +256,11 @@ class FactoredParticleFilter:
         #: so the checkpoint layer can prove a delta chains onto its parent.
         self._dirty_beliefs: Set[int] = set()
         self._capture_serial = 0
+        #: Whether the reader belief changed since the last capture.  Starts
+        #: dirty (never captured); every mutation path — init, propagation,
+        #: resample — re-sets it, so a clean delta link can ship a
+        #: parent-serial marker instead of the full reader arrays.
+        self._reader_dirty = True
         self._selector = ActiveSetSelector(config.spatial_index)
         self._initializer = SensorBasedInitializer(config, model.shelves)
         # The Case-2 sensing region (Section IV-C) is sized to where the
@@ -551,11 +556,13 @@ class FactoredParticleFilter:
             0.0, self._heading_spread, size=j
         )
         self._reader_log_w = np.zeros(j)
+        self._reader_dirty = True
 
     def _propagate_reader(
         self, reported_heading: Optional[float], reported: Optional[np.ndarray]
     ) -> None:
         assert self._reader_positions is not None and self._reader_headings is not None
+        self._reader_dirty = True
         velocity_override = None
         if (
             self.config.use_odometry_control
@@ -587,6 +594,7 @@ class FactoredParticleFilter:
         if effective_sample_size(self._reader_log_w) >= self.config.ess_threshold * j:
             return
         self.stats["reader_resamples"] += 1
+        self._reader_dirty = True
         selection_log_w = self._reader_log_w
         if feedback is not None:
             selection_log_w = selection_log_w + feedback
@@ -949,11 +957,14 @@ class FactoredParticleFilter:
         bitwise-identically.
 
         ``mode="delta"`` returns only what changed since the previous
-        capture (of either mode): per-epoch scalars, the RNG/reader state
-        (they change every epoch), the full belief/arena *id order* (tiny —
-        it carries ordering and deletions), and column data for dirty
-        objects only.  ``repro.state.delta.apply_engine_delta`` overlays it
-        on the parent capture's tree to reproduce the full tree exactly.
+        capture (of either mode): per-epoch scalars and the RNG state in
+        full, the full belief/arena *id order* (tiny — it carries ordering
+        and deletions), and column data for dirty objects only.  The reader
+        belief and selector tree ship in full only when they changed since
+        the parent capture; clean links carry a ``{"__clean__": True}``
+        marker that materialization resolves from the parent, bitwise.
+        ``repro.state.delta.apply_engine_delta`` overlays the capture on
+        the parent's tree to reproduce the full tree exactly.
 
         Every capture drains the dirty sets and stamps a ``capture_serial``;
         a delta also records its parent's serial, which is how the
@@ -1006,8 +1017,17 @@ class FactoredParticleFilter:
                 self._beliefs, dtype=np.int64, count=len(self._beliefs)
             )
             state["beliefs"] = beliefs
+            # Clean links ship a parent-serial marker instead of the whole
+            # reader belief / selector tree; materialization copies the
+            # parent capture's state bitwise (repro.state.delta).
+            if reader is not None and not self._reader_dirty:
+                state["reader"] = {"__clean__": True}
+            if state["selector"] is not None and not self._selector.dirty:
+                state["selector"] = {"__clean__": True}
         self._dirty_beliefs.clear()
         self.arena.clear_dirty()
+        self._reader_dirty = False
+        self._selector.clear_dirty()
         return state
 
     def restore_state(self, state: dict) -> None:
@@ -1115,3 +1135,4 @@ class FactoredParticleFilter:
         self._capture_serial = int(state.get("capture_serial", 0))
         self._dirty_beliefs.clear()
         self.arena.clear_dirty()
+        self._reader_dirty = False

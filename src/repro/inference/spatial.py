@@ -41,6 +41,10 @@ class ActiveSetSelector:
         self._index: Optional[SensingRegionIndex] = None
         self._last_center: Optional[np.ndarray] = None
         self._last_region_id: Optional[int] = None
+        # True when the snapshot-visible state changed since the last
+        # capture (drives delta-checkpoint clean links).  A fresh selector
+        # starts dirty: it has never been captured.
+        self._dirty = True
         if config.enabled:
             self._index = SensingRegionIndex(
                 max_regions=config.max_regions,
@@ -109,18 +113,32 @@ class ActiveSetSelector:
             and float(np.linalg.norm(center[:2] - self._last_center[:2]))
             < self._config.record_spacing_ft
         ):
-            self._index.attach(self._last_region_id, attached_ids)
+            if self._index.attach(self._last_region_id, attached_ids):
+                self._dirty = True
             return
         # Pad by the spacing so the quantized region still covers the
         # interim epochs' true sensing boxes.
         box = current_box.expanded(self._config.record_spacing_ft / 2.0)
         self._last_region_id = self._index.record(box, attached_ids)
         self._last_center = center
+        self._dirty = True
 
     def forget_object(self, object_id: int) -> None:
         """Detach an object everywhere (it was reset far from its past)."""
-        if self._index is not None:
-            self._index.remove_object(object_id)
+        if self._index is not None and self._index.remove_object(object_id):
+            self._dirty = True
+
+    # ------------------------------------------------------------------
+    # Dirty tracking (delta-checkpoint clean links)
+    # ------------------------------------------------------------------
+    @property
+    def dirty(self) -> bool:
+        """Whether snapshot-visible state changed since ``clear_dirty``."""
+        return self._dirty
+
+    def clear_dirty(self) -> None:
+        """Mark the current state as captured (called at snapshot time)."""
+        self._dirty = False
 
     # ------------------------------------------------------------------
     # Snapshot / restore (the durable-state subsystem, ``repro.state``)
@@ -148,6 +166,7 @@ class ActiveSetSelector:
                     "selector snapshot carries index state but the spatial "
                     "index is disabled in this configuration"
                 )
+            self._dirty = False
             return
         if state is None:
             raise StateError(
@@ -162,3 +181,5 @@ class ActiveSetSelector:
             if state["last_center"] is None
             else np.asarray(state["last_center"], dtype=float)
         )
+        # The loaded state is, by definition, the last captured state.
+        self._dirty = False

@@ -109,17 +109,20 @@ class ShardedRuntime:
         self.bus = bus if bus is not None else EventBus()
         self.sink: EventSink = sink if sink is not None else CollectingSink()
         self.bus.subscribe_sink(self.sink)
-        self._process = runtime.executor == "process"
+        #: True for both worker-backed executors ("process" forks local
+        #: workers behind pipes; "remote" connects to `repro shard-host`
+        #: pools over TCP) — they share the whole proxy protocol.
+        self._process = runtime.executor in ("process", "remote")
         #: Self-healing layer (``repro.runtime.supervisor``): present only
         #: when RuntimeConfig.supervisor is set AND the executor is
-        #: "process" — in-process shards cannot crash independently.
+        #: worker-backed — in-process shards cannot crash independently.
         self._supervisor = None
         if self._process:
-            # Persistent worker processes, one per shard, each owning a
-            # FilterShard built from the same re-seeded config the local
-            # executors would use — output parity is exact.  A custom
-            # engine_factory is forwarded (it must be picklable under a
-            # spawn start method; anything goes under fork).
+            # Persistent workers, one per shard, each owning a FilterShard
+            # built from the same re-seeded config the local executors
+            # would use — output parity is exact.  A custom engine_factory
+            # is forwarded (it must be picklable under a spawn start
+            # method or a remote boot; anything goes under fork).
             self.shards: List = []
             try:
                 for index in range(runtime.n_shards):
@@ -140,6 +143,9 @@ class ShardedRuntime:
                     model, cfg, initial_heading=initial_heading
                 )
             )
+            #: Kept so a live reshard() can build in-process shards from
+            #: the same recipe the constructor used.
+            self._inproc_factory = factory
             self.shards = [
                 FilterShard(
                     index,
@@ -202,26 +208,25 @@ class ShardedRuntime:
         #: first is mid-teardown (e.g. a repeated signal) becomes a no-op
         #: instead of double-closing executors or the bus.
         self._aborting = False
+        #: Live-migration counters (:meth:`reshard`), surfaced in the serve
+        #: STATS document's ``resharding`` block.
+        self.reshards_total = 0
+        self.last_reshard_ms: Optional[float] = None
+        self.migrated_objects_total = 0
 
-    def spawn_worker(self, index: int) -> ShardWorkerProxy:
-        """Fork one shard worker from the construction-time recipe.
+    def spawn_worker(self, index: int):
+        """Start one shard worker from the construction-time recipe.
 
         Used at construction and by the supervisor to respawn a dead or
         hung worker — determinism lives in the re-seeded config, so a
         respawned worker restored from a checkpoint is byte-identical to
-        the one it replaces.
+        the one it replaces.  ``executor="process"`` forks a local worker;
+        ``executor="remote"`` connects to ``shard_hosts[index % len]``
+        (a reconnect boots a fresh worker there, so a remote respawn heals
+        exactly like a local one).
         """
         supervisor_config = self.runtime_config.supervisor
-        return ShardWorkerProxy(
-            index,
-            self.model,
-            replace(
-                self.config,
-                seed=shard_seed(
-                    self.config.seed, index, self.runtime_config.n_shards
-                ),
-            ),
-            self.policy,
+        kwargs = dict(
             initial_heading=self.initial_heading,
             engine_factory=self._engine_factory,
             op_timeout_s=(
@@ -229,6 +234,35 @@ class ShardedRuntime:
                 if supervisor_config is not None
                 else None
             ),
+            heartbeat_interval_s=(
+                supervisor_config.heartbeat_interval_s
+                if supervisor_config is not None
+                else None
+            ),
+            heartbeat_grace_s=(
+                supervisor_config.heartbeat_grace_s
+                if supervisor_config is not None
+                else None
+            ),
+        )
+        config = replace(
+            self.config,
+            seed=shard_seed(self.config.seed, index, self.runtime_config.n_shards),
+        )
+        if self.runtime_config.executor == "remote":
+            from .transport import RemoteShardProxy  # deferred: no cycle
+
+            hosts = self.runtime_config.shard_hosts
+            return RemoteShardProxy(
+                index,
+                self.model,
+                config,
+                self.policy,
+                endpoint=hosts[index % len(hosts)],
+                **kwargs,
+            )
+        return ShardWorkerProxy(
+            index, self.model, config, self.policy, **kwargs
         )
 
     @property
@@ -457,6 +491,124 @@ class ShardedRuntime:
         if self._supervisor is not None:
             self._supervisor.note_checkpoint(target)
         return target
+
+    # ------------------------------------------------------------------
+    # Live re-sharding
+    # ------------------------------------------------------------------
+    def reshard(self, n_shards: int, partitioner: Optional[str] = None) -> None:
+        """Migrate to a new shard layout at the current epoch boundary, live.
+
+        Snapshot every running shard (pipelined for worker executors),
+        repartition the state trees through the same elastic N→M path a
+        stop-the-world restore uses (:func:`repro.state.restore
+        .reshard_states` — arena blocks, visit bookkeeping, migrated
+        spatial-index regions), build the new shard set, and swap it in.
+        The runtime never stops: the caller simply invokes this between
+        two ``step`` calls, so from the stream's point of view the layout
+        changes between epochs.  Post-migration output is byte-identical
+        to checkpointing here and restoring into the new layout.
+
+        Supervised runtimes get a fresh recovery baseline: with a
+        ``checkpoint_dir`` configured a full checkpoint is written
+        immediately after the swap (pre-reshard checkpoints cannot restore
+        the new layout); without one, recovery escalates loudly until the
+        next checkpoint lands (see :meth:`ShardSupervisor.note_reshard`).
+        """
+        from ..state.restore import reshard_states  # deferred: no cycle
+
+        if self._finished:
+            raise StateError("cannot reshard a finished runtime")
+        if n_shards < 1:
+            raise StateError("n_shards must be >= 1")
+        new_partitioner = (
+            partitioner if partitioner is not None else self.runtime_config.partitioner
+        )
+        if (
+            n_shards == self.n_shards
+            and new_partitioner == self.runtime_config.partitioner
+        ):
+            return
+        started = time.monotonic()
+        # 1. Coordinated full snapshot of the running shards.
+        if self._process:
+            for shard in self.shards:
+                shard.snapshot_async("full")
+            old_states = [shard.collect_snapshot() for shard in self.shards]
+        else:
+            old_states = [shard.snapshot("full") for shard in self.shards]
+        # 2. Repartition onto the new layout.
+        new_router = EpochRouter(n_shards, new_partitioner)
+        new_states = reshard_states(
+            old_states,
+            new_router,
+            n_shards,
+            self.config.seed,
+            self.config.spatial_index.enabled,
+            self.epochs_processed,
+        )
+        migrated = sum(
+            1
+            for state in old_states
+            for number in state["engine"]["beliefs"]["ids"]
+            if new_router.shard_of(int(number)) != self.router.shard_of(int(number))
+        )
+        # 3. Build + restore the new shard set; only then swap and retire
+        # the old one (a failure mid-build leaves the runtime untouched).
+        old_config, old_router = self.runtime_config, self.router
+        old_shards = self.shards
+        self.runtime_config = replace(
+            old_config, n_shards=n_shards, partitioner=new_partitioner
+        )
+        self.router = new_router
+        new_shards: List = []
+        try:
+            if self._process:
+                for index in range(n_shards):
+                    new_shards.append(self.spawn_worker(index))
+                for shard, state in zip(new_shards, new_states):
+                    shard.restore(state)
+            else:
+                for index in range(n_shards):
+                    shard = FilterShard(
+                        index,
+                        self._inproc_factory(
+                            replace(
+                                self.config,
+                                seed=shard_seed(self.config.seed, index, n_shards),
+                            )
+                        ),
+                        self.policy,
+                    )
+                    shard.restore(new_states[index])
+                    new_shards.append(shard)
+        except BaseException:
+            for shard in new_shards:
+                if self._process:
+                    shard.close(force=True)
+            self.runtime_config, self.router = old_config, old_router
+            raise
+        self.shards = new_shards
+        if self._process:
+            for shard in old_shards:
+                shard.close()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self.runtime_config.executor == "thread" and n_shards > 1:
+            self._pool = ThreadPoolExecutor(
+                max_workers=n_shards, thread_name_prefix="repro-shard"
+            )
+        # 4. Bookkeeping: the old delta chain describes the old layout, and
+        # post-finish caches/baselines must not outlive the migration.
+        self._chain_parent = None
+        self._chain_len = 0
+        self.reshards_total += 1
+        self.migrated_objects_total += migrated
+        self.last_reshard_ms = (time.monotonic() - started) * 1000.0
+        if self._supervisor is not None:
+            self._supervisor.note_reshard()
+        if self.runtime_config.checkpoint_dir is not None:
+            self.write_periodic_checkpoint()
 
     def finish(self) -> None:
         """Flush every shard's pending events and close the bus."""

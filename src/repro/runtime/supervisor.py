@@ -54,9 +54,11 @@ class ShardSupervisor:
         self.config = config
         #: Epochs routed since the last checkpoint — the replay suffix.
         self._journal: List[Epoch] = []
-        #: Set when the journal overflowed ``max_journal_epochs``: replay
-        #: is no longer possible, so the next recovery escalates.
+        #: Set when replay is no longer possible (the journal overflowed
+        #: ``max_journal_epochs``, or a live re-shard invalidated the
+        #: baseline), so the next recovery escalates with ``_broken_reason``.
         self._journal_broken = False
+        self._broken_reason = ""
         #: Path of the last checkpoint (periodic, explicit, or the one the
         #: runtime was restored from) — the recovery baseline.
         self._checkpoint_path: Optional[str] = None
@@ -77,6 +79,28 @@ class ShardSupervisor:
         self._checkpoint_path = os.fspath(path)
         self._journal.clear()
         self._journal_broken = False
+        self._broken_reason = ""
+
+    def note_reshard(self) -> None:
+        """The runtime just migrated to a new shard layout live.
+
+        Pre-reshard checkpoints cannot restore into the new layout, and a
+        fresh-seed replay would diverge (migrated state carries re-derived
+        RNG streams), so recovery has no baseline until the next checkpoint
+        lands: the journal is dropped and marked broken — a worker death in
+        the gap escalates loudly instead of silently diverging.  Runtimes
+        with a ``checkpoint_dir`` close the gap immediately: the live
+        re-shard writes a fresh checkpoint before ingest resumes.  Restart
+        budgets reset — the new layout's workers are new processes.
+        """
+        self._checkpoint_path = None
+        self._journal.clear()
+        self._journal_broken = True
+        self._broken_reason = (
+            "the shard layout changed live and no post-reshard checkpoint "
+            "has landed yet"
+        )
+        self._restarts.clear()
 
     def record(self, epoch: Epoch) -> None:
         """Journal one successfully processed epoch for future replay."""
@@ -87,6 +111,9 @@ class ShardSupervisor:
             # grow without bound.  Recovery escalates loudly from here on.
             self._journal.clear()
             self._journal_broken = True
+            self._broken_reason = (
+                "its epoch journal overflowed before a checkpoint landed"
+            )
             return
         self._journal.append(epoch)
 
@@ -139,13 +166,9 @@ class ShardSupervisor:
         """
         recovered = []
         for index, proxy in enumerate(self.runtime.shards):
-            process = getattr(proxy, "process", None)
-            dead = (
-                getattr(proxy, "_dead", False)
-                or process is None
-                or not process.is_alive()
-            )
-            if dead:
+            # Transport-agnostic liveness: local proxies check their forked
+            # process, remote proxies their socket (ShardProxyBase.is_alive).
+            if not proxy.is_alive():
                 self._recover(index, cause)
                 recovered.append(index)
         if not recovered:
@@ -181,11 +204,7 @@ class ShardSupervisor:
         without one).  Loops under backoff until success or escalation.
         """
         if self._journal_broken:
-            self._escalate(
-                index,
-                cause,
-                "its epoch journal overflowed before a checkpoint landed",
-            )
+            self._escalate(index, cause, self._broken_reason)
         started = time.monotonic()
         self.recovering = True
         try:

@@ -188,6 +188,40 @@ def _release_arena(shard: Optional[FilterShard]) -> None:
         arena.release()
 
 
+def _pack_belief_fetch(arena):
+    """Pack every live block into contiguous arrays for a ``beliefs`` reply.
+
+    Returns ``(slots, positions, parents, log_weights)`` where ``slots``
+    maps object id → (start, count) into the packed arrays — the same shape
+    a slot table has over the shared slab, so the fetched view and the
+    attached view read identically.
+    """
+    ids = arena.object_ids()
+    slots: Dict[int, Tuple[int, int]] = {}
+    pos_parts, parent_parts, logw_parts = [], [], []
+    start = 0
+    for object_id in ids:
+        block = arena.positions(object_id)
+        slots[object_id] = (start, block.shape[0])
+        start += block.shape[0]
+        pos_parts.append(np.ascontiguousarray(block))
+        parent_parts.append(np.ascontiguousarray(arena.parents(object_id)))
+        logw_parts.append(np.ascontiguousarray(arena.log_weights(object_id)))
+    if not ids:
+        return (
+            slots,
+            np.zeros((0, 3), dtype=arena.dtype),
+            np.zeros(0, dtype=np.int32),
+            np.zeros(0, dtype=arena.dtype),
+        )
+    return (
+        slots,
+        np.concatenate(pos_parts, axis=0),
+        np.concatenate(parent_parts, axis=0),
+        np.concatenate(logw_parts, axis=0),
+    )
+
+
 def _worker_main(
     conn,
     shard_index: int,
@@ -196,6 +230,7 @@ def _worker_main(
     policy: OutputPolicyConfig,
     initial_heading: float,
     engine_factory,
+    heartbeat_interval_s: float = HEARTBEAT_INTERVAL_S,
 ) -> None:
     """Body of one worker process: build the shard, serve the message loop.
 
@@ -231,7 +266,7 @@ def _worker_main(
     hb_stop = threading.Event()
 
     def _heartbeat() -> None:
-        while not hb_stop.wait(HEARTBEAT_INTERVAL_S):
+        while not hb_stop.wait(heartbeat_interval_s):
             try:
                 send(("hb",))
             except OSError:
@@ -316,6 +351,15 @@ def _worker_main(
                         send(
                             ("ok", (arena.shared_segment(), arena.slot_table()))
                         )
+                elif op == "beliefs":
+                    # Explicit belief fetch: the off-host replacement for
+                    # attaching the shared slab.  Ships every live block
+                    # packed contiguously plus a slot table into the pack.
+                    arena = getattr(shard.engine, "arena", None)
+                    if arena is None:
+                        send(("ok", None))
+                    else:
+                        send(("ok", _pack_belief_fetch(arena)))
                 else:
                     send(
                         ("error", "InferenceError", f"unknown worker op {op!r}")
@@ -370,68 +414,82 @@ class ArenaView:
         self._slab.close()
 
 
-class ShardWorkerProxy:
-    """Parent-side handle to one persistent shard worker.
+class ShardProxyBase:
+    """The shard-worker protocol, independent of the transport underneath.
 
-    Implements the :class:`~repro.runtime.shard.FilterShard` query/snapshot
-    surface (``known_objects``, ``object_estimate``, ``stats``, ``snapshot``,
-    ``restore``) over the pipe, plus the split-phase step the runtime uses to
-    overlap shards: ``step_async`` on every proxy first, then
-    ``collect_events`` on each — the workers compute concurrently between
-    the two.
+    Everything that speaks the tuple protocol — the split-phase step, the
+    :class:`~repro.runtime.shard.FilterShard` query/snapshot surface, the
+    heartbeat-aware deadline-bounded receive — lives here and operates on
+    ``self._conn``, which only needs the ``multiprocessing.Connection``
+    trio ``send`` / ``recv`` / ``poll``.  :class:`ShardWorkerProxy` plugs
+    in a pipe to a forked local worker;
+    :class:`~repro.runtime.transport.RemoteShardProxy` plugs in a framed
+    TCP socket to a ``repro shard-host`` pool.
     """
 
-    def __init__(
+    #: Local proxies hold the worker's ``multiprocessing.Process`` here;
+    #: remote proxies leave it ``None`` (liveness goes through
+    #: :meth:`is_alive` instead).
+    process = None
+
+    def _init_protocol(
         self,
         index: int,
-        model: RFIDWorldModel,
-        config: InferenceConfig,
-        policy: OutputPolicyConfig,
-        initial_heading: float = 0.0,
-        engine_factory=None,
-        context: Optional[mp.context.BaseContext] = None,
         op_timeout_s: Optional[float] = None,
-    ):
+        heartbeat_interval_s: Optional[float] = None,
+        heartbeat_grace_s: Optional[float] = None,
+    ) -> None:
         self.index = index
-        #: Deadline for one pipe op (send → final reply).  Supervised
-        #: runtimes tighten this from SupervisorConfig.op_timeout_s.
+        #: Deadline for one op (send → final reply).  Supervised runtimes
+        #: tighten this from SupervisorConfig.op_timeout_s.
         self.op_timeout_s = (
             float(op_timeout_s) if op_timeout_s is not None else DEFAULT_OP_TIMEOUT_S
         )
-        ctx = context if context is not None else worker_context()
-        _ensure_resource_tracker()
-        self._conn, child_conn = ctx.Pipe()
-        self.process = ctx.Process(
-            target=_worker_main,
-            args=(
-                child_conn,
-                index,
-                model,
-                config,
-                policy,
-                initial_heading,
-                engine_factory,
-            ),
-            name=f"repro-shard-{index}",
-            daemon=True,
+        self.heartbeat_interval_s = (
+            float(heartbeat_interval_s)
+            if heartbeat_interval_s is not None
+            else HEARTBEAT_INTERVAL_S
         )
-        self.process.start()
-        child_conn.close()
+        self.heartbeat_grace_s = (
+            float(heartbeat_grace_s)
+            if heartbeat_grace_s is not None
+            else HEARTBEAT_GRACE_S
+        )
         self._dead = False
         #: Last (name, capacity, dtype) the worker advertised — the
-        #: reclamation key if the worker dies without releasing its own
-        #: segment.
+        #: reclamation key if a local worker dies without releasing its own
+        #: segment (informational only for remote proxies).
         self._segment: Optional[Tuple[str, int, str]] = None
+
+    def _handshake(self) -> None:
         reply = self._recv()  # ready handshake (or construction error)
         if reply[0] != "ready":
             raise InferenceError(
-                f"shard worker {index} sent {reply[0]!r} instead of ready"
+                f"shard worker {self.index} sent {reply[0]!r} instead of ready"
             )
         self._segment = reply[1]
 
+    # -- liveness -------------------------------------------------------
+    def is_alive(self) -> bool:
+        """Whether the worker behind this proxy is believed reachable."""
+        return not self._dead and self._transport_alive()
+
+    def _transport_alive(self) -> bool:
+        raise NotImplementedError
+
+    def _closed(self) -> bool:
+        """Whether this proxy was torn down (weaker than ``not is_alive``:
+        a worker that just died still has an open transport until the next
+        send/recv surfaces the EOF as a typed error)."""
+        raise NotImplementedError
+
+    def _death_detail(self) -> str:
+        """Transport-specific suffix for death messages (may be empty)."""
+        return ""
+
     # -- plumbing ------------------------------------------------------
     def _send(self, message: tuple) -> None:
-        if self.process is None or self._dead:
+        if self._dead or self._closed():
             raise WorkerError(f"shard worker {self.index} is not running")
         fault_point("worker.send")
         try:
@@ -439,15 +497,15 @@ class ShardWorkerProxy:
         except (BrokenPipeError, OSError) as exc:
             self._dead = True
             raise WorkerError(
-                f"shard worker {self.index} died (pipe closed on send)"
+                f"shard worker {self.index} died (connection closed on send)"
             ) from exc
 
     def _recv(self, timeout: Optional[float] = None) -> tuple:
         """Deadline-bounded receive; heartbeat frames are consumed silently.
 
-        Never blocks forever: a dead pipe raises :class:`WorkerError`
+        Never blocks forever: a dead connection raises :class:`WorkerError`
         immediately, a silent worker (no frame within
-        ``HEARTBEAT_GRACE_S``) raises :class:`WorkerError`, and a worker
+        ``heartbeat_grace_s``) raises :class:`WorkerError`, and a worker
         whose heartbeats flow but whose reply misses the op deadline
         raises :class:`WorkerTimeout`.
         """
@@ -465,22 +523,22 @@ class ShardWorkerProxy:
                 )
             try:
                 if not self._conn.poll(
-                    min(HEARTBEAT_INTERVAL_S, limit - (now - start))
+                    min(self.heartbeat_interval_s, limit - (now - start))
                 ):
-                    if _time.monotonic() - last_frame >= HEARTBEAT_GRACE_S:
+                    if _time.monotonic() - last_frame >= self.heartbeat_grace_s:
                         self._dead = True
                         raise WorkerError(
                             f"shard worker {self.index} died silently: no "
-                            f"frames for {HEARTBEAT_GRACE_S:.1f}s "
-                            f"(exit code {self.process.exitcode})"
+                            f"frames for {self.heartbeat_grace_s:.1f}s"
+                            f"{self._death_detail()}"
                         )
                     continue
                 reply = self._conn.recv()
             except (EOFError, OSError) as exc:
                 self._dead = True
                 raise WorkerError(
-                    f"shard worker {self.index} died mid-request "
-                    f"(exit code {self.process.exitcode})"
+                    f"shard worker {self.index} died mid-request"
+                    f"{self._death_detail()}"
                 ) from exc
             last_frame = _time.monotonic()
             if reply[0] == "hb":
@@ -577,6 +635,66 @@ class ShardWorkerProxy:
 
     def restore(self, state: dict) -> None:
         self._request(("restore", state))
+
+
+class ShardWorkerProxy(ShardProxyBase):
+    """Parent-side handle to one persistent *local* shard worker.
+
+    Speaks the tuple protocol over a multiprocessing pipe to a worker
+    forked at construction, and reads beliefs zero-copy through the
+    worker's shared-memory slab (:meth:`arena_view`).
+    """
+
+    def __init__(
+        self,
+        index: int,
+        model: RFIDWorldModel,
+        config: InferenceConfig,
+        policy: OutputPolicyConfig,
+        initial_heading: float = 0.0,
+        engine_factory=None,
+        context: Optional[mp.context.BaseContext] = None,
+        op_timeout_s: Optional[float] = None,
+        heartbeat_interval_s: Optional[float] = None,
+        heartbeat_grace_s: Optional[float] = None,
+    ):
+        self._init_protocol(
+            index, op_timeout_s, heartbeat_interval_s, heartbeat_grace_s
+        )
+        ctx = context if context is not None else worker_context()
+        _ensure_resource_tracker()
+        self._conn, child_conn = ctx.Pipe()
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(
+                child_conn,
+                index,
+                model,
+                config,
+                policy,
+                initial_heading,
+                engine_factory,
+                self.heartbeat_interval_s,
+            ),
+            name=f"repro-shard-{index}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        self._handshake()
+
+    # -- liveness -------------------------------------------------------
+    def _transport_alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    def _closed(self) -> bool:
+        return self.process is None
+
+    def _death_detail(self) -> str:
+        process = self.process
+        if process is None:
+            return ""
+        return f" (exit code {process.exitcode})"
 
     # -- shared-memory reads -------------------------------------------
     def arena_view(self) -> ArenaView:

@@ -16,7 +16,13 @@ The serve layer turns the batch pipeline into a long-lived service:
 * :mod:`~repro.serve.client` — reference replay/tail/stats clients.
 """
 
-from .client import EmissionTail, ReplaySource, fetch_stats, split_trace
+from .client import (
+    EmissionTail,
+    ReplaySource,
+    fetch_stats,
+    request_reshard,
+    split_trace,
+)
 from .ingest import IngestController
 from .protocol import Frame, FrameDecoder
 from .service import ReproService
@@ -34,5 +40,6 @@ __all__ = [
     "ReproService",
     "WatermarkAligner",
     "fetch_stats",
+    "request_reshard",
     "split_trace",
 ]

@@ -461,3 +461,38 @@ async def fetch_stats_async(
 
 def fetch_stats(socket_path: str, connect_retries: int = 0) -> Dict[str, Any]:
     return asyncio.run(fetch_stats_async(socket_path, connect_retries))
+
+
+async def request_reshard_async(
+    socket_path: str, n_shards: int, connect_retries: int = 0
+) -> Dict[str, Any]:
+    """Queue a live re-shard on a running service; returns the ack payload.
+
+    The migration itself happens at the service's next epoch boundary —
+    poll ``fetch_stats`` (``resharding.n_shards`` / ``pending``) to watch
+    it land.
+    """
+    conn = await _connect(socket_path, retries=connect_retries)
+    try:
+        conn.writer.write(protocol.encode_hello("stats"))
+        conn.writer.write(protocol.encode_reshard(n_shards))
+        await conn.writer.drain()
+        while True:
+            frame = await conn.next_frame()
+            if frame is None:
+                raise ServeError("server closed before RESHARD_ACK")
+            if frame.kind == protocol.ERROR:
+                raise ServeError(f"reshard rejected: {frame.data.get('error')}")
+            if frame.kind == protocol.HELLO_ACK:
+                continue
+            if frame.kind != protocol.RESHARD_ACK:
+                raise ServeError(f"expected RESHARD_ACK, got {frame.name}")
+            return frame.data
+    finally:
+        await conn.close()
+
+
+def request_reshard(
+    socket_path: str, n_shards: int, connect_retries: int = 0
+) -> Dict[str, Any]:
+    return asyncio.run(request_reshard_async(socket_path, n_shards, connect_retries))

@@ -60,6 +60,8 @@ STATS = 11  # empty: request a stats snapshot
 STATS_REPLY = 12  # json: the service's metrics document
 ERROR = 13  # json: {error}
 END_ACK = 14  # empty: the server consumed the stream through SOURCE_END
+RESHARD = 15  # json: {n_shards} — request a live shard-layout change
+RESHARD_ACK = 16  # json: {queued, n_shards} — the request is scheduled
 
 FRAME_NAMES = {
     HELLO: "HELLO",
@@ -76,6 +78,8 @@ FRAME_NAMES = {
     STATS_REPLY: "STATS_REPLY",
     ERROR: "ERROR",
     END_ACK: "END_ACK",
+    RESHARD: "RESHARD",
+    RESHARD_ACK: "RESHARD_ACK",
 }
 
 _LEN = struct.Struct("!I")
@@ -221,6 +225,14 @@ def encode_error(message: str) -> bytes:
     return _wrap_json(ERROR, {"error": str(message)})
 
 
+def encode_reshard(n_shards: int) -> bytes:
+    return _wrap_json(RESHARD, {"n_shards": int(n_shards)})
+
+
+def encode_reshard_ack(n_shards: int) -> bytes:
+    return _wrap_json(RESHARD_ACK, {"queued": True, "n_shards": int(n_shards)})
+
+
 # ---------------------------------------------------------------------------
 # Decoding
 # ---------------------------------------------------------------------------
@@ -254,7 +266,7 @@ def _decode_payload(kind: int, payload: bytes) -> Frame:
             if payload:
                 raise ServeError(f"{FRAME_NAMES[kind]} frame carries a payload")
             return Frame(kind)
-        if kind in (HELLO, HELLO_ACK, STATS_REPLY, ERROR):
+        if kind in (HELLO, HELLO_ACK, STATS_REPLY, ERROR, RESHARD, RESHARD_ACK):
             doc = json.loads(payload.decode())
             if not isinstance(doc, dict):
                 raise ServeError(f"{FRAME_NAMES[kind]} payload is not an object")

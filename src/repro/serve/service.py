@@ -180,6 +180,10 @@ class ReproService:
         #: Offsets emitted during an epoch whose step recovered a shard —
         #: their EMIT frames carry the degraded flag until acked.
         self._degraded_offsets: Set[int] = set()
+        #: Pending live re-shard target (applied by the pump at the next
+        #: epoch boundary) and the last failed attempt's message.
+        self._reshard_requested: Optional[int] = None
+        self._reshard_error: Optional[str] = None
         self._shard_stats_cache: List[Dict[str, float]] = []
         self._t0 = _time.perf_counter()
         self._server: Optional[asyncio.AbstractServer] = None
@@ -339,6 +343,30 @@ class ReproService:
             self.engine.note_degraded()
             self._degraded_offsets.update(range(logged_before, self.sink.logged))
 
+    async def _maybe_reshard(self) -> None:
+        """Apply a queued live re-shard at an epoch boundary.
+
+        Runs off the loop thread (migration is seconds of snapshot +
+        restore traffic) under the ``_step_running`` guard, so STATS
+        requests serve stale shard rows instead of interleaving with the
+        worker protocol.  Ingest keeps flowing the whole time: sources keep
+        buffering into the aligner, only the epoch pump waits.  A failed
+        attempt leaves the runtime serving at the old layout (the runtime
+        rolls back internally) and surfaces the error in stats.
+        """
+        n = self._reshard_requested
+        if n is None or self._stream_done:
+            return
+        self._reshard_requested = None
+        self._step_running = True
+        try:
+            await asyncio.to_thread(self.runtime.reshard, n)
+            self._reshard_error = None
+        except ReproError as exc:
+            self._reshard_error = str(exc)
+        finally:
+            self._step_running = False
+
     # ------------------------------------------------------------------
     # The pump: watermark-released epochs -> runtime -> sink -> credits
     # ------------------------------------------------------------------
@@ -349,6 +377,7 @@ class ReproService:
             if self._drain_requested:
                 await self._do_drain()
                 return
+            await self._maybe_reshard()
             for aligned in self.aligner.poll():
                 self._extras_snapshot = {
                     "origin": self.aligner.origin,
@@ -364,6 +393,7 @@ class ReproService:
                 self._update_pause()
                 if self._drain_requested:
                     break
+                await self._maybe_reshard()
             self._grant_credits()
             self._update_pause()
             self._release_pause_if_drained()
@@ -479,6 +509,17 @@ class ReproService:
         self._drain_requested = True
         self._wake.set()
 
+    def request_reshard(self, n_shards: int) -> None:
+        """Queue a live shard-layout change (``RESHARD`` frame / embedder
+        API).  The pump applies it at the next epoch boundary without
+        stopping ingest; progress and failures show up under the stats
+        document's ``resharding`` block."""
+        n = int(n_shards)
+        if n < 1:
+            raise ServeError(f"cannot re-shard to {n} shards")
+        self._reshard_requested = n
+        self._wake.set()
+
     # ------------------------------------------------------------------
     # Connections
     # ------------------------------------------------------------------
@@ -582,6 +623,15 @@ class ReproService:
             writer.write(protocol.encode_stats_reply(self.stats()))
             await writer.drain()
             return
+        if kind == protocol.RESHARD:
+            if role != "stats":
+                raise ServeError("RESHARD outside a control (stats) session")
+            self.request_reshard(int(frame.data.get("n_shards", 0)))
+            writer.write(
+                protocol.encode_reshard_ack(int(frame.data["n_shards"]))
+            )
+            await writer.drain()
+            return
         if kind == protocol.ERROR:
             return  # a client reporting its own demise; nothing to do
         raise ServeError(f"unexpected {frame.name} frame from a client")
@@ -683,6 +733,14 @@ class ReproService:
             },
             "shards": {"count": len(shard_rows), **shard_totals},
             "arena_bytes": shard_totals.get("arena_memory_bytes", 0.0),
+            "resharding": {
+                "n_shards": self.runtime.n_shards,
+                "reshards_total": self.runtime.reshards_total,
+                "last_reshard_ms": self.runtime.last_reshard_ms,
+                "migrated_objects_total": self.runtime.migrated_objects_total,
+                "pending": self._reshard_requested,
+                "last_error": self._reshard_error,
+            },
             "supervisor": self.runtime.supervisor_stats(),
             "degraded_offsets_pending": len(self._degraded_offsets),
             "resumed_from": self.resumed_from,

@@ -67,11 +67,19 @@ class SensingRegionIndex:
                 self._evict_oldest()
         return region_id
 
-    def attach(self, region_id: int, object_ids: Iterable[int]) -> None:
-        """Attach more objects to an existing region."""
+    def attach(self, region_id: int, object_ids: Iterable[int]) -> bool:
+        """Attach more objects to an existing region.
+
+        Returns ``True`` when the region's object set actually grew —
+        re-attaching already-attached objects is a no-op, and callers
+        tracking snapshot dirtiness rely on that distinction.
+        """
         if region_id not in self._regions:
             raise GeometryError(f"unknown region id {region_id}")
-        self._regions[region_id][1].update(int(i) for i in object_ids)
+        ids = self._regions[region_id][1]
+        before = len(ids)
+        ids.update(int(i) for i in object_ids)
+        return len(ids) != before
 
     def contains_region(self, region_id: int) -> bool:
         """Whether a region id is still live (not evicted)."""
@@ -82,11 +90,17 @@ class SensingRegionIndex:
         del self._regions[region_id]
         self._tree.delete(box, lambda value: value == region_id)
 
-    def remove_object(self, object_id: int) -> None:
+    def remove_object(self, object_id: int) -> bool:
         """Detach an object from every region (e.g. after it moved far away,
-        its old particle locations are no longer meaningful)."""
+        its old particle locations are no longer meaningful).  Returns
+        ``True`` when the object was attached anywhere."""
+        object_id = int(object_id)
+        removed = False
         for _, ids in self._regions.values():
-            ids.discard(int(object_id))
+            if object_id in ids:
+                ids.discard(object_id)
+                removed = True
+        return removed
 
     # ------------------------------------------------------------------
     # Queries

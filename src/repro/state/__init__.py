@@ -36,7 +36,7 @@ from .checkpoint import (
     save_checkpoint,
 )
 from .delta import apply_shard_delta, is_delta_state
-from .restore import apply_query_states, restore_runtime
+from .restore import apply_query_states, reshard_states, restore_runtime
 from .snapshot import (
     generator_from_state,
     join_state_tree,
@@ -59,6 +59,7 @@ __all__ = [
     "jsonable_to_rng_state",
     "latest_checkpoint",
     "load_checkpoint",
+    "reshard_states",
     "restore_runtime",
     "rng_state_to_jsonable",
     "rotate_checkpoints",

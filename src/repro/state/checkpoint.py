@@ -115,6 +115,9 @@ def runtime_config_from_dict(data: dict) -> RuntimeConfig:
         data["supervisor"] = (
             SupervisorConfig(**supervisor) if supervisor is not None else None
         )
+        # JSON round-trips tuples as lists.
+        if data.get("shard_hosts") is not None:
+            data["shard_hosts"] = tuple(data["shard_hosts"])
         return RuntimeConfig(**data)
     except TypeError as exc:
         raise StateError(f"manifest runtime config is invalid: {exc}") from exc

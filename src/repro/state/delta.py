@@ -27,6 +27,7 @@ the first place.
 
 from __future__ import annotations
 
+import copy
 from typing import Dict, Tuple
 
 import numpy as np
@@ -244,6 +245,30 @@ def apply_engine_delta(base: dict, delta: dict) -> dict:
         raise StateError("overlay is not a delta capture")
     _check_serial(base, delta, "engine")
     out = {key: delta[key] for key in _ENGINE_FULL_KEYS}
+    # Clean-marker resolution: a delta whose reader belief / selector tree
+    # did not change since the parent ships ``{"__clean__": True}`` instead
+    # of the state; the materialized tree takes the base's copy verbatim
+    # (array copies / deepcopy — no re-encoding, so bitwise-exact).
+    reader = out["reader"]
+    if isinstance(reader, dict) and reader.get("__clean__"):
+        base_reader = base.get("reader")
+        if not isinstance(base_reader, dict) or base_reader.get("__clean__"):
+            raise StateError(
+                "torn delta chain: reader marked clean but the base capture "
+                "carries no reader belief"
+            )
+        out["reader"] = {
+            name: np.asarray(value).copy() for name, value in base_reader.items()
+        }
+    selector = out["selector"]
+    if isinstance(selector, dict) and selector.get("__clean__"):
+        base_selector = base.get("selector")
+        if not isinstance(base_selector, dict) or base_selector.get("__clean__"):
+            raise StateError(
+                "torn delta chain: selector marked clean but the base capture "
+                "carries no selector state"
+            )
+        out["selector"] = copy.deepcopy(base_selector)
     out["arena"] = apply_arena_delta(base["arena"], delta["arena"])
     beliefs = delta["beliefs"]
     out["beliefs"] = {

@@ -27,11 +27,19 @@ state cannot migrate exactly and are handled explicitly:
 * **RNG streams** are re-derived deterministically from the root seed, the
   new shard index, and the resume offset; splicing old bit-generator
   streams across a changed shard layout would correlate shards.
-* **Spatial-index regions** (when enabled) are *not* migrated: each shard's
-  recorded regions are keyed to its own reader-belief history, which does
-  not survive repartitioning.  Restored shards start with an empty index
-  and re-record regions as the reader moves — a documented warm-up cost,
-  not a correctness issue (Case-1 processing is unaffected).
+* **Spatial-index regions** (when enabled) migrate with the objects they
+  cover.  Region geometry and ids are identical across the old shards —
+  every shard records regions from the same broadcast reader poses under
+  the same config — so new shard ``m`` takes the region list of its reader
+  donor shard and re-attaches, per region id, the union of every old
+  shard's covered objects filtered to ``m``'s ownership.  Without this the
+  index restarted empty and every layout change paid a Case-2 warm-up
+  window while regions re-recorded.
+
+The re-shard path is also the live-migration engine:
+:meth:`ShardedRuntime.reshard` snapshots the running shards and feeds the
+trees through :func:`reshard_states` at an epoch boundary — same
+repartitioning, no stop.
 
 Consequently an exact restore is bitwise; a re-shard is exact on event
 times and tags (the output policy's clock is deterministic) and accurate on
@@ -59,8 +67,8 @@ from ..runtime import EventBus, ShardedRuntime
 from ..streams.sinks import EventSink
 from .checkpoint import CheckpointManifest, config_hash, load_checkpoint
 
-#: Selector snapshot applied to re-sharded engines when the index is
-#: enabled: structurally valid, semantically empty (regions re-record).
+#: Fallback selector snapshot for re-sharded engines whose source shard
+#: carries no selector state: structurally valid, semantically empty.
 _EMPTY_SELECTOR = {
     "index": {"next_id": 0, "regions": []},
     "last_region_id": None,
@@ -326,11 +334,71 @@ def _reshard_rng_state(root_seed: int, shard_index: int, n_shards: int, offset: 
     return np.random.default_rng(seq).bit_generator.state
 
 
-def _reshard(runtime: ShardedRuntime, manifest: CheckpointManifest) -> None:
-    """Repartition N-shard checkpoint state onto the runtime's M shards."""
-    n_old = manifest.n_shards
-    n_new = runtime.n_shards
-    for state in manifest.shard_states:
+def _migrate_selector(
+    shard_states: List[dict], source_index: int, router, m: int
+) -> Optional[dict]:
+    """Selector snapshot for new shard ``m``: regions travel with objects.
+
+    Region geometry, recording order, ids, and the ``next_id`` watermark
+    are shared across old shards (every shard records from the same
+    broadcast reader poses under the same config), so the structural frame
+    comes from the reader-donor shard; each region's covered-object set is
+    the union over *all* old shards of that region id's objects, filtered
+    to the objects shard ``m`` now owns.
+    """
+    source = shard_states[source_index]["engine"].get("selector")
+    if source is None:
+        return dict(_EMPTY_SELECTOR)
+    # Union of covered objects per region id across every old shard.
+    objects_by_region: Dict[int, set] = {}
+    next_id = 0
+    for state in shard_states:
+        selector = state["engine"].get("selector")
+        if selector is None:
+            continue
+        next_id = max(next_id, int(selector["index"]["next_id"]))
+        for region in selector["index"]["regions"]:
+            objects_by_region.setdefault(int(region["id"]), set()).update(
+                int(number) for number in region["objects"]
+            )
+    regions = [
+        {
+            "id": int(region["id"]),
+            "lo": region["lo"],
+            "hi": region["hi"],
+            "objects": sorted(
+                number
+                for number in objects_by_region.get(int(region["id"]), ())
+                if router.shard_of(number) == m
+            ),
+        }
+        for region in source["index"]["regions"]
+    ]
+    return {
+        "index": {"next_id": next_id, "regions": regions},
+        "last_region_id": source["last_region_id"],
+        "last_center": source["last_center"],
+    }
+
+
+def reshard_states(
+    shard_states: List[dict],
+    router,
+    n_new: int,
+    root_seed: int,
+    spatial_enabled: bool,
+    epochs_processed: int,
+) -> List[dict]:
+    """Repartition N materialized shard state trees onto M shards.
+
+    The core of the elastic restore path, factored out so
+    :meth:`ShardedRuntime.reshard` can migrate a *running* runtime's state
+    through the identical transformation (snapshot → repartition → restore)
+    at an epoch boundary.  Returns one ``{"engine", "pipeline"}`` tree per
+    new shard, ready for ``shard.restore``.
+    """
+    n_old = len(shard_states)
+    for state in shard_states:
         if state["engine"].get("engine") != "factored":
             raise StateError("elastic re-shard supports the factored engine only")
 
@@ -339,24 +407,24 @@ def _reshard(runtime: ShardedRuntime, manifest: CheckpointManifest) -> None:
     beliefs_by_new: List[List[dict]] = [[] for _ in range(n_new)]
     visits_by_new: List[List[dict]] = [[] for _ in range(n_new)]
     emitted_by_new: List[set] = [set() for _ in range(n_new)]
-    for state in manifest.shard_states:
+    for state in shard_states:
         for entry in _belief_entries(state["engine"]):
-            beliefs_by_new[runtime.router.shard_of(entry["number"])].append(entry)
+            beliefs_by_new[router.shard_of(entry["number"])].append(entry)
         for visit in _visit_entries(state["pipeline"]):
-            visits_by_new[runtime.router.shard_of(visit["number"])].append(visit)
+            visits_by_new[router.shard_of(visit["number"])].append(visit)
         for number in np.asarray(state["pipeline"]["emitted_ever"]):
-            emitted_by_new[runtime.router.shard_of(int(number))].add(int(number))
+            emitted_by_new[router.shard_of(int(number))].add(int(number))
 
-    root_seed = manifest.config.seed
-    spatial_enabled = manifest.config.spatial_index.enabled
-    for m, shard in enumerate(runtime.shards):
-        source = manifest.shard_states[(m * n_old) // n_new]
+    out: List[dict] = []
+    for m in range(n_new):
+        source_index = (m * n_old) // n_new
+        source = shard_states[source_index]
         engine_src = source["engine"]
         beliefs, arena = _pack_beliefs(beliefs_by_new[m])
         engine_state = {
             "engine": "factored",
             "rng_state": _reshard_rng_state(
-                root_seed, m, n_new, manifest.epochs_processed
+                root_seed, m, n_new, epochs_processed
             ),
             "epoch_index": engine_src["epoch_index"],
             "active_count": len(beliefs_by_new[m]),
@@ -367,7 +435,11 @@ def _reshard(runtime: ShardedRuntime, manifest: CheckpointManifest) -> None:
             "reader": engine_src["reader"],
             "arena": arena,
             "beliefs": beliefs,
-            "selector": dict(_EMPTY_SELECTOR) if spatial_enabled else None,
+            "selector": (
+                _migrate_selector(shard_states, source_index, router, m)
+                if spatial_enabled
+                else None
+            ),
         }
         entries = visits_by_new[m]
         pipeline_state = {
@@ -386,4 +458,19 @@ def _reshard(runtime: ShardedRuntime, manifest: CheckpointManifest) -> None:
             "emitted_ever": np.asarray(sorted(emitted_by_new[m]), dtype=np.int64),
             "last_epoch_time": source["pipeline"]["last_epoch_time"],
         }
-        shard.restore({"engine": engine_state, "pipeline": pipeline_state})
+        out.append({"engine": engine_state, "pipeline": pipeline_state})
+    return out
+
+
+def _reshard(runtime: ShardedRuntime, manifest: CheckpointManifest) -> None:
+    """Repartition N-shard checkpoint state onto the runtime's M shards."""
+    states = reshard_states(
+        manifest.shard_states,
+        runtime.router,
+        runtime.n_shards,
+        manifest.config.seed,
+        manifest.config.spatial_index.enabled,
+        manifest.epochs_processed,
+    )
+    for shard, state in zip(runtime.shards, states):
+        shard.restore(state)

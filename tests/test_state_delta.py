@@ -314,6 +314,86 @@ class TestDeltaMaterialization:
         assert delta_bytes < full_bytes / 3, (full_bytes, delta_bytes)
 
 
+class TestCleanLinkMarkers:
+    """Delta links whose reader belief / selector did not change since the
+    parent capture carry a ``{"__clean__": True}`` marker instead of the
+    full state, and materialize bitwise from the base."""
+
+    def test_unstepped_link_ships_clean_markers(self, scenario):
+        from repro.state.delta import apply_engine_delta
+
+        model, trace, config = scenario
+        config = config.with_index()
+        runtime = ShardedRuntime(model, config, RuntimeConfig(n_shards=1), POLICY)
+        for epoch in trace.epochs()[:8]:
+            runtime.step(epoch)
+        shard = runtime.shards[0]
+        base = shard.snapshot("full")["engine"]
+        delta = shard.snapshot("delta")["engine"]
+        assert delta["reader"] == {"__clean__": True}
+        assert delta["selector"] == {"__clean__": True}
+        merged = apply_engine_delta(base, delta)
+        assert tree_equal(merged["reader"], base["reader"]) is None
+        assert tree_equal(merged["selector"], base["selector"]) is None
+        # Materialized arrays are copies, never views into the base.
+        name = next(iter(merged["reader"]))
+        assert not np.shares_memory(merged["reader"][name], base["reader"][name])
+
+        # A link with intervening steps ships the real reader state again.
+        runtime.step(trace.epochs()[8])
+        stepped = shard.snapshot("delta")["engine"]
+        assert not (
+            isinstance(stepped["reader"], dict)
+            and stepped["reader"].get("__clean__")
+        )
+        runtime.abort()
+
+        # A marker whose base is itself a marker is a torn chain.
+        torn_base = dict(base, reader={"__clean__": True})
+        with pytest.raises(StateError, match="torn delta chain"):
+            apply_engine_delta(torn_base, delta)
+
+    def test_clean_link_chain_restores_bitwise(self, scenario, tmp_path):
+        model, trace, config = scenario
+        config = config.with_index()
+        runtime_config = RuntimeConfig(n_shards=2)
+        reference = ShardedRuntime(model, config, runtime_config, POLICY).run(
+            trace.epochs()
+        ).events
+        runtime = ShardedRuntime(model, config, runtime_config, POLICY)
+        for epoch in trace.epochs()[:8]:
+            runtime.step(epoch)
+        prefix = list(runtime.sink.events)
+        base_path = str(tmp_path / "base")
+        save_checkpoint(runtime, base_path, mode="full")
+        # No steps between parent and leaf: the leaf's reader and selector
+        # ride as clean markers on disk.
+        leaf_path = str(tmp_path / "leaf")
+        save_checkpoint(runtime, leaf_path, mode="delta", parent=base_path)
+        runtime.abort()
+        materialized = load_checkpoint(leaf_path)
+        full = load_checkpoint(base_path)
+        for ours, ref in zip(materialized.shard_states, full.shard_states):
+            # The leaf is a later capture, so only its serials may differ.
+            ours = {
+                key: {**val, "capture_serial": 0}
+                if isinstance(val, dict) and "capture_serial" in val
+                else val
+                for key, val in ours.items()
+            }
+            ref = {
+                key: {**val, "capture_serial": 0}
+                if isinstance(val, dict) and "capture_serial" in val
+                else val
+                for key, val in ref.items()
+            }
+            assert tree_equal(ours, ref) is None
+        restored, manifest = restore_runtime(leaf_path, model)
+        assert manifest.epochs_processed == 8
+        sink = restored.run(trace.epochs(start=8))
+        assert_bitwise_equal(prefix + sink.events, reference)
+
+
 class TestDeltaAcrossExecutors:
     @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
     def test_chain_restore_bitwise_across_executors(
